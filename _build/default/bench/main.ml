@@ -1,0 +1,164 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 6) plus the design ablation, then runs bechamel
+   microbenchmarks of the detector's hot paths (experiment E8).
+
+   Usage: main.exe [fig12a|fig12b|fig13|table4|table5|newbugs|capability|
+                    ablation|mechanisms|mtsweep|parallel|micro|all]
+                                               (default: all, fast sizes)
+          main.exe --full        (paper-scale figure 13 sweep: 1..50 txns) *)
+
+module E = Xfd_experiments
+
+let run_fig12 () =
+  let rows = E.Fig12.run ~init:0 ~test:1 () in
+  E.Fig12.print_a rows;
+  E.Fig12.print_b rows
+
+let run_fig13 ~full () =
+  let sizes = if full then E.Fig13.default_sizes else [ 1; 5; 10; 15; 20 ] in
+  E.Fig13.print (E.Fig13.run ~sizes ())
+
+let run_table4 () = E.Table4_exp.print (E.Table4_exp.run ())
+
+let run_table5 () =
+  let rows = E.Table5_exp.run () in
+  E.Table5_exp.print rows;
+  Printf.printf "all injected bugs detected: %b\n" (E.Table5_exp.all_detected rows)
+
+let run_newbugs () =
+  let findings = E.Newbugs_exp.run () in
+  E.Newbugs_exp.print findings;
+  Printf.printf "\nall four bugs reproduced with clean controls: %b\n"
+    (E.Newbugs_exp.all_found findings)
+
+let run_capability () = E.Capability.print (E.Capability.run ())
+let run_ablation () = E.Ablation.print (E.Ablation.run ())
+
+let run_parallel () = E.Parallel_exp.print (E.Parallel_exp.run ())
+let run_mtsweep () = E.Mt_sweep.print (E.Mt_sweep.run ())
+
+let run_mechanisms () =
+  let rows = E.Mechanisms_exp.run () in
+  E.Mechanisms_exp.print rows;
+  Printf.printf "all mechanism verdicts as expected: %b\n" (E.Mechanisms_exp.all_ok rows)
+
+(* ---- bechamel microbenchmarks of the hot paths ---- *)
+
+let microbenches () =
+  let open Bechamel in
+  let l = Xfd_util.Loc.unknown in
+  let base = Xfd_mem.Addr.pool_base in
+  (* Pre-built inputs so the benchmarks measure only the operation. *)
+  let mk_trace n =
+    let t = Xfd_trace.Trace.create () in
+    ignore (Xfd_trace.Trace.append t ~kind:Xfd_trace.Event.Roi_begin ~loc:l);
+    for i = 0 to n - 1 do
+      let addr = base + (64 * (i mod 64)) in
+      ignore (Xfd_trace.Trace.append t ~kind:(Xfd_trace.Event.Write { addr; size = 8 }) ~loc:l);
+      ignore (Xfd_trace.Trace.append t ~kind:(Xfd_trace.Event.Clwb { addr }) ~loc:l);
+      ignore (Xfd_trace.Trace.append t ~kind:Xfd_trace.Event.Sfence ~loc:l)
+    done;
+    t
+  in
+  let replay_trace = mk_trace 1000 in
+  let snapshot_dev =
+    let d = Xfd_mem.Pm_device.create () in
+    for i = 0 to 1023 do
+      Xfd_mem.Pm_device.store_i64 d (base + (8 * i)) (Int64.of_int i)
+    done;
+    d
+  in
+  let tests =
+    [
+      Test.make ~name:"device: 100 x store+clwb, 1 sfence"
+        (Staged.stage (fun () ->
+             let d = Xfd_mem.Pm_device.create () in
+             for i = 0 to 99 do
+               Xfd_mem.Pm_device.store_i64 d (base + (64 * i)) 1L;
+               Xfd_mem.Pm_device.clwb d (base + (64 * i))
+             done;
+             Xfd_mem.Pm_device.sfence d));
+      Test.make ~name:"frontend: 100 instrumented persist_barriers"
+        (Staged.stage (fun () ->
+             let d = Xfd_mem.Pm_device.create () in
+             let tr = Xfd_trace.Trace.create () in
+             let ctx = Xfd_sim.Ctx.create ~stage:Xfd_sim.Ctx.Pre_failure ~dev:d ~trace:tr () in
+             for i = 0 to 99 do
+               Xfd_sim.Ctx.write_i64 ctx ~loc:l (base + (64 * i)) 1L;
+               Xfd_sim.Ctx.persist_barrier ctx ~loc:l (base + (64 * i)) 8
+             done));
+      Test.make ~name:"backend: replay 3000-event trace"
+        (Staged.stage (fun () ->
+             let det = Xfd.Detector.create () in
+             Xfd.Detector.replay det replay_trace ~from:0
+               ~upto:(Xfd_trace.Trace.length replay_trace)));
+      Test.make ~name:"backend: fork_for_post of a warm shadow"
+        (Staged.stage (fun () ->
+             let det = Xfd.Detector.create () in
+             Xfd.Detector.replay det replay_trace ~from:0
+               ~upto:(Xfd_trace.Trace.length replay_trace);
+             ignore (Xfd.Detector.fork_for_post det)));
+      Test.make ~name:"frontend: device snapshot (8 KiB touched)"
+        (Staged.stage (fun () -> ignore (Xfd_mem.Pm_device.snapshot snapshot_dev)));
+      Test.make ~name:"end-to-end: detect one btree insert"
+        (Staged.stage (fun () ->
+             ignore (Xfd.Engine.detect (Xfd_workloads.Btree.program ~init_size:1 ~size:1 ()))));
+    ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true () in
+  Printf.printf "\n== Microbenchmarks (bechamel; ns per run, OLS estimate) ==\n";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let results = Benchmark.run cfg instances elt in
+          let ols =
+            Analyze.one
+              (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+              Toolkit.Instance.monotonic_clock results
+          in
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-46s %14.0f ns\n" (Test.Elt.name elt) est
+          | Some _ | None -> Printf.printf "%-46s (no estimate)\n" (Test.Elt.name elt))
+        (Test.elements test))
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let args = List.filter (fun a -> a <> "--full") args in
+  let what = match args with [] -> "all" | w :: _ -> w in
+  let header () =
+    Printf.printf "XFDetector reproduction: evaluation harness (Liu et al., ASPLOS 2020)\n"
+  in
+  match what with
+  | "fig12a" | "fig12b" | "fig12" -> run_fig12 ()
+  | "fig13" -> run_fig13 ~full ()
+  | "table4" -> run_table4 ()
+  | "table5" -> run_table5 ()
+  | "newbugs" -> run_newbugs ()
+  | "capability" -> run_capability ()
+  | "ablation" -> run_ablation ()
+  | "mechanisms" -> run_mechanisms ()
+  | "parallel" -> run_parallel ()
+  | "mtsweep" -> run_mtsweep ()
+  | "micro" -> microbenches ()
+  | "all" ->
+    header ();
+    run_table4 ();
+    run_newbugs ();
+    run_capability ();
+    run_table5 ();
+    run_mechanisms ();
+    run_fig12 ();
+    run_fig13 ~full ();
+    run_ablation ();
+    run_mtsweep ();
+    run_parallel ();
+    microbenches ()
+  | other ->
+    Printf.eprintf
+      "unknown experiment %S (expected fig12a|fig12b|fig13|table4|table5|newbugs|capability|ablation|mechanisms|mtsweep|parallel|micro|all)\n"
+      other;
+    exit 2

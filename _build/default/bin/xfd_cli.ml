@@ -1,0 +1,163 @@
+(* The xfd command-line tool — the artifact's run.sh analogue.
+
+     xfd run --workload btree --init 5 --test 5 [--patch skip-tx-add=0,2]
+     xfd list
+     xfd newbugs
+     xfd table5 [--workload btree]
+
+   [run] executes one workload under full cross-failure detection and
+   prints the report; [--patch] seeds mechanical bugs like the artifact's
+   patch files. *)
+
+open Cmdliner
+
+let parse_patch spec =
+  (* "skip-tx-add=0,2;dup-flush=1" *)
+  let parse_is s = List.map int_of_string (String.split_on_char ',' s) in
+  let parts = String.split_on_char ';' spec |> List.filter (fun s -> s <> "") in
+  let skip_flush = ref [] and skip_fence = ref [] and skip_tx_add = ref [] in
+  let dup_flush = ref [] and dup_tx_add = ref [] in
+  List.iter
+    (fun part ->
+      match String.split_on_char '=' part with
+      | [ key; is ] -> begin
+        let is = parse_is is in
+        match key with
+        | "skip-flush" -> skip_flush := is
+        | "skip-fence" -> skip_fence := is
+        | "skip-tx-add" -> skip_tx_add := is
+        | "dup-flush" -> dup_flush := is
+        | "dup-tx-add" -> dup_tx_add := is
+        | _ -> failwith (Printf.sprintf "unknown patch kind %S" key)
+      end
+      | _ -> failwith (Printf.sprintf "bad patch component %S (want kind=i,j,...)" part))
+    parts;
+  Xfd_sim.Faults.make ~skip_flush:!skip_flush ~skip_fence:!skip_fence
+    ~skip_tx_add:!skip_tx_add ~dup_flush:!dup_flush ~dup_tx_add:!dup_tx_add ()
+
+let workload_names =
+  List.map
+    (fun e -> String.lowercase_ascii e.Xfd_experiments.Workload_set.name)
+    Xfd_experiments.Workload_set.extended
+
+let run_cmd =
+  let workload =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME"
+          ~doc:(Printf.sprintf "Workload to test (%s)." (String.concat ", " workload_names)))
+  in
+  let init =
+    Arg.(value & opt int 0 & info [ "init" ] ~docv:"N" ~doc:"Warm-up insertions before the RoI.")
+  in
+  let test =
+    Arg.(value & opt int 1 & info [ "test" ] ~docv:"N" ~doc:"Insertions/queries inside the RoI.")
+  in
+  let patch =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "patch" ] ~docv:"SPEC"
+          ~doc:
+            "Seed mechanical bugs: semicolon-separated kind=occurrences, e.g. \
+             $(b,skip-tx-add=0,2;dup-flush=1).  Kinds: skip-flush, skip-fence, \
+             skip-tx-add, dup-flush, dup-tx-add.")
+  in
+  let naive =
+    Arg.(
+      value & flag
+      & info [ "naive-injection" ]
+          ~doc:
+            "Inject a failure point after every PM update instead of only at ordering \
+             points.")
+  in
+  let untrusted =
+    Arg.(
+      value & flag
+      & info [ "test-library" ]
+          ~doc:"Instrument PM-library internals too (trust_library = false).")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Print only the summary line.") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the full outcome as JSON.")
+  in
+  let action workload init test patch naive untrusted quiet json =
+    let entry = Xfd_experiments.Workload_set.find workload in
+    let faults = match patch with Some s -> parse_patch s | None -> Xfd_sim.Faults.none in
+    let config =
+      {
+        Xfd.Config.default with
+        faults;
+        strategy = (if naive then Xfd_sim.Ctx.Every_update else Xfd_sim.Ctx.Ordering_points);
+        trust_library = not untrusted;
+      }
+    in
+    let outcome =
+      Xfd.Engine.detect ~config (entry.Xfd_experiments.Workload_set.make ~init ~test)
+    in
+    let r, s, p, e = Xfd.Engine.tally outcome in
+    if json then
+      print_endline (Xfd_util.Json.to_string_pretty (Xfd.Engine.outcome_to_json outcome))
+    else if quiet then
+      Printf.printf "%s: %d failure points, races=%d semantic=%d perf=%d errors=%d (%.1f ms)\n"
+        outcome.Xfd.Engine.program outcome.Xfd.Engine.failure_points r s p e
+        (1000.0 *. Xfd.Engine.total_wall outcome)
+    else Format.printf "%a" Xfd.Engine.pp_outcome outcome;
+    if r + s + p + e > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under cross-failure detection")
+    Term.(const action $ workload $ init $ test $ patch $ naive $ untrusted $ quiet $ json)
+
+let list_cmd =
+  let action () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-16s %s\n" e.Xfd_experiments.Workload_set.name
+          (match e.Xfd_experiments.Workload_set.kind with
+          | `Tx -> "transaction-based"
+          | `Low_level -> "low-level persists"))
+      Xfd_experiments.Workload_set.extended
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available workloads") Term.(const action $ const ())
+
+let newbugs_cmd =
+  let action () =
+    let findings = Xfd_experiments.Newbugs_exp.run () in
+    Xfd_experiments.Newbugs_exp.print findings;
+    if not (Xfd_experiments.Newbugs_exp.all_found findings) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "newbugs" ~doc:"Reproduce the paper's four new bugs (section 6.3.2)")
+    Term.(const action $ const ())
+
+let table5_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Restrict to one workload.")
+  in
+  let action workload =
+    match workload with
+    | None ->
+      let rows = Xfd_experiments.Table5_exp.run () in
+      Xfd_experiments.Table5_exp.print rows;
+      if not (Xfd_experiments.Table5_exp.all_detected rows) then exit 1
+    | Some w ->
+      List.iter
+        (fun c ->
+          let _, ok = Xfd_workloads.Bug_suite.run c in
+          Printf.printf "%-28s %s\n" c.Xfd_workloads.Bug_suite.id
+            (if ok then "detected" else "MISSED"))
+        (Xfd_workloads.Bug_suite.cases w)
+  in
+  Cmd.v
+    (Cmd.info "table5" ~doc:"Run the synthetic-bug validation suite (Table 5)")
+    Term.(const action $ workload)
+
+let () =
+  let doc = "XFDetector (OCaml reproduction): cross-failure bug detection for PM programs" in
+  let info = Cmd.info "xfd" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; newbugs_cmd; table5_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Bytes Format Int64 List String Xfd Xfd_pmdk Xfd_sim Xfd_util

@@ -1,0 +1,1 @@
+examples/hashmap_bughunt.ml: Format List Printf Xfd Xfd_sim Xfd_workloads

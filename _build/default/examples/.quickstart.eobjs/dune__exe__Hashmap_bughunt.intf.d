@@ -1,0 +1,1 @@
+examples/hashmap_bughunt.mli:

@@ -1,0 +1,1 @@
+examples/linkedlist_recovery.ml: Format List Printf Xfd Xfd_baselines Xfd_workloads

@@ -1,0 +1,1 @@
+examples/linkedlist_recovery.mli:

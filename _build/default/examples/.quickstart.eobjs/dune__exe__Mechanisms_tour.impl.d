@@ -1,0 +1,1 @@
+examples/mechanisms_tour.ml: Format List Printf Xfd Xfd_mechanisms Xfd_workloads

@@ -1,0 +1,1 @@
+examples/mechanisms_tour.mli:

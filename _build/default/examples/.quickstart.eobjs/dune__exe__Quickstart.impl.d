@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Xfd Xfd_workloads

@@ -1,0 +1,1 @@
+examples/redis_crash_test.ml: Format List Printf String Xfd Xfd_mem Xfd_redis Xfd_sim Xfd_trace

@@ -1,0 +1,44 @@
+(* Bug hunting on the low-level hashmap: the paper's two real
+   Hashmap-Atomic bugs plus a sweep of seeded faults.
+
+     dune exec examples/hashmap_bughunt.exe
+
+   Part 1 runs the faithful PMDK-style creation path and finds Bug 1
+   (metadata written without persistence guarantee) and Bug 2 (reading a
+   never-initialised field of a raw allocation).  Part 2 shows the
+   mechanical fault-seeding workflow used for the Table 5 validation:
+   skip the n-th user-level flush and watch the race appear. *)
+
+let () =
+  print_endline "Part 1: the faithful hashmap-atomic creation path (Bugs 1 and 2)";
+  print_endline "------------------------------------------------------------------";
+  let outcome =
+    Xfd.Engine.detect (Xfd_workloads.Hashmap_atomic.program ~size:1 ~variant:`Faithful ())
+  in
+  List.iter
+    (fun b -> Format.printf "  %a@." Xfd.Report.pp_bug b)
+    outcome.Xfd.Engine.unique_bugs;
+  let uninit =
+    List.exists
+      (function Xfd.Report.Race r -> r.Xfd.Report.uninit | _ -> false)
+      outcome.Xfd.Engine.unique_bugs
+  in
+  Printf.printf "\nBug 2's uninitialised-count signature present: %b\n\n" uninit;
+
+  print_endline "Part 2: seeding faults into the *fixed* implementation";
+  print_endline "------------------------------------------------------";
+  List.iter
+    (fun occurrence ->
+      let faults = Xfd_sim.Faults.make ~skip_flush:[ occurrence ] () in
+      let config = { Xfd.Config.default with faults } in
+      let o =
+        Xfd.Engine.detect ~config
+          (Xfd_workloads.Hashmap_atomic.program ~size:3 ~variant:`Fixed ())
+      in
+      let races, semantics, _, _ = Xfd.Engine.tally o in
+      Printf.printf "skip user-level flush #%-2d -> races=%d semantic=%d\n" occurrence races
+        semantics)
+    [ 1; 5; 10; 15 ];
+
+  print_endline "\nEach skipped persist surfaces as a cross-failure race at some failure point.";
+  if not uninit then exit 1

@@ -1,0 +1,50 @@
+(* The paper's Figure 1 walkthrough: why crash consistency depends on the
+   post-failure stage, and why pre-failure-only tools get it wrong.
+
+     dune exec examples/linkedlist_recovery.exe
+
+   One linked-list implementation forgets to log its length counter.  With
+   a naive recovery the resumed pop() reads the unlogged counter — a
+   cross-failure race, and in one schedule even a null dereference (the
+   paper's segfault).  With the robust recovery (recover_alt), which
+   re-derives the counter from the list, the very same pre-failure code is
+   crash-consistent — and XFDetector stays silent where PMTest-style
+   pre-failure checking still reports a violation. *)
+
+let summarize name outcome =
+  let r, s, p, e = Xfd.Engine.tally outcome in
+  Printf.printf "%-42s races=%d semantic=%d perf=%d post-errors=%d\n" name r s p e
+
+let () =
+  print_endline "Figure 1: the same pre-failure bug under two recovery strategies";
+  print_endline "----------------------------------------------------------------";
+
+  let naive = Xfd_workloads.Linkedlist.program ~size:1 ~recovery:`Naive () in
+  let robust = Xfd_workloads.Linkedlist.program ~size:1 ~recovery:`Robust () in
+
+  let o_naive = Xfd.Engine.detect naive in
+  let o_robust = Xfd.Engine.detect robust in
+  summarize "unlogged length + naive recovery:" o_naive;
+  summarize "unlogged length + robust recovery:" o_robust;
+
+  print_endline "\nXFDetector's findings for the naive recovery:";
+  List.iter
+    (fun b -> Format.printf "  %a@." Xfd.Report.pp_bug b)
+    o_naive.Xfd.Engine.unique_bugs;
+
+  (* The prior-work comparison: a pre-failure-only checker cannot tell the
+     two programs apart, because it never sees the recovery code. *)
+  print_endline "\nPMTest-style pre-failure checking on the ROBUST (correct) variant:";
+  let violations, _ = Xfd_baselines.Pmtest.run robust in
+  List.iter
+    (fun v -> Format.printf "  %a   <- false positive@." Xfd_baselines.Pmtest.pp_violation v)
+    violations.Xfd_baselines.Pmtest.violations;
+
+  let _, _, _, errors = Xfd.Engine.tally o_naive in
+  let clean_robust = o_robust.Xfd.Engine.unique_bugs = [] in
+  if errors >= 1 && clean_robust then
+    print_endline "\nOK: naive recovery races (and segfaults); robust recovery is clean."
+  else begin
+    print_endline "\nUNEXPECTED outcome";
+    exit 1
+  end

@@ -1,0 +1,35 @@
+(* Quickstart: detect the paper's Figure 2 bug in three lines, then show
+   that the fixed program comes back clean.
+
+     dune exec examples/quickstart.exe
+
+   The workload is a persistent array updated under a backup/valid-flag
+   protocol.  The buggy variant writes the wrong values to the flag, so
+   recovery either skips a rollback it needed (cross-failure race) or rolls
+   back from a stale backup (cross-failure semantic bug). *)
+
+let () =
+  print_endline "XFDetector quickstart: the paper's Figure 2 example";
+  print_endline "---------------------------------------------------";
+
+  (* 1. Build the program under test (buggy variant). *)
+  let buggy = Xfd_workloads.Array_update.program ~size:1 () in
+
+  (* 2. Run cross-failure detection: inject a failure before every ordering
+        point, run recovery + resumption from each, check all reads. *)
+  let outcome = Xfd.Engine.detect buggy in
+
+  (* 3. Read the report. *)
+  Format.printf "%a@." Xfd.Engine.pp_outcome outcome;
+
+  (* The fixed variant of the same code is clean. *)
+  let fixed = Xfd_workloads.Array_update.program ~size:1 ~correct_valid:true () in
+  Format.printf "%a@." Xfd.Engine.pp_outcome (Xfd.Engine.detect fixed);
+
+  let races, semantics, _, _ = Xfd.Engine.tally outcome in
+  if races >= 1 && semantics >= 1 then
+    print_endline "OK: the buggy variant shows both a cross-failure race and a semantic bug."
+  else begin
+    print_endline "UNEXPECTED: detection did not reproduce the Figure 2 bugs.";
+    exit 1
+  end

@@ -1,0 +1,1 @@
+lib/baselines/pmemcheck.ml: Format Hashtbl Unix Xfd Xfd_mem Xfd_sim Xfd_trace Xfd_util

@@ -1,0 +1,1 @@
+lib/baselines/pmemcheck.mli: Format Xfd Xfd_mem Xfd_trace Xfd_util

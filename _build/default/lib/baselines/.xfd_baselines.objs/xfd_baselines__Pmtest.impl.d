@@ -1,0 +1,1 @@
+lib/baselines/pmtest.ml: Format Hashtbl List Printf Unix Xfd Xfd_mem Xfd_sim Xfd_trace Xfd_util

@@ -1,0 +1,1 @@
+lib/baselines/pmtest.mli: Format Xfd Xfd_mem Xfd_trace Xfd_util

@@ -1,0 +1,1 @@
+lib/baselines/pure_trace.ml: Unix Xfd Xfd_mem Xfd_sim Xfd_trace

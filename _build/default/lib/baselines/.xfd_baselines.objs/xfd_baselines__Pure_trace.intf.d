@@ -1,0 +1,1 @@
+lib/baselines/pure_trace.mli: Xfd

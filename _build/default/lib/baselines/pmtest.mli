@@ -1,0 +1,37 @@
+(** A PMTest-style pre-failure-only checker (ASPLOS'19), used as the
+    prior-work baseline.
+
+    PMTest validates the {e pre-failure} execution against ordering and
+    transaction rules; it never runs recovery code.  This reimplementation
+    replays a pre-failure trace and reports:
+
+    - writes inside a transaction to locations neither TX_ADDed (snapshot or
+      no-snapshot) nor freshly allocated in that transaction;
+    - PM locations still not persisted when the trace ends;
+    - the same performance bugs XFDetector flags (redundant flushes,
+      duplicated TX_ADDs).
+
+    Two properties of the comparison matter for the paper's argument
+    (section 2, Figure 3): PMTest {e reports a false positive} on the
+    Figure 1 workload with the robust recovery (the unlogged [length] write
+    violates its transaction rule even though recovery rewrites the value),
+    and it {e misses} post-failure-only bugs like Figure 2's semantic bug
+    (whose pre-failure trace persists everything correctly). *)
+
+type violation = {
+  loc : Xfd_util.Loc.t;
+  addr : Xfd_mem.Addr.t;
+  size : int;
+  rule : string;
+}
+
+type result = { violations : violation list; events_checked : int }
+
+(** Check a pre-failure trace. *)
+val check : Xfd_trace.Trace.t -> result
+
+(** Run the program's pre-failure stage under tracing and check it.
+    Returns the result and the wall-clock seconds spent. *)
+val run : Xfd.Engine.program -> result * float
+
+val pp_violation : Format.formatter -> violation -> unit

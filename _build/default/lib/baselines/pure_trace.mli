@@ -1,0 +1,13 @@
+(** The "Pure Pin" baseline of Figure 12b: run the program once under full
+    tracing (pre-failure stage, one crash copy, post-failure stage) with no
+    failure injection and no detection, and time it.  Comparing against
+    {!Xfd.Engine.detect} isolates the cost of the repeated post-failure
+    executions, and comparing against the untraced original isolates the
+    instrumentation overhead. *)
+
+type result = { wall : float; pre_events : int; post_events : int }
+
+val run : Xfd.Engine.program -> result
+
+(** The untraced original program (tracing disabled in the context). *)
+val run_original : Xfd.Engine.program -> float

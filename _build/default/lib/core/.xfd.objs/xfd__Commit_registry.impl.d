@@ -1,0 +1,1 @@
+lib/core/commit_registry.ml: Hashtbl List Xfd_mem

@@ -1,0 +1,1 @@
+lib/core/commit_registry.mli: Xfd_mem

@@ -1,0 +1,1 @@
+lib/core/cstate.ml: Format

@@ -1,0 +1,1 @@
+lib/core/detector.ml: Commit_registry Cstate Hashtbl List Pstate Report Shadow_pm Xfd_mem Xfd_trace Xfd_util

@@ -1,0 +1,1 @@
+lib/core/detector.mli: Commit_registry Report Shadow_pm Xfd_mem Xfd_trace

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Atomic Config Detector Domain Format Hashtbl List Option Printexc Report Unix Xfd_mem Xfd_sim Xfd_trace Xfd_util

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Format Report Xfd_sim Xfd_util

@@ -1,0 +1,1 @@
+lib/core/report.ml: Cstate Format List Printf Pstate Xfd_mem Xfd_util

@@ -1,0 +1,1 @@
+lib/core/report.mli: Cstate Format Pstate Xfd_mem Xfd_util

@@ -1,0 +1,1 @@
+lib/core/shadow_pm.mli: Pstate Xfd_mem Xfd_util

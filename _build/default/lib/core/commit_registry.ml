@@ -1,0 +1,103 @@
+module Addr = Xfd_mem.Addr
+
+type var = {
+  var_addr : Addr.t;
+  var_size : int;
+  mutable ranges : (Addr.t * int) list;
+  mutable t_prelast : int;
+  mutable t_last : int;
+  mutable commits : int;
+}
+
+type t = {
+  vars : (Addr.t, var) Hashtbl.t;
+  var_bytes : (Addr.t, Addr.t) Hashtbl.t; (* byte -> owning variable *)
+  range_bytes : (Addr.t, Addr.t) Hashtbl.t; (* byte -> governing variable *)
+  mutable pending : (Addr.t * int) list; (* deferred commit writes (var, ts) *)
+}
+
+exception Overlapping_commit_ranges of Addr.t * Addr.t
+
+let create () =
+  {
+    vars = Hashtbl.create 64;
+    var_bytes = Hashtbl.create 256;
+    range_bytes = Hashtbl.create 1024;
+    pending = [];
+  }
+
+let clone t =
+  let vars = Hashtbl.create (Hashtbl.length t.vars) in
+  Hashtbl.iter
+    (fun k v ->
+      Hashtbl.replace vars k
+        {
+          var_addr = v.var_addr;
+          var_size = v.var_size;
+          ranges = v.ranges;
+          t_prelast = v.t_prelast;
+          t_last = v.t_last;
+          commits = v.commits;
+        })
+    t.vars;
+  {
+    vars;
+    var_bytes = Hashtbl.copy t.var_bytes;
+    range_bytes = Hashtbl.copy t.range_bytes;
+    pending = t.pending;
+  }
+
+let register_var t ~var ~size =
+  if not (Hashtbl.mem t.vars var) then begin
+    let v = { var_addr = var; var_size = size; ranges = []; t_prelast = -1; t_last = -1; commits = 0 } in
+    Hashtbl.replace t.vars var v;
+    Addr.iter_bytes var size (fun a -> Hashtbl.replace t.var_bytes a var)
+  end
+
+let register_range t ~var ~addr ~size =
+  register_var t ~var ~size:8;
+  let v = Hashtbl.find t.vars var in
+  if not (List.exists (fun (a, n) -> a = addr && n = size) v.ranges) then begin
+    (* Eq. 2: sets associated with distinct commit variables are disjoint. *)
+    Addr.iter_bytes addr size (fun a ->
+        match Hashtbl.find_opt t.range_bytes a with
+        | Some owner when owner <> var -> raise (Overlapping_commit_ranges (owner, var))
+        | Some _ | None -> ());
+    v.ranges <- (addr, size) :: v.ranges;
+    Addr.iter_bytes addr size (fun a -> Hashtbl.replace t.range_bytes a var)
+  end
+
+let commit t var ts =
+  let v = Hashtbl.find t.vars var in
+  v.t_prelast <- v.t_last;
+  v.t_last <- ts;
+  v.commits <- v.commits + 1
+
+let on_write t ~defer ~addr ~size ~ts =
+  (* A write spanning several commit variables commits each of them once. *)
+  let touched = ref [] in
+  Addr.iter_bytes addr size (fun a ->
+      match Hashtbl.find_opt t.var_bytes a with
+      | Some var when not (List.mem var !touched) -> touched := var :: !touched
+      | Some _ | None -> ());
+  List.iter
+    (fun var -> if defer then t.pending <- (var, ts) :: t.pending else commit t var ts)
+    !touched
+
+let apply_pending t =
+  List.iter (fun (var, ts) -> commit t var ts) (List.rev t.pending);
+  t.pending <- []
+
+let drop_pending t = t.pending <- []
+
+let is_commit_byte t addr = Hashtbl.mem t.var_bytes addr
+
+let window_for t addr =
+  match Hashtbl.find_opt t.range_bytes addr with
+  | None -> None
+  | Some var ->
+    let v = Hashtbl.find t.vars var in
+    if v.commits = 0 then Some None
+    else Some (Some ((if v.commits = 1 then -1 else v.t_prelast), v.t_last))
+
+let var_count t = Hashtbl.length t.vars

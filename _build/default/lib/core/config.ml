@@ -1,0 +1,22 @@
+type t = {
+  strategy : Xfd_sim.Ctx.strategy;
+  trust_library : bool;
+  max_failure_points : int;
+  inject_terminal_fp : bool;
+  faults : Xfd_sim.Faults.t;
+  check_perf : bool;
+  crash_mode : [ `Full | `Strict ];
+  post_jobs : int;
+}
+
+let default =
+  {
+    strategy = Xfd_sim.Ctx.Ordering_points;
+    trust_library = true;
+    max_failure_points = 100_000;
+    inject_terminal_fp = true;
+    faults = Xfd_sim.Faults.none;
+    check_perf = true;
+    crash_mode = `Full;
+    post_jobs = 1;
+  }

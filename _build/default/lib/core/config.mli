@@ -1,0 +1,27 @@
+(** Detection configuration. *)
+
+type t = {
+  strategy : Xfd_sim.Ctx.strategy;
+      (** where failure points go: before ordering points (the paper), or
+          after every PM update (the naive ablation baseline) *)
+  trust_library : bool;
+      (** wrap PM-library internals in skip regions (paper default) *)
+  max_failure_points : int;  (** safety cap on injected failure points *)
+  inject_terminal_fp : bool;
+      (** also test the state after the pre-failure stage completed *)
+  faults : Xfd_sim.Faults.t;  (** seeded bugs for validation runs *)
+  check_perf : bool;  (** report performance bugs *)
+  crash_mode : [ `Full | `Strict ];
+      (** PM image handed to the post-failure stage: [`Full] copies every
+          architectural byte (the paper's footnote 3; the shadow PM decides
+          what was persisted), [`Strict] drops non-persisted bytes (useful
+          for cross-validation in tests) *)
+  post_jobs : int;
+      (** number of domains running post-failure executions concurrently —
+          the paper's "the post-failure executions are independent as they
+          operate on a copy of the original PM image, and therefore, can be
+          parallelized.  We leave the parallelized detection as a future
+          work"; 1 = fully sequential *)
+}
+
+val default : t

@@ -1,0 +1,25 @@
+type t = Consistent | Uncommitted | Stale
+
+let classify ~t_prelast ~t_last ~tlast =
+  if tlast >= t_last then Uncommitted
+  else if tlast >= t_prelast then Consistent
+  else Stale
+
+let not_committed = Uncommitted
+
+let on_write _ = Uncommitted
+
+let on_commit ~modified_before = function
+  | Uncommitted -> if modified_before then Consistent else Uncommitted
+  | Consistent -> Stale
+  | Stale -> Stale
+
+let is_consistent = function Consistent -> true | Uncommitted | Stale -> false
+let equal (a : t) b = a = b
+
+let to_string = function
+  | Consistent -> "C"
+  | Uncommitted -> "IC-uncommitted"
+  | Stale -> "IC-stale"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,36 @@
+(** Semantic consistency of a PM byte — the paper's Figure 10 machine and
+    Eq. 3 timestamp rule.
+
+    A byte belonging to the address set [Sx] of a commit variable [x] is
+    consistent iff its last modification falls between the last two commit
+    writes to [x]: with [t_prelast]/[t_last] the timestamps of those writes
+    and [tlast] the byte's, the byte is [Consistent] when
+    [t_prelast <= tlast < t_last], [Stale] when modified before that window
+    and [Uncommitted] when modified at-or-after the last commit.  Timestamps
+    are drawn from a global counter that increments at each ordering point,
+    so a write in the same fence epoch as the commit write is {e not}
+    ordered before it — which is exactly why the paper's Figure 11 example
+    reports a semantic bug at its second failure point. *)
+
+type t = Consistent | Uncommitted | Stale
+
+(** [classify ~t_prelast ~t_last ~tlast].  Pass [t_prelast = -1] when the
+    commit variable has been written only once, and use {!not_committed}
+    when it has never been written. *)
+val classify : t_prelast:int -> t_last:int -> tlast:int -> t
+
+(** Classification when the associated commit variable was never written:
+    everything modified is uncommitted. *)
+val not_committed : t
+
+(** The Figure 10 transition on a write to the byte itself. *)
+val on_write : t -> t
+
+(** The Figure 10 transition on a commit write, for a byte whose last
+    modification was strictly before the commit ([modified_before]) or not. *)
+val on_commit : modified_before:bool -> t -> t
+
+val is_consistent : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

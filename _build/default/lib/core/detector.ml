@@ -1,0 +1,205 @@
+module Addr = Xfd_mem.Addr
+module Event = Xfd_trace.Event
+module Trace = Xfd_trace.Trace
+module Loc = Xfd_util.Loc
+
+type t = {
+  shadow : Shadow_pm.t;
+  registry : Commit_registry.t;
+  check_perf : bool;
+  defer_commits : bool;
+  post : bool;
+  mutable ts : int;
+  mutable in_roi : bool;
+  mutable skip_depth : int;
+  mutable tx_active : bool;
+  mutable tx_added : (Addr.t * int) list;
+  mutable bugs_rev : Report.bug list;
+  dedup : (string, unit) Hashtbl.t;
+  checked : (Addr.t, unit) Hashtbl.t;
+}
+
+let create ?(check_perf = true) ?(commit_at = `Write) () =
+  {
+    shadow = Shadow_pm.create ();
+    registry = Commit_registry.create ();
+    check_perf;
+    defer_commits = (commit_at = `Persist);
+    post = false;
+    ts = 0;
+    in_roi = false;
+    skip_depth = 0;
+    tx_active = false;
+    tx_added = [];
+    bugs_rev = [];
+    dedup = Hashtbl.create 64;
+    checked = Hashtbl.create 256;
+  }
+
+let fork_for_post t =
+  let registry = Commit_registry.clone t.registry in
+  (* In persist-time mode, commit writes that never persisted before the
+     failure are discarded: the strict image does not contain them. *)
+  if t.defer_commits then Commit_registry.drop_pending registry;
+  {
+    shadow = Shadow_pm.overlay t.shadow;
+    registry;
+    check_perf = t.check_perf;
+    defer_commits = t.defer_commits;
+    post = true;
+    ts = t.ts;
+    (* The post-failure program runs from its own entry point: RoI and skip
+       annotations come from its own trace. *)
+    in_roi = false;
+    skip_depth = 0;
+    tx_active = false;
+    tx_added = [];
+    bugs_rev = [];
+    dedup = Hashtbl.create 16;
+    checked = Hashtbl.create 64;
+  }
+
+let bugs t = List.rev t.bugs_rev
+let timestamp t = t.ts
+let probe t addr = Shadow_pm.find t.shadow addr
+let registry t = t.registry
+
+let record t bug =
+  let key = Report.dedup_key bug in
+  if not (Hashtbl.mem t.dedup key) then begin
+    Hashtbl.replace t.dedup key ();
+    t.bugs_rev <- bug :: t.bugs_rev
+  end
+
+let checking t = t.in_roi && t.skip_depth = 0
+
+(* Outcome of checking one byte of a post-failure read. *)
+type finding = Ok_read | Racy of { writer : Loc.t; uninit : bool } | Inconsistent of { writer : Loc.t; status : Cstate.t }
+
+let check_byte t a =
+  if Hashtbl.mem t.checked a then Ok_read
+  else begin
+    Hashtbl.replace t.checked a ();
+    if Commit_registry.is_commit_byte t.registry a then Ok_read (* benign race *)
+    else begin
+      match Shadow_pm.find t.shadow a with
+      | None -> Ok_read (* never touched before the failure *)
+      | Some c ->
+        if c.Shadow_pm.post_written then Ok_read
+        else if c.Shadow_pm.uninit then
+          (* An allocated-but-never-initialised location cannot be
+             semantically consistent, whatever commit window covers it. *)
+          Racy { writer = c.Shadow_pm.writer; uninit = true }
+        else begin
+          (* Eq. 3 orders W(m) before C(x) by *persistence*: a byte can only
+             count as semantically consistent once it is guaranteed durable,
+             so the persistence check comes first (this is also what the
+             paper's Figure 11 walkthrough reports at F1: modified data
+             races even though its commit window looks right). *)
+          match c.Shadow_pm.pstate with
+          | Pstate.Modified | Pstate.Writeback_pending ->
+            Racy { writer = c.Shadow_pm.writer; uninit = false }
+          | Pstate.Unmodified ->
+            if c.Shadow_pm.uninit then Racy { writer = c.Shadow_pm.writer; uninit = true }
+            else Ok_read
+          | Pstate.Persisted -> begin
+            match Commit_registry.window_for t.registry a with
+            | None -> Ok_read
+            | Some None ->
+              Inconsistent { writer = c.Shadow_pm.writer; status = Cstate.not_committed }
+            | Some (Some (t_prelast, t_last)) -> begin
+              match Cstate.classify ~t_prelast ~t_last ~tlast:c.Shadow_pm.tlast with
+              | Cstate.Consistent -> Ok_read
+              | (Cstate.Uncommitted | Cstate.Stale) as s ->
+                Inconsistent { writer = c.Shadow_pm.writer; status = s }
+            end
+          end
+        end
+    end
+  end
+
+(* Check a post-failure read, coalescing contiguous bytes with the same
+   verdict into a single report. *)
+let check_read t ~loc addr size =
+  let flush_pending start len = function
+    | Ok_read -> ()
+    | Racy { writer; uninit } ->
+      record t
+        (Report.Race { addr = start; size = len; read_loc = loc; write_loc = writer; uninit })
+    | Inconsistent { writer; status } ->
+      record t
+        (Report.Semantic
+           { addr = start; size = len; read_loc = loc; write_loc = writer; status })
+  in
+  let pending = ref Ok_read and start = ref addr and len = ref 0 in
+  Addr.iter_bytes addr size (fun a ->
+      let f = check_byte t a in
+      if f = !pending && !len > 0 then incr len
+      else begin
+        flush_pending !start !len !pending;
+        pending := f;
+        start := a;
+        len := 1
+      end);
+  flush_pending !start !len !pending
+
+let on_write t ~loc ~nt addr size =
+  Commit_registry.on_write t.registry ~defer:t.defer_commits ~addr ~size ~ts:t.ts;
+  Addr.iter_bytes addr size (fun a ->
+      Shadow_pm.write_byte t.shadow a ~ts:t.ts ~loc ~nt ~post:t.post)
+
+let on_flush t ~loc addr =
+  let line = Addr.line_of addr in
+  match Shadow_pm.flush_line t.shadow line with
+  | `Had_modified | `Clean -> ()
+  | `Waste w ->
+    if t.check_perf && checking t then
+      record t (Report.Perf { addr = line; loc; waste = `Flush w })
+
+let on_fence t =
+  Shadow_pm.fence t.shadow;
+  if t.defer_commits then Commit_registry.apply_pending t.registry;
+  t.ts <- t.ts + 1
+
+let on_tx_add t ~loc addr size =
+  if t.tx_active then begin
+    if
+      t.check_perf && checking t
+      && List.exists (fun r -> Addr.overlap r (addr, size)) t.tx_added
+    then record t (Report.Perf { addr; loc; waste = `Duplicate_tx_add });
+    t.tx_added <- (addr, size) :: t.tx_added
+  end
+
+let replay_event t (ev : Event.t) =
+  let loc = ev.Event.loc in
+  match ev.Event.kind with
+  | Event.Write { addr; size } -> on_write t ~loc ~nt:false addr size
+  | Event.Nt_write { addr; size } -> on_write t ~loc ~nt:true addr size
+  | Event.Read { addr; size } -> if t.post && checking t then check_read t ~loc addr size
+  | Event.Clwb { addr } | Event.Clflush { addr } | Event.Clflushopt { addr } ->
+    on_flush t ~loc addr
+  | Event.Sfence | Event.Mfence -> on_fence t
+  | Event.Tx_begin ->
+    t.tx_active <- true;
+    t.tx_added <- []
+  | Event.Tx_add { addr; size } -> on_tx_add t ~loc addr size
+  | Event.Tx_xadd _ -> ()
+  | Event.Tx_commit | Event.Tx_abort ->
+    t.tx_active <- false;
+    t.tx_added <- []
+  | Event.Tx_alloc { addr; size; zeroed } ->
+    if not zeroed then Shadow_pm.mark_alloc_raw t.shadow addr size
+  | Event.Tx_free _ -> ()
+  | Event.Commit_var { addr; size } -> Commit_registry.register_var t.registry ~var:addr ~size
+  | Event.Commit_range { var; addr; size } ->
+    Commit_registry.register_range t.registry ~var ~addr ~size
+  | Event.Roi_begin -> t.in_roi <- true
+  | Event.Roi_end -> t.in_roi <- false
+  | Event.Skip_detection_begin -> t.skip_depth <- t.skip_depth + 1
+  | Event.Skip_detection_end -> t.skip_depth <- max 0 (t.skip_depth - 1)
+  | Event.Marker _ -> ()
+
+let replay t trace ~from ~upto =
+  for i = from to min upto (Trace.length trace) - 1 do
+    replay_event t (Trace.get trace i)
+  done

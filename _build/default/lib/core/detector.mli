@@ -1,0 +1,49 @@
+(** The detection backend (paper section 5.4).
+
+    The backend replays traces against the shadow PM.  The pre-failure trace
+    is replayed incrementally, once: between failure points the engine
+    advances the base detector to the failure point's trace position, then
+    {!fork_for_post} creates a cheap copy-on-write fork into which the
+    corresponding post-failure trace is replayed and checked.  Forks see the
+    exact shadow state at their failure point; the base is never polluted by
+    post-failure writes.
+
+    Checks implemented:
+    - post-failure reads: consistency state first, then persistence state —
+      a read is reported as a cross-failure semantic bug when the byte is
+      persisted but outside its commit window (Eq. 3), as a cross-failure
+      race when it is not guaranteed persisted, and not at all when it is a
+      commit-variable byte (benign race), was overwritten by the post-failure
+      stage itself, or was never touched;
+    - performance bugs during replay: flushes of lines with nothing to write
+      back, and duplicated TX_ADDs within one transaction;
+    - only the first post-failure read of each byte is checked
+      (section 5.4 optimisation 1). *)
+
+type t
+
+(** [commit_at] selects when a write to a commit variable moves the Eq. 3
+    window: [`Write] (the paper's implementation; matches detection on full
+    crash images, where the post-failure stage observes the newest flag
+    value) or [`Persist] (matches strict crash images, where only persisted
+    flag values survive — Eq. 3's [<=p] made operational).  The engine picks
+    the mode matching its crash mode. *)
+val create : ?check_perf:bool -> ?commit_at:[ `Write | `Persist ] -> unit -> t
+
+(** [replay t trace ~from ~upto] replays events [from .. upto-1]. *)
+val replay : t -> Xfd_trace.Trace.t -> from:int -> upto:int -> unit
+
+(** Fork for one failure point's post-failure replay. *)
+val fork_for_post : t -> t
+
+(** Bugs recorded by this detector (or fork), oldest first. *)
+val bugs : t -> Report.bug list
+
+(** Current global timestamp (one tick per ordering point). *)
+val timestamp : t -> int
+
+(** Expose the shadow cell of an address, for tests and debugging. *)
+val probe : t -> Xfd_mem.Addr.t -> Shadow_pm.cell option
+
+(** The commit-variable registry (for tests). *)
+val registry : t -> Commit_registry.t

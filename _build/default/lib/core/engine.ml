@@ -1,0 +1,271 @@
+module Ctx = Xfd_sim.Ctx
+module Device = Xfd_mem.Pm_device
+module Trace = Xfd_trace.Trace
+
+type program = {
+  name : string;
+  setup : Ctx.t -> unit;
+  pre : Ctx.t -> unit;
+  post : Ctx.t -> unit;
+}
+
+type timings = {
+  pre_exec : float;
+  post_exec : float;
+  pre_replay : float;
+  post_replay : float;
+  snapshotting : float;
+}
+
+type outcome = {
+  program : string;
+  failure_points : int;
+  reports : Report.failure_report list;
+  unique_bugs : Report.bug list;
+  pre_events : int;
+  post_events : int;
+  timings : timings;
+}
+
+type snapshot = { index : int; trace_pos : int; dev : Device.t }
+
+let now () = Unix.gettimeofday ()
+
+let run_post ~config ~dev ~post =
+  let trace = Trace.create () in
+  let ctx =
+    Ctx.create ~trust_library:config.Config.trust_library ~stage:Ctx.Post_failure ~dev
+      ~trace ()
+  in
+  let exn =
+    match post ctx with
+    | () -> None
+    | exception Ctx.Detection_complete -> None
+    | exception e -> Some (Printexc.to_string e)
+  in
+  (trace, exn)
+
+let detect ?(config = Config.default) program =
+  let dev = Device.create () in
+  let trace = Trace.create () in
+  let snapshots = ref [] and n_snapshots = ref 0 in
+  let last_ops = ref 0 in
+  let snap_time = ref 0.0 in
+  let take_snapshot ctx =
+    if !n_snapshots < config.Config.max_failure_points && Ctx.update_ops ctx > !last_ops
+    then begin
+      last_ops := Ctx.update_ops ctx;
+      let t0 = now () in
+      snapshots :=
+        { index = !n_snapshots; trace_pos = Trace.length trace; dev = Device.snapshot dev }
+        :: !snapshots;
+      incr n_snapshots;
+      snap_time := !snap_time +. (now () -. t0)
+    end
+  in
+  Xfd_sim.Faults.reset config.Config.faults;
+  let ctx =
+    Ctx.create ~faults:config.Config.faults ~strategy:config.Config.strategy
+      ~trust_library:config.Config.trust_library ~on_failure_point:take_snapshot
+      ~stage:Ctx.Pre_failure ~dev ~trace ()
+  in
+  let t0 = now () in
+  program.setup ctx;
+  (match program.pre ctx with () -> () | exception Ctx.Detection_complete -> ());
+  (* One terminal failure point: the state in which the pre-failure stage
+     ran to completion must recover cleanly too. *)
+  if config.Config.inject_terminal_fp && Ctx.update_ops ctx > !last_ops then begin
+    let ts = now () in
+    snapshots :=
+      { index = !n_snapshots; trace_pos = Trace.length trace; dev = Device.snapshot dev }
+      :: !snapshots;
+    incr n_snapshots;
+    snap_time := !snap_time +. (now () -. ts)
+  end;
+  let pre_exec = now () -. t0 -. !snap_time in
+  let snapshots = List.rev !snapshots in
+  let commit_at = match config.Config.crash_mode with `Full -> `Write | `Strict -> `Persist in
+  let detector = Detector.create ~check_perf:config.Config.check_perf ~commit_at () in
+  let pre_pos = ref 0 in
+  let pre_replay = ref 0.0 and post_exec = ref 0.0 and post_replay = ref 0.0 in
+  let post_events = ref 0 in
+  let crash_mode =
+    match config.Config.crash_mode with `Full -> Device.Full | `Strict -> Device.Strict
+  in
+  (* One post-failure execution per failure point.  The executions are
+     independent (each runs on its own copy of the PM image), so with
+     post_jobs > 1 they run on a small domain pool — the parallelisation
+     the paper leaves as future work.  Trace replay and checking stay
+     sequential: the backend's shadow forks off the incrementally-advanced
+     pre-failure state. *)
+  let run_one s =
+    let post_dev = Device.boot (Device.crash s.dev crash_mode) in
+    run_post ~config ~dev:post_dev ~post:program.post
+  in
+  let post_runs =
+    let n = List.length snapshots in
+    let jobs = max 1 (min config.Config.post_jobs n) in
+    let t0 = now () in
+    let results =
+      if jobs = 1 then List.map run_one snapshots
+      else begin
+        let input = Array.of_list snapshots in
+        let output = Array.make n None in
+        let next = Atomic.make 0 in
+        let worker () =
+          let rec go () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              output.(i) <- Some (run_one input.(i));
+              go ()
+            end
+          in
+          go ()
+        in
+        let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        List.iter Domain.join domains;
+        Array.to_list (Array.map Option.get output)
+      end
+    in
+    post_exec := now () -. t0;
+    results
+  in
+  let reports =
+    List.map2
+      (fun s (post_trace, post_exn) ->
+        let t0 = now () in
+        Detector.replay detector trace ~from:!pre_pos ~upto:s.trace_pos;
+        pre_pos := s.trace_pos;
+        pre_replay := !pre_replay +. (now () -. t0);
+        post_events := !post_events + Trace.length post_trace;
+        let t0 = now () in
+        let fork = Detector.fork_for_post detector in
+        Detector.replay fork post_trace ~from:0 ~upto:(Trace.length post_trace);
+        post_replay := !post_replay +. (now () -. t0);
+        let bugs =
+          Detector.bugs fork
+          @
+          match post_exn with
+          | Some exn -> [ Report.Post_failure_error { exn; failure_point = s.index } ]
+          | None -> []
+        in
+        { Report.failure_point = s.index; trace_pos = s.trace_pos; bugs })
+      snapshots post_runs
+  in
+  let t0 = now () in
+  Detector.replay detector trace ~from:!pre_pos ~upto:(Trace.length trace);
+  pre_replay := !pre_replay +. (now () -. t0);
+  let dedup = Hashtbl.create 64 in
+  let unique_bugs =
+    List.concat_map (fun r -> r.Report.bugs) reports @ Detector.bugs detector
+    |> List.filter (fun b ->
+           let key = Report.dedup_key b in
+           if Hashtbl.mem dedup key then false
+           else begin
+             Hashtbl.replace dedup key ();
+             true
+           end)
+  in
+  {
+    program = program.name;
+    failure_points = List.length snapshots;
+    reports;
+    unique_bugs;
+    pre_events = Trace.length trace;
+    post_events = !post_events;
+    timings =
+      {
+        pre_exec;
+        post_exec = !post_exec;
+        pre_replay = !pre_replay;
+        post_replay = !post_replay;
+        snapshotting = !snap_time;
+      };
+  }
+
+let wall_breakdown o =
+  let t = o.timings in
+  (t.pre_exec +. t.pre_replay +. t.snapshotting, t.post_exec +. t.post_replay)
+
+let total_wall o =
+  let pre, post = wall_breakdown o in
+  pre +. post
+
+let tally o =
+  List.fold_left
+    (fun (r, s, p, e) b ->
+      if Report.is_race b then (r + 1, s, p, e)
+      else if Report.is_semantic b then (r, s + 1, p, e)
+      else if Report.is_perf b then (r, s, p + 1, e)
+      else (r, s, p, e + 1))
+    (0, 0, 0, 0) o.unique_bugs
+
+let run_traced program =
+  let dev = Device.create () in
+  let trace = Trace.create () in
+  let ctx = Ctx.create ~stage:Ctx.Pre_failure ~dev ~trace () in
+  let t0 = now () in
+  program.setup ctx;
+  (match program.pre ctx with () -> () | exception Ctx.Detection_complete -> ());
+  let post_dev = Device.boot (Device.crash dev Device.Full) in
+  let post_trace = Trace.create () in
+  let post_ctx = Ctx.create ~stage:Ctx.Post_failure ~dev:post_dev ~trace:post_trace () in
+  (match program.post post_ctx with
+  | () -> ()
+  | exception Ctx.Detection_complete -> ());
+  now () -. t0
+
+let run_original program =
+  let dev = Device.create () in
+  let trace = Trace.create () in
+  let ctx = Ctx.create ~tracing:false ~stage:Ctx.Pre_failure ~dev ~trace () in
+  let t0 = now () in
+  program.setup ctx;
+  (match program.pre ctx with () -> () | exception Ctx.Detection_complete -> ());
+  let post_dev = Device.boot (Device.crash dev Device.Full) in
+  let post_ctx =
+    Ctx.create ~tracing:false ~stage:Ctx.Post_failure ~dev:post_dev ~trace ()
+  in
+  (match program.post post_ctx with
+  | () -> ()
+  | exception Ctx.Detection_complete -> ());
+  now () -. t0
+
+let pp_outcome ppf o =
+  let races, semantics, perf, errors = tally o in
+  Format.fprintf ppf "== %s: %d failure point(s), %d unique finding(s) ==@." o.program
+    o.failure_points (List.length o.unique_bugs);
+  Format.fprintf ppf "   races=%d semantic=%d performance=%d post-failure-errors=%d@."
+    races semantics perf errors;
+  List.iter
+    (fun b -> Format.fprintf ppf "   %a@." Report.pp_bug b)
+    o.unique_bugs
+
+let outcome_to_json o =
+  let open Xfd_util.Json in
+  let races, semantics, perf, errors = tally o in
+  let pre, post = wall_breakdown o in
+  Obj
+    [
+      ("program", Str o.program);
+      ("failure_points", Int o.failure_points);
+      ( "summary",
+        Obj
+          [
+            ("races", Int races);
+            ("semantic_bugs", Int semantics);
+            ("performance_bugs", Int perf);
+            ("post_failure_errors", Int errors);
+          ] );
+      ("unique_bugs", Arr (List.map Report.bug_to_json o.unique_bugs));
+      ("reports", Arr (List.map Report.failure_report_to_json o.reports));
+      ( "stats",
+        Obj
+          [
+            ("pre_events", Int o.pre_events);
+            ("post_events", Int o.post_events);
+            ("pre_wall_seconds", Float pre);
+            ("post_wall_seconds", Float post);
+          ] );
+    ]

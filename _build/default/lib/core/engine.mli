@@ -1,0 +1,68 @@
+(** End-to-end detection: the paper's Figure 7 pipeline.
+
+    [detect] runs the pre-failure program once under tracing, snapshotting
+    the device at every failure point the context fires (before each
+    ordering point inside the RoI, eliding points with no PM update since
+    the previous one — section 5.4 optimisation 2).  For every snapshot it
+    boots a copy of the PM image, runs the post-failure program on it under
+    tracing, and replays both traces through the backend.  Results carry the
+    per-failure-point reports, the deduplicated bug list and the timing
+    breakdown used by the Figure 12/13 experiments. *)
+
+module Ctx = Xfd_sim.Ctx
+
+(** A program under test: [setup] initialises the pool (outside the RoI),
+    [pre] is the pre-failure stage (it brackets itself with RoI
+    annotations), [post] is the recovery-and-resumption stage run after
+    every injected failure. *)
+type program = {
+  name : string;
+  setup : Ctx.t -> unit;
+  pre : Ctx.t -> unit;
+  post : Ctx.t -> unit;
+}
+
+type timings = {
+  pre_exec : float;  (** pre-failure execution + tracing *)
+  post_exec : float;  (** all post-failure executions + tracing *)
+  pre_replay : float;  (** backend replay of the pre-failure trace *)
+  post_replay : float;  (** backend replay of all post-failure traces *)
+  snapshotting : float;  (** PM-image copies at failure points *)
+}
+
+type outcome = {
+  program : string;
+  failure_points : int;
+  reports : Report.failure_report list;
+  unique_bugs : Report.bug list;  (** deduplicated across failure points *)
+  pre_events : int;
+  post_events : int;  (** total over all post-failure runs *)
+  timings : timings;
+}
+
+val detect : ?config:Config.t -> program -> outcome
+
+(** Aggregate wall-clock attributed to the pre-failure stage (execution +
+    replay + snapshotting) and the post-failure stage, as broken down in the
+    paper's Figure 12a. *)
+val wall_breakdown : outcome -> float * float
+
+val total_wall : outcome -> float
+
+(** Count bugs by class: races, semantic, performance, post-failure
+    errors. *)
+val tally : outcome -> int * int * int * int
+
+(** Run the program once (pre then post, no failure injection) with tracing
+    but no detection — the paper's "Pure Pin" baseline.  Returns wall time. *)
+val run_traced : program -> float
+
+(** Run the program once with tracing disabled — the original program.
+    Returns wall time. *)
+val run_original : program -> float
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** JSON form of a whole outcome (per-failure-point reports, unique bugs,
+    statistics), for machine consumption. *)
+val outcome_to_json : outcome -> Xfd_util.Json.t

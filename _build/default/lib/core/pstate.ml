@@ -1,0 +1,25 @@
+type t = Unmodified | Modified | Writeback_pending | Persisted
+
+type flush_waste = Double_flush | Unnecessary_flush
+
+let on_write _ = Modified
+let on_nt_write _ = Writeback_pending
+
+let on_flush = function
+  | Modified -> Writeback_pending
+  | (Unmodified | Writeback_pending | Persisted) as s -> s
+
+let on_fence = function
+  | Writeback_pending -> Persisted
+  | (Unmodified | Modified | Persisted) as s -> s
+
+let is_persisted = function Persisted -> true | Unmodified | Modified | Writeback_pending -> false
+let equal (a : t) b = a = b
+
+let to_string = function
+  | Unmodified -> "U"
+  | Modified -> "M"
+  | Writeback_pending -> "W"
+  | Persisted -> "P"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

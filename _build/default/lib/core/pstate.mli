@@ -1,0 +1,32 @@
+(** Persistence state of a PM byte — the paper's Figure 9 state machine.
+
+    [Unmodified] — never written (or freshly re-allocated); [Modified] —
+    written, not captured by any flush; [Writeback_pending] — captured by a
+    CLWB-family instruction, not yet ordered; [Persisted] — guaranteed
+    durable.  Only [Persisted] data may be read after a failure without
+    racing. *)
+
+type t = Unmodified | Modified | Writeback_pending | Persisted
+
+(** Flushing a line containing no modified byte wastes a writeback; the
+    detector classifies such flushes (the yellow edges in Figure 9). *)
+type flush_waste =
+  | Double_flush  (** line already captured, awaiting a fence *)
+  | Unnecessary_flush  (** line unmodified or already persisted *)
+
+val on_write : t -> t
+
+(** Non-temporal stores bypass the cache: the byte goes straight to
+    writeback-pending and persists at the next fence. *)
+val on_nt_write : t -> t
+
+(** [on_flush t] captures the byte if it is modified. *)
+val on_flush : t -> t
+
+(** [on_fence t] orders a captured byte. *)
+val on_fence : t -> t
+
+val is_persisted : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,57 @@
+(** Detection results: cross-failure bugs, performance bugs, and
+    post-failure crash observations.
+
+    A bug names the byte range, the reading instruction of the post-failure
+    stage and the last pre-failure writer — the same fields XFDetector
+    prints.  [Post_failure_error] records an exception escaping the
+    post-failure program (e.g. the pool refusing to open after a failure
+    mid-creation, which is how the paper's Bug 4 manifests, or the
+    segmentation fault of the Figure 1 example). *)
+
+type race = {
+  addr : Xfd_mem.Addr.t;
+  size : int;
+  read_loc : Xfd_util.Loc.t;
+  write_loc : Xfd_util.Loc.t;
+  uninit : bool;  (** allocated but never initialised (paper's Bug 2) *)
+}
+
+type semantic = {
+  addr : Xfd_mem.Addr.t;
+  size : int;
+  read_loc : Xfd_util.Loc.t;
+  write_loc : Xfd_util.Loc.t;
+  status : Cstate.t;  (** [Uncommitted] or [Stale] *)
+}
+
+type perf = {
+  addr : Xfd_mem.Addr.t;
+  loc : Xfd_util.Loc.t;
+  waste : [ `Flush of Pstate.flush_waste | `Duplicate_tx_add ];
+}
+
+type bug =
+  | Race of race
+  | Semantic of semantic
+  | Perf of perf
+  | Post_failure_error of { exn : string; failure_point : int }
+
+(** All bugs observed for one injected failure point. *)
+type failure_report = { failure_point : int; trace_pos : int; bugs : bug list }
+
+val is_race : bug -> bool
+val is_semantic : bug -> bool
+val is_perf : bug -> bool
+val is_post_error : bug -> bool
+
+(** Deduplication key: bugs with the same kind and program points are the
+    same programming error reported at several failure points. *)
+val dedup_key : bug -> string
+
+val pp_bug : Format.formatter -> bug -> unit
+val pp_failure_report : Format.formatter -> failure_report -> unit
+
+(** JSON form of one bug, for machine consumption (CI, dashboards). *)
+val bug_to_json : bug -> Xfd_util.Json.t
+
+val failure_report_to_json : failure_report -> Xfd_util.Json.t

@@ -1,0 +1,121 @@
+module Addr = Xfd_mem.Addr
+
+type cell = {
+  mutable pstate : Pstate.t;
+  mutable tlast : int;
+  mutable writer : Xfd_util.Loc.t;
+  mutable uninit : bool;
+  mutable post_written : bool;
+}
+
+type t = {
+  cells : (Addr.t, cell) Hashtbl.t;
+  pending : (Addr.t, unit) Hashtbl.t; (* writeback-pending bytes of this layer *)
+  parent : t option;
+}
+
+let create () = { cells = Hashtbl.create 1024; pending = Hashtbl.create 64; parent = None }
+
+let overlay t = { cells = Hashtbl.create 256; pending = Hashtbl.create 32; parent = Some t }
+
+let rec find t addr =
+  match Hashtbl.find_opt t.cells addr with
+  | Some _ as c -> c
+  | None -> (match t.parent with Some p -> find p addr | None -> None)
+
+let copy_cell c =
+  {
+    pstate = c.pstate;
+    tlast = c.tlast;
+    writer = c.writer;
+    uninit = c.uninit;
+    post_written = c.post_written;
+  }
+
+(* A cell owned by this layer, copied up from the parent if needed. *)
+let own_cell t addr =
+  match Hashtbl.find_opt t.cells addr with
+  | Some c -> Some c
+  | None -> begin
+    match t.parent with
+    | None -> None
+    | Some p -> begin
+      match find p addr with
+      | None -> None
+      | Some c ->
+        let c' = copy_cell c in
+        Hashtbl.replace t.cells addr c';
+        Some c'
+    end
+  end
+
+let create_or_own t addr =
+  match own_cell t addr with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        pstate = Pstate.Unmodified;
+        tlast = -1;
+        writer = Xfd_util.Loc.unknown;
+        uninit = false;
+        post_written = false;
+      }
+    in
+    Hashtbl.replace t.cells addr c;
+    c
+
+let write_byte t addr ~ts ~loc ~nt ~post =
+  let c = create_or_own t addr in
+  c.pstate <- (if nt then Pstate.on_nt_write c.pstate else Pstate.on_write c.pstate);
+  c.tlast <- ts;
+  c.writer <- loc;
+  c.uninit <- false;
+  if post then c.post_written <- true;
+  if nt then Hashtbl.replace t.pending addr () else Hashtbl.remove t.pending addr
+
+let flush_line t line =
+  let had_modified = ref false and had_pending = ref false and had_persisted = ref false in
+  (* First pass: only observe, so a wasted flush copies no cells up. *)
+  Addr.iter_bytes line Addr.line_size (fun a ->
+      match find t a with
+      | None -> ()
+      | Some c -> begin
+        match c.pstate with
+        | Pstate.Modified -> had_modified := true
+        | Pstate.Writeback_pending -> had_pending := true
+        | Pstate.Persisted -> had_persisted := true
+        | Pstate.Unmodified -> ()
+      end);
+  if !had_modified then begin
+    Addr.iter_bytes line Addr.line_size (fun a ->
+        match find t a with
+        | Some c when Pstate.equal c.pstate Pstate.Modified ->
+          let c = create_or_own t a in
+          c.pstate <- Pstate.on_flush c.pstate;
+          Hashtbl.replace t.pending a ()
+        | Some _ | None -> ());
+    `Had_modified
+  end
+  else if !had_pending then `Waste Pstate.Double_flush
+  else if !had_persisted then `Waste Pstate.Unnecessary_flush
+  else `Clean
+
+let fence t =
+  Hashtbl.iter
+    (fun a () ->
+      match own_cell t a with
+      | Some c -> c.pstate <- Pstate.on_fence c.pstate
+      | None -> ())
+    t.pending;
+  Hashtbl.reset t.pending
+
+let mark_alloc_raw t addr size =
+  Addr.iter_bytes addr size (fun a ->
+      let c = create_or_own t a in
+      c.pstate <- Pstate.Unmodified;
+      c.uninit <- true;
+      c.post_written <- false;
+      Hashtbl.remove t.pending a)
+
+let tracked_bytes t = Hashtbl.length t.cells

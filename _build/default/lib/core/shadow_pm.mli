@@ -1,0 +1,56 @@
+(** The shadow PM: per-byte detection state (paper section 5.4).
+
+    For every byte the pre-failure execution touched, the shadow records the
+    Figure 9 persistence state, the timestamp of the last modification (for
+    the Eq. 3 consistency rule), the source location of the last writer (for
+    bug reports), whether the byte is allocated-but-uninitialised, and
+    whether the post-failure stage has already overwritten it.
+
+    [overlay] creates a copy-on-write fork: the backend replays the
+    pre-failure trace into one base shadow and forks a cheap overlay for
+    each failure point's post-failure replay, mirroring the paper's
+    incremental tracing (the base is never polluted by post-failure state,
+    and nothing is re-replayed). *)
+
+type cell = {
+  mutable pstate : Pstate.t;
+  mutable tlast : int;
+  mutable writer : Xfd_util.Loc.t;
+  mutable uninit : bool;  (** allocated raw, never written since *)
+  mutable post_written : bool;
+}
+
+type t
+
+val create : unit -> t
+
+(** Copy-on-write fork reading through to [t]. *)
+val overlay : t -> t
+
+(** Read-only lookup (never copies).  [None] means the byte was never
+    touched: reading it cannot be a cross-failure bug. *)
+val find : t -> Xfd_mem.Addr.t -> cell option
+
+(** [write_byte t addr ~ts ~loc ~nt ~post] applies a store. *)
+val write_byte :
+  t -> Xfd_mem.Addr.t -> ts:int -> loc:Xfd_util.Loc.t -> nt:bool -> post:bool -> unit
+
+(** [flush_line t line] captures the line's modified bytes and reports what
+    the flush found, for performance-bug classification: [`Had_modified]
+    (useful flush), [`Clean] (line never tracked — e.g. the tail line of a
+    range persist; not a bug), or the waste category: flushing a line whose
+    bytes are all pending ([Double_flush]) or already persisted
+    ([Unnecessary_flush]). *)
+val flush_line :
+  t -> Xfd_mem.Addr.t -> [ `Had_modified | `Clean | `Waste of Pstate.flush_waste ]
+
+(** Promote every writeback-pending byte captured in this shadow (or fork)
+    to persisted. *)
+val fence : t -> unit
+
+(** Mark a freshly (re-)allocated raw payload: bytes become
+    unmodified/uninitialised regardless of their history. *)
+val mark_alloc_raw : t -> Xfd_mem.Addr.t -> int -> unit
+
+(** Number of tracked bytes in this layer (excluding the parent). *)
+val tracked_bytes : t -> int

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: List Printf Tbl Workload_set Xfd Xfd_sim

@@ -1,0 +1,1 @@
+lib/experiments/capability.ml: List Tbl Xfd Xfd_baselines Xfd_workloads

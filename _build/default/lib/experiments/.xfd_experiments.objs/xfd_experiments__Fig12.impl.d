@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: List Printf Tbl Workload_set Xfd Xfd_baselines

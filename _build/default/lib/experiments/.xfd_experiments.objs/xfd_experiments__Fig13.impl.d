@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: List Printf Tbl Workload_set Xfd

@@ -1,0 +1,1 @@
+lib/experiments/mechanisms_exp.ml: List Tbl Xfd Xfd_mechanisms Xfd_workloads

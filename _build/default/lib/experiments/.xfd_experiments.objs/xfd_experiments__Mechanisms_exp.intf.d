@@ -1,0 +1,1 @@
+lib/experiments/mechanisms_exp.mli:

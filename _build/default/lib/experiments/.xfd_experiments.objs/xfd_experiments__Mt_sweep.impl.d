@@ -1,0 +1,1 @@
+lib/experiments/mt_sweep.ml: Hashtbl List Printf Tbl Xfd Xfd_sim Xfd_workloads

@@ -1,0 +1,1 @@
+lib/experiments/mt_sweep.mli:

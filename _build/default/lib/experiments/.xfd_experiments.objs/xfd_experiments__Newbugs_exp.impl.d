@@ -1,0 +1,1 @@
+lib/experiments/newbugs_exp.ml: Format List Printf String Tbl Xfd Xfd_redis Xfd_workloads

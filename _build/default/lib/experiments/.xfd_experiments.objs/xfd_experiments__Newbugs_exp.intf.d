@@ -1,0 +1,1 @@
+lib/experiments/newbugs_exp.mli:

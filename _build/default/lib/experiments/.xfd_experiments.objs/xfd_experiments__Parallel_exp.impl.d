@@ -1,0 +1,1 @@
+lib/experiments/parallel_exp.ml: List Printf Tbl Unix Xfd Xfd_workloads

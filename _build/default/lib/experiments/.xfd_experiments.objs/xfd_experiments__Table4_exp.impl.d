@@ -1,0 +1,1 @@
+lib/experiments/table4_exp.ml: List Option String Sys Tbl

@@ -1,0 +1,1 @@
+lib/experiments/table5_exp.ml: List Printf Tbl Xfd_workloads

@@ -1,0 +1,1 @@
+lib/experiments/tbl.ml: Array List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/workload_set.ml: List Seq String Xfd Xfd_mechanisms Xfd_memcached Xfd_redis Xfd_workloads

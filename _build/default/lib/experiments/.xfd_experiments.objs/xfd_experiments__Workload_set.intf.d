@@ -1,0 +1,1 @@
+lib/experiments/workload_set.mli: Xfd

@@ -1,0 +1,21 @@
+(** Experiment E7 — ablation of the failure-injection strategy
+    (paper section 4.2).
+
+    XFDetector only injects failure points before ordering points, because
+    PM state can only turn consistent across an explicit writeback.  The
+    naive alternative injects after every PM update.  This experiment runs
+    both on the same workloads and shows the naive scheme costs strictly
+    more failure points (and time) while finding the same unique bugs. *)
+
+type row = {
+  name : string;
+  ordering_fps : int;
+  ordering_wall : float;
+  ordering_bugs : int;
+  naive_fps : int;
+  naive_wall : float;
+  naive_bugs : int;
+}
+
+val run : ?test:int -> unit -> row list
+val print : row list -> unit

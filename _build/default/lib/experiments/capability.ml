@@ -1,0 +1,72 @@
+type verdict = Flagged | Silent
+
+type row = {
+  scenario : string;
+  truth : [ `Buggy | `Correct ];
+  xfdetector : verdict;
+  pmtest : verdict;
+  pmemcheck : verdict;
+}
+
+let verdict_of b = if b then Flagged else Silent
+
+let xfd program =
+  let o = Xfd.Engine.detect program in
+  let r, s, p, e = Xfd.Engine.tally o in
+  verdict_of (r + s + p + e > 0)
+
+let pmtest program =
+  let r, _ = Xfd_baselines.Pmtest.run program in
+  verdict_of (r.Xfd_baselines.Pmtest.violations <> [])
+
+let pmemcheck program =
+  let r, _ = Xfd_baselines.Pmemcheck.run program in
+  verdict_of
+    (List.exists
+       (fun i -> i.Xfd_baselines.Pmemcheck.kind = `Not_persisted)
+       r.Xfd_baselines.Pmemcheck.issues)
+
+let scenario name truth program_thunk =
+  {
+    scenario = name;
+    truth;
+    xfdetector = xfd (program_thunk ());
+    pmtest = pmtest (program_thunk ());
+    pmemcheck = pmemcheck (program_thunk ());
+  }
+
+let run () =
+  [
+    scenario "Fig.1 list, unlogged length, naive recovery (buggy)" `Buggy (fun () ->
+        Xfd_workloads.Linkedlist.program ~size:1 ());
+    scenario "Fig.1 list, unlogged length, robust recovery (correct)" `Correct (fun () ->
+        Xfd_workloads.Linkedlist.program ~size:1 ~recovery:`Robust ());
+    scenario "Fig.1 list, logged length (correct)" `Correct (fun () ->
+        Xfd_workloads.Linkedlist.program ~size:1 ~log_length:true ());
+    scenario "Fig.2 array, inverted valid flag (buggy)" `Buggy (fun () ->
+        Xfd_workloads.Array_update.program ~size:1 ());
+    scenario "Fig.2 array, correct valid flag (correct)" `Correct (fun () ->
+        Xfd_workloads.Array_update.program ~size:1 ~correct_valid:true ());
+  ]
+
+let show = function Flagged -> "flagged" | Silent -> "silent"
+
+let grade truth v =
+  match (truth, v) with
+  | `Buggy, Flagged | `Correct, Silent -> show v
+  | `Buggy, Silent -> "silent (MISSED)"
+  | `Correct, Flagged -> "flagged (FALSE POS)"
+
+let print rows =
+  Tbl.print ~title:"Detection capability on the motivating examples (paper Figure 3)"
+    ~header:[ "scenario"; "ground truth"; "XFDetector"; "PMTest-style"; "pmemcheck-style" ]
+    (List.map
+       (fun r ->
+         [
+           r.scenario;
+           (match r.truth with `Buggy -> "buggy" | `Correct -> "correct");
+           grade r.truth r.xfdetector;
+           grade r.truth r.pmtest;
+           grade r.truth r.pmemcheck;
+         ])
+       rows)

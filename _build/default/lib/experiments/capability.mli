@@ -1,0 +1,20 @@
+(** The Figure 3 comparison: which tool catches which class of bug.
+
+    Runs XFDetector, the PMTest-style checker and the pmemcheck-style
+    checker over the paper's two motivating examples in four variants and
+    reports each tool's verdict, reproducing the argument that pre-failure-
+    only tools both miss post-failure bugs and false-positive on code whose
+    recovery compensates. *)
+
+type verdict = Flagged | Silent
+
+type row = {
+  scenario : string;
+  truth : [ `Buggy | `Correct ];
+  xfdetector : verdict;
+  pmtest : verdict;
+  pmemcheck : verdict;
+}
+
+val run : unit -> row list
+val print : row list -> unit

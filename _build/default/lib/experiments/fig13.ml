@@ -1,0 +1,58 @@
+type point = { transactions : int; failure_points : int; wall : float }
+type series = { name : string; points : point list }
+
+let default_sizes = [ 1; 10; 20; 30; 40; 50 ]
+
+let run ?(sizes = default_sizes) () =
+  (* Median of five runs per point: a single GC pause would otherwise
+     dominate a millisecond-scale measurement. *)
+  let median3 f =
+    let xs = List.sort compare [ f (); f (); f (); f (); f () ] in
+    List.nth xs 2
+  in
+  List.map
+    (fun e ->
+      let points =
+        List.map
+          (fun n ->
+            let fps = ref 0 in
+            let wall =
+              median3 (fun () ->
+                  let outcome = Xfd.Engine.detect (e.Workload_set.make ~init:0 ~test:n) in
+                  fps := outcome.Xfd.Engine.failure_points;
+                  Xfd.Engine.total_wall outcome)
+            in
+            { transactions = n; failure_points = !fps; wall })
+          sizes
+      in
+      { name = e.Workload_set.name; points })
+    Workload_set.micro
+
+let r_squared { points; _ } =
+  let xs = List.map (fun p -> float p.failure_points) points in
+  let ys = List.map (fun p -> p.wall) points in
+  let n = float (List.length xs) in
+  let mean l = List.fold_left ( +. ) 0.0 l /. n in
+  let mx = mean xs and my = mean ys in
+  let cov = List.fold_left2 (fun a x y -> a +. ((x -. mx) *. (y -. my))) 0.0 xs ys in
+  let vx = List.fold_left (fun a x -> a +. ((x -. mx) ** 2.0)) 0.0 xs in
+  let vy = List.fold_left (fun a y -> a +. ((y -. my) ** 2.0)) 0.0 ys in
+  if vx = 0.0 || vy = 0.0 then 1.0 else cov *. cov /. (vx *. vy)
+
+let print series =
+  List.iter
+    (fun s ->
+      Tbl.print
+        ~title:(Printf.sprintf "Figure 13 (%s): time and failure points vs transactions" s.name)
+        ~header:[ "#transactions"; "#failure points"; "execution time"; "time / point" ]
+        (List.map
+           (fun p ->
+             [
+               string_of_int p.transactions;
+               string_of_int p.failure_points;
+               Tbl.secs p.wall;
+               Tbl.secs (p.wall /. float (max 1 p.failure_points));
+             ])
+           s.points);
+      Printf.printf "linearity of time in failure points: r^2 = %.3f\n" (r_squared s))
+    series

@@ -1,0 +1,19 @@
+(** Experiment E3 — the paper's Figure 13: scalability.
+
+    Scale the number of pre-failure transactions (1, 10, 20, 30, 40, 50 —
+    the paper's x-axis) for each microbenchmark, keeping the post-failure
+    stage constant, and report the number of injected failure points and
+    the detection wall-clock time.  Expected shape: both grow linearly with
+    the transaction count. *)
+
+type point = { transactions : int; failure_points : int; wall : float }
+type series = { name : string; points : point list }
+
+val default_sizes : int list
+
+val run : ?sizes:int list -> unit -> series list
+val print : series list -> unit
+
+(** Least-squares linearity check: coefficient of determination (r²) of
+    wall time against failure points for one series. *)
+val r_squared : series -> float

@@ -1,0 +1,19 @@
+(** Extension experiment — multithreaded schedule sweep (paper section 7).
+
+    Cross-failure bugs in collaborative multithreaded updates can be
+    schedule-dependent: whether a failure point separates one thread's data
+    write from another thread's commit depends on the interleaving.  The
+    sweep runs detection under many seeded schedules and reports how many
+    expose bugs: the independent-task workload (the paper's evaluated
+    setting) must be clean under every schedule, the unsynchronized shared
+    log must be flagged under (at least most of) them. *)
+
+type row = {
+  variant : string;
+  schedules : int;
+  flagged : int;  (** schedules with at least one finding *)
+  total_unique_bugs : int;  (** distinct program-point bugs over the sweep *)
+}
+
+val run : ?schedules:int -> ?threads:int -> unit -> row list
+val print : row list -> unit

@@ -1,0 +1,18 @@
+(** Experiment E5 — the four new bugs of section 6.3.2 / Figure 14.
+
+    Each finding is paired with a control: the fixed variant of the same
+    code must come back clean, demonstrating that the reports point at the
+    actual defect. *)
+
+type finding = {
+  id : string;  (** "Bug 1" .. "Bug 4" *)
+  where : string;
+  description : string;
+  found : bool;  (** detected in the faithful variant *)
+  control_clean : bool;  (** fixed variant reports nothing *)
+  evidence : string list;  (** rendered bug reports *)
+}
+
+val run : unit -> finding list
+val print : finding list -> unit
+val all_found : finding list -> bool

@@ -1,0 +1,41 @@
+type row = { jobs : int; wall : float; verdicts_match_sequential : bool }
+
+let verdicts outcome = List.map Xfd.Report.dedup_key outcome.Xfd.Engine.unique_bugs
+
+let run ?(size = 15) () =
+  let program () = Xfd_workloads.Btree.program ~init_size:10 ~size () in
+  let median3 f =
+    let xs = List.sort compare [ f (); f (); f () ] in
+    List.nth xs 1
+  in
+  let baseline = Xfd.Engine.detect (program ()) in
+  List.map
+    (fun jobs ->
+      let config = { Xfd.Config.default with post_jobs = jobs } in
+      let keys = ref [] in
+      let wall =
+        median3 (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let o = Xfd.Engine.detect ~config (program ()) in
+            keys := verdicts o;
+            Unix.gettimeofday () -. t0)
+      in
+      { jobs; wall; verdicts_match_sequential = !keys = verdicts baseline })
+    [ 1; 2; 4 ]
+
+let print rows =
+  Tbl.print ~title:"Parallelized detection (the paper's future work; post_jobs domains)"
+    ~header:[ "post_jobs"; "wall"; "vs jobs=1"; "verdicts = sequential" ]
+    (let base = (List.hd rows).wall in
+     List.map
+       (fun r ->
+         [
+           string_of_int r.jobs;
+           Tbl.secs r.wall;
+           Tbl.times (base /. max 1e-9 r.wall);
+           string_of_bool r.verdicts_match_sequential;
+         ])
+       rows);
+  Printf.printf
+    "speedup at simulator scale is allocation-bound; in the paper's setting each post-\n\
+     failure execution is a separate instrumented process and parallelism pays directly\n"

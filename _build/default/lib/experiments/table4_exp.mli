@@ -1,0 +1,17 @@
+(** Experiment E6 — the paper's Table 4: evaluated-program inventory.
+
+    Reports each workload's crash-consistency style and its size in lines
+    of code.  LoC is counted from the repository sources when available
+    (running from a source checkout); annotation LoC counts the
+    XFDetector-interface calls (RoI, commit variables, manual failure
+    points) in that source. *)
+
+type row = {
+  name : string;
+  kind : string;  (** "Transaction" or "Low-level" *)
+  loc : int option;  (** lines of implementation code, when measurable *)
+  annotations : int option;  (** XFDetector interface call sites *)
+}
+
+val run : unit -> row list
+val print : row list -> unit

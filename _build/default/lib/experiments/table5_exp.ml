@@ -1,0 +1,63 @@
+module Bug_suite = Xfd_workloads.Bug_suite
+
+type row = {
+  workload : string;
+  pmtest_races : int * int;
+  pmtest_semantics : int * int;
+  pmtest_perf : int * int;
+  additional_races : int * int;
+  additional_semantics : int * int;
+}
+
+let run () =
+  List.map
+    (fun workload ->
+      let results =
+        List.map (fun c -> (c, snd (Bug_suite.run c))) (Bug_suite.cases workload)
+      in
+      let tally suite expect =
+        let of_kind =
+          List.filter
+            (fun (c, _) -> c.Bug_suite.suite = suite && c.Bug_suite.expect = expect)
+            results
+        in
+        (List.length (List.filter snd of_kind), List.length of_kind)
+      in
+      {
+        workload;
+        pmtest_races = tally Bug_suite.Pmtest Bug_suite.Race;
+        pmtest_semantics = tally Bug_suite.Pmtest Bug_suite.Semantic;
+        pmtest_perf = tally Bug_suite.Pmtest Bug_suite.Perf;
+        additional_races = tally Bug_suite.Additional Bug_suite.Race;
+        additional_semantics = tally Bug_suite.Additional Bug_suite.Semantic;
+      })
+    Bug_suite.workloads
+
+let cell (detected, injected) =
+  if injected = 0 then "-" else Printf.sprintf "%d/%d" detected injected
+
+let print rows =
+  Tbl.print
+    ~title:"Table 5: synthetic-bug validation (detected/injected; R races, S semantic, P performance)"
+    ~header:[ "workload"; "R (suite)"; "S (suite)"; "P (suite)"; "R (addl)"; "S (addl)" ]
+    (List.map
+       (fun r ->
+         [
+           r.workload;
+           cell r.pmtest_races;
+           cell r.pmtest_semantics;
+           cell r.pmtest_perf;
+           cell r.additional_races;
+           cell r.additional_semantics;
+         ])
+       rows);
+  Printf.printf "(paper's injected counts: B-Tree 8R+2P(+4R), C-Tree 5R+1P(+1R), RB-Tree 7R+1P(+1R),\n";
+  Printf.printf " Hashmap-TX 6R+1P(+3R), Hashmap-Atomic 10R+2S+3P(+4R+1S))\n"
+
+let all_detected rows =
+  List.for_all
+    (fun r ->
+      let full (d, i) = d = i in
+      full r.pmtest_races && full r.pmtest_semantics && full r.pmtest_perf
+      && full r.additional_races && full r.additional_semantics)
+    rows

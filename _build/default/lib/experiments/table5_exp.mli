@@ -1,0 +1,20 @@
+(** Experiment E4 — the paper's Table 5: synthetic-bug validation.
+
+    Runs every seeded case of {!Xfd_workloads.Bug_suite} and reports, per
+    workload, how many bugs of each class were detected out of those
+    injected, for the PMTest-derived suite and the additional cases. *)
+
+type row = {
+  workload : string;
+  pmtest_races : int * int;  (** detected, injected *)
+  pmtest_semantics : int * int;
+  pmtest_perf : int * int;
+  additional_races : int * int;
+  additional_semantics : int * int;
+}
+
+val run : unit -> row list
+val print : row list -> unit
+
+(** True when every injected bug was detected. *)
+val all_detected : row list -> bool

@@ -1,0 +1,27 @@
+let print ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ') row)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%s\n" (line header);
+  Printf.printf "%s\n" (String.make (String.length (line header)) '-');
+  List.iter (fun r -> Printf.printf "%s\n" (line r)) rows
+
+let secs t =
+  if t < 1e-3 then Printf.sprintf "%.0fus" (t *. 1e6)
+  else if t < 1.0 then Printf.sprintf "%.2fms" (t *. 1e3)
+  else Printf.sprintf "%.2fs" t
+
+let times x = Printf.sprintf "%.1fx" x
+
+let geomean xs =
+  match List.filter (fun x -> x > 0.0) xs with
+  | [] -> 0.0
+  | xs -> exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float (List.length xs))

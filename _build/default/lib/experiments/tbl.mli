@@ -1,0 +1,13 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+(** [print ~title ~header rows] renders an aligned table to stdout. *)
+val print : title:string -> header:string list -> string list list -> unit
+
+(** Format seconds with a sensible unit. *)
+val secs : float -> string
+
+(** Format a slowdown factor. *)
+val times : float -> string
+
+(** Geometric mean (of positive values). *)
+val geomean : float list -> float

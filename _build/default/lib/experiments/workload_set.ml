@@ -1,0 +1,122 @@
+type entry = {
+  name : string;
+  kind : [ `Tx | `Low_level ];
+  make : init:int -> test:int -> Xfd.Engine.program;
+}
+
+let micro =
+  [
+    {
+      name = "B-Tree";
+      kind = `Tx;
+      make = (fun ~init ~test -> Xfd_workloads.Btree.program ~init_size:init ~size:test ());
+    };
+    {
+      name = "C-Tree";
+      kind = `Tx;
+      make = (fun ~init ~test -> Xfd_workloads.Ctree.program ~init_size:init ~size:test ());
+    };
+    {
+      name = "RB-Tree";
+      kind = `Tx;
+      make = (fun ~init ~test -> Xfd_workloads.Rbtree.program ~init_size:init ~size:test ());
+    };
+    {
+      name = "Hashmap-TX";
+      kind = `Tx;
+      make =
+        (fun ~init ~test -> Xfd_workloads.Hashmap_tx.program ~init_size:init ~size:test ());
+    };
+    {
+      name = "Hashmap-Atomic";
+      kind = `Low_level;
+      make =
+        (fun ~init ~test ->
+          Xfd_workloads.Hashmap_atomic.program ~init_size:init ~size:test ~variant:`Fixed ());
+    };
+  ]
+
+let all =
+  micro
+  @ [
+      {
+        name = "Memcached";
+        kind = `Low_level;
+        make = (fun ~init:_ ~test -> Xfd_memcached.Mc_server.program ~size:test ());
+      };
+      {
+        name = "Redis";
+        kind = `Tx;
+        make = (fun ~init:_ ~test -> Xfd_redis.Server.program ~size:test ~variant:`Fixed ());
+      };
+    ]
+
+let extended =
+  all
+  @ [
+      {
+        name = "Linkedlist";
+        kind = `Tx;
+        (* the robust-recovery (correct) variant; the Figure 1 bug lives in
+           the examples and the figure experiments *)
+        make =
+          (fun ~init ~test ->
+            Xfd_workloads.Linkedlist.program ~init_size:init ~size:test ~recovery:`Robust ());
+      };
+      {
+        name = "Array-Update";
+        kind = `Low_level;
+        make =
+          (fun ~init:_ ~test ->
+            Xfd_workloads.Array_update.program ~size:test ~correct_valid:true ());
+      };
+      {
+        name = "Queue";
+        kind = `Low_level;
+        make = (fun ~init:_ ~test -> Xfd_workloads.Queue.program ~enqueues:(max 1 test) ());
+      };
+      {
+        name = "MT-Log";
+        kind = `Low_level;
+        make =
+          (fun ~init:_ ~test ->
+            Xfd_workloads.Mt_log.program ~appends_per_thread:(max 1 test) ());
+      };
+      {
+        name = "Redo-Log";
+        kind = `Low_level;
+        make = (fun ~init:_ ~test -> Xfd_mechanisms.Redo_log.program ~txns:(max 1 test) ());
+      };
+      {
+        name = "Checkpoint";
+        kind = `Low_level;
+        make = (fun ~init:_ ~test -> Xfd_mechanisms.Checkpoint.program ~rounds:(max 1 test) ());
+      };
+      {
+        name = "Op-Log";
+        kind = `Low_level;
+        make = (fun ~init:_ ~test -> Xfd_mechanisms.Op_log.program ~ops:(max 1 test) ());
+      };
+      {
+        name = "Shadow-Paging";
+        kind = `Low_level;
+        make = (fun ~init:_ ~test -> Xfd_mechanisms.Shadow_obj.program ~updates:(max 1 test) ());
+      };
+      {
+        name = "Checksum-Log";
+        kind = `Low_level;
+        make = (fun ~init:_ ~test -> Xfd_mechanisms.Checksum_ring.program ~records:(max 1 test) ());
+      };
+    ]
+
+(* Accept "B-Tree", "btree", "hashmap_tx", ... *)
+let canon name =
+  String.lowercase_ascii name
+  |> String.to_seq
+  |> Seq.filter (fun c -> c <> '-' && c <> '_')
+  |> String.of_seq
+
+let find name =
+  match List.find_opt (fun e -> canon e.name = canon name) extended with
+  | Some e -> e
+  | None -> invalid_arg ("Workload_set.find: unknown workload " ^ name)

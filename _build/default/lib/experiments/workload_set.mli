@@ -1,0 +1,23 @@
+(** The evaluated PM programs (paper Table 4): builders shared by the
+    experiment harness. *)
+
+type entry = {
+  name : string;
+  kind : [ `Tx | `Low_level ];
+  (* [make ~init ~test] builds the program with [init] warm-up insertions
+     and [test] insertions/queries inside the RoI. *)
+  make : init:int -> test:int -> Xfd.Engine.program;
+}
+
+(** The five microbenchmarks, in the paper's order. *)
+val micro : entry list
+
+(** Microbenchmarks plus the two real workloads (Memcached, Redis). *)
+val all : entry list
+
+(** Everything runnable from the CLI: [all] plus the figure examples, the
+    queue, the multithreaded log and the Table 1 mechanisms. *)
+val extended : entry list
+
+(** Looks up [extended] by name (case- and punctuation-insensitive). *)
+val find : string -> entry

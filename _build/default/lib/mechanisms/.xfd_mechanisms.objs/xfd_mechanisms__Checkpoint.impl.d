@@ -1,0 +1,1 @@
+lib/mechanisms/checkpoint.ml: Int64 Printf Xfd Xfd_pmdk Xfd_sim Xfd_util

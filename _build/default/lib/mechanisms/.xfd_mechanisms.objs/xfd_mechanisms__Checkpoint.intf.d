@@ -1,0 +1,1 @@
+lib/mechanisms/checkpoint.mli: Xfd Xfd_sim

@@ -1,0 +1,1 @@
+lib/mechanisms/checksum_ring.ml: Bytes Char Int64 List Printf String Xfd Xfd_pmdk Xfd_sim Xfd_util

@@ -1,0 +1,1 @@
+lib/mechanisms/checksum_ring.mli: Xfd Xfd_sim

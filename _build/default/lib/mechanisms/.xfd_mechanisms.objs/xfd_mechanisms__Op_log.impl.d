@@ -1,0 +1,1 @@
+lib/mechanisms/op_log.ml: Int64 Printf Xfd Xfd_pmdk Xfd_sim Xfd_util

@@ -1,0 +1,1 @@
+lib/mechanisms/op_log.mli: Xfd Xfd_sim

@@ -1,0 +1,1 @@
+lib/mechanisms/redo_log.ml: Int64 List Printf Xfd Xfd_pmdk Xfd_sim Xfd_util

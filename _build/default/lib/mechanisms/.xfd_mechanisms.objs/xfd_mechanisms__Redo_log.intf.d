@@ -1,0 +1,1 @@
+lib/mechanisms/redo_log.mli: Xfd Xfd_sim

@@ -1,0 +1,1 @@
+lib/mechanisms/shadow_obj.ml: Int64 Printf Xfd Xfd_pmdk Xfd_sim Xfd_util

@@ -1,0 +1,1 @@
+lib/mechanisms/shadow_obj.mli: Xfd Xfd_sim

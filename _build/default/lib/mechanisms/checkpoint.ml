@@ -1,0 +1,111 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Pmem = Xfd_pmdk.Pmem
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Xfd_util.Loc.of_pos
+
+type variant = [ `Correct | `Restore_old | `Flip_first ]
+
+let slots = 16
+let area_bytes = 8 * slots
+
+(* Root layout: slot 0 = selector (commit variable, own line); then, one
+   line apart each, the working area and snapshot areas 0 and 1. *)
+type t = Pool.t
+
+let selector_addr pool = Layout.slot (Pool.root pool) 0
+let working_addr pool = Pool.root pool + 64
+let area_addr pool which = Pool.root pool + 64 + ((1 + which) * (area_bytes + 64))
+
+let register ctx pool =
+  Ctx.add_commit_var ctx ~loc:!!__POS__ (selector_addr pool) 8;
+  Ctx.add_commit_range ctx ~loc:!!__POS__ ~var:(selector_addr pool) (area_addr pool 0)
+    area_bytes;
+  Ctx.add_commit_range ctx ~loc:!!__POS__ ~var:(selector_addr pool) (area_addr pool 1)
+    area_bytes
+
+let create ctx =
+  let pool = Pool.create_atomic ctx ~loc:!!__POS__ () in
+  register ctx pool;
+  pool
+
+let open_ ctx =
+  let pool = Pool.open_pool ctx ~loc:!!__POS__ () in
+  register ctx pool;
+  pool
+
+let set ctx pool i v = Ctx.write_i64 ctx ~loc:!!__POS__ (working_addr pool + (8 * i)) v
+let get ctx pool i = Ctx.read_i64 ctx ~loc:!!__POS__ (working_addr pool + (8 * i))
+
+let selector ctx pool = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (selector_addr pool))
+
+let copy ctx ~src ~dst =
+  let data = Ctx.read ctx ~loc:!!__POS__ src area_bytes in
+  Ctx.write ctx ~loc:!!__POS__ dst data
+
+let checkpoint ctx pool ~variant =
+  let cur = selector ctx pool in
+  let next = 1 - cur in
+  match variant with
+  | `Correct | `Restore_old ->
+    copy ctx ~src:(working_addr pool) ~dst:(area_addr pool next);
+    Pmem.persist ctx ~loc:!!__POS__ (area_addr pool next) area_bytes;
+    Ctx.write_i64 ctx ~loc:!!__POS__ (selector_addr pool) (Int64.of_int next);
+    Pmem.persist ctx ~loc:!!__POS__ (selector_addr pool) 8
+  | `Flip_first ->
+    (* BUG: the selector commits a snapshot that is not yet durable. *)
+    copy ctx ~src:(working_addr pool) ~dst:(area_addr pool next);
+    Ctx.write_i64 ctx ~loc:!!__POS__ (selector_addr pool) (Int64.of_int next);
+    Pmem.persist ctx ~loc:!!__POS__ (selector_addr pool) 8;
+    Pmem.persist ctx ~loc:!!__POS__ (area_addr pool next) area_bytes
+
+let recover ctx pool ~variant =
+  let cur = selector ctx pool in
+  let src =
+    match variant with
+    | `Correct | `Flip_first -> area_addr pool cur
+    | `Restore_old ->
+      (* BUG: reads the previous checkpoint — persisted, but stale. *)
+      area_addr pool (1 - cur)
+  in
+  copy ctx ~src ~dst:(working_addr pool);
+  Pmem.persist ctx ~loc:!!__POS__ (working_addr pool) area_bytes
+
+let program ?(rounds = 2) ?(variant = `Correct) () =
+  {
+    Xfd.Engine.name =
+      Printf.sprintf "checkpoint(%s)"
+        (match variant with
+        | `Correct -> "correct"
+        | `Restore_old -> "restore-old"
+        | `Flip_first -> "flip-first");
+    setup =
+      (fun ctx ->
+        let pool = create ctx in
+        for i = 0 to slots - 1 do
+          set ctx pool i (Int64.of_int i)
+        done;
+        (* An initial committed checkpoint so recovery always has one. *)
+        checkpoint ctx pool ~variant:`Correct);
+    pre =
+      (fun ctx ->
+        let pool = open_ ctx in
+        Ctx.roi_begin ctx ~loc:!!__POS__;
+        for r = 1 to rounds do
+          for i = 0 to slots - 1 do
+            set ctx pool i (Int64.of_int ((100 * r) + i))
+          done;
+          checkpoint ctx pool ~variant
+        done;
+        Ctx.roi_end ctx ~loc:!!__POS__);
+    post =
+      (fun ctx ->
+        let pool = open_ ctx in
+        Ctx.roi_begin ctx ~loc:!!__POS__;
+        recover ctx pool ~variant;
+        for i = 0 to slots - 1 do
+          ignore (get ctx pool i)
+        done;
+        Ctx.roi_end ctx ~loc:!!__POS__);
+  }

@@ -1,0 +1,40 @@
+(** Checkpointing (paper Table 1, row 3).
+
+    The application mutates a working area freely; [checkpoint] copies it
+    into the inactive of two snapshot areas, persists the copy, and flips a
+    persisted selector (the commit variable).  After a failure, recovery
+    restores the working area from the selected snapshot — data in the
+    latest committed checkpoint is consistent; earlier checkpoints are
+    persisted but {e stale}, the paper's canonical cross-failure semantic
+    bug (its Figure 6b walks exactly this case).
+
+    Variants:
+    - [`Correct];
+    - [`Restore_old] — recovery restores from the {e other} area, i.e.
+      reads an earlier checkpoint (semantic bug, stale);
+    - [`Flip_first] — the selector flips before the snapshot copy is
+      persisted (the committed area may hold non-persisted data). *)
+
+module Ctx = Xfd_sim.Ctx
+
+type variant = [ `Correct | `Restore_old | `Flip_first ]
+
+type t
+
+val slots : int
+
+val create : Ctx.t -> t
+val open_ : Ctx.t -> t
+
+(** Mutate one working-area slot (volatile until the next checkpoint). *)
+val set : Ctx.t -> t -> int -> int64 -> unit
+
+val get : Ctx.t -> t -> int -> int64
+
+(** Snapshot the working area and commit it. *)
+val checkpoint : Ctx.t -> t -> variant:variant -> unit
+
+(** Post-failure recovery: restore the working area from a snapshot. *)
+val recover : Ctx.t -> t -> variant:variant -> unit
+
+val program : ?rounds:int -> ?variant:variant -> unit -> Xfd.Engine.program

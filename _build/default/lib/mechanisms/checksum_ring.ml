@@ -1,0 +1,125 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Pmem = Xfd_pmdk.Pmem
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Xfd_util.Loc.of_pos
+
+type variant = [ `Correct | `No_verify | `Unannotated ]
+
+let capacity = 16
+let payload_bytes = 112
+let record_bytes = 128 (* seq (8) + checksum (8) + payload (112): two lines *)
+
+(* Root layout: records back to back, one cache line each.  There is no
+   commit variable: a record with sequence number n is live iff records
+   0..n-1 are live and its checksum validates. *)
+type t = Pool.t
+
+let record_addr pool i = Pool.root pool + (i * record_bytes)
+let seq_addr pool i = record_addr pool i
+let csum_addr pool i = record_addr pool i + 8
+let payload_addr pool i = record_addr pool i + 16
+
+(* FNV-1a over the sequence number and payload. *)
+let checksum ~seq payload =
+  let h = ref 0xcbf29ce484222325L in
+  let mix byte =
+    h := Int64.logxor !h (Int64.of_int byte);
+    h := Int64.mul !h 0x100000001b3L
+  in
+  for i = 0 to 7 do
+    mix (Int64.to_int (Int64.logand (Int64.shift_right_logical seq (8 * i)) 0xFFL))
+  done;
+  Bytes.iter (fun c -> mix (Char.code c)) payload;
+  !h
+
+let annotate ctx pool =
+  (* The whole log region is read through checksums during recovery: the
+     reads are intentional (benign) cross-failure races. *)
+  Ctx.add_commit_var ctx ~loc:!!__POS__ (record_addr pool 0) (capacity * record_bytes)
+
+let create ctx ~variant =
+  let pool = Pool.create_atomic ctx ~loc:!!__POS__ () in
+  (match variant with `Correct | `No_verify -> annotate ctx pool | `Unannotated -> ());
+  pool
+
+let open_ ctx ~variant =
+  let pool = Pool.open_pool ctx ~loc:!!__POS__ () in
+  (match variant with `Correct | `No_verify -> annotate ctx pool | `Unannotated -> ());
+  pool
+
+let fit payload =
+  let b = Bytes.make payload_bytes '\000' in
+  Bytes.blit_string payload 0 b 0 (min (String.length payload) payload_bytes);
+  b
+
+(* Volatile append cursor: recovery-equivalent scan to find the end. *)
+let next_seq ctx pool =
+  let rec go i =
+    if i >= capacity then i
+    else begin
+      let seq = Ctx.read_i64 ctx ~loc:!!__POS__ (seq_addr pool i) in
+      if Int64.equal seq (Int64.of_int (i + 1)) then go (i + 1) else i
+    end
+  in
+  go 0
+
+let append ctx pool payload =
+  let i = next_seq ctx pool in
+  if i >= capacity then failwith "checksum_ring: full";
+  let seq = Int64.of_int (i + 1) in
+  let data = fit payload in
+  Ctx.write ctx ~loc:!!__POS__ (payload_addr pool i) data;
+  (* Data may become durable here without any ordering point, so the
+     checksum mechanism needs extra failure points (section 5.5). *)
+  Ctx.add_failure_point ctx;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (csum_addr pool i) (checksum ~seq data);
+  Ctx.add_failure_point ctx;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (seq_addr pool i) seq;
+  Pmem.persist ctx ~loc:!!__POS__ (record_addr pool i) record_bytes
+
+let recover ctx pool ~variant =
+  let rec go acc i =
+    if i >= capacity then List.rev acc
+    else begin
+      let seq = Ctx.read_i64 ctx ~loc:!!__POS__ (seq_addr pool i) in
+      if not (Int64.equal seq (Int64.of_int (i + 1))) then List.rev acc
+      else begin
+        let data = Ctx.read ctx ~loc:!!__POS__ (payload_addr pool i) payload_bytes in
+        let stored = Ctx.read_i64 ctx ~loc:!!__POS__ (csum_addr pool i) in
+        let valid =
+          match variant with
+          | `Correct | `Unannotated -> Int64.equal stored (checksum ~seq data)
+          | `No_verify -> true (* BUG: trusts a possibly-torn record *)
+        in
+        if valid then go (Bytes.to_string data :: acc) (i + 1) else List.rev acc
+      end
+    end
+  in
+  go [] 0
+
+let program ?(records = 3) ?(variant = `Correct) () =
+  {
+    Xfd.Engine.name =
+      Printf.sprintf "checksum-log(%s)"
+        (match variant with
+        | `Correct -> "correct"
+        | `No_verify -> "no-verify"
+        | `Unannotated -> "unannotated");
+    setup = (fun ctx -> ignore (create ctx ~variant));
+    pre =
+      (fun ctx ->
+        let pool = open_ ctx ~variant in
+        Ctx.roi_begin ctx ~loc:!!__POS__;
+        for r = 1 to records do
+          append ctx pool (Printf.sprintf "record-%d" r)
+        done;
+        Ctx.roi_end ctx ~loc:!!__POS__);
+    post =
+      (fun ctx ->
+        let pool = open_ ctx ~variant in
+        Ctx.roi_begin ctx ~loc:!!__POS__;
+        ignore (recover ctx pool ~variant);
+        Ctx.roi_end ctx ~loc:!!__POS__);
+  }

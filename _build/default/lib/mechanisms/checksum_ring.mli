@@ -1,0 +1,44 @@
+(** Checksum-based recovery (paper Table 1, last row; section 5.5).
+
+    An append-only record log where consistency is determined by per-record
+    checksums rather than a commit variable: recovery scans forward,
+    verifies each record's checksum against its header and payload, and
+    accepts the longest valid prefix.  Reading a possibly-torn record
+    together with its checksum is the paper's second example of a benign
+    cross-failure race, so the log region is annotated benign; and because
+    data can become consistent {e between} ordering points here, the writer
+    places manual failure points ([addFailurePoint], Table 2) inside the
+    record-append sequence, exactly as section 5.5 prescribes for this
+    mechanism.
+
+    Variants:
+    - [`Correct];
+    - [`No_verify] — recovery trusts the record count and skips checksum
+      verification, accepting torn records (caught by the functional
+      crash-recovery tests: recovered payloads must always be a prefix of
+      what was appended);
+    - [`Unannotated] — the correct code without the benign annotation,
+      demonstrating why the annotation interface exists (the detector
+      reports the intentional races). *)
+
+module Ctx = Xfd_sim.Ctx
+
+type variant = [ `Correct | `No_verify | `Unannotated ]
+
+type t
+
+val capacity : int
+val payload_bytes : int
+
+val create : Ctx.t -> variant:variant -> t
+val open_ : Ctx.t -> variant:variant -> t
+
+(** Append one fixed-size record (payload truncated/padded to
+    [payload_bytes]). *)
+val append : Ctx.t -> t -> string -> unit
+
+(** Recover: the longest checksum-valid prefix of payloads.  [`No_verify]
+    skips the verification and may return garbage. *)
+val recover : Ctx.t -> t -> variant:variant -> string list
+
+val program : ?records:int -> ?variant:variant -> unit -> Xfd.Engine.program

@@ -1,0 +1,134 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Pmem = Xfd_pmdk.Pmem
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Xfd_util.Loc.of_pos
+
+type variant = [ `Correct | `Op_after_commit | `Naive_replay ]
+type op = Add of int * int64 | Scale of int * int64
+
+let registers = 8
+
+(* Root layout: slot 0 = committed flag (commit variable, own line);
+   one line for the record {opcode, index, operand, pre-value};
+   one line per register. *)
+type t = Pool.t
+
+let flag_addr pool = Layout.slot (Pool.root pool) 0
+let record_addr pool = Pool.root pool + 64
+let opcode_addr pool = record_addr pool
+let index_addr pool = record_addr pool + 8
+let operand_addr pool = record_addr pool + 16
+let pre_addr pool = record_addr pool + 24
+let reg_addr pool i = Pool.root pool + 128 + (64 * i)
+
+let register ctx pool =
+  Ctx.add_commit_var ctx ~loc:!!__POS__ (flag_addr pool) 8;
+  Ctx.add_commit_range ctx ~loc:!!__POS__ ~var:(flag_addr pool) (record_addr pool) 32
+
+let create ctx =
+  let pool = Pool.create_atomic ctx ~loc:!!__POS__ () in
+  register ctx pool;
+  pool
+
+let open_ ctx =
+  let pool = Pool.open_pool ctx ~loc:!!__POS__ () in
+  register ctx pool;
+  pool
+
+let get ctx pool i = Ctx.read_i64 ctx ~loc:!!__POS__ (reg_addr pool i)
+
+let opcode_of = function Add _ -> 1L | Scale _ -> 2L
+let target_of = function Add (i, _) | Scale (i, _) -> i
+let operand_of = function Add (_, v) | Scale (_, v) -> v
+let eval ~opcode ~pre ~operand =
+  if Int64.equal opcode 1L then Int64.add pre operand else Int64.mul pre operand
+
+let set_flag ctx pool v =
+  Ctx.write_i64 ctx ~loc:!!__POS__ (flag_addr pool) v;
+  Pmem.persist ctx ~loc:!!__POS__ (flag_addr pool) 8
+
+let write_record ctx pool op pre =
+  Ctx.write_i64 ctx ~loc:!!__POS__ (opcode_addr pool) (opcode_of op);
+  Ctx.write_i64 ctx ~loc:!!__POS__ (index_addr pool) (Int64.of_int (target_of op));
+  Ctx.write_i64 ctx ~loc:!!__POS__ (operand_addr pool) (operand_of op);
+  Ctx.write_i64 ctx ~loc:!!__POS__ (pre_addr pool) pre;
+  Pmem.persist ctx ~loc:!!__POS__ (record_addr pool) 32
+
+let apply_in_place ctx pool op pre =
+  let i = target_of op in
+  let result = eval ~opcode:(opcode_of op) ~pre ~operand:(operand_of op) in
+  Ctx.write_i64 ctx ~loc:!!__POS__ (reg_addr pool i) result;
+  Pmem.persist ctx ~loc:!!__POS__ (reg_addr pool i) 8
+
+let apply ctx pool ~variant op =
+  let pre = get ctx pool (target_of op) in
+  match variant with
+  | `Correct | `Naive_replay ->
+    write_record ctx pool op pre;
+    set_flag ctx pool 1L;
+    apply_in_place ctx pool op pre;
+    set_flag ctx pool 0L
+  | `Op_after_commit ->
+    (* BUG: the flag commits a record that is not yet durable. *)
+    set_flag ctx pool 1L;
+    write_record ctx pool op pre;
+    apply_in_place ctx pool op pre;
+    set_flag ctx pool 0L
+
+let recover ctx pool ~variant =
+  let committed = Ctx.read_i64 ctx ~loc:!!__POS__ (flag_addr pool) in
+  if Int64.equal committed 1L then begin
+    let opcode = Ctx.read_i64 ctx ~loc:!!__POS__ (opcode_addr pool) in
+    let i = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (index_addr pool)) in
+    let operand = Ctx.read_i64 ctx ~loc:!!__POS__ (operand_addr pool) in
+    if i >= 0 && i < registers && (Int64.equal opcode 1L || Int64.equal opcode 2L) then begin
+      let pre =
+        match variant with
+        | `Correct | `Op_after_commit -> Ctx.read_i64 ctx ~loc:!!__POS__ (pre_addr pool)
+        | `Naive_replay ->
+          (* BUG: replaying against the live register double-applies the
+             operation when the in-place update already landed. *)
+          get ctx pool i
+      in
+      Ctx.write_i64 ctx ~loc:!!__POS__ (reg_addr pool i) (eval ~opcode ~pre ~operand);
+      Pmem.persist ctx ~loc:!!__POS__ (reg_addr pool i) 8
+    end;
+    set_flag ctx pool 0L
+  end
+
+let program ?(ops = 3) ?(variant = `Correct) () =
+  let op_of n = if n mod 2 = 0 then Add (n mod registers, 7L) else Scale (n mod registers, 3L) in
+  {
+    Xfd.Engine.name =
+      Printf.sprintf "op-log(%s)"
+        (match variant with
+        | `Correct -> "correct"
+        | `Op_after_commit -> "op-after-commit"
+        | `Naive_replay -> "naive-replay");
+    setup =
+      (fun ctx ->
+        let pool = create ctx in
+        for i = 0 to registers - 1 do
+          Ctx.write_i64 ctx ~loc:!!__POS__ (reg_addr pool i) 1L
+        done;
+        Pmem.persist ctx ~loc:!!__POS__ (reg_addr pool 0) (64 * registers));
+    pre =
+      (fun ctx ->
+        let pool = open_ ctx in
+        Ctx.roi_begin ctx ~loc:!!__POS__;
+        for n = 0 to ops - 1 do
+          apply ctx pool ~variant (op_of n)
+        done;
+        Ctx.roi_end ctx ~loc:!!__POS__);
+    post =
+      (fun ctx ->
+        let pool = open_ ctx in
+        Ctx.roi_begin ctx ~loc:!!__POS__;
+        recover ctx pool ~variant;
+        for i = 0 to registers - 1 do
+          ignore (get ctx pool i)
+        done;
+        Ctx.roi_end ctx ~loc:!!__POS__);
+  }

@@ -1,0 +1,46 @@
+(** Operational (logical) logging (paper Table 1, row 5; ARIES-style).
+
+    Instead of data values, the log records {e operations} (opcode +
+    operands); recovery re-executes the logged operation to overwrite
+    whatever partial state the failure left.  One persistent slot holds the
+    log record [op, a, b, committed]; [committed] is the commit variable.
+    Because re-execution overwrites the target unconditionally, the
+    in-place update itself needs no logging at all — the paper's "logged
+    operations are consistent".
+
+    The state is an accumulator register bank; operations are [Add (i, v)]
+    and [Scale (i, v)], which are {e not} idempotent — so recovery must
+    consult the commit protocol correctly, and the seeded variants break
+    exactly that:
+    - [`Correct] — the record carries the operand {e and} the pre-value
+      read at log time, so re-execution is idempotent;
+    - [`Op_after_commit] — the record body is written after the commit flag
+      (race/semantic on the operands);
+    - [`Naive_replay] — recovery re-executes against the {e current}
+      register instead of the logged pre-value.  This is wrong twice over:
+      reading the register mid-update is a cross-failure race (which the
+      detector reports), and even on persisted state a failure between the
+      in-place apply and the retire double-applies the operation — a value
+      bug only the functional crash tests can see. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type variant = [ `Correct | `Op_after_commit | `Naive_replay ]
+
+type op = Add of int * int64 | Scale of int * int64
+
+type t
+
+val registers : int
+
+val create : Ctx.t -> t
+val open_ : Ctx.t -> t
+val get : Ctx.t -> t -> int -> int64
+
+(** Execute one operation crash-consistently (log, commit, apply, retire). *)
+val apply : Ctx.t -> t -> variant:variant -> op -> unit
+
+(** Post-failure recovery: re-execute the logged operation if committed. *)
+val recover : Ctx.t -> t -> variant:variant -> unit
+
+val program : ?ops:int -> ?variant:variant -> unit -> Xfd.Engine.program

@@ -1,0 +1,145 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Pmem = Xfd_pmdk.Pmem
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Xfd_util.Loc.of_pos
+
+type variant = [ `Correct | `Apply_before_commit | `Commit_before_entries ]
+
+let slots = 32
+let log_capacity = 16
+
+(* Root layout:
+   slot 0            = committed flag  (commit variable, own line)
+   slot 15           = log entry count (contiguous with the entries so one
+                       range persist covers count + entries)
+   slots 16..47      = log entries, two slots each: (target index, value)
+   one line later    = the data slots. *)
+type t = Pool.t
+
+let flag_addr pool = Layout.slot (Pool.root pool) 0
+let nentries_addr pool = Layout.slot (Pool.root pool) 15
+let entry_addr pool i = Layout.slot (Pool.root pool) (16 + (2 * i))
+let log_region pool = (nentries_addr pool, 8 + (16 * log_capacity))
+let slot_addr pool i = Layout.slot (Pool.root pool) (16 + (2 * log_capacity) + 8 + i)
+
+let register ctx pool =
+  Ctx.add_commit_var ctx ~loc:!!__POS__ (flag_addr pool) 8;
+  let addr, size = log_region pool in
+  Ctx.add_commit_range ctx ~loc:!!__POS__ ~var:(flag_addr pool) addr size
+
+let create ctx =
+  let pool = Pool.create_atomic ctx ~loc:!!__POS__ () in
+  register ctx pool;
+  pool
+
+let open_ ctx =
+  let pool = Pool.open_pool ctx ~loc:!!__POS__ () in
+  register ctx pool;
+  pool
+
+let get ctx pool i = Ctx.read_i64 ctx ~loc:!!__POS__ (slot_addr pool i)
+
+let write_log ctx pool updates =
+  List.iteri
+    (fun i (slot, v) ->
+      Ctx.write_i64 ctx ~loc:!!__POS__ (entry_addr pool i) (Int64.of_int slot);
+      Ctx.write_i64 ctx ~loc:!!__POS__ (entry_addr pool i + 8) v)
+    updates;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (nentries_addr pool) (Int64.of_int (List.length updates))
+
+let persist_log ctx pool updates =
+  let addr, _ = log_region pool in
+  Pmem.persist ctx ~loc:!!__POS__ addr (8 + (16 * List.length updates))
+
+let set_flag ctx pool v =
+  Ctx.write_i64 ctx ~loc:!!__POS__ (flag_addr pool) v;
+  Pmem.persist ctx ~loc:!!__POS__ (flag_addr pool) 8
+
+let apply ctx pool updates =
+  List.iter
+    (fun (slot, v) ->
+      Ctx.write_i64 ctx ~loc:!!__POS__ (slot_addr pool slot) v;
+      Pmem.persist ctx ~loc:!!__POS__ (slot_addr pool slot) 8)
+    updates
+
+let transact ctx pool ~variant updates =
+  if List.length updates > log_capacity then invalid_arg "Redo_log.transact: log full";
+  match variant with
+  | `Correct ->
+    write_log ctx pool updates;
+    persist_log ctx pool updates;
+    set_flag ctx pool 1L;
+    apply ctx pool updates;
+    set_flag ctx pool 0L
+  | `Apply_before_commit ->
+    (* BUG: half-applied in-place data is exposed if the failure lands
+       before the flag commits — recovery will discard the log. *)
+    write_log ctx pool updates;
+    persist_log ctx pool updates;
+    apply ctx pool updates;
+    set_flag ctx pool 1L;
+    set_flag ctx pool 0L
+  | `Commit_before_entries ->
+    (* BUG: the flag commits a log whose body may not be durable. *)
+    write_log ctx pool updates;
+    set_flag ctx pool 1L;
+    persist_log ctx pool updates;
+    apply ctx pool updates;
+    set_flag ctx pool 0L
+
+let recover ctx pool =
+  let committed = Ctx.read_i64 ctx ~loc:!!__POS__ (flag_addr pool) in
+  if Int64.equal committed 1L then begin
+    (* Replay the committed redo log into place. *)
+    let n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (nentries_addr pool)) in
+    if n >= 0 && n <= log_capacity then begin
+      for i = 0 to n - 1 do
+        let slot = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (entry_addr pool i)) in
+        let v = Ctx.read_i64 ctx ~loc:!!__POS__ (entry_addr pool i + 8) in
+        if slot >= 0 && slot < slots then begin
+          Ctx.write_i64 ctx ~loc:!!__POS__ (slot_addr pool slot) v;
+          Pmem.persist ctx ~loc:!!__POS__ (slot_addr pool slot) 8
+        end
+      done;
+      set_flag ctx pool 0L
+    end
+  end
+(* flag = 0: the uncommitted log is simply discarded. *)
+
+let program ?(txns = 2) ?(variant = `Correct) () =
+  let updates_of t = [ ((t * 3) mod slots, Int64.of_int (1000 + t)); (((t * 3) + 1) mod slots, Int64.of_int (2000 + t)) ] in
+  {
+    Xfd.Engine.name =
+      Printf.sprintf "redo-log(%s)"
+        (match variant with
+        | `Correct -> "correct"
+        | `Apply_before_commit -> "apply-before-commit"
+        | `Commit_before_entries -> "commit-before-entries");
+    setup =
+      (fun ctx ->
+        let pool = create ctx in
+        (* Give every slot a persisted baseline. *)
+        for i = 0 to slots - 1 do
+          Ctx.write_i64 ctx ~loc:!!__POS__ (slot_addr pool i) (Int64.of_int i)
+        done;
+        Pmem.persist ctx ~loc:!!__POS__ (slot_addr pool 0) (8 * slots));
+    pre =
+      (fun ctx ->
+        let pool = open_ ctx in
+        Ctx.roi_begin ctx ~loc:!!__POS__;
+        for t = 0 to txns - 1 do
+          transact ctx pool ~variant (updates_of t)
+        done;
+        Ctx.roi_end ctx ~loc:!!__POS__);
+    post =
+      (fun ctx ->
+        let pool = open_ ctx in
+        Ctx.roi_begin ctx ~loc:!!__POS__;
+        recover ctx pool;
+        for i = 0 to slots - 1 do
+          ignore (get ctx pool i)
+        done;
+        Ctx.roi_end ctx ~loc:!!__POS__);
+  }

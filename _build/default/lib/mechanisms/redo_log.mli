@@ -1,0 +1,39 @@
+(** Redo logging (paper Table 1, row 2).
+
+    Updates are staged into a persistent redo log instead of being applied
+    in place; a committed flag (the commit variable) decides which side is
+    consistent: before the flag is set the in-place data is authoritative
+    and the log is discarded on recovery; after it, recovery replays the
+    log into place.
+
+    Variants for detection:
+    - [`Correct] — entries persisted, then count, then flag, then apply;
+    - [`Apply_before_commit] — in-place application starts before the flag
+      is persisted, so recovery that discards the log leaves half-applied
+      data (cross-failure race on the slots);
+    - [`Commit_before_entries] — the flag is set before the entries are
+      persisted, so recovery replays entries that are not guaranteed
+      durable (race/semantic bug on the log body). *)
+
+module Ctx = Xfd_sim.Ctx
+
+type variant = [ `Correct | `Apply_before_commit | `Commit_before_entries ]
+
+type t
+
+val slots : int
+val log_capacity : int
+
+val create : Ctx.t -> t
+val open_ : Ctx.t -> t
+
+(** Read a data slot. *)
+val get : Ctx.t -> t -> int -> int64
+
+(** Run one transaction: apply all [slot, value] updates atomically. *)
+val transact : Ctx.t -> t -> variant:variant -> (int * int64) list -> unit
+
+(** Post-failure recovery: replay or discard the log per the flag. *)
+val recover : Ctx.t -> t -> unit
+
+val program : ?txns:int -> ?variant:variant -> unit -> Xfd.Engine.program

@@ -1,0 +1,98 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Alloc = Xfd_pmdk.Alloc
+module Pmem = Xfd_pmdk.Pmem
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Xfd_util.Loc.of_pos
+
+type variant = [ `Correct | `Swap_before_persist | `In_place ]
+
+let fields = 8
+let obj_bytes = 8 * fields
+
+(* Root slot 0 = pointer to the live object (commit variable). *)
+type t = Pool.t
+
+let ptr_addr pool = Layout.slot (Pool.root pool) 0
+
+let register ctx pool = Ctx.add_commit_var ctx ~loc:!!__POS__ (ptr_addr pool) 8
+
+let create ctx =
+  let pool = Pool.create_atomic ctx ~loc:!!__POS__ () in
+  register ctx pool;
+  let obj = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:obj_bytes ~zero:true in
+  Layout.write_ptr ctx ~loc:!!__POS__ (ptr_addr pool) obj;
+  Pmem.persist ctx ~loc:!!__POS__ (ptr_addr pool) 8;
+  pool
+
+let open_ ctx =
+  let pool = Pool.open_pool ctx ~loc:!!__POS__ () in
+  register ctx pool;
+  pool
+
+let live ctx pool =
+  let p = Layout.read_ptr ctx ~loc:!!__POS__ (ptr_addr pool) in
+  if Layout.is_null p then failwith "shadow_obj: null object pointer";
+  p
+
+let read_field ctx pool i = Ctx.read_i64 ctx ~loc:!!__POS__ (live ctx pool + (8 * i))
+
+let update_field ctx pool ~variant i v =
+  let old = live ctx pool in
+  match variant with
+  | `In_place ->
+    (* BUG: mutate the live object directly, with no persist at all. *)
+    Ctx.write_i64 ctx ~loc:!!__POS__ (old + (8 * i)) v
+  | (`Correct | `Swap_before_persist) as variant ->
+  let shadow = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:obj_bytes ~zero:false in
+  let data = Ctx.read ctx ~loc:!!__POS__ old obj_bytes in
+  Ctx.write ctx ~loc:!!__POS__ shadow data;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (shadow + (8 * i)) v;
+  let swing () =
+    Layout.write_ptr ctx ~loc:!!__POS__ (ptr_addr pool) shadow;
+    Pmem.persist ctx ~loc:!!__POS__ (ptr_addr pool) 8
+  in
+  match variant with
+  | `Correct ->
+    Pmem.persist ctx ~loc:!!__POS__ shadow obj_bytes;
+    swing ();
+    Alloc.free ctx pool ~loc:!!__POS__ old
+  | `Swap_before_persist ->
+    (* BUG: readers reached through the new pointer race with the shadow's
+       unpersisted contents. *)
+    swing ();
+    Pmem.persist ctx ~loc:!!__POS__ shadow obj_bytes
+
+let program ?(updates = 3) ?(variant = `Correct) () =
+  {
+    Xfd.Engine.name =
+      Printf.sprintf "shadow-paging(%s)"
+        (match variant with
+        | `Correct -> "correct"
+        | `Swap_before_persist -> "swap-before-persist"
+        | `In_place -> "in-place-update");
+    setup =
+      (fun ctx ->
+        let pool = create ctx in
+        for i = 0 to fields - 1 do
+          update_field ctx pool ~variant:`Correct i (Int64.of_int i)
+        done);
+    pre =
+      (fun ctx ->
+        let pool = open_ ctx in
+        Ctx.roi_begin ctx ~loc:!!__POS__;
+        for u = 0 to updates - 1 do
+          update_field ctx pool ~variant (u mod fields) (Int64.of_int (500 + u))
+        done;
+        Ctx.roi_end ctx ~loc:!!__POS__);
+    post =
+      (fun ctx ->
+        let pool = open_ ctx in
+        Ctx.roi_begin ctx ~loc:!!__POS__;
+        (* Shadow paging needs no recovery pass: resume by reading. *)
+        for i = 0 to fields - 1 do
+          ignore (read_field ctx pool i)
+        done;
+        Ctx.roi_end ctx ~loc:!!__POS__);
+  }

@@ -1,0 +1,31 @@
+(** Shadow paging / copy-on-write object updates (paper Table 1, row 4).
+
+    The live object is reached through one persistent pointer.  An update
+    allocates a shadow copy, modifies and persists it, then atomically
+    swings the pointer (the commit variable — the swing is the canonical
+    benign cross-failure race) and frees the old copy.  Recovery is free:
+    whichever copy the pointer selects is complete.
+
+    Variants:
+    - [`Correct];
+    - [`Swap_before_persist] — the pointer swings to a shadow whose
+      contents were never persisted: post-failure readers race;
+    - [`In_place] — the update skips copy-on-write entirely and writes the
+      live object directly without a persist, defeating the mechanism. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type variant = [ `Correct | `Swap_before_persist | `In_place ]
+
+type t
+
+val fields : int
+
+val create : Ctx.t -> t
+val open_ : Ctx.t -> t
+val read_field : Ctx.t -> t -> int -> int64
+
+(** Copy-on-write update of one field. *)
+val update_field : Ctx.t -> t -> variant:variant -> int -> int64 -> unit
+
+val program : ?updates:int -> ?variant:variant -> unit -> Xfd.Engine.program

@@ -1,0 +1,1 @@
+lib/mem/image.ml: Bytes Hashtbl Int List Xfd_util

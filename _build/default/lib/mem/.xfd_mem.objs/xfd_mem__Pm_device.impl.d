@@ -1,0 +1,1 @@
+lib/mem/pm_device.ml: Addr Bytes Char Hashtbl Image Xfd_util

@@ -1,0 +1,1 @@
+lib/mem/pm_device.mli: Addr Image Xfd_util

@@ -1,0 +1,25 @@
+type t = int
+
+let line_size = 64
+let pool_base = 0x10000000000
+let line_of addr = addr land lnot (line_size - 1)
+let offset_in_line addr = addr land (line_size - 1)
+
+let lines_spanning addr size =
+  if size <= 0 then []
+  else begin
+    let first = line_of addr and last = line_of (addr + size - 1) in
+    let rec go acc line =
+      if line < first then acc else go (line :: acc) (line - line_size)
+    in
+    go [] last
+  end
+
+let iter_bytes addr size f =
+  for b = addr to addr + size - 1 do
+    f b
+  done
+
+let overlap (a, na) (b, nb) = na > 0 && nb > 0 && a < b + nb && b < a + na
+let contains (a, na) b = b >= a && b < a + na
+let pp ppf addr = Format.fprintf ppf "0x%x" addr

@@ -1,0 +1,35 @@
+(** Persistent-memory addresses and cache-line arithmetic.
+
+    Addresses are plain integers into the simulated PM physical range.  The
+    cache hierarchy moves data in 64-byte lines; flush instructions (CLWB,
+    CLFLUSH, CLFLUSHOPT) always act on the whole line containing their
+    operand, which is what makes the paper's Figure 11 example work: a CLWB
+    of [backup] also writes back [valid] because they share a line. *)
+
+type t = int
+
+val line_size : int
+
+(** PMDK-style mmap hint: all pools are mapped at this fixed base so PM
+    addresses are stable across executions (PMEM_MMAP_HINT in the paper). *)
+val pool_base : t
+
+(** Base address of the cache line containing [addr]. *)
+val line_of : t -> t
+
+val offset_in_line : t -> int
+
+(** [lines_spanning addr size] lists the base addresses of every cache line
+    touched by the byte range [\[addr, addr+size)]. *)
+val lines_spanning : t -> int -> t list
+
+(** [iter_bytes addr size f] applies [f] to each byte address of the range. *)
+val iter_bytes : t -> int -> (t -> unit) -> unit
+
+(** [overlap (a, na) (b, nb)] is true when the two byte ranges intersect. *)
+val overlap : t * int -> t * int -> bool
+
+(** [contains (a, na) b] is true when byte address [b] lies in the range. *)
+val contains : t * int -> t -> bool
+
+val pp : Format.formatter -> t -> unit

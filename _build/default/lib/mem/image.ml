@@ -1,0 +1,68 @@
+let chunk_bits = 12
+let chunk_size = 1 lsl chunk_bits (* 4 KiB, one page *)
+
+type t = { chunks : (int, bytes) Hashtbl.t; mutable footprint : int }
+
+let create () = { chunks = Hashtbl.create 64; footprint = 0 }
+
+let chunk_index addr = addr lsr chunk_bits
+let chunk_offset addr = addr land (chunk_size - 1)
+
+let find_chunk t idx =
+  match Hashtbl.find_opt t.chunks idx with
+  | Some c -> c
+  | None ->
+    let c = Bytes.make chunk_size '\000' in
+    Hashtbl.replace t.chunks idx c;
+    t.footprint <- t.footprint + chunk_size;
+    c
+
+let read_byte t addr =
+  match Hashtbl.find_opt t.chunks (chunk_index addr) with
+  | Some c -> Bytes.get c (chunk_offset addr)
+  | None -> '\000'
+
+let write_byte t addr v = Bytes.set (find_chunk t (chunk_index addr)) (chunk_offset addr) v
+
+let read t addr size =
+  let out = Bytes.create size in
+  let pos = ref 0 in
+  while !pos < size do
+    let a = addr + !pos in
+    let off = chunk_offset a in
+    let len = min (size - !pos) (chunk_size - off) in
+    (match Hashtbl.find_opt t.chunks (chunk_index a) with
+    | Some c -> Bytes.blit c off out !pos len
+    | None -> Bytes.fill out !pos len '\000');
+    pos := !pos + len
+  done;
+  out
+
+let write t addr b =
+  let size = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < size do
+    let a = addr + !pos in
+    let off = chunk_offset a in
+    let len = min (size - !pos) (chunk_size - off) in
+    Bytes.blit b !pos (find_chunk t (chunk_index a)) off len;
+    pos := !pos + len
+  done
+
+let read_i64 t addr = Xfd_util.Bytesx.get_i64 (read t addr 8) 0
+let write_i64 t addr v = write t addr (Xfd_util.Bytesx.i64_to_bytes v)
+
+let snapshot t =
+  let chunks = Hashtbl.create (Hashtbl.length t.chunks) in
+  Hashtbl.iter (fun idx c -> Hashtbl.replace chunks idx (Bytes.copy c)) t.chunks;
+  { chunks; footprint = t.footprint }
+
+let copy_range ~src ~dst addr size = write dst addr (read src addr size)
+let footprint t = t.footprint
+let equal_range a b addr size = Bytes.equal (read a addr size) (read b addr size)
+
+let iter_chunks t f =
+  let idxs = Hashtbl.fold (fun idx _ acc -> idx :: acc) t.chunks [] in
+  List.iter
+    (fun idx -> f (idx lsl chunk_bits) (Hashtbl.find t.chunks idx))
+    (List.sort Int.compare idxs)

@@ -1,0 +1,39 @@
+(** A sparse byte image of persistent memory.
+
+    The image is the value store; it knows nothing about caching or
+    persistence (that is {!Pm_device}'s job).  Storage is chunked so that a
+    pool mapped at [Addr.pool_base] costs memory proportional to the bytes
+    actually touched.  Unwritten bytes read as zero, like a fresh DAX file. *)
+
+type t
+
+val create : unit -> t
+
+val read_byte : t -> Addr.t -> char
+val write_byte : t -> Addr.t -> char -> unit
+
+(** [read t addr size] copies [size] bytes out of the image. *)
+val read : t -> Addr.t -> int -> bytes
+
+(** [write t addr b] stores all of [b] at [addr]. *)
+val write : t -> Addr.t -> bytes -> unit
+
+val read_i64 : t -> Addr.t -> int64
+val write_i64 : t -> Addr.t -> int64 -> unit
+
+(** Deep copy; mutations of either side are invisible to the other. *)
+val snapshot : t -> t
+
+(** [copy_range ~src ~dst addr size] copies a byte range between images. *)
+val copy_range : src:t -> dst:t -> Addr.t -> int -> unit
+
+(** Number of bytes ever written (an upper bound on live data; used by the
+    engine to size shadow structures and report image footprint). *)
+val footprint : t -> int
+
+(** [equal_range a b addr size] compares a byte range across two images. *)
+val equal_range : t -> t -> Addr.t -> int -> bool
+
+(** Iterate over every chunk that has been materialised, in address order.
+    [f base chunk] receives the base address and the chunk's bytes. *)
+val iter_chunks : t -> (Addr.t -> bytes -> unit) -> unit

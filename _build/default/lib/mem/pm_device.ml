@@ -1,0 +1,112 @@
+type crash_mode = Full | Strict | Randomized of Xfd_util.Rng.t
+
+type stats = { stores : int; loads : int; flushes : int; fences : int; nt_stores : int }
+
+type t = {
+  img : Image.t;
+  persisted : Image.t;
+  dirty : (Addr.t, unit) Hashtbl.t; (* modified, not captured by a flush *)
+  pending : (Addr.t, char) Hashtbl.t; (* captured value awaiting a fence *)
+  mutable st : stats;
+}
+
+let create () =
+  {
+    img = Image.create ();
+    persisted = Image.create ();
+    dirty = Hashtbl.create 256;
+    pending = Hashtbl.create 256;
+    st = { stores = 0; loads = 0; flushes = 0; fences = 0; nt_stores = 0 };
+  }
+
+let image t = t.img
+let stats t = t.st
+
+let load t addr size =
+  t.st <- { t.st with loads = t.st.loads + 1 };
+  Image.read t.img addr size
+
+let store t addr b =
+  t.st <- { t.st with stores = t.st.stores + 1 };
+  Image.write t.img addr b;
+  Addr.iter_bytes addr (Bytes.length b) (fun a -> Hashtbl.replace t.dirty a ())
+
+let load_i64 t addr = Xfd_util.Bytesx.get_i64 (load t addr 8) 0
+let store_i64 t addr v = store t addr (Xfd_util.Bytesx.i64_to_bytes v)
+
+let store_nt t addr b =
+  t.st <- { t.st with nt_stores = t.st.nt_stores + 1 };
+  Image.write t.img addr b;
+  Addr.iter_bytes addr (Bytes.length b) (fun a ->
+      Hashtbl.remove t.dirty a;
+      Hashtbl.replace t.pending a (Image.read_byte t.img a))
+
+let capture_line t addr =
+  let line = Addr.line_of addr in
+  Addr.iter_bytes line Addr.line_size (fun a ->
+      if Hashtbl.mem t.dirty a then begin
+        Hashtbl.remove t.dirty a;
+        Hashtbl.replace t.pending a (Image.read_byte t.img a)
+      end)
+
+let clwb t addr =
+  t.st <- { t.st with flushes = t.st.flushes + 1 };
+  capture_line t addr
+
+let clflush t addr = clwb t addr
+
+let sfence t =
+  t.st <- { t.st with fences = t.st.fences + 1 };
+  Hashtbl.iter (fun a v -> Image.write_byte t.persisted a v) t.pending;
+  Hashtbl.reset t.pending
+
+let dirty_bytes t = Hashtbl.length t.dirty
+let pending_bytes t = Hashtbl.length t.pending
+
+let is_persisted_range t addr size =
+  let ok = ref true in
+  Addr.iter_bytes addr size (fun a ->
+      if Hashtbl.mem t.dirty a || Hashtbl.mem t.pending a then ok := false
+      else if not (Char.equal (Image.read_byte t.persisted a) (Image.read_byte t.img a))
+      then ok := false);
+  !ok
+
+let crash t mode =
+  match mode with
+  | Full -> Image.snapshot t.img
+  | Strict -> Image.snapshot t.persisted
+  | Randomized rng ->
+    (* Start from the guaranteed bytes, then let chance evict or order any
+       in-flight line.  Decisions are per cache line, matching hardware:
+       eviction writes back whole lines. *)
+    let out = Image.snapshot t.persisted in
+    let lines = Hashtbl.create 16 in
+    Hashtbl.iter (fun a () -> Hashtbl.replace lines (Addr.line_of a) ()) t.dirty;
+    Hashtbl.iter (fun a _ -> Hashtbl.replace lines (Addr.line_of a) ()) t.pending;
+    Hashtbl.iter
+      (fun line () ->
+        if Xfd_util.Rng.bool rng then
+          Addr.iter_bytes line Addr.line_size (fun a ->
+              match Hashtbl.find_opt t.pending a with
+              | Some v -> Image.write_byte out a v
+              | None ->
+                if Hashtbl.mem t.dirty a then
+                  Image.write_byte out a (Image.read_byte t.img a)))
+      lines;
+    out
+
+let boot img =
+  let t = create () in
+  Image.iter_chunks img (fun base chunk ->
+      Image.write t.img base (Bytes.copy chunk);
+      Image.write t.persisted base (Bytes.copy chunk));
+  t
+
+let snapshot t =
+  {
+    img = Image.snapshot t.img;
+    persisted = Image.snapshot t.persisted;
+    dirty = Hashtbl.copy t.dirty;
+    pending = Hashtbl.copy t.pending;
+    st = t.st;
+  }

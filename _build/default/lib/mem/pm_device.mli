@@ -1,0 +1,78 @@
+(** Simulated persistent-memory device with a volatile cache model.
+
+    This is the substitute for Intel Optane DCPMM plus the x86 cache
+    hierarchy.  The device tracks three layers per byte:
+
+    - the {e architectural} value (what loads return),
+    - bytes {e captured} by a flush (CLWB/CLFLUSH/CLFLUSHOPT or an NT store)
+      but not yet ordered by a fence ("writeback-pending"),
+    - the {e persisted} value, guaranteed to survive a failure.
+
+    A store dirties its bytes; a flush captures the current value of every
+    dirty byte in the 64-byte line; an SFENCE promotes all captured bytes to
+    persisted.  This mirrors the persistence-state machine of the paper's
+    Figure 9.  Because real caches may also evict dirty lines at any time, a
+    modified-but-unflushed byte {e may or may not} survive a failure — which
+    is exactly why a post-failure read of it is a race.  [crash] exposes the
+    three useful crash images: full (the paper's footnote-3 copy), strict
+    (only guaranteed bytes), and randomized (one possible interleaving). *)
+
+type t
+
+type crash_mode =
+  | Full  (** copy every architectural byte, as XFDetector's frontend does *)
+  | Strict  (** keep only bytes guaranteed persistent *)
+  | Randomized of Xfd_util.Rng.t
+      (** persisted bytes plus a random subset of in-flight cache lines;
+          enumerates one legal eviction interleaving *)
+
+val create : unit -> t
+
+(** Architectural loads and stores. *)
+
+val load : t -> Addr.t -> int -> bytes
+val store : t -> Addr.t -> bytes -> unit
+val load_i64 : t -> Addr.t -> int64
+val store_i64 : t -> Addr.t -> int64 -> unit
+
+(** Non-temporal store: bypasses the cache; becomes persistent at the next
+    fence without any flush. *)
+val store_nt : t -> Addr.t -> bytes -> unit
+
+(** [clwb t addr] captures the dirty bytes of the line containing [addr]. *)
+val clwb : t -> Addr.t -> unit
+
+(** CLFLUSH/CLFLUSHOPT have identical persistence effects in this model. *)
+val clflush : t -> Addr.t -> unit
+
+(** Order all captured bytes: they become persisted. *)
+val sfence : t -> unit
+
+(** Number of bytes currently modified but not captured by any flush. *)
+val dirty_bytes : t -> int
+
+(** Number of bytes captured but not yet fenced. *)
+val pending_bytes : t -> int
+
+(** [is_persisted_range t addr size] is true when every byte of the range is
+    guaranteed durable (persisted value equals architectural value and the
+    byte is neither dirty nor pending). *)
+val is_persisted_range : t -> Addr.t -> int -> bool
+
+(** Build the PM image that a failure at this instant would leave behind. *)
+val crash : t -> crash_mode -> Image.t
+
+(** A fresh device booted from a crash image: empty caches, image and
+    persisted layers both equal to [img]. *)
+val boot : Image.t -> t
+
+(** Deep copy of the whole device (image, persisted layer and cache state);
+    used by the failure-injection frontend to snapshot at failure points. *)
+val snapshot : t -> t
+
+(** Direct access to the architectural image (read-only uses only). *)
+val image : t -> Image.t
+
+type stats = { stores : int; loads : int; flushes : int; fences : int; nt_stores : int }
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/memcached_sim/cache.ml: Char Int64 Item Slab String Xfd_pmdk Xfd_sim Xfd_util

@@ -1,0 +1,1 @@
+lib/memcached_sim/cache.mli: Slab Xfd_pmdk Xfd_sim

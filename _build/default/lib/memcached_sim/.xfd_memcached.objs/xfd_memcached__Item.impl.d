@@ -1,0 +1,1 @@
+lib/memcached_sim/item.ml: Bytes Int64 Printf String Xfd_pmdk Xfd_sim Xfd_util

@@ -1,0 +1,1 @@
+lib/memcached_sim/item.mli: Xfd_mem Xfd_sim

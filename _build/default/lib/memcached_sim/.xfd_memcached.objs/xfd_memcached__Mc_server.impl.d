@@ -1,0 +1,1 @@
+lib/memcached_sim/mc_server.ml: Cache Int64 List Printf Protocol Xfd Xfd_pmdk Xfd_sim Xfd_util

@@ -1,0 +1,1 @@
+lib/memcached_sim/mc_server.mli: Cache Protocol Xfd Xfd_sim

@@ -1,0 +1,1 @@
+lib/memcached_sim/protocol.ml: Buffer Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/memcached_sim/protocol.mli:

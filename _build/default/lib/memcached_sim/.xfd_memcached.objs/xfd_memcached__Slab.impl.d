@@ -1,0 +1,1 @@
+lib/memcached_sim/slab.ml: Array Int64 Xfd_mem Xfd_pmdk Xfd_sim Xfd_trace Xfd_util

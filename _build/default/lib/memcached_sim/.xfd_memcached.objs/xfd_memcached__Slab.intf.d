@@ -1,0 +1,1 @@
+lib/memcached_sim/slab.mli: Xfd_mem Xfd_pmdk Xfd_sim

@@ -1,0 +1,157 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Alloc = Xfd_pmdk.Alloc
+module Layout = Xfd_pmdk.Layout
+module Pmem = Xfd_pmdk.Pmem
+
+let ( !! ) = Xfd_util.Loc.of_pos
+
+(* Root layout: slot 0 = bucket array, slot 1 = bucket count,
+   slot 2 = slab metadata pointer, slot 8 = curr_items,
+   slot 9 = items_dirty (second line: the commit flag must not share a
+   flush with the bucket table pointers). *)
+let buckets_addr pool = Layout.slot (Pool.root pool) 0
+let nbuckets_addr pool = Layout.slot (Pool.root pool) 1
+let slab_meta_addr pool = Layout.slot (Pool.root pool) 2
+let curr_items_addr pool = Layout.slot (Pool.root pool) 8
+let items_dirty_addr pool = Layout.slot (Pool.root pool) 9
+
+type t = { pool : Pool.t; slab : Slab.t }
+
+let slab t = t.slab
+
+let register ctx pool nbuckets arr =
+  Ctx.add_commit_var ctx ~loc:!!__POS__ (items_dirty_addr pool) 8;
+  Ctx.add_commit_range ctx ~loc:!!__POS__ ~var:(items_dirty_addr pool)
+    (curr_items_addr pool) 8;
+  if nbuckets > 0 && not (Layout.is_null arr) then
+    Ctx.add_commit_var ctx ~loc:!!__POS__ arr (8 * nbuckets)
+
+let create ctx pool ~buckets =
+  let slab = Slab.create ctx pool in
+  let arr = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:(8 * buckets) ~zero:true in
+  (* Register before the first write of the dirty flag so that its initial
+     commit opens the window covering the zeroed counter. *)
+  register ctx pool buckets arr;
+  Layout.write_ptr ctx ~loc:!!__POS__ (buckets_addr pool) arr;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (nbuckets_addr pool) (Int64.of_int buckets);
+  Layout.write_ptr ctx ~loc:!!__POS__ (slab_meta_addr pool) (Slab.meta_addr slab);
+  Ctx.write_i64 ctx ~loc:!!__POS__ (curr_items_addr pool) 0L;
+  Pmem.persist ctx ~loc:!!__POS__ (Pool.root pool) 128;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (items_dirty_addr pool) 0L;
+  Pmem.persist ctx ~loc:!!__POS__ (items_dirty_addr pool) 8;
+  { pool; slab }
+
+let attach ctx pool =
+  let meta = Layout.read_ptr ctx ~loc:!!__POS__ (slab_meta_addr pool) in
+  let arr = Layout.read_ptr ctx ~loc:!!__POS__ (buckets_addr pool) in
+  let n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (nbuckets_addr pool)) in
+  register ctx pool n arr;
+  { pool; slab = Slab.attach pool ~meta }
+
+let hash key nbuckets =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land 0x3FFFFFFF) key;
+  !h mod nbuckets
+
+let bucket_addr ctx t key =
+  let n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (nbuckets_addr t.pool)) in
+  if n <= 0 then failwith "memcached: bad bucket count";
+  let arr = Layout.read_ptr ctx ~loc:!!__POS__ (buckets_addr t.pool) in
+  Layout.slot arr (hash key n)
+
+let find ctx t key =
+  let rec go item =
+    if Layout.is_null item then None
+    else if String.equal (Item.read_key ctx item) key then Some item
+    else go (Layout.read_ptr ctx ~loc:!!__POS__ (Item.h_next_addr item))
+  in
+  go (Layout.read_ptr ctx ~loc:!!__POS__ (bucket_addr ctx t key))
+
+let set_dirty ctx t v =
+  Ctx.write_i64 ctx ~loc:!!__POS__ (items_dirty_addr t.pool) v;
+  Pmem.persist ctx ~loc:!!__POS__ (items_dirty_addr t.pool) 8
+
+let bump_items ctx t delta =
+  let c = Ctx.read_i64 ctx ~loc:!!__POS__ (curr_items_addr t.pool) in
+  Ctx.write_i64 ctx ~loc:!!__POS__ (curr_items_addr t.pool) (Int64.add c delta);
+  Pmem.persist ctx ~loc:!!__POS__ (curr_items_addr t.pool) 8
+
+(* Unlink a specific item (by identity) from its chain, returning whether
+   it was found.  The chain-pointer overwrite is an 8-byte atomic update of
+   either a bucket slot (annotated commit variable) or a fully-persisted
+   predecessor item. *)
+let unlink_item ctx t key item =
+  let bucket = bucket_addr ctx t key in
+  let rec go link cur =
+    if Layout.is_null cur then false
+    else if cur = item then begin
+      let next = Layout.read_ptr ctx ~loc:!!__POS__ (Item.h_next_addr cur) in
+      Layout.write_ptr ctx ~loc:!!__POS__ link next;
+      Pmem.persist ctx ~loc:!!__POS__ link 8;
+      true
+    end
+    else go (Item.h_next_addr cur) (Layout.read_ptr ctx ~loc:!!__POS__ (Item.h_next_addr cur))
+  in
+  go bucket (Layout.read_ptr ctx ~loc:!!__POS__ bucket)
+
+let set ctx t ~key ~value ~flags ~exptime =
+  let size = Item.footprint ~key ~value in
+  let item = Slab.alloc ctx t.slab ~size in
+  Item.write ctx item ~key ~value ~flags ~exptime;
+  Pmem.persist ctx ~loc:!!__POS__ item size;
+  (* Replacement links the new item first; lookups stop at the first match,
+     so the old item is shadowed until it is unlinked and freed. *)
+  let old = find ctx t key in
+  let bucket = bucket_addr ctx t key in
+  let head = Layout.read_ptr ctx ~loc:!!__POS__ bucket in
+  Layout.write_ptr ctx ~loc:!!__POS__ (Item.h_next_addr item) head;
+  Pmem.persist ctx ~loc:!!__POS__ (Item.h_next_addr item) 8;
+  Layout.write_ptr ctx ~loc:!!__POS__ bucket item;
+  Pmem.persist ctx ~loc:!!__POS__ bucket 8;
+  match old with
+  | Some o ->
+    ignore (unlink_item ctx t key o);
+    Slab.free ctx t.slab o ~size:(Item.stored_footprint ctx o)
+  | None ->
+    set_dirty ctx t 1L;
+    bump_items ctx t 1L;
+    set_dirty ctx t 0L
+
+let get ctx t key =
+  match find ctx t key with
+  | Some item -> Some (Item.read_value ctx item, Item.read_flags ctx item)
+  | None -> None
+
+let delete ctx t key =
+  match find ctx t key with
+  | None -> false
+  | Some item ->
+    ignore (unlink_item ctx t key item);
+    set_dirty ctx t 1L;
+    bump_items ctx t (-1L);
+    set_dirty ctx t 0L;
+    Slab.free ctx t.slab item ~size:(Item.stored_footprint ctx item);
+    true
+
+let curr_items ctx t = Ctx.read_i64 ctx ~loc:!!__POS__ (curr_items_addr t.pool)
+
+let recover ctx t =
+  let dirty = Ctx.read_i64 ctx ~loc:!!__POS__ (items_dirty_addr t.pool) in
+  if Int64.equal dirty 1L then begin
+    let n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (nbuckets_addr t.pool)) in
+    let arr = Layout.read_ptr ctx ~loc:!!__POS__ (buckets_addr t.pool) in
+    let total = ref 0L in
+    for i = 0 to n - 1 do
+      let rec go item =
+        if not (Layout.is_null item) then begin
+          total := Int64.add !total 1L;
+          go (Layout.read_ptr ctx ~loc:!!__POS__ (Item.h_next_addr item))
+        end
+      in
+      go (Layout.read_ptr ctx ~loc:!!__POS__ (Layout.slot arr i))
+    done;
+    Ctx.write_i64 ctx ~loc:!!__POS__ (curr_items_addr t.pool) !total;
+    Pmem.persist ctx ~loc:!!__POS__ (curr_items_addr t.pool) 8;
+    set_dirty ctx t 0L
+  end

@@ -1,0 +1,31 @@
+(** The persistent item cache: a chained hash table over slab-allocated
+    items, with low-level persist ordering (no transactions), mirroring
+    Lenovo's PM-memcached.
+
+    Crash-consistency protocol: an item is fully written and persisted
+    before the bucket pointer exposes it (bucket pointers are annotated
+    benign commit variables, as the 8-byte atomic update tolerates either
+    outcome); the item counter is guarded by an [items_dirty] commit flag
+    and rebuilt by recovery when the flag is set. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type t
+
+val create : Ctx.t -> Xfd_pmdk.Pool.t -> buckets:int -> t
+
+(** Re-attach after restart; runs no recovery by itself. *)
+val attach : Ctx.t -> Xfd_pmdk.Pool.t -> t
+
+val set : Ctx.t -> t -> key:string -> value:string -> flags:int64 -> exptime:int64 -> unit
+
+(** [get] returns (value, flags) when present. *)
+val get : Ctx.t -> t -> string -> (string * int64) option
+
+val delete : Ctx.t -> t -> string -> bool
+val curr_items : Ctx.t -> t -> int64
+
+(** Post-failure recovery: recount items when the dirty flag is set. *)
+val recover : Ctx.t -> t -> unit
+
+val slab : t -> Slab.t

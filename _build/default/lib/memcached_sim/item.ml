@@ -1,0 +1,45 @@
+module Ctx = Xfd_sim.Ctx
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Xfd_util.Loc.of_pos
+
+let header_size = 40
+let footprint ~key ~value = header_size + String.length key + String.length value
+
+let h_next_addr item = Layout.slot item 0
+let nkey_addr item = Layout.slot item 1
+let nval_addr item = Layout.slot item 2
+let flags_addr item = Layout.slot item 3
+let exptime_addr item = Layout.slot item 4
+let data_addr item = item + header_size
+
+let write ctx item ~key ~value ~flags ~exptime =
+  Layout.write_ptr ctx ~loc:!!__POS__ (h_next_addr item) Layout.null;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (nkey_addr item) (Int64.of_int (String.length key));
+  Ctx.write_i64 ctx ~loc:!!__POS__ (nval_addr item) (Int64.of_int (String.length value));
+  Ctx.write_i64 ctx ~loc:!!__POS__ (flags_addr item) flags;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (exptime_addr item) exptime;
+  if key <> "" then Ctx.write ctx ~loc:!!__POS__ (data_addr item) (Bytes.of_string key);
+  if value <> "" then
+    Ctx.write ctx ~loc:!!__POS__ (data_addr item + String.length key) (Bytes.of_string value)
+
+let read_len ctx addr =
+  let n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ addr) in
+  if n < 0 || n > 0xFFFF then failwith (Printf.sprintf "memcached: implausible length %d" n);
+  n
+
+let read_key ctx item =
+  let nkey = read_len ctx (nkey_addr item) in
+  if nkey = 0 then "" else Bytes.to_string (Ctx.read ctx ~loc:!!__POS__ (data_addr item) nkey)
+
+let read_value ctx item =
+  let nkey = read_len ctx (nkey_addr item) in
+  let nval = read_len ctx (nval_addr item) in
+  if nval = 0 then ""
+  else Bytes.to_string (Ctx.read ctx ~loc:!!__POS__ (data_addr item + nkey) nval)
+
+let read_flags ctx item = Ctx.read_i64 ctx ~loc:!!__POS__ (flags_addr item)
+let read_exptime ctx item = Ctx.read_i64 ctx ~loc:!!__POS__ (exptime_addr item)
+
+let stored_footprint ctx item =
+  header_size + read_len ctx (nkey_addr item) + read_len ctx (nval_addr item)

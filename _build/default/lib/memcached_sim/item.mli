@@ -1,0 +1,33 @@
+(** Item layout inside a slab chunk.
+
+    An item is a 40-byte header — hash-chain pointer, key length, value
+    length, client flags, expiry — followed by the key bytes and the value
+    bytes.  The whole item is persisted once before it is linked into the
+    hash table, so a linked item is always fully durable. *)
+
+module Ctx = Xfd_sim.Ctx
+
+val header_size : int
+
+(** Total chunk bytes an item with this key/value needs. *)
+val footprint : key:string -> value:string -> int
+
+val h_next_addr : Xfd_mem.Addr.t -> Xfd_mem.Addr.t
+
+(** Write every field of a fresh item (chain pointer starts null). *)
+val write :
+  Ctx.t ->
+  Xfd_mem.Addr.t ->
+  key:string ->
+  value:string ->
+  flags:int64 ->
+  exptime:int64 ->
+  unit
+
+val read_key : Ctx.t -> Xfd_mem.Addr.t -> string
+val read_value : Ctx.t -> Xfd_mem.Addr.t -> string
+val read_flags : Ctx.t -> Xfd_mem.Addr.t -> int64
+val read_exptime : Ctx.t -> Xfd_mem.Addr.t -> int64
+
+(** Chunk footprint of an existing item (for slab free). *)
+val stored_footprint : Ctx.t -> Xfd_mem.Addr.t -> int

@@ -1,0 +1,104 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+
+let ( !! ) = Xfd_util.Loc.of_pos
+
+type t = { cache : Cache.t }
+
+let cache t = t.cache
+
+let boot ctx ?(buckets = 64) () =
+  let pool = Pool.create_atomic ctx ~loc:!!__POS__ () in
+  { cache = Cache.create ctx pool ~buckets }
+
+let restart ctx =
+  let pool = Pool.open_pool ctx ~loc:!!__POS__ () in
+  let cache = Cache.attach ctx pool in
+  Cache.recover ctx cache;
+  { cache }
+
+let execute ctx t = function
+  | Protocol.Set { key; flags; exptime; data } ->
+    Cache.set ctx t.cache ~key ~value:data ~flags ~exptime;
+    Protocol.Stored
+  | Protocol.Add { key; flags; exptime; data } -> begin
+    match Cache.get ctx t.cache key with
+    | Some _ -> Protocol.Not_stored
+    | None ->
+      Cache.set ctx t.cache ~key ~value:data ~flags ~exptime;
+      Protocol.Stored
+  end
+  | Protocol.Replace { key; flags; exptime; data } -> begin
+    match Cache.get ctx t.cache key with
+    | None -> Protocol.Not_stored
+    | Some _ ->
+      Cache.set ctx t.cache ~key ~value:data ~flags ~exptime;
+      Protocol.Stored
+  end
+  | Protocol.Incr (key, by) | Protocol.Decr (key, by) as req -> begin
+    match Cache.get ctx t.cache key with
+    | None -> Protocol.Not_found
+    | Some (value, flags) -> begin
+      match Int64.of_string_opt value with
+      | None -> Protocol.Client_error "cannot increment or decrement non-numeric value"
+      | Some n ->
+        let n' =
+          match req with
+          | Protocol.Incr _ -> Int64.add n by
+          | _ -> if Int64.compare n by < 0 then 0L else Int64.sub n by
+        in
+        Cache.set ctx t.cache ~key ~value:(Int64.to_string n') ~flags ~exptime:0L;
+        Protocol.Number n'
+    end
+  end
+  | Protocol.Get key -> begin
+    match Cache.get ctx t.cache key with
+    | Some (value, flags) -> Protocol.Values [ (key, flags, value) ]
+    | None -> Protocol.Values []
+  end
+  | Protocol.Delete key ->
+    if Cache.delete ctx t.cache key then Protocol.Deleted else Protocol.Not_found
+  | Protocol.Stats ->
+    Protocol.Stats_reply
+      [ ("curr_items", Int64.to_string (Cache.curr_items ctx t.cache)) ]
+
+let handle ctx t bytes =
+  match Protocol.parse_request bytes with
+  | req, _consumed -> Protocol.encode_response (execute ctx t req)
+  | exception Protocol.Protocol_error msg ->
+    Protocol.encode_response (Protocol.Client_error msg)
+
+let request_keys n =
+  let rng = Xfd_util.Rng.create 53L in
+  List.init n (fun _ -> Xfd_util.Rng.key rng 8)
+
+let program ?(size = 1) () =
+  let setup ctx = ignore (boot ctx ()) in
+  let pre ctx =
+    let pool = Pool.open_pool ctx ~loc:!!__POS__ () in
+    let t = { cache = Cache.attach ctx pool } in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    List.iteri
+      (fun i k ->
+        let req =
+          Protocol.Set { key = k; flags = 0L; exptime = 0L; data = Printf.sprintf "data-%d" i }
+        in
+        let reply = handle ctx t (Protocol.encode_request req) in
+        assert (reply = "STORED\r\n"))
+      (request_keys size);
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  let post ctx =
+    let t = restart ctx in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    (match request_keys (max size 1) with
+    | k :: _ -> ignore (handle ctx t (Protocol.encode_request (Protocol.Get k)))
+    | [] -> ());
+    ignore (handle ctx t (Protocol.encode_request Protocol.Stats));
+    ignore
+      (handle ctx t
+         (Protocol.encode_request
+            (Protocol.Set { key = "post"; flags = 0L; exptime = 0L; data = "1" })));
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  { Xfd.Engine.name = "memcached"; setup; pre; post }

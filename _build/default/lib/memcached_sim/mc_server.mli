@@ -1,0 +1,23 @@
+(** The mini PM-memcached server: ASCII-protocol requests over the
+    persistent item cache. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type t
+
+(** First boot: create the pool and the cache. *)
+val boot : Ctx.t -> ?buckets:int -> unit -> t
+
+(** Restart after a failure: open, recover, resume. *)
+val restart : Ctx.t -> t
+
+val execute : Ctx.t -> t -> Protocol.request -> Protocol.response
+
+(** Byte-level entry point (parse, execute, encode). *)
+val handle : Ctx.t -> t -> string -> string
+
+val cache : t -> Cache.t
+
+(** Detection program: boot in setup, [size] set requests in the RoI,
+    restart + get/stats as the post-failure stage. *)
+val program : ?size:int -> unit -> Xfd.Engine.program

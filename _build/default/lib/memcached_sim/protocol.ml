@@ -1,0 +1,107 @@
+type request =
+  | Set of { key : string; flags : int64; exptime : int64; data : string }
+  | Add of { key : string; flags : int64; exptime : int64; data : string }
+  | Replace of { key : string; flags : int64; exptime : int64; data : string }
+  | Get of string
+  | Delete of string
+  | Incr of string * int64
+  | Decr of string * int64
+  | Stats
+
+type response =
+  | Stored
+  | Not_stored
+  | Deleted
+  | Not_found
+  | Number of int64
+  | Values of (string * int64 * string) list
+  | Stats_reply of (string * string) list
+  | Client_error of string
+
+exception Protocol_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+let read_line input pos =
+  let rec go i =
+    if i + 1 >= String.length input then fail "missing CRLF"
+    else if input.[i] = '\r' && input.[i + 1] = '\n' then i
+    else go (i + 1)
+  in
+  let e = go pos in
+  (String.sub input pos (e - pos), e + 2)
+
+let storage_payload input pos ~key ~flags ~exptime ~bytes build =
+  let n = match int_of_string_opt bytes with Some n when n >= 0 -> n | _ -> fail "bad byte count" in
+  let flags = match Int64.of_string_opt flags with Some f -> f | None -> fail "bad flags" in
+  let exptime =
+    match Int64.of_string_opt exptime with Some e -> e | None -> fail "bad exptime"
+  in
+  if pos + n + 2 > String.length input then fail "truncated data block";
+  let data = String.sub input pos n in
+  if String.sub input (pos + n) 2 <> "\r\n" then fail "data block missing CRLF";
+  (build ~key ~flags ~exptime ~data, pos + n + 2)
+
+let parse_request input =
+  let line, pos = read_line input 0 in
+  match String.split_on_char ' ' line |> List.filter (fun w -> w <> "") with
+  | [ "set"; key; flags; exptime; bytes ] ->
+    storage_payload input pos ~key ~flags ~exptime ~bytes
+      (fun ~key ~flags ~exptime ~data -> Set { key; flags; exptime; data })
+  | [ "add"; key; flags; exptime; bytes ] ->
+    storage_payload input pos ~key ~flags ~exptime ~bytes
+      (fun ~key ~flags ~exptime ~data -> Add { key; flags; exptime; data })
+  | [ "replace"; key; flags; exptime; bytes ] ->
+    storage_payload input pos ~key ~flags ~exptime ~bytes
+      (fun ~key ~flags ~exptime ~data -> Replace { key; flags; exptime; data })
+  | [ "get"; key ] -> (Get key, pos)
+  | [ "delete"; key ] -> (Delete key, pos)
+  | [ "incr"; key; by ] -> begin
+    match Int64.of_string_opt by with
+    | Some by when Int64.compare by 0L >= 0 -> (Incr (key, by), pos)
+    | _ -> fail "bad increment"
+  end
+  | [ "decr"; key; by ] -> begin
+    match Int64.of_string_opt by with
+    | Some by when Int64.compare by 0L >= 0 -> (Decr (key, by), pos)
+    | _ -> fail "bad decrement"
+  end
+  | [ "stats" ] -> (Stats, pos)
+  | w :: _ -> fail "unknown command '%s'" w
+  | [] -> fail "empty request"
+
+let encode_request = function
+  | Set { key; flags; exptime; data } ->
+    Printf.sprintf "set %s %Ld %Ld %d\r\n%s\r\n" key flags exptime (String.length data) data
+  | Add { key; flags; exptime; data } ->
+    Printf.sprintf "add %s %Ld %Ld %d\r\n%s\r\n" key flags exptime (String.length data) data
+  | Replace { key; flags; exptime; data } ->
+    Printf.sprintf "replace %s %Ld %Ld %d\r\n%s\r\n" key flags exptime (String.length data)
+      data
+  | Get key -> Printf.sprintf "get %s\r\n" key
+  | Delete key -> Printf.sprintf "delete %s\r\n" key
+  | Incr (key, by) -> Printf.sprintf "incr %s %Ld\r\n" key by
+  | Decr (key, by) -> Printf.sprintf "decr %s %Ld\r\n" key by
+  | Stats -> "stats\r\n"
+
+let encode_response = function
+  | Stored -> "STORED\r\n"
+  | Not_stored -> "NOT_STORED\r\n"
+  | Deleted -> "DELETED\r\n"
+  | Not_found -> "NOT_FOUND\r\n"
+  | Number n -> Printf.sprintf "%Ld\r\n" n
+  | Values vs ->
+    let buf = Buffer.create 64 in
+    List.iter
+      (fun (key, flags, data) ->
+        Buffer.add_string buf
+          (Printf.sprintf "VALUE %s %Ld %d\r\n%s\r\n" key flags (String.length data) data))
+      vs;
+    Buffer.add_string buf "END\r\n";
+    Buffer.contents buf
+  | Stats_reply kvs ->
+    let buf = Buffer.create 64 in
+    List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "STAT %s %s\r\n" k v)) kvs;
+    Buffer.add_string buf "END\r\n";
+    Buffer.contents buf
+  | Client_error msg -> Printf.sprintf "CLIENT_ERROR %s\r\n" msg

@@ -1,0 +1,37 @@
+(** The memcached ASCII protocol (the subset the mini server speaks).
+
+    Requests: [set <key> <flags> <exptime> <bytes>\r\n<data>\r\n],
+    [get <key>\r\n], [delete <key>\r\n], [stats\r\n].
+    Responses: [STORED], [DELETED], [NOT_FOUND], [END],
+    [VALUE <key> <flags> <bytes>\r\n<data>\r\n] blocks, [STAT <k> <v>],
+    and [CLIENT_ERROR]/[ERROR] lines. *)
+
+type request =
+  | Set of { key : string; flags : int64; exptime : int64; data : string }
+  | Add of { key : string; flags : int64; exptime : int64; data : string }
+      (** store only if absent *)
+  | Replace of { key : string; flags : int64; exptime : int64; data : string }
+      (** store only if present *)
+  | Get of string
+  | Delete of string
+  | Incr of string * int64
+  | Decr of string * int64
+  | Stats
+
+type response =
+  | Stored
+  | Not_stored  (** add/replace precondition failed *)
+  | Deleted
+  | Not_found
+  | Number of int64  (** incr/decr result *)
+  | Values of (string * int64 * string) list  (** key, flags, data *)
+  | Stats_reply of (string * string) list
+  | Client_error of string
+
+exception Protocol_error of string
+
+(** Parse one request from the head of the buffer; returns bytes consumed. *)
+val parse_request : string -> request * int
+
+val encode_request : request -> string
+val encode_response : response -> string

@@ -1,0 +1,90 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Alloc = Xfd_pmdk.Alloc
+module Layout = Xfd_pmdk.Layout
+module Pmem = Xfd_pmdk.Pmem
+
+let ( !! ) = Xfd_util.Loc.of_pos
+
+let classes = [| 64; 128; 256; 512; 1024 |]
+let page_size = 4096
+
+exception No_slab_class of int
+
+(* Per-class persistent metadata: slot (3i) = free-list head,
+   slot (3i+1) = current page, slot (3i+2) = bytes used in that page. *)
+type t = { pool : Pool.t; meta : Xfd_mem.Addr.t }
+
+let meta_size = 64 * Array.length classes (* one line per class: no false sharing *)
+let free_head_addr t i = Layout.slot (t.meta + (64 * i)) 0
+let page_addr t i = Layout.slot (t.meta + (64 * i)) 1
+let used_addr t i = Layout.slot (t.meta + (64 * i)) 2
+
+let create ctx pool =
+  let meta = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:meta_size ~zero:true in
+  { pool; meta }
+
+let attach pool ~meta = { pool; meta }
+let meta_addr t = t.meta
+
+let class_for size =
+  let rec go i =
+    if i >= Array.length classes then raise (No_slab_class size)
+    else if size <= classes.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+let chunk_size_for size = classes.(class_for size)
+
+let alloc ctx t ~size =
+  let cls = class_for size in
+  let chunk = classes.(cls) in
+  Pmem.library_call ctx ~loc:!!__POS__ (fun () ->
+      let head = Layout.read_ptr ctx ~loc:!!__POS__ (free_head_addr t cls) in
+      if not (Layout.is_null head) then begin
+        (* Pop from the class free list (next pointer in the chunk head). *)
+        let next = Layout.read_ptr ctx ~loc:!!__POS__ head in
+        Layout.write_ptr ctx ~loc:!!__POS__ (free_head_addr t cls) next;
+        Pmem.persist ctx ~loc:!!__POS__ (free_head_addr t cls) 8;
+        Ctx.emit ctx ~loc:!!__POS__
+          (Xfd_trace.Event.Tx_alloc { addr = head; size = chunk; zeroed = false });
+        head
+      end
+      else begin
+        let page = Layout.read_ptr ctx ~loc:!!__POS__ (page_addr t cls) in
+        let used = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (used_addr t cls)) in
+        let page, used =
+          if Layout.is_null page || used + chunk > page_size then begin
+            let fresh = Alloc.alloc ctx t.pool ~loc:!!__POS__ ~size:page_size ~zero:false in
+            Layout.write_ptr ctx ~loc:!!__POS__ (page_addr t cls) fresh;
+            Ctx.write_i64 ctx ~loc:!!__POS__ (used_addr t cls) 0L;
+            Pmem.persist ctx ~loc:!!__POS__ (page_addr t cls) 16;
+            (fresh, 0)
+          end
+          else (page, used)
+        in
+        Ctx.write_i64 ctx ~loc:!!__POS__ (used_addr t cls) (Int64.of_int (used + chunk));
+        Pmem.persist ctx ~loc:!!__POS__ (used_addr t cls) 8;
+        let addr = page + used in
+        Ctx.emit ctx ~loc:!!__POS__
+          (Xfd_trace.Event.Tx_alloc { addr; size = chunk; zeroed = false });
+        addr
+      end)
+
+let free ctx t addr ~size =
+  let cls = class_for size in
+  Pmem.library_call ctx ~loc:!!__POS__ (fun () ->
+      let head = Layout.read_ptr ctx ~loc:!!__POS__ (free_head_addr t cls) in
+      Layout.write_ptr ctx ~loc:!!__POS__ addr head;
+      Pmem.persist ctx ~loc:!!__POS__ addr 8;
+      Layout.write_ptr ctx ~loc:!!__POS__ (free_head_addr t cls) addr;
+      Pmem.persist ctx ~loc:!!__POS__ (free_head_addr t cls) 8;
+      Ctx.emit ctx ~loc:!!__POS__ (Xfd_trace.Event.Tx_free { addr }))
+
+let free_chunks ctx t ~size =
+  let cls = class_for size in
+  let rec go acc p =
+    if Layout.is_null p then acc else go (acc + 1) (Layout.read_ptr ctx ~loc:!!__POS__ p)
+  in
+  go 0 (Layout.read_ptr ctx ~loc:!!__POS__ (free_head_addr t cls))

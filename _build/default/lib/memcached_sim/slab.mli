@@ -1,0 +1,38 @@
+(** Slab allocation over the persistent pool, memcached-style.
+
+    Items are carved from fixed-size chunks in per-class slab pages
+    (classes of 64, 128, 256, 512 and 1024 bytes); freed chunks go on a
+    per-class persistent free list.  This mirrors Lenovo's PM-memcached,
+    which keeps memcached's slab design but places the slabs in a
+    persistent pool.  The slab metadata area is allocated once from the
+    generic pool allocator; chunk turnover never touches it. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type t
+
+val classes : int array
+
+(** Create the slab metadata in a fresh pool. *)
+val create : Ctx.t -> Xfd_pmdk.Pool.t -> t
+
+(** Re-attach after a restart; [meta] is the persistent metadata address
+    stored by the application. *)
+val attach : Xfd_pmdk.Pool.t -> meta:Xfd_mem.Addr.t -> t
+
+(** Persistent address of the slab metadata (to store in the app root). *)
+val meta_addr : t -> Xfd_mem.Addr.t
+
+exception No_slab_class of int
+
+(** [alloc ctx t ~size] returns a chunk of the smallest class >= size.
+    @raise No_slab_class if [size] exceeds the largest class. *)
+val alloc : Ctx.t -> t -> size:int -> Xfd_mem.Addr.t
+
+(** Chunk size of the class a given request size maps to. *)
+val chunk_size_for : int -> int
+
+val free : Ctx.t -> t -> Xfd_mem.Addr.t -> size:int -> unit
+
+(** Number of chunks on the free list of the class serving [size]. *)
+val free_chunks : Ctx.t -> t -> size:int -> int

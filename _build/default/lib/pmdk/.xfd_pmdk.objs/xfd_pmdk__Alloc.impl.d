@@ -1,0 +1,1 @@
+lib/pmdk/alloc.ml: Int64 Layout Pmem Pool Xfd_mem Xfd_sim Xfd_trace

@@ -1,0 +1,1 @@
+lib/pmdk/layout.ml: Bytes Int64 Printf String Xfd_sim

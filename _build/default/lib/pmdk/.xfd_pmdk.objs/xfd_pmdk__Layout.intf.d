@@ -1,0 +1,1 @@
+lib/pmdk/layout.mli: Xfd_mem Xfd_sim Xfd_util

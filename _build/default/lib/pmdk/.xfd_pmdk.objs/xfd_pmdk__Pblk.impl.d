@@ -1,0 +1,1 @@
+lib/pmdk/pblk.ml: Alloc Array Bytes Int64 Layout Pmem Xfd_mem Xfd_sim Xfd_util

@@ -1,0 +1,1 @@
+lib/pmdk/pblk.mli: Pool Xfd_mem Xfd_sim

@@ -1,0 +1,1 @@
+lib/pmdk/plist.ml: Alloc Int64 Layout List Pmem Printf Xfd_mem Xfd_sim Xfd_util

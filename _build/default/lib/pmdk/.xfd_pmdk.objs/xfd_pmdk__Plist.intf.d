@@ -1,0 +1,1 @@
+lib/pmdk/plist.mli: Pool Xfd_mem Xfd_sim

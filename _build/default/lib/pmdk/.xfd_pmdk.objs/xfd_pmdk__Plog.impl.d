@@ -1,0 +1,1 @@
+lib/pmdk/plog.ml: Alloc Bytes Int64 Layout Pmem Xfd_mem Xfd_sim Xfd_util

@@ -1,0 +1,1 @@
+lib/pmdk/plog.mli: Pool Xfd_mem Xfd_sim

@@ -1,0 +1,1 @@
+lib/pmdk/pmem.ml: Bytes List Xfd_mem Xfd_sim

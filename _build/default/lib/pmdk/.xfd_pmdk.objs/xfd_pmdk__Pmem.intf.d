@@ -1,0 +1,1 @@
+lib/pmdk/pmem.mli: Xfd_mem Xfd_sim Xfd_util

@@ -1,0 +1,1 @@
+lib/pmdk/pool.ml: Int64 Layout Pmem Printf Xfd_mem Xfd_sim

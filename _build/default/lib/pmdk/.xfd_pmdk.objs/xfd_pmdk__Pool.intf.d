@@ -1,0 +1,1 @@
+lib/pmdk/pool.mli: Xfd_mem Xfd_sim Xfd_util

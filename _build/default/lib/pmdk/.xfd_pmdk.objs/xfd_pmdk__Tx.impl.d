@@ -1,0 +1,1 @@
+lib/pmdk/tx.ml: Int64 List Pmem Pool Xfd_mem Xfd_sim Xfd_trace

@@ -1,0 +1,1 @@
+lib/pmdk/tx.mli: Pool Xfd_mem Xfd_sim Xfd_util

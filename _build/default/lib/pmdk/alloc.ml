@@ -1,0 +1,93 @@
+module Ctx = Xfd_sim.Ctx
+module Addr = Xfd_mem.Addr
+
+exception Heap_exhausted
+
+(* Every block is a 64-byte header line followed by the payload rounded up
+   to whole cache lines.  Payloads are line-aligned and never share a line
+   with another object or header — like PMDK's cacheline-conscious layout —
+   so persisting one object can never accidentally persist a neighbour
+   (which would mask cross-failure races in the workloads above). *)
+let header_size = 64
+let state_allocated = 1L
+let state_free = 2L
+
+(* Heap-header slots live at the start of the heap region. *)
+let bump_addr pool = Layout.slot (fst (Pool.heap pool)) 0
+let free_head_addr pool = Layout.slot (fst (Pool.heap pool)) 1
+
+let round_size size = max 64 ((size + 63) land lnot 63)
+
+let hdr_size_addr payload = payload - 16
+let hdr_state_addr payload = payload - 8
+
+let read_free_next ctx ~loc payload = Layout.read_ptr ctx ~loc payload
+
+let take_from_free_list ctx pool ~loc ~size =
+  let rec scan prev cur =
+    if Layout.is_null cur then None
+    else begin
+      let block_size = Int64.to_int (Ctx.read_i64 ctx ~loc (hdr_size_addr cur)) in
+      let next = read_free_next ctx ~loc cur in
+      if block_size >= size then begin
+        (* Unlink first and persist the link so a crash cannot leave the
+           block reachable both from the list and from the caller. *)
+        (match prev with
+        | None -> Layout.write_ptr ctx ~loc (free_head_addr pool) next
+        | Some p -> Layout.write_ptr ctx ~loc p next);
+        (match prev with
+        | None -> Pmem.persist ctx ~loc (free_head_addr pool) 8
+        | Some p -> Pmem.persist ctx ~loc p 8);
+        Ctx.write_i64 ctx ~loc (hdr_state_addr cur) state_allocated;
+        Pmem.persist ctx ~loc (hdr_state_addr cur) 8;
+        Some cur
+      end
+      else scan (Some cur) next
+    end
+  in
+  scan None (Layout.read_ptr ctx ~loc (free_head_addr pool))
+
+let take_from_bump ctx pool ~loc ~size =
+  let heap_addr, heap_size = Pool.heap pool in
+  let b = Layout.read_ptr ctx ~loc (bump_addr pool) in
+  let payload = b + header_size in
+  let next_bump = payload + size in
+  if next_bump > heap_addr + heap_size then raise Heap_exhausted;
+  Ctx.write_i64 ctx ~loc (hdr_size_addr payload) (Int64.of_int size);
+  Ctx.write_i64 ctx ~loc (hdr_state_addr payload) state_allocated;
+  Pmem.persist ctx ~loc b header_size;
+  Layout.write_ptr ctx ~loc (bump_addr pool) next_bump;
+  Pmem.persist ctx ~loc (bump_addr pool) 8;
+  payload
+
+let alloc ctx pool ~loc ~size ~zero =
+  if size <= 0 then invalid_arg "Alloc.alloc: size <= 0";
+  let size = round_size size in
+  Pmem.library_call ctx ~loc (fun () ->
+      let payload =
+        match take_from_free_list ctx pool ~loc ~size with
+        | Some payload -> payload
+        | None -> take_from_bump ctx pool ~loc ~size
+      in
+      if zero then Pmem.memset_persist ctx ~loc payload '\000' size;
+      Ctx.emit ctx ~loc (Xfd_trace.Event.Tx_alloc { addr = payload; size; zeroed = zero });
+      payload)
+
+let free ctx pool ~loc payload =
+  Pmem.library_call ctx ~loc (fun () ->
+      Ctx.write_i64 ctx ~loc (hdr_state_addr payload) state_free;
+      let head = Layout.read_ptr ctx ~loc (free_head_addr pool) in
+      Layout.write_ptr ctx ~loc payload head;
+      Pmem.persist ctx ~loc (hdr_state_addr payload) 8;
+      Pmem.persist ctx ~loc payload 8;
+      Layout.write_ptr ctx ~loc (free_head_addr pool) payload;
+      Pmem.persist ctx ~loc (free_head_addr pool) 8;
+      Ctx.emit ctx ~loc (Xfd_trace.Event.Tx_free { addr = payload }))
+
+let usable_size ctx _pool ~loc payload = Int64.to_int (Ctx.read_i64 ctx ~loc (hdr_size_addr payload))
+
+let free_list_length ctx pool ~loc =
+  let rec count acc cur =
+    if Layout.is_null cur then acc else count (acc + 1) (read_free_next ctx ~loc cur)
+  in
+  count 0 (Layout.read_ptr ctx ~loc (free_head_addr pool))

@@ -1,0 +1,30 @@
+(** Persistent heap allocator (the libpmemobj atomic-allocation analogue).
+
+    Objects carry a 16-byte header (size, allocation state) in front of the
+    payload.  Allocation takes from a first-fit persistent free list, falling
+    back to a persisted bump pointer.  Like PMDK's POBJ_ALLOC, the call is a
+    library function: one failure point fires before and one after it, which
+    is what exposes the paper's Bug 2 (reading a freshly allocated,
+    never-initialised field after a failure that hits right after the
+    allocation).
+
+    [zero:false] reproduces allocators that do not guarantee initialisation;
+    the emitted [Tx_alloc] event tells the detector the payload is
+    allocated-but-uninitialised so post-failure reads of it are flagged even
+    when the simulated image happens to read as zero. *)
+
+module Ctx = Xfd_sim.Ctx
+
+exception Heap_exhausted
+
+(** [alloc ctx pool ~loc ~size ~zero] returns the payload address. *)
+val alloc :
+  Ctx.t -> Pool.t -> loc:Xfd_util.Loc.t -> size:int -> zero:bool -> Xfd_mem.Addr.t
+
+val free : Ctx.t -> Pool.t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> unit
+
+(** [usable_size ctx pool ~loc addr] reads the object header's size field. *)
+val usable_size : Ctx.t -> Pool.t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> int
+
+(** Number of blocks currently on the free list (walks persistent state). *)
+val free_list_length : Ctx.t -> Pool.t -> loc:Xfd_util.Loc.t -> int

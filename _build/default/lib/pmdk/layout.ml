@@ -1,0 +1,19 @@
+module Ctx = Xfd_sim.Ctx
+
+let null = 0
+let slot base i = base + (8 * i)
+let read_ptr ctx ~loc addr = Int64.to_int (Ctx.read_i64 ctx ~loc addr)
+let write_ptr ctx ~loc addr p = Ctx.write_i64 ctx ~loc addr (Int64.of_int p)
+let is_null addr = addr = 0
+
+let string_footprint s = 8 + String.length s
+
+let write_string ctx ~loc addr s =
+  Ctx.write_i64 ctx ~loc addr (Int64.of_int (String.length s));
+  if String.length s > 0 then Ctx.write ctx ~loc (addr + 8) (Bytes.of_string s)
+
+let read_string ctx ~loc addr =
+  let len = Int64.to_int (Ctx.read_i64 ctx ~loc addr) in
+  if len < 0 || len > 0xFFFFFF then
+    failwith (Printf.sprintf "Layout.read_string: implausible length %d at 0x%x" len addr);
+  if len = 0 then "" else Bytes.to_string (Ctx.read ctx ~loc (addr + 8) len)

@@ -1,0 +1,23 @@
+(** Typed access to persistent objects.
+
+    Persistent structures are laid out as arrays of 8-byte slots; pointers
+    are stored as 64-bit addresses with 0 for null (PM addresses are stable
+    across runs thanks to the fixed mmap hint, so raw addresses are safe to
+    persist, like PMDK's derandomized mode). *)
+
+module Ctx = Xfd_sim.Ctx
+
+val null : Xfd_mem.Addr.t
+
+(** [slot base i] is the address of the [i]-th 8-byte slot of an object. *)
+val slot : Xfd_mem.Addr.t -> int -> Xfd_mem.Addr.t
+
+val read_ptr : Ctx.t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> Xfd_mem.Addr.t
+val write_ptr : Ctx.t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> Xfd_mem.Addr.t -> unit
+val is_null : Xfd_mem.Addr.t -> bool
+
+(** Length-prefixed byte strings: an i64 length followed by the payload. *)
+
+val string_footprint : string -> int
+val write_string : Ctx.t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> string -> unit
+val read_string : Ctx.t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> string

@@ -1,0 +1,95 @@
+module Ctx = Xfd_sim.Ctx
+
+let ( !! ) = Xfd_util.Loc.of_pos
+
+(* Metadata layout: slot 0 = block_size, slot 1 = count, slot 2 = data
+   pointer, slot 3 = spare physical index; translation slots follow from
+   slot 8 (one line in) so the header and the map do not share a line.
+   The map and the spare index together are the commit mechanism: the
+   8-byte translation update is the atomic commit of a block write. *)
+type t = {
+  meta : Xfd_mem.Addr.t;
+  data : Xfd_mem.Addr.t;
+  block_size : int;
+  count : int;
+}
+
+let map_addr t i = Layout.slot t.meta (8 + i)
+let spare_addr t = Layout.slot t.meta 3
+let phys_addr t p = t.data + (p * t.block_size)
+
+let register ctx t =
+  (* Translation slots and the spare index are read during recovery to
+     decide which physical block is current: benign by design. *)
+  Ctx.add_commit_var ctx ~loc:!!__POS__ (spare_addr t) 8;
+  Ctx.add_commit_var ctx ~loc:!!__POS__ (map_addr t 0) (8 * t.count)
+
+let create ctx pool ~block_size ~count =
+  if block_size <= 0 || count <= 0 then invalid_arg "Pblk.create: bad geometry";
+  let meta = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:(64 + (8 * count)) ~zero:true in
+  let data =
+    Alloc.alloc ctx pool ~loc:!!__POS__ ~size:(block_size * (count + 1)) ~zero:true
+  in
+  Ctx.write_i64 ctx ~loc:!!__POS__ (Layout.slot meta 0) (Int64.of_int block_size);
+  Ctx.write_i64 ctx ~loc:!!__POS__ (Layout.slot meta 1) (Int64.of_int count);
+  Layout.write_ptr ctx ~loc:!!__POS__ (Layout.slot meta 2) data;
+  let t = { meta; data; block_size; count } in
+  (* Identity translation; physical block [count] is the initial spare. *)
+  for i = 0 to count - 1 do
+    Ctx.write_i64 ctx ~loc:!!__POS__ (map_addr t i) (Int64.of_int i)
+  done;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (spare_addr t) (Int64.of_int count);
+  Pmem.persist ctx ~loc:!!__POS__ meta (64 + (8 * count));
+  register ctx t;
+  t
+
+let attach ctx ~meta =
+  let block_size = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (Layout.slot meta 0)) in
+  let count = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (Layout.slot meta 1)) in
+  let data = Layout.read_ptr ctx ~loc:!!__POS__ (Layout.slot meta 2) in
+  if block_size <= 0 || count <= 0 || Layout.is_null data then
+    failwith "Pblk.attach: corrupt metadata";
+  let t = { meta; data; block_size; count } in
+  register ctx t;
+  (* Recovery: the translation map is the single source of truth.  A crash
+     between a map commit and the spare-slot update leaves the cached spare
+     pointing at a now-live physical block; recompute the real spare as the
+     one physical block no logical block maps to, and repair the cache. *)
+  let mapped = Array.make (count + 1) false in
+  for i = 0 to count - 1 do
+    let p = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (map_addr t i)) in
+    if p < 0 || p > count || mapped.(p) then failwith "Pblk.attach: corrupt translation map";
+    mapped.(p) <- true
+  done;
+  let spare = ref (-1) in
+  Array.iteri (fun p used -> if not used then spare := p) mapped;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (spare_addr t) (Int64.of_int !spare);
+  Pmem.persist ctx ~loc:!!__POS__ (spare_addr t) 8;
+  t
+
+let meta_addr t = t.meta
+let block_size t = t.block_size
+let count t = t.count
+
+let check_index t i =
+  if i < 0 || i >= t.count then invalid_arg "Pblk: logical block out of range"
+
+let read ctx t i =
+  check_index t i;
+  let p = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (map_addr t i)) in
+  Ctx.read ctx ~loc:!!__POS__ (phys_addr t p) t.block_size
+
+let write ctx t i data =
+  check_index t i;
+  if Bytes.length data <> t.block_size then invalid_arg "Pblk.write: wrong block size";
+  let spare = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (spare_addr t)) in
+  let old = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (map_addr t i)) in
+  (* Fill the spare block and persist it completely... *)
+  Ctx.write ctx ~loc:!!__POS__ (phys_addr t spare) data;
+  Pmem.persist ctx ~loc:!!__POS__ (phys_addr t spare) t.block_size;
+  (* ...then commit with the 8-byte translation update, and only after that
+     is durable recycle the old block as the new spare. *)
+  Ctx.write_i64 ctx ~loc:!!__POS__ (map_addr t i) (Int64.of_int spare);
+  Pmem.persist ctx ~loc:!!__POS__ (map_addr t i) 8;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (spare_addr t) (Int64.of_int old);
+  Pmem.persist ctx ~loc:!!__POS__ (spare_addr t) 8

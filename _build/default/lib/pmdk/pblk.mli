@@ -1,0 +1,29 @@
+(** Atomic block array (the libpmemblk / BTT analogue).
+
+    An array of fixed-size blocks with {e atomic} block writes: like the
+    NVDIMM Block Translation Table, each logical block maps through a
+    persisted translation slot to one of [count + 1] physical blocks; a
+    write goes to the one spare physical block, persists it, and then
+    commits by atomically updating the translation slot (a commit-variable
+    write), after which the previously-mapped physical block becomes the
+    new spare.  A failure at any point leaves every logical block with
+    either its complete old contents or its complete new contents — never a
+    torn block. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type t
+
+(** [create ctx pool ~block_size ~count]. *)
+val create : Ctx.t -> Pool.t -> block_size:int -> count:int -> t
+
+val attach : Ctx.t -> meta:Xfd_mem.Addr.t -> t
+val meta_addr : t -> Xfd_mem.Addr.t
+val block_size : t -> int
+val count : t -> int
+
+(** [write ctx t i data] atomically replaces logical block [i].
+    [data] must be exactly [block_size] bytes. *)
+val write : Ctx.t -> t -> int -> bytes -> unit
+
+val read : Ctx.t -> t -> int -> bytes

@@ -1,0 +1,122 @@
+module Ctx = Xfd_sim.Ctx
+
+let ( !! ) = Xfd_util.Loc.of_pos
+
+let next_offset = 0
+let prev_offset = 8
+
+(* Metadata block (256 bytes):
+   line 0: slot 0 = head, slot 1 = tail;
+   line 1: slot 8 = committed flag (commit variable);
+   lines 2-3: the operation log — slot 16 = write count, then up to four
+   (address, value) pairs.  A mutation is described as absolute pointer
+   writes, so replay is idempotent. *)
+type t = { meta : Xfd_mem.Addr.t }
+
+let head_addr t = Layout.slot t.meta 0
+let tail_addr t = Layout.slot t.meta 1
+let flag_addr t = Layout.slot t.meta 8
+let log_count_addr t = Layout.slot t.meta 16
+let log_pair_addr t i = Layout.slot t.meta (17 + (2 * i))
+let log_bytes = 8 * 9
+
+let node_next node = node + next_offset
+let node_prev node = node + prev_offset
+
+let register ctx t =
+  Ctx.add_commit_var ctx ~loc:!!__POS__ (flag_addr t) 8;
+  Ctx.add_commit_range ctx ~loc:!!__POS__ ~var:(flag_addr t) (log_count_addr t) log_bytes
+
+let create ctx pool =
+  let meta = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:256 ~zero:true in
+  let t = { meta } in
+  register ctx t;
+  t
+
+let attach ctx ~meta =
+  let t = { meta } in
+  register ctx t;
+  t
+
+let meta_addr t = t.meta
+
+let apply_writes ctx t n =
+  for i = 0 to n - 1 do
+    let addr = Layout.read_ptr ctx ~loc:!!__POS__ (log_pair_addr t i) in
+    let v = Ctx.read_i64 ctx ~loc:!!__POS__ (log_pair_addr t i + 8) in
+    Ctx.write_i64 ctx ~loc:!!__POS__ addr v;
+    Pmem.persist ctx ~loc:!!__POS__ addr 8
+  done
+
+let run_op ctx t writes =
+  let n = List.length writes in
+  assert (n <= 4);
+  List.iteri
+    (fun i (addr, v) ->
+      Layout.write_ptr ctx ~loc:!!__POS__ (log_pair_addr t i) addr;
+      Ctx.write_i64 ctx ~loc:!!__POS__ (log_pair_addr t i + 8) v)
+    writes;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (log_count_addr t) (Int64.of_int n);
+  (* Persist exactly the written prefix: flushing the full log area would
+     re-flush lines left persisted by a longer previous operation. *)
+  Pmem.persist ctx ~loc:!!__POS__ (log_count_addr t) (8 + (16 * n));
+  Ctx.write_i64 ctx ~loc:!!__POS__ (flag_addr t) 1L;
+  Pmem.persist ctx ~loc:!!__POS__ (flag_addr t) 8;
+  apply_writes ctx t n;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (flag_addr t) 0L;
+  Pmem.persist ctx ~loc:!!__POS__ (flag_addr t) 8
+
+let recover ctx t =
+  let committed = Ctx.read_i64 ctx ~loc:!!__POS__ (flag_addr t) in
+  if Int64.equal committed 1L then begin
+    let n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (log_count_addr t)) in
+    if n >= 0 && n <= 4 then apply_writes ctx t n;
+    Ctx.write_i64 ctx ~loc:!!__POS__ (flag_addr t) 0L;
+    Pmem.persist ctx ~loc:!!__POS__ (flag_addr t) 8
+  end
+
+let ptr v = Int64.of_int v
+
+let insert_head ctx t node =
+  let head = Layout.read_ptr ctx ~loc:!!__POS__ (head_addr t) in
+  let writes =
+    [ (node_next node, ptr head); (node_prev node, 0L); (head_addr t, ptr node) ]
+    @ (if Layout.is_null head then [ (tail_addr t, ptr node) ]
+       else [ (node_prev head, ptr node) ])
+  in
+  run_op ctx t writes
+
+let remove ctx t node =
+  let next = Layout.read_ptr ctx ~loc:!!__POS__ (node_next node) in
+  let prev = Layout.read_ptr ctx ~loc:!!__POS__ (node_prev node) in
+  let writes =
+    (if Layout.is_null prev then [ (head_addr t, ptr next) ]
+     else [ (node_next prev, ptr next) ])
+    @
+    if Layout.is_null next then [ (tail_addr t, ptr prev) ]
+    else [ (node_prev next, ptr prev) ]
+  in
+  run_op ctx t writes
+
+let to_list ctx t =
+  let rec go acc node =
+    if Layout.is_null node then List.rev acc
+    else go (node :: acc) (Layout.read_ptr ctx ~loc:!!__POS__ (node_next node))
+  in
+  go [] (Layout.read_ptr ctx ~loc:!!__POS__ (head_addr t))
+
+let length ctx t = List.length (to_list ctx t)
+
+let check_links ctx t =
+  let nodes = to_list ctx t in
+  let rec check prev = function
+    | [] ->
+      let tail = Layout.read_ptr ctx ~loc:!!__POS__ (tail_addr t) in
+      if tail = prev then Ok ()
+      else Error (Printf.sprintf "tail points to 0x%x, expected 0x%x" tail prev)
+    | node :: rest ->
+      let p = Layout.read_ptr ctx ~loc:!!__POS__ (node_prev node) in
+      if p <> prev then Error (Printf.sprintf "prev of 0x%x is 0x%x, expected 0x%x" node p prev)
+      else check node rest
+  in
+  check 0 nodes

@@ -1,0 +1,46 @@
+(** Atomic persistent doubly-linked list (the POBJ_LIST analogue).
+
+    libpmemobj's atomic lists give crash-safe insert/remove without
+    transactions: each mutation is staged in a persistent micro-redo-log
+    describing the pointer updates, committed by an 8-byte flag, applied,
+    and retired.  Recovery replays a committed log (the pointer writes are
+    idempotent) or discards an uncommitted one, so a failure anywhere
+    leaves the list either without the change or with it — never
+    half-linked.  This is the machinery the real hashmap_atomic example
+    builds on (POBJ_LIST_INSERT_NEW_HEAD).
+
+    Nodes carry [next]/[prev] link slots at fixed offsets inside the user's
+    object (like POBJ_LIST_ENTRY); the caller allocates nodes and persists
+    their payload before inserting. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type t
+
+(** Byte offsets of the two link slots every listed object must reserve. *)
+val next_offset : int
+
+val prev_offset : int
+
+(** [create ctx pool] allocates the list head + operation log. *)
+val create : Ctx.t -> Pool.t -> t
+
+val attach : Ctx.t -> meta:Xfd_mem.Addr.t -> t
+val meta_addr : t -> Xfd_mem.Addr.t
+
+(** Post-failure recovery: finish or discard an in-flight operation. *)
+val recover : Ctx.t -> t -> unit
+
+(** [insert_head ctx t node] links a fully-persisted node at the head. *)
+val insert_head : Ctx.t -> t -> Xfd_mem.Addr.t -> unit
+
+(** [remove ctx t node] unlinks a node (it must be on the list). *)
+val remove : Ctx.t -> t -> Xfd_mem.Addr.t -> unit
+
+(** Node addresses from head to tail. *)
+val to_list : Ctx.t -> t -> Xfd_mem.Addr.t list
+
+val length : Ctx.t -> t -> int
+
+(** Check [next]/[prev] symmetry and head/tail consistency. *)
+val check_links : Ctx.t -> t -> (unit, string) result

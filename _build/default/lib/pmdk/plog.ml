@@ -1,0 +1,66 @@
+module Ctx = Xfd_sim.Ctx
+
+let ( !! ) = Xfd_util.Loc.of_pos
+
+exception Log_full
+
+(* Metadata block (one line): slot 0 = committed write offset (commit
+   variable), slot 1 = capacity, slot 2 = data pointer.  Chunks are stored
+   length-prefixed in the data area. *)
+type t = { meta : Xfd_mem.Addr.t; data : Xfd_mem.Addr.t; capacity : int }
+
+let offset_addr t = Layout.slot t.meta 0
+
+let register ctx t = Ctx.add_commit_var ctx ~loc:!!__POS__ (offset_addr t) 8
+
+let create ctx pool ~capacity =
+  if capacity <= 0 then invalid_arg "Plog.create: capacity <= 0";
+  let meta = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:64 ~zero:true in
+  let data = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:capacity ~zero:false in
+  Ctx.write_i64 ctx ~loc:!!__POS__ (Layout.slot meta 1) (Int64.of_int capacity);
+  Layout.write_ptr ctx ~loc:!!__POS__ (Layout.slot meta 2) data;
+  Pmem.persist ctx ~loc:!!__POS__ meta 64;
+  let t = { meta; data; capacity } in
+  register ctx t;
+  t
+
+let attach ctx ~meta =
+  let capacity = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (Layout.slot meta 1)) in
+  let data = Layout.read_ptr ctx ~loc:!!__POS__ (Layout.slot meta 2) in
+  if capacity <= 0 || Layout.is_null data then failwith "Plog.attach: corrupt metadata";
+  let t = { meta; data; capacity } in
+  register ctx t;
+  t
+
+let meta_addr t = t.meta
+let capacity t = t.capacity
+let tell ctx t = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (offset_addr t))
+
+let append ctx t chunk =
+  let off = tell ctx t in
+  let need = 8 + Bytes.length chunk in
+  if off + need > t.capacity then raise Log_full;
+  (* Payload first, fully persisted; only then move the commit cursor. *)
+  Ctx.write_i64 ctx ~loc:!!__POS__ (t.data + off) (Int64.of_int (Bytes.length chunk));
+  if Bytes.length chunk > 0 then Ctx.write ctx ~loc:!!__POS__ (t.data + off + 8) chunk;
+  Pmem.persist ctx ~loc:!!__POS__ (t.data + off) need;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (offset_addr t) (Int64.of_int (off + need));
+  Pmem.persist ctx ~loc:!!__POS__ (offset_addr t) 8
+
+let walk ctx t f =
+  let stop = tell ctx t in
+  let rec go off =
+    if off + 8 <= stop then begin
+      let len = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (t.data + off)) in
+      if len < 0 || off + 8 + len > stop then failwith "Plog.walk: corrupt chunk header"
+      else begin
+        f (Ctx.read ctx ~loc:!!__POS__ (t.data + off + 8) len);
+        go (off + 8 + len)
+      end
+    end
+  in
+  go 0
+
+let rewind ctx t =
+  Ctx.write_i64 ctx ~loc:!!__POS__ (offset_addr t) 0L;
+  Pmem.persist ctx ~loc:!!__POS__ (offset_addr t) 8

@@ -1,0 +1,37 @@
+(** Append-only persistent log (the libpmemlog analogue).
+
+    A byte log carved out of the pool heap with a persisted write cursor.
+    [append] persists the payload {e before} advancing the cursor, so the
+    cursor — a commit variable — always bounds fully-durable data; a
+    failure mid-append loses at most the uncommitted tail.  [walk] iterates
+    committed chunks; [rewind] truncates. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type t
+
+exception Log_full
+
+(** [create ctx pool ~capacity] allocates the log (cursor + data area). *)
+val create : Ctx.t -> Pool.t -> capacity:int -> t
+
+(** [attach ctx ~meta] re-opens a log whose metadata address the
+    application stored ([meta_addr]). *)
+val attach : Ctx.t -> meta:Xfd_mem.Addr.t -> t
+
+(** Persistent address identifying the log (store it in your root). *)
+val meta_addr : t -> Xfd_mem.Addr.t
+
+val capacity : t -> int
+
+(** Committed bytes. *)
+val tell : Ctx.t -> t -> int
+
+(** Append one chunk. @raise Log_full when it does not fit. *)
+val append : Ctx.t -> t -> bytes -> unit
+
+(** Iterate committed chunks in append order. *)
+val walk : Ctx.t -> t -> (bytes -> unit) -> unit
+
+(** Truncate the log to empty. *)
+val rewind : Ctx.t -> t -> unit

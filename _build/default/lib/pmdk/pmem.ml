@@ -1,0 +1,40 @@
+module Ctx = Xfd_sim.Ctx
+
+let persist ctx ~loc addr size = Ctx.persist_barrier ctx ~loc addr size
+
+let flush ctx ~loc addr size =
+  List.iter (fun line -> Ctx.clwb ctx ~loc line) (Xfd_mem.Addr.lines_spanning addr size)
+
+let drain ctx ~loc = Ctx.sfence ctx ~loc
+
+let memcpy_persist ctx ~loc addr b =
+  Ctx.write ctx ~loc addr b;
+  persist ctx ~loc addr (Bytes.length b)
+
+let memset_persist ctx ~loc addr byte size =
+  Ctx.write ctx ~loc addr (Bytes.make size byte);
+  persist ctx ~loc addr size
+
+let library_call ctx ~loc f =
+  Ctx.add_failure_point ctx;
+  if Ctx.trust_library ctx then begin
+    Ctx.skip_failure_begin ctx;
+    Ctx.skip_detection_begin ctx ~loc;
+    let finish () =
+      Ctx.skip_detection_end ctx ~loc;
+      Ctx.skip_failure_end ctx
+    in
+    match f () with
+    | result ->
+      finish ();
+      Ctx.add_failure_point ctx;
+      result
+    | exception e ->
+      finish ();
+      raise e
+  end
+  else begin
+    let result = f () in
+    Ctx.add_failure_point ctx;
+    result
+  end

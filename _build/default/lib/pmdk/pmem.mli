@@ -1,0 +1,34 @@
+(** Low-level persistence primitives (the libpmem analogue).
+
+    These wrap {!Xfd_sim.Ctx} accesses into the idioms PM programs actually
+    use: persist a range (flush every line, then fence), flush without
+    draining, and persistent memcpy/memset.  [library_call] implements the
+    paper's treatment of trusted library functions: one failure point at
+    entry and one at exit, with internal operations excluded from failure
+    injection and read checking (section 5.5, "we skip the detection of
+    PMDK's internal transactions but instead explicitly add a failure point
+    for each library function"). *)
+
+module Ctx = Xfd_sim.Ctx
+
+(** [persist ctx ~loc addr size] = CLWB each line of the range; SFENCE. *)
+val persist : Ctx.t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> int -> unit
+
+(** Flush without ordering (CLWB only). *)
+val flush : Ctx.t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> int -> unit
+
+(** SFENCE. *)
+val drain : Ctx.t -> loc:Xfd_util.Loc.t -> unit
+
+(** Write then persist in one call (pmem_memcpy_persist). *)
+val memcpy_persist : Ctx.t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> bytes -> unit
+
+(** Fill [size] bytes with [byte] then persist (pmem_memset_persist). *)
+val memset_persist :
+  Ctx.t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> char -> int -> unit
+
+(** Run [f] as a trusted library function: failure points at entry and exit;
+    when [Ctx.trust_library] is set, internals are additionally wrapped in
+    skip-failure and skip-detection regions.  Exceptions propagate after the
+    regions are closed. *)
+val library_call : Ctx.t -> loc:Xfd_util.Loc.t -> (unit -> 'a) -> 'a

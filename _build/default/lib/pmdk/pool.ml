@@ -1,0 +1,188 @@
+module Ctx = Xfd_sim.Ctx
+module Addr = Xfd_mem.Addr
+
+exception Pool_corrupt of string
+
+let magic_value = 0x5846444554454354L (* "XFDETECT" *)
+let uuid_value = 0x0CAFE0F0CAFE0F0L
+let header_size = 4096
+let log_entry_count = 128
+let log_entry_size = 512
+let log_header_size = 64
+let log_data_capacity = log_entry_size - log_header_size
+let default_pool_size = 16 * 1024 * 1024
+let default_root_size = 4096
+
+(* Header slots (8 bytes each, at pool base). *)
+let slot_magic = 0
+let slot_uuid = 1
+let slot_pool_size = 2
+let slot_root_offset = 3
+let slot_root_size = 4
+let slot_log_offset = 5
+let slot_log_entries = 6
+let slot_heap_offset = 7
+let slot_heap_size = 8
+
+type t = {
+  base : Addr.t;
+  root_addr : Addr.t;
+  root_size : int;
+  log_addr : Addr.t;
+  log_entries : int;
+  heap_addr : Addr.t;
+  heap_size : int;
+  mutable tx_depth : int;
+  mutable tx_ranges : (Addr.t * int) list;
+  mutable tx_entries : int list;
+  mutable next_log_slot : int;
+}
+
+let root t = t.root_addr
+let root_size t = t.root_size
+
+let log_entry t i =
+  if i < 0 || i >= t.log_entries then invalid_arg "Pool.log_entry: index out of range";
+  t.log_addr + (i * log_entry_size)
+
+let heap t = (t.heap_addr, t.heap_size)
+let tx_depth t = t.tx_depth
+let set_tx_depth t d = t.tx_depth <- d
+let tx_ranges t = t.tx_ranges
+let add_tx_range t r = t.tx_ranges <- r :: t.tx_ranges
+let tx_entries t = t.tx_entries
+let push_tx_entry t i = t.tx_entries <- i :: t.tx_entries
+let next_log_slot t = t.next_log_slot
+let set_next_log_slot t i = t.next_log_slot <- i
+
+let reset_tx_volatile t =
+  t.tx_depth <- 0;
+  t.tx_ranges <- [];
+  t.tx_entries <- [];
+  t.next_log_slot <- 0
+
+let layout ~pool_size ~root_size =
+  let base = Addr.pool_base in
+  let root_addr = base + header_size in
+  let log_addr = root_addr + root_size in
+  let heap_addr = log_addr + (log_entry_count * log_entry_size) in
+  let heap_size = pool_size - (heap_addr - base) in
+  if heap_size <= 0 then invalid_arg "Pool.create: pool_size too small";
+  (base, root_addr, log_addr, heap_addr, heap_size)
+
+let handle ~pool_size ~root_size =
+  let base, root_addr, log_addr, heap_addr, heap_size = layout ~pool_size ~root_size in
+  {
+    base;
+    root_addr;
+    root_size;
+    log_addr;
+    log_entries = log_entry_count;
+    heap_addr;
+    heap_size;
+    tx_depth = 0;
+    tx_ranges = [];
+    tx_entries = [];
+    next_log_slot = 0;
+  }
+
+let hdr base i = Layout.slot base i
+let write_hdr ctx ~loc base i v = Ctx.write_i64 ctx ~loc (hdr base i) v
+let read_hdr ctx ~loc base i = Ctx.read_i64 ctx ~loc (hdr base i)
+
+(* The magic/uuid pair is the header's commit flag: reading it to decide
+   whether a pool exists is the intended benign cross-failure race. *)
+let register_header_commit ctx ~loc base =
+  Ctx.add_commit_var ctx ~loc (hdr base slot_magic) 16
+
+(* Shared body of pool formatting.  [write_magic_first] selects the faithful
+   (buggy) PMDK ordering; the atomic variant writes the magic as the last,
+   separately-persisted step so it acts as a commit flag.  Formatting is a
+   library function: under the default trusted-library configuration its
+   internals carry no failure points — run the engine with [trust_library =
+   false] to test the pool code itself, which is how the paper found its
+   Bug 4 inside pmemobj_createU. *)
+let format_pool ctx ~loc ~pool_size ~root_size ~write_magic_first =
+  Pmem.library_call ctx ~loc (fun () ->
+  let p = handle ~pool_size ~root_size in
+  let base = p.base in
+  register_header_commit ctx ~loc base;
+  if write_magic_first then begin
+    write_hdr ctx ~loc base slot_magic magic_value;
+    write_hdr ctx ~loc base slot_uuid uuid_value;
+    Pmem.persist ctx ~loc (hdr base slot_magic) 16
+  end;
+  write_hdr ctx ~loc base slot_pool_size (Int64.of_int pool_size);
+  Pmem.persist ctx ~loc (hdr base slot_pool_size) 8;
+  write_hdr ctx ~loc base slot_root_offset (Int64.of_int (p.root_addr - base));
+  write_hdr ctx ~loc base slot_root_size (Int64.of_int root_size);
+  Pmem.persist ctx ~loc (hdr base slot_root_offset) 16;
+  write_hdr ctx ~loc base slot_log_offset (Int64.of_int (p.log_addr - base));
+  write_hdr ctx ~loc base slot_log_entries (Int64.of_int p.log_entries);
+  write_hdr ctx ~loc base slot_heap_offset (Int64.of_int (p.heap_addr - base));
+  write_hdr ctx ~loc base slot_heap_size (Int64.of_int p.heap_size);
+  Pmem.persist ctx ~loc (hdr base slot_log_offset) 32;
+  (* Zero the root object, and the undo-log *valid flags* only: entry
+     bodies are dead until a flag is set, so zeroing them would just bloat
+     the trace (entries are 512-byte aligned: one line flush per flag). *)
+  Pmem.memset_persist ctx ~loc p.root_addr '\000' root_size;
+  for i = 0 to p.log_entries - 1 do
+    Ctx.write_i64 ctx ~loc (p.log_addr + (i * log_entry_size)) 0L;
+    Ctx.clwb ctx ~loc (p.log_addr + (i * log_entry_size))
+  done;
+  Ctx.sfence ctx ~loc;
+  (* Heap header: bump pointer and free-list head. *)
+  Ctx.write_i64 ctx ~loc (Layout.slot p.heap_addr 0) (Int64.of_int (p.heap_addr + 64));
+  Ctx.write_i64 ctx ~loc (Layout.slot p.heap_addr 1) 0L;
+  Pmem.persist ctx ~loc p.heap_addr 16;
+  if not write_magic_first then begin
+    write_hdr ctx ~loc base slot_uuid uuid_value;
+    Pmem.persist ctx ~loc (hdr base slot_uuid) 8;
+    write_hdr ctx ~loc base slot_magic magic_value;
+    Pmem.persist ctx ~loc (hdr base slot_magic) 8
+  end;
+  p)
+
+let create ctx ~loc ?(pool_size = default_pool_size) ?(root_size = default_root_size) () =
+  format_pool ctx ~loc ~pool_size ~root_size ~write_magic_first:true
+
+let create_atomic ctx ~loc ?(pool_size = default_pool_size)
+    ?(root_size = default_root_size) () =
+  format_pool ctx ~loc ~pool_size ~root_size ~write_magic_first:false
+
+let open_pool ctx ~loc () =
+  Pmem.library_call ctx ~loc (fun () ->
+  let base = Addr.pool_base in
+  register_header_commit ctx ~loc base;
+  let magic = read_hdr ctx ~loc base slot_magic in
+  if not (Int64.equal magic magic_value) then
+    raise (Pool_corrupt (Printf.sprintf "bad magic 0x%Lx" magic));
+  let uuid = read_hdr ctx ~loc base slot_uuid in
+  if not (Int64.equal uuid uuid_value) then
+    raise (Pool_corrupt (Printf.sprintf "bad uuid 0x%Lx" uuid));
+  let geti i = Int64.to_int (read_hdr ctx ~loc base i) in
+  let pool_size = geti slot_pool_size in
+  let root_offset = geti slot_root_offset in
+  let root_size = geti slot_root_size in
+  let log_offset = geti slot_log_offset in
+  let log_entries = geti slot_log_entries in
+  let heap_offset = geti slot_heap_offset in
+  let heap_size = geti slot_heap_size in
+  if
+    pool_size <= 0 || root_offset <> header_size || root_size <= 0 || log_offset <= 0
+    || log_entries <> log_entry_count || heap_offset <= 0 || heap_size <= 0
+  then raise (Pool_corrupt "incomplete pool metadata");
+  {
+    base;
+    root_addr = base + root_offset;
+    root_size;
+    log_addr = base + log_offset;
+    log_entries;
+    heap_addr = base + heap_offset;
+    heap_size;
+    tx_depth = 0;
+    tx_ranges = [];
+    tx_entries = [];
+    next_log_slot = 0;
+  }
+)

@@ -1,0 +1,66 @@
+(** Persistent object pools (the libpmemobj pool analogue).
+
+    A pool lives at the fixed mmap hint {!Xfd_mem.Addr.pool_base} and is laid
+    out as: a metadata header page, a root object region, an undo-log region
+    used by {!Tx}, and an allocation heap used by {!Alloc}.
+
+    [create] reproduces the metadata-initialisation sequence of PMDK's
+    [util_pool_create_uuids]: header fields are written and persisted in
+    several steps with no consistency mechanism covering the whole sequence.
+    This is the paper's Bug 4 — a failure injected mid-creation leaves a pool
+    whose magic number is valid but whose metadata is incomplete, so the
+    post-failure [open_pool] fails.  [create_atomic] is the fixed variant
+    (the magic number is written and persisted last, acting as a commit
+    flag), used to show the detector stays quiet on correct code. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type t
+
+exception Pool_corrupt of string
+
+(** Number of undo-log entries reserved in every pool. *)
+val log_entry_count : int
+
+(** Byte size of one undo-log entry (header + data capacity). *)
+val log_entry_size : int
+
+(** Data capacity of one undo-log entry. *)
+val log_data_capacity : int
+
+val default_pool_size : int
+
+(** [create ctx ~loc ()] formats a fresh pool, Bug-4-faithfully. *)
+val create :
+  Ctx.t -> loc:Xfd_util.Loc.t -> ?pool_size:int -> ?root_size:int -> unit -> t
+
+(** Crash-safe pool creation: all metadata persisted before the magic. *)
+val create_atomic :
+  Ctx.t -> loc:Xfd_util.Loc.t -> ?pool_size:int -> ?root_size:int -> unit -> t
+
+(** [open_pool ctx ~loc ()] validates the header and rebuilds the volatile
+    handle. @raise Pool_corrupt if the metadata is missing or implausible. *)
+val open_pool : Ctx.t -> loc:Xfd_util.Loc.t -> unit -> t
+
+(** Address of the root object. *)
+val root : t -> Xfd_mem.Addr.t
+
+val root_size : t -> int
+
+(** Absolute address of undo-log entry [i]. *)
+val log_entry : t -> int -> Xfd_mem.Addr.t
+
+(** Absolute address and size of the allocation heap. *)
+val heap : t -> Xfd_mem.Addr.t * int
+
+(** {1 Volatile transaction state} — owned by {!Tx}, reset on open. *)
+
+val tx_depth : t -> int
+val set_tx_depth : t -> int -> unit
+val tx_ranges : t -> (Xfd_mem.Addr.t * int) list
+val add_tx_range : t -> Xfd_mem.Addr.t * int -> unit
+val tx_entries : t -> int list
+val push_tx_entry : t -> int -> unit
+val next_log_slot : t -> int
+val set_next_log_slot : t -> int -> unit
+val reset_tx_volatile : t -> unit

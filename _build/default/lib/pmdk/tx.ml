@@ -1,0 +1,147 @@
+module Ctx = Xfd_sim.Ctx
+module Addr = Xfd_mem.Addr
+module Event = Xfd_trace.Event
+
+exception No_active_transaction
+exception Log_exhausted
+
+let valid_addr entry = entry
+let target_addr entry = entry + 8
+let size_addr entry = entry + 16
+let data_addr entry = entry + 64
+
+let begin_ ctx pool ~loc =
+  if Pool.tx_depth pool = 0 then begin
+    Ctx.emit ctx ~loc Event.Tx_begin;
+    Pool.reset_tx_volatile pool
+  end;
+  Pool.set_tx_depth pool (Pool.tx_depth pool + 1)
+
+let register_entry ctx ~loc entry =
+  Ctx.add_commit_var ctx ~loc (valid_addr entry) 8;
+  Ctx.add_commit_range ctx ~loc ~var:(valid_addr entry) (target_addr entry)
+    (Pool.log_entry_size - 8)
+
+(* Snapshot one chunk (<= capacity) of the range into a fresh log entry. *)
+let log_chunk ctx pool ~loc addr size =
+  let slot = Pool.next_log_slot pool in
+  if slot >= Pool.log_entry_count then raise Log_exhausted;
+  Pool.set_next_log_slot pool (slot + 1);
+  let entry = Pool.log_entry pool slot in
+  register_entry ctx ~loc entry;
+  Ctx.write_i64 ctx ~loc (target_addr entry) (Int64.of_int addr);
+  Ctx.write_i64 ctx ~loc (size_addr entry) (Int64.of_int size);
+  let snapshot = Ctx.read ctx ~loc addr size in
+  Ctx.write ctx ~loc (data_addr entry) snapshot;
+  Pmem.persist ctx ~loc entry (64 + size);
+  Ctx.write_i64 ctx ~loc (valid_addr entry) 1L;
+  Pmem.persist ctx ~loc (valid_addr entry) 8;
+  Pool.push_tx_entry pool slot
+
+let add_once ctx pool ~loc addr size =
+  Ctx.emit ctx ~loc (Event.Tx_add { addr; size });
+  Pmem.library_call ctx ~loc (fun () ->
+      let rec chunks addr size =
+        if size > 0 then begin
+          let n = min size Pool.log_data_capacity in
+          log_chunk ctx pool ~loc addr n;
+          chunks (addr + n) (size - n)
+        end
+      in
+      chunks addr size;
+      Pool.add_tx_range pool (addr, size))
+
+let add ctx pool ~loc addr size =
+  if Pool.tx_depth pool = 0 then raise No_active_transaction;
+  if size <= 0 then invalid_arg "Tx.add: size <= 0";
+  let action =
+    if Ctx.stage ctx = Ctx.Pre_failure && Ctx.in_roi ctx then
+      Xfd_sim.Faults.on_tx_add (Ctx.faults ctx)
+    else Xfd_sim.Faults.Normal
+  in
+  match action with
+  | Xfd_sim.Faults.Skip -> ()
+  | Xfd_sim.Faults.Normal -> add_once ctx pool ~loc addr size
+  | Xfd_sim.Faults.Duplicate ->
+    add_once ctx pool ~loc addr size;
+    add_once ctx pool ~loc addr size
+
+let add_range_no_snapshot ctx pool ~loc addr size =
+  if Pool.tx_depth pool = 0 then raise No_active_transaction;
+  if size <= 0 then invalid_arg "Tx.add_range_no_snapshot: size <= 0";
+  Ctx.emit ctx ~loc (Event.Tx_xadd { addr; size });
+  Pool.add_tx_range pool (addr, size)
+
+let invalidate_entries ctx pool ~loc entries =
+  List.iter
+    (fun slot ->
+      let entry = Pool.log_entry pool slot in
+      Ctx.write_i64 ctx ~loc (valid_addr entry) 0L;
+      Pmem.flush ctx ~loc (valid_addr entry) 8)
+    entries;
+  if entries <> [] then Pmem.drain ctx ~loc
+
+let commit ctx pool ~loc =
+  if Pool.tx_depth pool = 0 then raise No_active_transaction;
+  Pool.set_tx_depth pool (Pool.tx_depth pool - 1);
+  if Pool.tx_depth pool = 0 then begin
+    Ctx.emit ctx ~loc Event.Tx_commit;
+    Pmem.library_call ctx ~loc (fun () ->
+        (* Persist every range covered by the transaction, then retire the
+           undo log in one ordering step. *)
+        List.iter (fun (addr, size) -> Pmem.flush ctx ~loc addr size) (Pool.tx_ranges pool);
+        if Pool.tx_ranges pool <> [] then Pmem.drain ctx ~loc;
+        invalidate_entries ctx pool ~loc (Pool.tx_entries pool);
+        Pool.reset_tx_volatile pool)
+  end
+
+let rollback_entry ctx pool ~loc slot =
+  let entry = Pool.log_entry pool slot in
+  let target = Int64.to_int (Ctx.read_i64 ctx ~loc (target_addr entry)) in
+  let size = Int64.to_int (Ctx.read_i64 ctx ~loc (size_addr entry)) in
+  let saved = Ctx.read ctx ~loc (data_addr entry) size in
+  Ctx.write ctx ~loc target saved;
+  Pmem.persist ctx ~loc target size;
+  Ctx.write_i64 ctx ~loc (valid_addr entry) 0L;
+  Pmem.persist ctx ~loc (valid_addr entry) 8
+
+let abort ctx pool ~loc =
+  if Pool.tx_depth pool = 0 then raise No_active_transaction;
+  Ctx.emit ctx ~loc Event.Tx_abort;
+  Pmem.library_call ctx ~loc (fun () ->
+      (* tx_entries is newest-first, which is the correct rollback order. *)
+      List.iter (fun slot -> rollback_entry ctx pool ~loc slot) (Pool.tx_entries pool);
+      Pool.reset_tx_volatile pool)
+
+let recover ctx pool ~loc =
+  Pmem.library_call ctx ~loc (fun () ->
+      for slot = Pool.log_entry_count - 1 downto 0 do
+        let entry = Pool.log_entry pool slot in
+        (* The valid flag is the entry's commit variable; the entry body is
+           only worth registering (and reading) when the flag is set. *)
+        Ctx.add_commit_var ctx ~loc (valid_addr entry) 8;
+        let valid = Ctx.read_i64 ctx ~loc (valid_addr entry) in
+        if Int64.equal valid 1L then begin
+          register_entry ctx ~loc entry;
+          rollback_entry ctx pool ~loc slot
+        end
+      done;
+      Pool.reset_tx_volatile pool)
+
+let valid_entries ctx pool ~loc =
+  let n = ref 0 in
+  for slot = 0 to Pool.log_entry_count - 1 do
+    let entry = Pool.log_entry pool slot in
+    if Int64.equal (Ctx.read_i64 ctx ~loc (valid_addr entry)) 1L then incr n
+  done;
+  !n
+
+let run ctx pool ~loc f =
+  begin_ ctx pool ~loc;
+  match f () with
+  | result ->
+    commit ctx pool ~loc;
+    result
+  | exception e ->
+    abort ctx pool ~loc;
+    raise e

@@ -1,0 +1,50 @@
+(** Undo-log transactions (the libpmemobj TX_* analogue).
+
+    [add] snapshots the current contents of a range into a persistent log
+    entry and marks the entry valid; the caller then updates the range in
+    place.  [commit] persists all added ranges and invalidates the log.
+    After a failure, [recover] rolls back every still-valid entry, restoring
+    the pre-transaction data, and must run before the application resumes.
+
+    Each log entry's valid flag is a commit variable in the paper's sense:
+    the recovery code inherently races with the pre-failure write of the
+    flag, but the outcome is well-defined for both values — the canonical
+    benign cross-failure race.  [add] registers the flag (and the entry body
+    as its associated range) with the detector, so post-failure reads of the
+    flag are not reported and the entry body is subject to the Eq. 3
+    semantic-consistency check.
+
+    Seeded faults: when the executing context carries a fault specification,
+    [add] consults it — a skipped TX_ADD leaves the range unprotected
+    (cross-failure race), a duplicated one logs the same range twice in one
+    transaction (performance bug). *)
+
+module Ctx = Xfd_sim.Ctx
+
+exception No_active_transaction
+exception Log_exhausted
+
+val begin_ : Ctx.t -> Pool.t -> loc:Xfd_util.Loc.t -> unit
+val add : Ctx.t -> Pool.t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> int -> unit
+
+(** Register a range to be persisted at commit without snapshotting its old
+    contents (PMDK's POBJ_XADD_NO_SNAPSHOT) — the idiom for objects
+    allocated inside the transaction, whose pre-transaction contents are
+    garbage and which become unreachable again if the transaction rolls
+    back. *)
+val add_range_no_snapshot :
+  Ctx.t -> Pool.t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> int -> unit
+
+val commit : Ctx.t -> Pool.t -> loc:Xfd_util.Loc.t -> unit
+
+(** Roll back the current transaction immediately (pre-failure path). *)
+val abort : Ctx.t -> Pool.t -> loc:Xfd_util.Loc.t -> unit
+
+(** Post-failure recovery: roll back every valid log entry, newest first. *)
+val recover : Ctx.t -> Pool.t -> loc:Xfd_util.Loc.t -> unit
+
+(** Number of currently valid (unrolled) log entries, read from PM. *)
+val valid_entries : Ctx.t -> Pool.t -> loc:Xfd_util.Loc.t -> int
+
+(** [run ctx pool ~loc f] = begin; [f ()]; commit — aborting if [f] raises. *)
+val run : Ctx.t -> Pool.t -> loc:Xfd_util.Loc.t -> (unit -> 'a) -> 'a

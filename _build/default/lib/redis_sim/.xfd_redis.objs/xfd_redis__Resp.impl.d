@@ -1,0 +1,1 @@
+lib/redis_sim/resp.ml: Buffer Int64 List Printf String

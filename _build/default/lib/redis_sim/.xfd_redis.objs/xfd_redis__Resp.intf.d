@@ -1,0 +1,1 @@
+lib/redis_sim/resp.mli:

@@ -1,0 +1,1 @@
+lib/redis_sim/server.ml: Int64 List Option Printf Resp Store String Xfd Xfd_pmdk Xfd_sim Xfd_util

@@ -1,0 +1,1 @@
+lib/redis_sim/server.mli: Resp Store Xfd Xfd_sim

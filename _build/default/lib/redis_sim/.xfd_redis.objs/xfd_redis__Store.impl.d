@@ -1,0 +1,1 @@
+lib/redis_sim/store.ml: Char Int64 List String Xfd_pmdk Xfd_sim Xfd_util

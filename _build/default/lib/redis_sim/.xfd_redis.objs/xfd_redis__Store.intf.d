@@ -1,0 +1,1 @@
+lib/redis_sim/store.mli: Xfd_mem Xfd_pmdk Xfd_sim

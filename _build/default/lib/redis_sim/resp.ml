@@ -1,0 +1,161 @@
+type command =
+  | Set of string * string
+  | Setnx of string * string
+  | Mset of (string * string) list
+  | Append of string * string
+  | Strlen of string
+  | Get of string
+  | Del of string
+  | Exists of string
+  | Incr of string
+  | Keys of string
+  | Dbsize
+  | Ping
+  | Flushall
+
+type reply =
+  | Simple of string
+  | Error of string
+  | Integer of int64
+  | Bulk of string option
+  | Multi of string list
+
+exception Protocol_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+let find_crlf input pos =
+  let rec go i =
+    if i + 1 >= String.length input then fail "missing CRLF"
+    else if input.[i] = '\r' && input.[i + 1] = '\n' then i
+    else go (i + 1)
+  in
+  go pos
+
+(* One line (without CRLF) and the position just past its CRLF. *)
+let read_line input pos =
+  let e = find_crlf input pos in
+  (String.sub input pos (e - pos), e + 2)
+
+let rec pairs_of = function
+  | [] -> []
+  | k :: v :: rest -> (k, v) :: pairs_of rest
+  | [ _ ] -> raise (Protocol_error "MSET needs an even number of arguments")
+
+let command_of_words = function
+  | [ set; k; v ] when String.uppercase_ascii set = "SET" -> Set (k, v)
+  | [ setnx; k; v ] when String.uppercase_ascii setnx = "SETNX" -> Setnx (k, v)
+  | mset :: (_ :: _ as rest) when String.uppercase_ascii mset = "MSET" -> Mset (pairs_of rest)
+  | [ app; k; v ] when String.uppercase_ascii app = "APPEND" -> Append (k, v)
+  | [ sl; k ] when String.uppercase_ascii sl = "STRLEN" -> Strlen k
+  | [ ks; pat ] when String.uppercase_ascii ks = "KEYS" -> Keys pat
+  | [ get; k ] when String.uppercase_ascii get = "GET" -> Get k
+  | [ del; k ] when String.uppercase_ascii del = "DEL" -> Del k
+  | [ ex; k ] when String.uppercase_ascii ex = "EXISTS" -> Exists k
+  | [ incr; k ] when String.uppercase_ascii incr = "INCR" -> Incr k
+  | [ dbsize ] when String.uppercase_ascii dbsize = "DBSIZE" -> Dbsize
+  | [ ping ] when String.uppercase_ascii ping = "PING" -> Ping
+  | [ fl ] when String.uppercase_ascii fl = "FLUSHALL" -> Flushall
+  | w :: _ -> fail "unknown command '%s'" w
+  | [] -> fail "empty command"
+
+let parse_int line =
+  match int_of_string_opt line with Some n -> n | None -> fail "bad integer %S" line
+
+let parse_bulk input pos =
+  let line, pos = read_line input pos in
+  if line = "" || line.[0] <> '$' then fail "expected bulk string";
+  let len = parse_int (String.sub line 1 (String.length line - 1)) in
+  if len < 0 then fail "negative bulk length in command";
+  if pos + len + 2 > String.length input then fail "truncated bulk string";
+  let payload = String.sub input pos len in
+  if String.sub input (pos + len) 2 <> "\r\n" then fail "bulk string missing CRLF";
+  (payload, pos + len + 2)
+
+let parse_command input =
+  if input = "" then fail "empty input";
+  if input.[0] = '*' then begin
+    let line, pos = read_line input 0 in
+    let n = parse_int (String.sub line 1 (String.length line - 1)) in
+    if n <= 0 then fail "empty RESP array";
+    let rec args acc pos n =
+      if n = 0 then (List.rev acc, pos)
+      else begin
+        let arg, pos = parse_bulk input pos in
+        args (arg :: acc) pos (n - 1)
+      end
+    in
+    let words, pos = args [] pos n in
+    (command_of_words words, pos)
+  end
+  else begin
+    let line, pos = read_line input 0 in
+    let words = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+    (command_of_words words, pos)
+  end
+
+let encode_words words =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "*%d\r\n" (List.length words));
+  List.iter
+    (fun w -> Buffer.add_string buf (Printf.sprintf "$%d\r\n%s\r\n" (String.length w) w))
+    words;
+  Buffer.contents buf
+
+let encode_command = function
+  | Set (k, v) -> encode_words [ "SET"; k; v ]
+  | Setnx (k, v) -> encode_words [ "SETNX"; k; v ]
+  | Mset kvs -> encode_words ("MSET" :: List.concat_map (fun (k, v) -> [ k; v ]) kvs)
+  | Append (k, v) -> encode_words [ "APPEND"; k; v ]
+  | Strlen k -> encode_words [ "STRLEN"; k ]
+  | Keys pat -> encode_words [ "KEYS"; pat ]
+  | Get k -> encode_words [ "GET"; k ]
+  | Del k -> encode_words [ "DEL"; k ]
+  | Exists k -> encode_words [ "EXISTS"; k ]
+  | Incr k -> encode_words [ "INCR"; k ]
+  | Dbsize -> encode_words [ "DBSIZE" ]
+  | Ping -> encode_words [ "PING" ]
+  | Flushall -> encode_words [ "FLUSHALL" ]
+
+let encode_reply = function
+  | Simple s -> Printf.sprintf "+%s\r\n" s
+  | Error s -> Printf.sprintf "-%s\r\n" s
+  | Integer n -> Printf.sprintf ":%Ld\r\n" n
+  | Bulk None -> "$-1\r\n"
+  | Bulk (Some s) -> Printf.sprintf "$%d\r\n%s\r\n" (String.length s) s
+  | Multi items ->
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (Printf.sprintf "*%d\r\n" (List.length items));
+    List.iter
+      (fun s -> Buffer.add_string buf (Printf.sprintf "$%d\r\n%s\r\n" (String.length s) s))
+      items;
+    Buffer.contents buf
+
+let parse_reply input =
+  if input = "" then fail "empty reply";
+  let line, pos = read_line input 0 in
+  let rest = String.sub line 1 (String.length line - 1) in
+  match line.[0] with
+  | '+' -> (Simple rest, pos)
+  | '-' -> (Error rest, pos)
+  | ':' -> (Integer (Int64.of_string rest), pos)
+  | '$' ->
+    let len = parse_int rest in
+    if len = -1 then (Bulk None, pos)
+    else begin
+      if pos + len + 2 > String.length input then fail "truncated bulk reply";
+      let payload = String.sub input pos len in
+      (Bulk (Some payload), pos + len + 2)
+    end
+  | '*' ->
+    let n = parse_int rest in
+    if n < 0 then fail "negative multi-bulk count";
+    let rec bulks acc pos n =
+      if n = 0 then (Multi (List.rev acc), pos)
+      else begin
+        let item, pos = parse_bulk input pos in
+        bulks (item :: acc) pos (n - 1)
+      end
+    in
+    bulks [] pos n
+  | c -> fail "unexpected reply type '%c'" c

@@ -1,0 +1,40 @@
+(** A miniature RESP (REdis Serialization Protocol) codec.
+
+    Supports the two request syntaxes real Redis accepts — inline commands
+    ("SET k v\r\n") and RESP arrays of bulk strings — and the reply types
+    the mini server produces.  Self-contained so the PM store can be driven
+    by byte-level queries like the paper's PM-Redis evaluation. *)
+
+type command =
+  | Set of string * string
+  | Setnx of string * string  (** set only if absent; replies 1/0 *)
+  | Mset of (string * string) list  (** multi-key set, atomic as one transaction *)
+  | Append of string * string  (** append to the value; replies new length *)
+  | Strlen of string
+  | Get of string
+  | Del of string
+  | Exists of string
+  | Incr of string
+  | Keys of string  (** glob with [*] wildcards; replies a bulk per match *)
+  | Dbsize
+  | Ping
+  | Flushall
+
+type reply =
+  | Simple of string  (** +OK *)
+  | Error of string  (** -ERR ... *)
+  | Integer of int64  (** :n *)
+  | Bulk of string option  (** $len payload, or $-1 for nil *)
+  | Multi of string list  (** *n of bulks (KEYS replies) *)
+
+exception Protocol_error of string
+
+(** Parse one request (inline or RESP array) from the head of [input];
+    returns the command and the number of bytes consumed. *)
+val parse_command : string -> command * int
+
+val encode_command : command -> string
+val encode_reply : reply -> string
+
+(** Parse one reply from the head of [input]: reply and bytes consumed. *)
+val parse_reply : string -> reply * int

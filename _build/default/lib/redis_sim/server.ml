@@ -1,0 +1,170 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Tx = Xfd_pmdk.Tx
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Xfd_util.Loc.of_pos
+
+type t = { store : Store.t }
+type variant = [ `Faithful | `Fixed ]
+
+let store t = t.store
+
+(* initPersistentMemory of Figure 14c: the entry counter is initialised
+   outside any transaction.  The fixed variant wraps it in one. *)
+let init_counter ctx pool st ~variant =
+  match variant with
+  | `Faithful -> Ctx.write_i64 ctx ~loc:!!__POS__ (Store.num_entries_addr st) 0L
+  | `Fixed ->
+    Tx.run ctx pool ~loc:!!__POS__ (fun () ->
+        Tx.add ctx pool ~loc:!!__POS__ (Store.num_entries_addr st) 8;
+        Ctx.write_i64 ctx ~loc:!!__POS__ (Store.num_entries_addr st) 0L)
+
+let init_on ctx pool ~variant =
+  let st = Store.attach_fresh ctx pool ~buckets:64 in
+  init_counter ctx pool st ~variant;
+  { store = st }
+
+let init_persistent_memory ctx ~variant =
+  let pool = Pool.create_atomic ctx ~loc:!!__POS__ () in
+  init_on ctx pool ~variant
+
+(* Server restart: open the pool (recreating it if the previous boot died
+   mid-creation), roll back the undo log, and re-run initialisation if the
+   keyspace was never installed. *)
+let restart_as ctx ~variant =
+  match Pool.open_pool ctx ~loc:!!__POS__ () with
+  | exception Pool.Pool_corrupt _ -> init_persistent_memory ctx ~variant
+  | pool ->
+    let st = Store.attach ctx pool in
+    Store.recover ctx st;
+    let nbuckets = Ctx.read_i64 ctx ~loc:!!__POS__ (Layout.slot (Pool.root pool) 1) in
+    if Int64.equal nbuckets 0L then init_on ctx pool ~variant else { store = st }
+
+let restart ctx = restart_as ctx ~variant:`Fixed
+
+(* Glob matching with [*] wildcards only (the common KEYS usage). *)
+let glob_match pattern s =
+  let parts = String.split_on_char '*' pattern in
+  let rec go i parts ~anchored =
+    match parts with
+    | [] -> anchored || i = String.length s
+    | [ last ] when not anchored ->
+      (* final fragment must be a suffix at or after i *)
+      let n = String.length last in
+      n <= String.length s - i && String.sub s (String.length s - n) n = last
+    | part :: rest ->
+      let n = String.length part in
+      if n = 0 then
+        if rest = [] then true else go i rest ~anchored:false
+      else if anchored then
+        if i + n <= String.length s && String.sub s i n = part then
+          go (i + n) rest ~anchored:false
+        else false
+      else begin
+        (* find part anywhere at or after i *)
+        let rec find j =
+          if j + n > String.length s then None
+          else if String.sub s j n = part then Some (j + n)
+          else find (j + 1)
+        in
+        match find i with
+        | Some j -> go j rest ~anchored:false
+        | None -> false
+      end
+  in
+  match parts with
+  | [] -> s = ""
+  | first :: rest ->
+    let n = String.length first in
+    if n > String.length s || String.sub s 0 n <> first then false
+    else go n rest ~anchored:false
+
+let execute ctx t cmd =
+  match cmd with
+  | Resp.Ping -> Resp.Simple "PONG"
+  | Resp.Set (k, v) ->
+    Store.set ctx t.store k v;
+    Resp.Simple "OK"
+  | Resp.Setnx (k, v) -> begin
+    match Store.get ctx t.store k with
+    | Some _ -> Resp.Integer 0L
+    | None ->
+      Store.set ctx t.store k v;
+      Resp.Integer 1L
+  end
+  | Resp.Mset kvs ->
+    Store.set_many ctx t.store kvs;
+    Resp.Simple "OK"
+  | Resp.Append (k, v) ->
+    let current = Option.value ~default:"" (Store.get ctx t.store k) in
+    let joined = current ^ v in
+    Store.set ctx t.store k joined;
+    Resp.Integer (Int64.of_int (String.length joined))
+  | Resp.Strlen k ->
+    Resp.Integer
+      (Int64.of_int (String.length (Option.value ~default:"" (Store.get ctx t.store k))))
+  | Resp.Keys pattern ->
+    let acc = ref [] in
+    Store.iter_keys ctx t.store (fun k -> if glob_match pattern k then acc := k :: !acc);
+    Resp.Multi (List.sort compare !acc)
+  | Resp.Get k -> Resp.Bulk (Store.get ctx t.store k)
+  | Resp.Del k -> Resp.Integer (if Store.del ctx t.store k then 1L else 0L)
+  | Resp.Exists k ->
+    Resp.Integer (match Store.get ctx t.store k with Some _ -> 1L | None -> 0L)
+  | Resp.Incr k -> begin
+    let current =
+      match Store.get ctx t.store k with
+      | None -> Some 0L
+      | Some s -> Int64.of_string_opt s
+    in
+    match current with
+    | None -> Resp.Error "ERR value is not an integer or out of range"
+    | Some n ->
+      let n = Int64.add n 1L in
+      Store.set ctx t.store k (Int64.to_string n);
+      Resp.Integer n
+  end
+  | Resp.Dbsize -> Resp.Integer (Store.num_entries ctx t.store)
+  | Resp.Flushall ->
+    Store.clear ctx t.store;
+    Resp.Simple "OK"
+
+let handle ctx t bytes =
+  match Resp.parse_command bytes with
+  | cmd, _consumed -> Resp.encode_reply (execute ctx t cmd)
+  | exception Resp.Protocol_error msg -> Resp.encode_reply (Resp.Error ("ERR " ^ msg))
+
+let query_keys n =
+  let rng = Xfd_util.Rng.create 37L in
+  List.init n (fun _ -> Xfd_util.Rng.key rng 8)
+
+let program ?(size = 1) ?(variant = `Faithful) () =
+  let setup _ctx = () in
+  let pre ctx =
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    (* First boot (initialisation inside the RoI: Bug 3 lives here), then
+       one SET query per requested transaction. *)
+    let t = init_persistent_memory ctx ~variant in
+    List.iteri
+      (fun i k ->
+        let reply = handle ctx t (Resp.encode_command (Resp.Set (k, Printf.sprintf "value-%d" i))) in
+        assert (reply = "+OK\r\n"))
+      (query_keys size);
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  let post ctx =
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    let t = restart_as ctx ~variant in
+    (* Resumption: serve a read query and a size query, then one write. *)
+    (match query_keys (max size 1) with
+    | k :: _ -> ignore (handle ctx t (Resp.encode_command (Resp.Get k)))
+    | [] -> ());
+    ignore (handle ctx t (Resp.encode_command Resp.Dbsize));
+    ignore (handle ctx t (Resp.encode_command (Resp.Set ("post", "1"))));
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  let name =
+    Printf.sprintf "redis(%s)" (match variant with `Faithful -> "faithful" | `Fixed -> "fixed")
+  in
+  { Xfd.Engine.name; setup; pre; post }

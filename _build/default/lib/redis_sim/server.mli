@@ -1,0 +1,35 @@
+(** The mini PM-Redis server: command execution over the PM store.
+
+    [init_persistent_memory] mirrors Intel PM-Redis's server start-up
+    (server.c:4029, the paper's Bug 3): it creates/attaches the pool-backed
+    keyspace and then writes [num_dict_entries = 0] {e without any
+    transaction or persist} — so a failure during initialisation lets the
+    restarted server read a counter that was never guaranteed persistent (a
+    cross-failure race).  [`Fixed] persists the counter.
+
+    [handle] takes raw RESP (or inline) bytes and returns encoded replies,
+    so tests can drive the server exactly like a network client. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type t
+
+type variant = [ `Faithful | `Fixed ]
+
+(** Fresh server on a fresh pool (first boot). *)
+val init_persistent_memory : Ctx.t -> variant:variant -> t
+
+(** Restarted server: open the pool, run undo-log recovery, resume. *)
+val restart : Ctx.t -> t
+
+val execute : Ctx.t -> t -> Resp.command -> Resp.reply
+
+(** Byte-level entry point: parse one request, execute, encode the reply.
+    Protocol errors become RESP error replies. *)
+val handle : Ctx.t -> t -> string -> string
+
+val store : t -> Store.t
+
+(** Detection program: first boot + [size] SET queries in the RoI; the
+    post-failure stage restarts the server and serves GET/DBSIZE. *)
+val program : ?size:int -> ?variant:variant -> unit -> Xfd.Engine.program

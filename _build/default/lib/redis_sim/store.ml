@@ -1,0 +1,178 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Tx = Xfd_pmdk.Tx
+module Alloc = Xfd_pmdk.Alloc
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Xfd_util.Loc.of_pos
+
+type t = { pool : Pool.t }
+
+(* Root layout: slot 0 = bucket array pointer, slot 1 = bucket count,
+   slot 8 = num_dict_entries (own line; written unprotected by the buggy
+   server init — Bug 3).
+   Entry node: slot 0 = key blob ptr, slot 1 = value blob ptr, slot 2 = next. *)
+let buckets_addr pool = Layout.slot (Pool.root pool) 0
+let nbuckets_addr pool = Layout.slot (Pool.root pool) 1
+let entries_addr pool = Layout.slot (Pool.root pool) 8
+
+let node_key n = Layout.slot n 0
+let node_val n = Layout.slot n 1
+let node_next n = Layout.slot n 2
+
+let num_entries_addr t = entries_addr t.pool
+
+let attach_fresh ctx pool ~buckets =
+  (* The bucket table is installed transactionally: a failure mid-attach
+     rolls the root back to the uninitialised state and the server re-runs
+     the attach on restart. *)
+  Tx.run ctx pool ~loc:!!__POS__ (fun () ->
+      let arr = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:(8 * buckets) ~zero:true in
+      Tx.add ctx pool ~loc:!!__POS__ (buckets_addr pool) 16;
+      Layout.write_ptr ctx ~loc:!!__POS__ (buckets_addr pool) arr;
+      Ctx.write_i64 ctx ~loc:!!__POS__ (nbuckets_addr pool) (Int64.of_int buckets));
+  { pool }
+
+let attach _ctx pool = { pool }
+
+let hash_string key nbuckets =
+  (* FNV-1a, folded into the bucket count. *)
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    key;
+  let r = Int64.rem (Int64.logand !h Int64.max_int) (Int64.of_int nbuckets) in
+  Int64.to_int r
+
+let bucket_addr ctx t key =
+  let n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (nbuckets_addr t.pool)) in
+  if n <= 0 then failwith "redis store: bad bucket count";
+  let arr = Layout.read_ptr ctx ~loc:!!__POS__ (buckets_addr t.pool) in
+  Layout.slot arr (hash_string key n)
+
+let alloc_string ctx t s =
+  let blob =
+    Alloc.alloc ctx t.pool ~loc:!!__POS__ ~size:(Layout.string_footprint s) ~zero:false
+  in
+  Layout.write_string ctx ~loc:!!__POS__ blob s;
+  Tx.add_range_no_snapshot ctx t.pool ~loc:!!__POS__ blob (Layout.string_footprint s);
+  blob
+
+let find_node ctx t key =
+  let rec go node =
+    if Layout.is_null node then None
+    else begin
+      let kp = Layout.read_ptr ctx ~loc:!!__POS__ (node_key node) in
+      if String.equal (Layout.read_string ctx ~loc:!!__POS__ kp) key then Some node
+      else go (Layout.read_ptr ctx ~loc:!!__POS__ (node_next node))
+    end
+  in
+  go (Layout.read_ptr ctx ~loc:!!__POS__ (bucket_addr ctx t key))
+
+let bump_entries ctx t delta =
+  Tx.add ctx t.pool ~loc:!!__POS__ (entries_addr t.pool) 8;
+  let c = Ctx.read_i64 ctx ~loc:!!__POS__ (entries_addr t.pool) in
+  Ctx.write_i64 ctx ~loc:!!__POS__ (entries_addr t.pool) (Int64.add c delta)
+
+let set_in_tx ctx t key value =
+  (match find_node ctx t key with
+      | Some node ->
+        let old_val = Layout.read_ptr ctx ~loc:!!__POS__ (node_val node) in
+        let blob = alloc_string ctx t value in
+        Tx.add ctx t.pool ~loc:!!__POS__ (node_val node) 8;
+        Layout.write_ptr ctx ~loc:!!__POS__ (node_val node) blob;
+        Alloc.free ctx t.pool ~loc:!!__POS__ old_val
+      | None ->
+        let kblob = alloc_string ctx t key in
+        let vblob = alloc_string ctx t value in
+        let node = Alloc.alloc ctx t.pool ~loc:!!__POS__ ~size:24 ~zero:false in
+        Tx.add_range_no_snapshot ctx t.pool ~loc:!!__POS__ node 24;
+        Layout.write_ptr ctx ~loc:!!__POS__ (node_key node) kblob;
+        Layout.write_ptr ctx ~loc:!!__POS__ (node_val node) vblob;
+        let bucket = bucket_addr ctx t key in
+        let head = Layout.read_ptr ctx ~loc:!!__POS__ bucket in
+        Layout.write_ptr ctx ~loc:!!__POS__ (node_next node) head;
+        Tx.add ctx t.pool ~loc:!!__POS__ bucket 8;
+        Layout.write_ptr ctx ~loc:!!__POS__ bucket node;
+        bump_entries ctx t 1L)
+
+let set ctx t key value = Tx.run ctx t.pool ~loc:!!__POS__ (fun () -> set_in_tx ctx t key value)
+
+(* Multi-key update in ONE transaction: all keys land or none do. *)
+let set_many ctx t kvs =
+  Tx.run ctx t.pool ~loc:!!__POS__ (fun () ->
+      List.iter (fun (k, v) -> set_in_tx ctx t k v) kvs)
+
+let iter_keys ctx t f =
+  let n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (nbuckets_addr t.pool)) in
+  let arr = Layout.read_ptr ctx ~loc:!!__POS__ (buckets_addr t.pool) in
+  for i = 0 to n - 1 do
+    let rec go node =
+      if not (Layout.is_null node) then begin
+        let kp = Layout.read_ptr ctx ~loc:!!__POS__ (node_key node) in
+        f (Layout.read_string ctx ~loc:!!__POS__ kp);
+        go (Layout.read_ptr ctx ~loc:!!__POS__ (node_next node))
+      end
+    in
+    go (Layout.read_ptr ctx ~loc:!!__POS__ (Layout.slot arr i))
+  done
+
+let get ctx t key =
+  match find_node ctx t key with
+  | Some node ->
+    let vp = Layout.read_ptr ctx ~loc:!!__POS__ (node_val node) in
+    Some (Layout.read_string ctx ~loc:!!__POS__ vp)
+  | None -> None
+
+let del ctx t key =
+  Tx.run ctx t.pool ~loc:!!__POS__ (fun () ->
+      let bucket = bucket_addr ctx t key in
+      let rec go link node =
+        if Layout.is_null node then false
+        else begin
+          let kp = Layout.read_ptr ctx ~loc:!!__POS__ (node_key node) in
+          if String.equal (Layout.read_string ctx ~loc:!!__POS__ kp) key then begin
+            let next = Layout.read_ptr ctx ~loc:!!__POS__ (node_next node) in
+            Tx.add ctx t.pool ~loc:!!__POS__ link 8;
+            Layout.write_ptr ctx ~loc:!!__POS__ link next;
+            bump_entries ctx t (-1L);
+            Alloc.free ctx t.pool ~loc:!!__POS__ kp;
+            Alloc.free ctx t.pool ~loc:!!__POS__ (Layout.read_ptr ctx ~loc:!!__POS__ (node_val node));
+            Alloc.free ctx t.pool ~loc:!!__POS__ node;
+            true
+          end
+          else go (node_next node) (Layout.read_ptr ctx ~loc:!!__POS__ (node_next node))
+        end
+      in
+      go bucket (Layout.read_ptr ctx ~loc:!!__POS__ bucket))
+
+let num_entries ctx t = Ctx.read_i64 ctx ~loc:!!__POS__ (entries_addr t.pool)
+
+let clear ctx t =
+  Tx.run ctx t.pool ~loc:!!__POS__ (fun () ->
+      let n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (nbuckets_addr t.pool)) in
+      let arr = Layout.read_ptr ctx ~loc:!!__POS__ (buckets_addr t.pool) in
+      for i = 0 to n - 1 do
+        let bucket = Layout.slot arr i in
+        let rec drop node =
+          if not (Layout.is_null node) then begin
+            let next = Layout.read_ptr ctx ~loc:!!__POS__ (node_next node) in
+            Alloc.free ctx t.pool ~loc:!!__POS__ (Layout.read_ptr ctx ~loc:!!__POS__ (node_key node));
+            Alloc.free ctx t.pool ~loc:!!__POS__ (Layout.read_ptr ctx ~loc:!!__POS__ (node_val node));
+            Alloc.free ctx t.pool ~loc:!!__POS__ node;
+            drop next
+          end
+        in
+        let head = Layout.read_ptr ctx ~loc:!!__POS__ bucket in
+        if not (Layout.is_null head) then begin
+          Tx.add ctx t.pool ~loc:!!__POS__ bucket 8;
+          Layout.write_ptr ctx ~loc:!!__POS__ bucket Layout.null;
+          drop head
+        end
+      done;
+      Tx.add ctx t.pool ~loc:!!__POS__ (entries_addr t.pool) 8;
+      Ctx.write_i64 ctx ~loc:!!__POS__ (entries_addr t.pool) 0L)
+
+let recover ctx t = Tx.recover ctx t.pool ~loc:!!__POS__

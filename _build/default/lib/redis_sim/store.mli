@@ -1,0 +1,38 @@
+(** The PM-backed string dictionary behind the mini Redis server.
+
+    A chained hashmap whose keys and values are length-prefixed strings in
+    pool-allocated blobs.  Every mutation runs in one undo-log transaction,
+    like Intel's PM-Redis port (which stores the keyspace in a libpmemobj
+    pool).  The dictionary entry counter lives on its own cache line and is
+    logged with the mutation. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type t
+
+(** Attach to a freshly created pool: allocates the bucket array.  Does not
+    write the entry counter — that is the server's (buggy) job, see Bug 3. *)
+val attach_fresh : Ctx.t -> Xfd_pmdk.Pool.t -> buckets:int -> t
+
+(** Attach to an existing pool after a restart. *)
+val attach : Ctx.t -> Xfd_pmdk.Pool.t -> t
+
+(** Address of the persistent entry counter (the server initialises it). *)
+val num_entries_addr : t -> Xfd_mem.Addr.t
+
+val set : Ctx.t -> t -> string -> string -> unit
+
+(** Multi-key update as one transaction: atomic across a failure. *)
+val set_many : Ctx.t -> t -> (string * string) list -> unit
+
+(** Apply [f] to every stored key (bucket order). *)
+val iter_keys : Ctx.t -> t -> (string -> unit) -> unit
+
+val get : Ctx.t -> t -> string -> string option
+val del : Ctx.t -> t -> string -> bool
+val num_entries : Ctx.t -> t -> int64
+
+(** Remove every entry (FLUSHALL), one transaction. *)
+val clear : Ctx.t -> t -> unit
+
+val recover : Ctx.t -> t -> unit

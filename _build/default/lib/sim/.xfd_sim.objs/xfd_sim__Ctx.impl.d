@@ -1,0 +1,1 @@
+lib/sim/ctx.ml: Bytes Faults List Option Printf Xfd_mem Xfd_trace Xfd_util

@@ -1,0 +1,1 @@
+lib/sim/ctx.mli: Faults Xfd_mem Xfd_trace Xfd_util

@@ -1,0 +1,1 @@
+lib/sim/mt.ml: Array Ctx Effect Fun Int64 List Option Xfd_util

@@ -1,0 +1,1 @@
+lib/sim/mt.mli: Ctx

@@ -1,0 +1,190 @@
+module Device = Xfd_mem.Pm_device
+module Event = Xfd_trace.Event
+module Trace = Xfd_trace.Trace
+
+type stage = Pre_failure | Post_failure
+type strategy = Ordering_points | Every_update
+
+exception Detection_complete
+
+type t = {
+  dev : Device.t;
+  trace : Trace.t;
+  stage : stage;
+  strategy : strategy;
+  faults : Faults.t;
+  trust_library : bool;
+  tracing : bool;
+  on_failure_point : (t -> unit) option;
+  mutable in_roi : bool;
+  mutable skip_failure_depth : int;
+  mutable skip_detection_depth : int;
+  mutable ordering_points : int;
+  mutable update_ops : int;
+  mutable scheduler_hook : (unit -> unit) option;
+}
+
+let create ?(faults = Faults.none) ?(strategy = Ordering_points) ?(trust_library = true)
+    ?(tracing = true) ?on_failure_point ~stage ~dev ~trace () =
+  {
+    dev;
+    trace;
+    stage;
+    strategy;
+    faults;
+    trust_library;
+    tracing;
+    on_failure_point;
+    in_roi = false;
+    skip_failure_depth = 0;
+    skip_detection_depth = 0;
+    ordering_points = 0;
+    update_ops = 0;
+    scheduler_hook = None;
+  }
+
+let stage t = t.stage
+let device t = t.dev
+let trace t = t.trace
+let in_roi t = t.in_roi
+let trust_library t = t.trust_library
+let ordering_points t = t.ordering_points
+let faults t = t.faults
+let update_ops t = t.update_ops
+
+let emit t ~loc kind = if t.tracing then ignore (Trace.append t.trace ~kind ~loc)
+
+let set_scheduler_hook t hook = t.scheduler_hook <- hook
+let yield t = match t.scheduler_hook with Some f -> f () | None -> ()
+
+(* Faults only corrupt the pre-failure stage inside the RoI, and only
+   user-level operations (not trusted-library internals): seeded bugs model
+   programmer errors in the update path, not in recovery or library code.
+   Occurrence indices in a fault specification therefore refer to the n-th
+   user-level flush/fence, which keeps them stable and meaningful. *)
+let fault_active t =
+  t.stage = Pre_failure && t.in_roi && t.skip_detection_depth = 0
+  && Faults.is_none t.faults = false
+
+let injectable t =
+  t.stage = Pre_failure && t.in_roi && t.skip_failure_depth = 0
+  && Option.is_some t.on_failure_point
+
+let fire_failure_point t =
+  match t.on_failure_point with Some hook -> hook t | None -> ()
+
+(* The naive ablation strategy considers the PM status changed after every
+   update, so a failure point precedes the *next* operation after each
+   update; firing right after the update is equivalent and simpler. *)
+let after_update t =
+  t.update_ops <- t.update_ops + 1;
+  if t.strategy = Every_update && injectable t then fire_failure_point t
+
+let read t ~loc addr size =
+  yield t;
+  emit t ~loc (Event.Read { addr; size });
+  Device.load t.dev addr size
+
+let write t ~loc addr b =
+  yield t;
+  emit t ~loc (Event.Write { addr; size = Bytes.length b });
+  Device.store t.dev addr b;
+  after_update t
+
+let read_i64 t ~loc addr = Xfd_util.Bytesx.get_i64 (read t ~loc addr 8) 0
+let write_i64 t ~loc addr v = write t ~loc addr (Xfd_util.Bytesx.i64_to_bytes v)
+
+let write_nt t ~loc addr b =
+  yield t;
+  emit t ~loc (Event.Nt_write { addr; size = Bytes.length b });
+  Device.store_nt t.dev addr b;
+  after_update t
+
+let do_flush t ~loc addr =
+  yield t;
+  emit t ~loc (Event.Clwb { addr });
+  Device.clwb t.dev addr;
+  after_update t
+
+let clwb t ~loc addr =
+  match if fault_active t then Faults.on_flush t.faults else Faults.Normal with
+  | Faults.Skip -> ()
+  | Faults.Normal -> do_flush t ~loc addr
+  | Faults.Duplicate ->
+    do_flush t ~loc addr;
+    do_flush t ~loc addr
+
+let clflush t ~loc addr =
+  match if fault_active t then Faults.on_flush t.faults else Faults.Normal with
+  | Faults.Skip -> ()
+  | Faults.Normal | Faults.Duplicate ->
+    emit t ~loc (Event.Clflush { addr });
+    Device.clflush t.dev addr;
+    after_update t
+
+let do_sfence t ~loc =
+  yield t;
+  (* A failure point goes immediately *before* the ordering point: the state
+     checked is the one in which this fence never executed.  The frontend
+     hook is responsible for eliding points with no update since the last
+     one (it compares [update_ops]).  A fence that actually promotes
+     writeback-pending bytes is itself a PM-status change — that is what
+     makes the state after the last barrier (program completed) worth one
+     more, terminal failure point — whereas an empty fence is not. *)
+  if injectable t && t.strategy = Ordering_points then fire_failure_point t;
+  let promotes = Device.pending_bytes t.dev > 0 in
+  emit t ~loc Event.Sfence;
+  Device.sfence t.dev;
+  t.ordering_points <- t.ordering_points + 1;
+  if promotes then t.update_ops <- t.update_ops + 1
+
+let sfence t ~loc =
+  match if fault_active t then Faults.on_fence t.faults else Faults.Normal with
+  | Faults.Skip -> ()
+  | Faults.Normal | Faults.Duplicate -> do_sfence t ~loc
+
+let persist_barrier t ~loc addr size =
+  List.iter (fun line -> clwb t ~loc line) (Xfd_mem.Addr.lines_spanning addr size);
+  sfence t ~loc
+
+let roi_begin t ~loc =
+  t.in_roi <- true;
+  emit t ~loc Event.Roi_begin
+
+let roi_end t ~loc =
+  t.in_roi <- false;
+  emit t ~loc Event.Roi_end
+
+let skip_failure_begin t = t.skip_failure_depth <- t.skip_failure_depth + 1
+
+let skip_failure_end t =
+  if t.skip_failure_depth = 0 then invalid_arg "Ctx.skip_failure_end: not in a skip region";
+  t.skip_failure_depth <- t.skip_failure_depth - 1
+
+let skip_detection_begin t ~loc =
+  t.skip_detection_depth <- t.skip_detection_depth + 1;
+  emit t ~loc Event.Skip_detection_begin
+
+let skip_detection_end t ~loc =
+  if t.skip_detection_depth = 0 then
+    invalid_arg "Ctx.skip_detection_end: not in a skip region";
+  t.skip_detection_depth <- t.skip_detection_depth - 1;
+  emit t ~loc Event.Skip_detection_end
+
+let add_failure_point t = if injectable t then fire_failure_point t
+
+let add_commit_var t ~loc addr size = emit t ~loc (Event.Commit_var { addr; size })
+
+let add_commit_range t ~loc ~var addr size =
+  emit t ~loc (Event.Commit_range { var; addr; size })
+
+let marker t ~loc s = emit t ~loc (Event.Marker s)
+let complete_detection _t = raise Detection_complete
+
+exception Assertion_failed of string
+
+let check t ~loc cond msg =
+  if not cond then begin
+    marker t ~loc ("assertion failed: " ^ msg);
+    raise (Assertion_failed (Printf.sprintf "%s (%s)" msg (Xfd_util.Loc.to_string loc)))
+  end

@@ -1,0 +1,132 @@
+(** The instrumented execution context handed to every PM program.
+
+    This is the reproduction's substitute for Pin-based binary
+    instrumentation: a PM program is an OCaml function [Ctx.t -> unit] and
+    every PM access goes through this module, which (1) performs the access
+    on the simulated device, (2) appends a trace event carrying the caller's
+    source location, and (3) drives failure-point bookkeeping — calling the
+    frontend's hook immediately before each ordering point inside the
+    region of interest, exactly where section 4.2 injects failures.
+
+    The annotation functions mirror the paper's Table 2 software interface:
+    RoI selection, skipping failure injection or detection for trusted code,
+    manual failure points, and commit-variable registration. *)
+
+type stage = Pre_failure | Post_failure
+
+(** Where failure points are injected. [Ordering_points] is the paper's
+    scheme; [Every_update] is the naive per-update scheme used as the
+    ablation baseline in experiment E7. *)
+type strategy = Ordering_points | Every_update
+
+type t
+
+exception Detection_complete
+(** Raised by {!complete_detection}; the runner treats it as normal end. *)
+
+val create :
+  ?faults:Faults.t ->
+  ?strategy:strategy ->
+  ?trust_library:bool ->
+  ?tracing:bool ->
+  ?on_failure_point:(t -> unit) ->
+  stage:stage ->
+  dev:Xfd_mem.Pm_device.t ->
+  trace:Xfd_trace.Trace.t ->
+  unit ->
+  t
+
+val stage : t -> stage
+val device : t -> Xfd_mem.Pm_device.t
+val trace : t -> Xfd_trace.Trace.t
+val in_roi : t -> bool
+
+(** When true (the default, matching the paper), PM-library internals are
+    wrapped in skip-failure/skip-detection regions and traced at function
+    granularity.  When false the library itself is under test: internals are
+    traced and checked at instruction granularity. *)
+val trust_library : t -> bool
+
+(** Number of ordering points executed so far (inside or outside RoI). *)
+val ordering_points : t -> int
+
+(** {1 PM accesses} — each emits one trace event. *)
+
+val read : t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> int -> bytes
+val write : t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> bytes -> unit
+val read_i64 : t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> int64
+val write_i64 : t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> int64 -> unit
+val write_nt : t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> bytes -> unit
+val clwb : t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> unit
+val clflush : t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> unit
+val sfence : t -> loc:Xfd_util.Loc.t -> unit
+
+(** [persist_barrier t ~loc addr size] is "CLWB every line of the range;
+    SFENCE" — the paper's [persist_barrier()], a single ordering point. *)
+val persist_barrier : t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> int -> unit
+
+(** {1 Library-event emission} — used by the PMDK layer so the backend can
+    treat library calls at function granularity. *)
+
+val emit : t -> loc:Xfd_util.Loc.t -> Xfd_trace.Event.kind -> unit
+
+(** {1 Annotations (Table 2)} *)
+
+val roi_begin : t -> loc:Xfd_util.Loc.t -> unit
+val roi_end : t -> loc:Xfd_util.Loc.t -> unit
+
+(** While the skip-failure depth is positive, ordering points do not become
+    failure points (trusted library internals). *)
+val skip_failure_begin : t -> unit
+
+val skip_failure_end : t -> unit
+
+(** While the skip-detection depth is positive, the backend will not check
+    reads (it still applies writes to the shadow PM). *)
+val skip_detection_begin : t -> loc:Xfd_util.Loc.t -> unit
+
+val skip_detection_end : t -> loc:Xfd_util.Loc.t -> unit
+
+(** Inject a failure point right here, regardless of ordering points (the
+    paper's addFailurePoint, for checksum-style mechanisms and for the one
+    failure point per PMDK library call). *)
+val add_failure_point : t -> unit
+
+val add_commit_var : t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> int -> unit
+
+val add_commit_range :
+  t -> loc:Xfd_util.Loc.t -> var:Xfd_mem.Addr.t -> Xfd_mem.Addr.t -> int -> unit
+
+val marker : t -> loc:Xfd_util.Loc.t -> string -> unit
+
+(** Terminate detection for this execution (the paper's completeDetection). *)
+val complete_detection : t -> 'a
+
+exception Assertion_failed of string
+
+(** [check t ~loc cond msg] — post-failure value assertions, the paper's
+    section 5.5 recipe for value-dependent bugs the shadow PM cannot see:
+    "programmers may place assertions to check data values in the
+    post-failure code and then use XFDetector's failure injection mechanism
+    to trigger the post-failure execution".  A failing check raises
+    {!Assertion_failed}, which the engine records as a post-failure error
+    at the current failure point. *)
+val check : t -> loc:Xfd_util.Loc.t -> bool -> string -> unit
+
+(** {1 Fault-injection support} *)
+
+val faults : t -> Faults.t
+
+(** Monotone count of PM-status-changing operations (writes, NT writes,
+    flushes, fences).  The frontend compares this across failure points to
+    elide points between which the PM status cannot have changed
+    (section 5.4 optimisation 2). *)
+val update_ops : t -> int
+
+(** {1 Multithreading support (paper section 7)}
+
+    A scheduler hook, when set, runs at the start of every PM operation;
+    {!Xfd_sim.Mt} uses it to yield between logical threads so that their PM
+    operations interleave deterministically in one shared trace. *)
+
+val set_scheduler_hook : t -> (unit -> unit) option -> unit

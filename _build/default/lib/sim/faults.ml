@@ -1,0 +1,57 @@
+type spec = {
+  skip_flush : int list;
+  skip_fence : int list;
+  skip_tx_add : int list;
+  dup_flush : int list;
+  dup_tx_add : int list;
+}
+
+type t = {
+  spec : spec;
+  mutable n_flush : int;
+  mutable n_fence : int;
+  mutable n_tx_add : int;
+}
+
+type action = Normal | Skip | Duplicate
+
+let make ?(skip_flush = []) ?(skip_fence = []) ?(skip_tx_add = []) ?(dup_flush = [])
+    ?(dup_tx_add = []) () =
+  {
+    spec = { skip_flush; skip_fence; skip_tx_add; dup_flush; dup_tx_add };
+    n_flush = 0;
+    n_fence = 0;
+    n_tx_add = 0;
+  }
+
+let none = make ()
+
+let is_none t =
+  match t.spec with
+  | { skip_flush = []; skip_fence = []; skip_tx_add = []; dup_flush = []; dup_tx_add = [] }
+    ->
+    true
+  | _ -> false
+
+let reset t =
+  t.n_flush <- 0;
+  t.n_fence <- 0;
+  t.n_tx_add <- 0
+
+let decide ~skip ~dup n =
+  if List.mem n skip then Skip else if List.mem n dup then Duplicate else Normal
+
+let on_flush t =
+  let n = t.n_flush in
+  t.n_flush <- n + 1;
+  decide ~skip:t.spec.skip_flush ~dup:t.spec.dup_flush n
+
+let on_fence t =
+  let n = t.n_fence in
+  t.n_fence <- n + 1;
+  decide ~skip:t.spec.skip_fence ~dup:[] n
+
+let on_tx_add t =
+  let n = t.n_tx_add in
+  t.n_tx_add <- n + 1;
+  decide ~skip:t.spec.skip_tx_add ~dup:t.spec.dup_tx_add n

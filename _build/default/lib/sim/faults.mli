@@ -1,0 +1,38 @@
+(** Mechanical fault injection used to seed crash-consistency bugs.
+
+    The paper validates XFDetector against a suite of synthetic bugs (its
+    Table 5) produced by patching the workloads.  Rather than maintaining a
+    patched copy of each workload, the execution context consults a fault
+    specification: the n-th flush / fence / TX_ADD occurrence inside the
+    pre-failure region of interest can be skipped (creating a cross-failure
+    race) or duplicated (creating a performance bug).  Occurrences are
+    counted per run, so the same specification is deterministic. *)
+
+type t
+
+(** No faults. *)
+val none : t
+
+val make :
+  ?skip_flush:int list ->
+  ?skip_fence:int list ->
+  ?skip_tx_add:int list ->
+  ?dup_flush:int list ->
+  ?dup_tx_add:int list ->
+  unit ->
+  t
+
+(** Reset the occurrence counters (called by the engine before each run so
+    that re-executions see identical fault positions). *)
+val reset : t -> unit
+
+(** Each [on_*] call accounts for one occurrence of that operation and
+    reports what the instrumented operation should do. *)
+
+type action = Normal | Skip | Duplicate
+
+val on_flush : t -> action
+val on_fence : t -> action
+val on_tx_add : t -> action
+
+val is_none : t -> bool

@@ -1,0 +1,92 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Yield : unit Effect.t
+
+type schedule = Round_robin of int | Seeded of int
+
+type status = Finished | Yielded of (unit, status) continuation
+
+type slot = Fresh of (Ctx.t -> unit) | Paused of (unit, status) continuation | Done
+
+let switches = ref 0
+let last_switches () = !switches
+
+let run_thread ctx f =
+  match_with
+    (fun () ->
+      (match f ctx with () -> () | exception Ctx.Detection_complete -> ());
+      Finished)
+    ()
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield -> Some (fun (k : (a, status) continuation) -> Yielded k)
+          | _ -> None);
+    }
+
+let interleave ~schedule threads ctx =
+  switches := 0;
+  let slots = Array.of_list (List.map (fun f -> Fresh f) threads) in
+  let n = Array.length slots in
+  if n = 0 then ()
+  else begin
+    let alive = ref n in
+    let rng =
+      match schedule with
+      | Seeded seed -> Some (Xfd_util.Rng.create (Int64.of_int seed))
+      | Round_robin _ -> None
+    in
+    let current = ref 0 and quantum_left = ref 0 in
+    let next_alive from =
+      let rec go i =
+        let i = i mod n in
+        match slots.(i) with Done -> go (i + 1) | Fresh _ | Paused _ -> i
+      in
+      go from
+    in
+    let pick () =
+      match schedule with
+      | Round_robin q ->
+        let i =
+          if !quantum_left > 0 && slots.(!current) <> Done then !current
+          else begin
+            quantum_left := q;
+            next_alive (!current + 1)
+          end
+        in
+        decr quantum_left;
+        i
+      | Seeded _ ->
+        let rng = Option.get rng in
+        let rec nth_alive k i =
+          match slots.(i mod n) with
+          | Done -> nth_alive k (i + 1)
+          | Fresh _ | Paused _ -> if k = 0 then i mod n else nth_alive (k - 1) (i + 1)
+        in
+        nth_alive (Xfd_util.Rng.int rng !alive) 0
+    in
+    Ctx.set_scheduler_hook ctx (Some (fun () -> perform Yield));
+    Fun.protect
+      ~finally:(fun () -> Ctx.set_scheduler_hook ctx None)
+      (fun () ->
+        while !alive > 0 do
+          let i = pick () in
+          if i <> !current then incr switches;
+          current := i;
+          let status =
+            match slots.(i) with
+            | Fresh f -> run_thread ctx f
+            | Paused k -> continue k ()
+            | Done -> assert false
+          in
+          match status with
+          | Finished ->
+            slots.(i) <- Done;
+            decr alive
+          | Yielded k -> slots.(i) <- Paused k
+        done)
+  end

@@ -1,0 +1,30 @@
+(** Multithreaded PM programs (paper section 7).
+
+    The paper tests multithreaded workloads whose threads perform PM
+    operations on independent tasks: Pin traces the whole process, so the
+    detector sees one interleaved trace with a single global timestamp.
+    This module reproduces that setup deterministically: logical threads
+    are ordinary [Ctx.t -> unit] closures, run cooperatively on one shared
+    context; every PM operation is a yield point and a seeded scheduler
+    decides, per operation, which runnable thread proceeds.  The resulting
+    program is again a plain [Ctx.t -> unit], so {!Xfd.Engine.detect} works
+    unchanged — failure points fall between the operations of any thread,
+    exactly like a whole-process failure.
+
+    Scheduling is deterministic in the seed, which detection requires: the
+    engine replays nothing, but the pre-failure execution must be
+    reproducible across runs for fault seeding and report comparison. *)
+
+type schedule =
+  | Round_robin of int  (** switch every n PM operations *)
+  | Seeded of int  (** per-operation uniform choice from the given seed *)
+
+(** [interleave ~schedule threads ctx] runs all [threads] to completion on
+    the shared context, interleaving at PM-operation granularity.  A thread
+    raising {!Ctx.Detection_complete} stops only that thread; any other
+    exception aborts the interleaving and is re-raised. *)
+val interleave : schedule:schedule -> (Ctx.t -> unit) list -> Ctx.t -> unit
+
+(** Number of context switches performed by the last [interleave] on this
+    thread of control (for tests). *)
+val last_switches : unit -> int

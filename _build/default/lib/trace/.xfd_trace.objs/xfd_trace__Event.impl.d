@@ -1,0 +1,1 @@
+lib/trace/event.ml: Format Option String Xfd_mem Xfd_util

@@ -1,0 +1,1 @@
+lib/trace/event.mli: Format Xfd_mem Xfd_util

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Event Format Xfd_util

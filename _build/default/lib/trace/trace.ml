@@ -1,0 +1,79 @@
+type t = { mutable events : Event.t array; mutable len : int }
+
+let create () = { events = Array.make 256 { Event.seq = 0; kind = Event.Sfence; loc = Xfd_util.Loc.unknown }; len = 0 }
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.events) t.events.(0) in
+  Array.blit t.events 0 bigger 0 t.len;
+  t.events <- bigger
+
+let append t ~kind ~loc =
+  if t.len = Array.length t.events then grow t;
+  let ev = { Event.seq = t.len; kind; loc } in
+  t.events.(t.len) <- ev;
+  t.len <- t.len + 1;
+  ev
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: out of bounds";
+  t.events.(i)
+
+let iter_prefix t n f =
+  let n = min n t.len in
+  for i = 0 to n - 1 do
+    f t.events.(i)
+  done
+
+let iter t f = iter_prefix t t.len f
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    acc := t.events.(i) :: !acc
+  done;
+  !acc
+
+type counts = {
+  writes : int;
+  reads : int;
+  flushes : int;
+  fences : int;
+  tx_ops : int;
+  annotations : int;
+}
+
+let counts t =
+  let c = ref { writes = 0; reads = 0; flushes = 0; fences = 0; tx_ops = 0; annotations = 0 } in
+  iter t (fun ev ->
+      let x = !c in
+      c :=
+        (match ev.Event.kind with
+        | Write _ | Nt_write _ -> { x with writes = x.writes + 1 }
+        | Read _ -> { x with reads = x.reads + 1 }
+        | Clwb _ | Clflush _ | Clflushopt _ -> { x with flushes = x.flushes + 1 }
+        | Sfence | Mfence -> { x with fences = x.fences + 1 }
+        | Tx_begin | Tx_add _ | Tx_xadd _ | Tx_commit | Tx_abort | Tx_alloc _ | Tx_free _ ->
+          { x with tx_ops = x.tx_ops + 1 }
+        | Commit_var _ | Commit_range _ | Roi_begin | Roi_end | Skip_detection_begin
+        | Skip_detection_end | Marker _ ->
+          { x with annotations = x.annotations + 1 }));
+  !c
+
+let pp ppf t =
+  iter t (fun ev -> Format.fprintf ppf "%a@." Event.pp ev)
+
+let save t oc = iter t (fun ev -> output_string oc (Event.to_line ev ^ "\n"))
+
+let load ic =
+  let t = create () in
+  (try
+     while true do
+       let line = input_line ic in
+       match Event.of_line line with
+       | Some ev -> ignore (append t ~kind:ev.Event.kind ~loc:ev.Event.loc)
+       | None -> ()
+     done
+   with End_of_file -> ());
+  t

@@ -1,0 +1,39 @@
+(** An append-only buffer of {!Event.t}.
+
+    The frontend appends as the program runs; the backend replays either the
+    whole buffer or the prefix up to a failure point.  The pre-failure trace
+    is shared across failure points (the paper's incremental tracing): each
+    failure point only records the prefix length it corresponds to. *)
+
+type t
+
+val create : unit -> t
+
+(** Append an event; the sequence number is assigned automatically. *)
+val append : t -> kind:Event.kind -> loc:Xfd_util.Loc.t -> Event.t
+
+val length : t -> int
+val get : t -> int -> Event.t
+
+(** [iter_prefix t n f] applies [f] to events [0 .. n-1]. *)
+val iter_prefix : t -> int -> (Event.t -> unit) -> unit
+
+val iter : t -> (Event.t -> unit) -> unit
+val to_list : t -> Event.t list
+
+type counts = {
+  writes : int;
+  reads : int;
+  flushes : int;
+  fences : int;
+  tx_ops : int;
+  annotations : int;
+}
+
+val counts : t -> counts
+val pp : Format.formatter -> t -> unit
+
+(** Serialize to / parse from the one-line-per-event text format. *)
+val save : t -> out_channel -> unit
+
+val load : in_channel -> t

@@ -1,0 +1,20 @@
+let get_i64 b off = Bytes.get_int64_le b off
+let set_i64 b off v = Bytes.set_int64_le b off v
+
+let i64_to_bytes v =
+  let b = Bytes.create 8 in
+  set_i64 b 0 v;
+  b
+
+let i64_of_bytes b =
+  if Bytes.length b <> 8 then invalid_arg "Bytesx.i64_of_bytes: need 8 bytes";
+  get_i64 b 0
+
+let hexdump b =
+  let buf = Buffer.create (Bytes.length b * 4) in
+  Bytes.iteri
+    (fun i c ->
+      if i > 0 && i mod 16 = 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf (Printf.sprintf "%02x " (Char.code c)))
+    b;
+  Buffer.contents buf

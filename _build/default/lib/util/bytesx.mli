@@ -1,0 +1,12 @@
+(** Little-endian encoding helpers shared by the PM image and typed layouts. *)
+
+val get_i64 : bytes -> int -> int64
+val set_i64 : bytes -> int -> int64 -> unit
+
+(** [i64_to_bytes v] is the 8-byte little-endian encoding of [v]. *)
+val i64_to_bytes : int64 -> bytes
+
+val i64_of_bytes : bytes -> int64
+
+(** Hex dump of a byte string, 16 bytes per line, for debug reports. *)
+val hexdump : bytes -> string

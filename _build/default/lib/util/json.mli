@@ -1,0 +1,21 @@
+(** A minimal JSON encoder (no external dependencies).
+
+    Only what the report output needs: objects, arrays, strings with
+    correct escaping, integers, floats and booleans. *)
+
+type t =
+  | Obj of (string * t) list
+  | Arr of t list
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Null
+
+val to_string : t -> string
+
+(** Pretty-printed with two-space indentation. *)
+val to_string_pretty : t -> string
+
+(** Escape a string body per RFC 8259 (without the surrounding quotes). *)
+val escape : string -> string

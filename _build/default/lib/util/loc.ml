@@ -1,0 +1,14 @@
+type t = { file : string; line : int }
+
+let make ~file ~line = { file; line }
+let of_pos (file, line, _, _) = { file; line }
+let unknown = { file = "<unknown>"; line = 0 }
+let equal a b = String.equal a.file b.file && Int.equal a.line b.line
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> Int.compare a.line b.line
+  | c -> c
+
+let pp ppf { file; line } = Format.fprintf ppf "%s:%d" file line
+let to_string t = Format.asprintf "%a" pp t

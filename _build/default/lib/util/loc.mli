@@ -1,0 +1,21 @@
+(** Source locations attached to traced PM operations.
+
+    XFDetector reports the file name and line number of both the reader and
+    the last writer involved in a cross-failure bug (paper section 5.4).  In
+    the OCaml reproduction every instrumented operation carries a location,
+    normally captured with [__POS__] at the call site. *)
+
+type t = { file : string; line : int }
+
+val make : file:string -> line:int -> t
+
+(** [of_pos __POS__] builds a location from OCaml's built-in position. *)
+val of_pos : string * int * int * int -> t
+
+(** Location used when the caller did not supply one. *)
+val unknown : t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

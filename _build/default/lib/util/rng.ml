@@ -1,0 +1,30 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let int64_in t bound =
+  if Int64.compare bound 0L <= 0 then invalid_arg "Rng.int64_in: bound <= 0";
+  (* Rejection-free modulo is fine for our non-cryptographic uses. *)
+  let v = Int64.logand (next t) Int64.max_int in
+  Int64.rem v bound
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  Int64.to_int (int64_in t (Int64.of_int bound))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let key t len = String.init len (fun _ -> Char.chr (Char.code 'a' + int t 26))
+
+let split t = create (next t)

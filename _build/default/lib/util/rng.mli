@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Workload generators and property tests need reproducible randomness that
+    does not depend on the global [Random] state.  Splitmix64 is small, fast
+    and passes BigCrush; determinism matters because failure-point injection
+    re-runs the post-failure stage many times and the pre-failure trace must
+    be identical across runs. *)
+
+type t
+
+val create : int64 -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [int64_in t bound] is uniform in [\[0, bound)]. *)
+val int64_in : t -> int64 -> int64
+
+(** Uniform printable lowercase key of the given length. *)
+val key : t -> int -> string
+
+val bool : t -> bool
+
+(** Independent stream split off the current state. *)
+val split : t -> t

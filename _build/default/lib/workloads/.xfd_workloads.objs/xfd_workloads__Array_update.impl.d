@@ -1,0 +1,1 @@
+lib/workloads/array_update.ml: Int64 List Printf Wl Xfd Xfd_pmdk Xfd_sim

@@ -1,0 +1,1 @@
+lib/workloads/array_update.mli: Xfd Xfd_sim

@@ -1,0 +1,1 @@
+lib/workloads/bug_suite.ml: Btree Ctree Hashmap_atomic Hashmap_tx List Printf Rbtree Xfd Xfd_sim

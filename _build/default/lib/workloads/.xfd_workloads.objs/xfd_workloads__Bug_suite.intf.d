@@ -1,0 +1,1 @@
+lib/workloads/bug_suite.mli: Xfd Xfd_sim

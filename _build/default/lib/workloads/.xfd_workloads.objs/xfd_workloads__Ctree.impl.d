@@ -1,0 +1,1 @@
+lib/workloads/ctree.ml: Int64 List Wl Xfd Xfd_pmdk Xfd_sim

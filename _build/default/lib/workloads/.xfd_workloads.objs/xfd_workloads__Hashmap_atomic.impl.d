@@ -1,0 +1,1 @@
+lib/workloads/hashmap_atomic.ml: Int64 List Printf Wl Xfd Xfd_mem Xfd_pmdk Xfd_sim

@@ -1,0 +1,1 @@
+lib/workloads/hashmap_atomic.mli: Xfd Xfd_sim

@@ -1,0 +1,1 @@
+lib/workloads/hashmap_tx.ml: Int64 List Wl Xfd Xfd_pmdk Xfd_sim

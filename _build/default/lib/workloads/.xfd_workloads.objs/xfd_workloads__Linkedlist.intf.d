@@ -1,0 +1,1 @@
+lib/workloads/linkedlist.mli: Xfd Xfd_sim

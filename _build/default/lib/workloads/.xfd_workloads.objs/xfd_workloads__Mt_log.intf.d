@@ -1,0 +1,1 @@
+lib/workloads/mt_log.mli: Xfd Xfd_sim

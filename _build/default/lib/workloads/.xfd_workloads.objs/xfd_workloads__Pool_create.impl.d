@@ -1,0 +1,1 @@
+lib/workloads/pool_create.ml: Printf String Wl Xfd Xfd_pmdk Xfd_sim

@@ -1,0 +1,1 @@
+lib/workloads/pool_create.mli: Xfd Xfd_sim

@@ -1,0 +1,1 @@
+lib/workloads/queue.mli: Xfd Xfd_sim

@@ -1,0 +1,1 @@
+lib/workloads/rbtree.ml: Hashtbl Int64 List Printf Wl Xfd Xfd_mem Xfd_pmdk Xfd_sim

@@ -1,0 +1,1 @@
+lib/workloads/rbtree.mli: Xfd Xfd_sim

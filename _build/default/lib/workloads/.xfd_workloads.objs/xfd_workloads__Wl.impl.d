@@ -1,0 +1,1 @@
+lib/workloads/wl.ml: Hashtbl Int64 List Xfd_pmdk Xfd_sim Xfd_util

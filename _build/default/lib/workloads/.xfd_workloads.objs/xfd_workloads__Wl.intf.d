@@ -1,0 +1,1 @@
+lib/workloads/wl.mli: Xfd_mem Xfd_sim Xfd_util

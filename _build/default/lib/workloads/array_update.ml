@@ -1,0 +1,100 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Layout = Xfd_pmdk.Layout
+module Pmem = Xfd_pmdk.Pmem
+
+let ( !! ) = Wl.loc
+
+type handle = Pool.t
+
+let array_len = 64
+
+(* Root layout: slot 0 = valid, slot 1 = backup.idx, slot 2 = backup.val;
+   the array starts one cache line in so that flushing the backup record
+   does not accidentally persist array elements. *)
+let valid_addr pool = Layout.slot (Pool.root pool) 0
+let backup_idx_addr pool = Layout.slot (Pool.root pool) 1
+let backup_val_addr pool = Layout.slot (Pool.root pool) 2
+let arr_addr pool i = Layout.slot (Pool.root pool) (8 + i)
+
+(* valid guards the *backup record*: backup contents are trustworthy only
+   when written between the last two updates of valid (Eq. 3).  The array
+   itself is plain in-place data — race-checked, not semantically tracked. *)
+let register ctx pool =
+  Ctx.add_commit_var ctx ~loc:!!__POS__ (valid_addr pool) 8;
+  Ctx.add_commit_range ctx ~loc:!!__POS__ ~var:(valid_addr pool) (backup_idx_addr pool) 16
+
+let create ctx =
+  let pool = Pool.create_atomic ctx ~loc:!!__POS__ () in
+  register ctx pool;
+  pool
+
+let open_ ctx =
+  let pool = Pool.open_pool ctx ~loc:!!__POS__ () in
+  register ctx pool;
+  pool
+
+let get ctx pool i = Ctx.read_i64 ctx ~loc:!!__POS__ (arr_addr pool i)
+
+(* Figure 2's update().  With [correct_valid:false] the valid flag is set to
+   0 before the in-place update and 1 after it — exactly the bug. *)
+let update ctx pool ~correct_valid idx v =
+  Ctx.write_i64 ctx ~loc:!!__POS__ (backup_idx_addr pool) (Int64.of_int idx);
+  let old = Ctx.read_i64 ctx ~loc:!!__POS__ (arr_addr pool idx) in
+  Ctx.write_i64 ctx ~loc:!!__POS__ (backup_val_addr pool) old;
+  Ctx.persist_barrier ctx ~loc:!!__POS__ (backup_idx_addr pool) 16;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (valid_addr pool) (if correct_valid then 1L else 0L);
+  Ctx.persist_barrier ctx ~loc:!!__POS__ (valid_addr pool) 8;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (arr_addr pool idx) v;
+  Ctx.persist_barrier ctx ~loc:!!__POS__ (arr_addr pool idx) 8;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (valid_addr pool) (if correct_valid then 0L else 1L);
+  Ctx.persist_barrier ctx ~loc:!!__POS__ (valid_addr pool) 8
+
+(* Figure 2's recover(): if the backup is valid, roll the element back. *)
+let recover ctx pool ~correct_valid =
+  let valid = Ctx.read_i64 ctx ~loc:!!__POS__ (valid_addr pool) in
+  if Int64.equal valid 1L then begin
+    let idx = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (backup_idx_addr pool)) in
+    let old = Ctx.read_i64 ctx ~loc:!!__POS__ (backup_val_addr pool) in
+    if idx >= 0 && idx < array_len then begin
+      Ctx.write_i64 ctx ~loc:!!__POS__ (arr_addr pool idx) old;
+      Pmem.persist ctx ~loc:!!__POS__ (arr_addr pool idx) 8
+    end;
+    Ctx.write_i64 ctx ~loc:!!__POS__ (valid_addr pool) 0L;
+    Pmem.persist ctx ~loc:!!__POS__ (valid_addr pool) 8
+  end;
+  ignore correct_valid
+
+let program ?(size = 1) ?(correct_valid = false) () =
+  let rng_slots = List.init size (fun i -> (i * 7) mod array_len) in
+  let setup ctx =
+    let pool = create ctx in
+    (* Give every slot a persisted initial value. *)
+    for i = 0 to array_len - 1 do
+      Ctx.write_i64 ctx ~loc:!!__POS__ (arr_addr pool i) (Int64.of_int (100 + i))
+    done;
+    Pmem.persist ctx ~loc:!!__POS__ (arr_addr pool 0) (8 * array_len)
+  in
+  let pre ctx =
+    let pool = open_ ctx in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    List.iteri
+      (fun n idx -> update ctx pool ~correct_valid idx (Int64.of_int (1000 + n)))
+      rng_slots;
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  let post ctx =
+    let pool = open_ ctx in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    recover ctx pool ~correct_valid;
+    (* Resumption: read back every slot the pre-failure stage touched. *)
+    List.iter (fun idx -> ignore (get ctx pool idx)) rng_slots;
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  {
+    Xfd.Engine.name =
+      Printf.sprintf "array_update(%s)" (if correct_valid then "fixed" else "fig2-bug");
+    setup;
+    pre;
+    post;
+  }

@@ -1,0 +1,31 @@
+(** The paper's Figure 2 workload: a low-level backup/valid update protocol
+    over a persistent array.
+
+    [update] backs up the old value, flags the backup valid, updates the
+    array in place, and clears the flag — with persist barriers in all the
+    right places.  The faithful (buggy) variant writes the {e wrong values}
+    to [valid] (0 where 1 belongs and vice versa), so recovery either skips
+    a needed rollback (reading the non-persisted array element — a
+    cross-failure race) or rolls back from a stale backup (a cross-failure
+    semantic bug).  [valid] is registered as a commit variable with the
+    backup record and the array as its associated ranges, which is the one
+    annotation the paper needs for this example. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type handle
+
+val array_len : int
+
+val create : Ctx.t -> handle
+val open_ : Ctx.t -> handle
+
+(** [update ctx h ~correct_valid idx v] — [correct_valid:false] is Fig. 2. *)
+val update : Ctx.t -> handle -> correct_valid:bool -> int -> int64 -> unit
+
+val get : Ctx.t -> handle -> int -> int64
+val recover : Ctx.t -> handle -> correct_valid:bool -> unit
+
+(** Detection program: [size] random-slot updates in the RoI; the
+    post-failure stage recovers and re-reads the touched slots. *)
+val program : ?size:int -> ?correct_valid:bool -> unit -> Xfd.Engine.program

@@ -1,0 +1,401 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Tx = Xfd_pmdk.Tx
+module Alloc = Xfd_pmdk.Alloc
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Wl.loc
+
+type handle = Pool.t
+
+(* Minimum degree t = 4: nodes hold 3..7 keys and up to 8 children. *)
+let t_degree = 4
+let max_keys = (2 * t_degree) - 1
+
+(* Node layout (24 slots, 192 bytes):
+   slot 0 = n (key count), slot 1..7 = keys, slot 8..14 = values,
+   slot 15..22 = children, slot 23 = is_leaf. *)
+let node_size = 192
+let n_addr node = Layout.slot node 0
+let key_addr node i = Layout.slot node (1 + i)
+let val_addr node i = Layout.slot node (8 + i)
+let child_addr node i = Layout.slot node (15 + i)
+let leaf_addr node = Layout.slot node 23
+
+(* Root object: slot 0 = root node pointer, slot 8 = element count. *)
+let root_ptr_addr pool = Layout.slot (Pool.root pool) 0
+let count_addr pool = Layout.slot (Pool.root pool) 8
+
+let read_n ctx node = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (n_addr node))
+let write_n ctx node n = Ctx.write_i64 ctx ~loc:!!__POS__ (n_addr node) (Int64.of_int n)
+let read_key ctx node i = Ctx.read_i64 ctx ~loc:!!__POS__ (key_addr node i)
+let read_val ctx node i = Ctx.read_i64 ctx ~loc:!!__POS__ (val_addr node i)
+let read_child ctx node i = Layout.read_ptr ctx ~loc:!!__POS__ (child_addr node i)
+let is_leaf ctx node = Int64.equal (Ctx.read_i64 ctx ~loc:!!__POS__ (leaf_addr node)) 1L
+
+let new_node ctx pool ~leaf =
+  let node = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:node_size ~zero:true in
+  Tx.add_range_no_snapshot ctx pool ~loc:!!__POS__ node node_size;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (leaf_addr node) (if leaf then 1L else 0L);
+  node
+
+let touch ctx pool node = Tx.add ctx pool ~loc:!!__POS__ node node_size
+
+let create ctx = Pool.create_atomic ctx ~loc:!!__POS__ ()
+let open_ ctx = Pool.open_pool ctx ~loc:!!__POS__ ()
+
+(* Move the upper half of full [child] (n = 7) into a fresh sibling and
+   lift the median into [parent] at child index [i]. *)
+let split_child ctx pool parent i child =
+  let right = new_node ctx pool ~leaf:(is_leaf ctx child) in
+  touch ctx pool child;
+  touch ctx pool parent;
+  (* Upper t-1 keys/values move right. *)
+  for j = 0 to t_degree - 2 do
+    Ctx.write_i64 ctx ~loc:!!__POS__ (key_addr right j) (read_key ctx child (j + t_degree));
+    Ctx.write_i64 ctx ~loc:!!__POS__ (val_addr right j) (read_val ctx child (j + t_degree))
+  done;
+  if not (is_leaf ctx child) then
+    for j = 0 to t_degree - 1 do
+      Layout.write_ptr ctx ~loc:!!__POS__ (child_addr right j) (read_child ctx child (j + t_degree))
+    done;
+  write_n ctx right (t_degree - 1);
+  write_n ctx child (t_degree - 1);
+  (* Shift the parent's children and keys right of position i. *)
+  let pn = read_n ctx parent in
+  for j = pn downto i + 1 do
+    Layout.write_ptr ctx ~loc:!!__POS__ (child_addr parent (j + 1)) (read_child ctx parent j)
+  done;
+  Layout.write_ptr ctx ~loc:!!__POS__ (child_addr parent (i + 1)) right;
+  for j = pn - 1 downto i do
+    Ctx.write_i64 ctx ~loc:!!__POS__ (key_addr parent (j + 1)) (read_key ctx parent j);
+    Ctx.write_i64 ctx ~loc:!!__POS__ (val_addr parent (j + 1)) (read_val ctx parent j)
+  done;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (key_addr parent i) (read_key ctx child (t_degree - 1));
+  Ctx.write_i64 ctx ~loc:!!__POS__ (val_addr parent i) (read_val ctx child (t_degree - 1));
+  write_n ctx parent (pn + 1)
+
+(* Insert into a node known not to be full; returns true if a new key was
+   added (false when an existing key's value was overwritten). *)
+let rec insert_nonfull ctx pool node k v =
+  let n = read_n ctx node in
+  (* Position of the first key >= k, and whether k is already present. *)
+  let rec find i = if i < n && Int64.compare (read_key ctx node i) k < 0 then find (i + 1) else i in
+  let pos = find 0 in
+  if pos < n && Int64.equal (read_key ctx node pos) k then begin
+    touch ctx pool node;
+    Ctx.write_i64 ctx ~loc:!!__POS__ (val_addr node pos) v;
+    false
+  end
+  else if is_leaf ctx node then begin
+    touch ctx pool node;
+    for j = n - 1 downto pos do
+      Ctx.write_i64 ctx ~loc:!!__POS__ (key_addr node (j + 1)) (read_key ctx node j);
+      Ctx.write_i64 ctx ~loc:!!__POS__ (val_addr node (j + 1)) (read_val ctx node j)
+    done;
+    Ctx.write_i64 ctx ~loc:!!__POS__ (key_addr node pos) k;
+    Ctx.write_i64 ctx ~loc:!!__POS__ (val_addr node pos) v;
+    write_n ctx node (n + 1);
+    true
+  end
+  else begin
+    let child = read_child ctx node pos in
+    if read_n ctx child = max_keys then begin
+      split_child ctx pool node pos child;
+      (* The median moved up to [pos]; decide which side k belongs to. *)
+      let mk = read_key ctx node pos in
+      if Int64.equal mk k then begin
+        touch ctx pool node;
+        Ctx.write_i64 ctx ~loc:!!__POS__ (val_addr node pos) v;
+        false
+      end
+      else
+        let pos = if Int64.compare k mk > 0 then pos + 1 else pos in
+        insert_nonfull ctx pool (read_child ctx node pos) k v
+    end
+    else insert_nonfull ctx pool child k v
+  end
+
+let insert ctx pool k v =
+  Tx.run ctx pool ~loc:!!__POS__ (fun () ->
+      let root = Layout.read_ptr ctx ~loc:!!__POS__ (root_ptr_addr pool) in
+      let root =
+        if Layout.is_null root then begin
+          let node = new_node ctx pool ~leaf:true in
+          Tx.add ctx pool ~loc:!!__POS__ (root_ptr_addr pool) 8;
+          Layout.write_ptr ctx ~loc:!!__POS__ (root_ptr_addr pool) node;
+          node
+        end
+        else if read_n ctx root = max_keys then begin
+          let top = new_node ctx pool ~leaf:false in
+          Layout.write_ptr ctx ~loc:!!__POS__ (child_addr top 0) root;
+          split_child ctx pool top 0 root;
+          Tx.add ctx pool ~loc:!!__POS__ (root_ptr_addr pool) 8;
+          Layout.write_ptr ctx ~loc:!!__POS__ (root_ptr_addr pool) top;
+          top
+        end
+        else root
+      in
+      if insert_nonfull ctx pool root k v then begin
+        Tx.add ctx pool ~loc:!!__POS__ (count_addr pool) 8;
+        let c = Ctx.read_i64 ctx ~loc:!!__POS__ (count_addr pool) in
+        Ctx.write_i64 ctx ~loc:!!__POS__ (count_addr pool) (Int64.add c 1L)
+      end)
+
+(* ---- deletion (CLRS 18.3) ----
+
+   Every node is snapshotted at most once per transaction: deletion can
+   revisit a node (fill then descend), so a touched-set guards TX_ADD. *)
+
+let touch_once ctx pool touched node =
+  if not (Hashtbl.mem touched node) then begin
+    Hashtbl.replace touched node ();
+    touch ctx pool node
+  end
+
+let copy_entry ctx ~src ~si ~dst ~di =
+  Ctx.write_i64 ctx ~loc:!!__POS__ (key_addr dst di) (read_key ctx src si);
+  Ctx.write_i64 ctx ~loc:!!__POS__ (val_addr dst di) (read_val ctx src si)
+
+(* Rightmost entry of the subtree rooted at [node]. *)
+let rec max_entry ctx node =
+  let n = read_n ctx node in
+  if is_leaf ctx node then (read_key ctx node (n - 1), read_val ctx node (n - 1))
+  else max_entry ctx (read_child ctx node n)
+
+let rec min_entry ctx node =
+  if is_leaf ctx node then (read_key ctx node 0, read_val ctx node 0)
+  else min_entry ctx (read_child ctx node 0)
+
+(* Merge child[i], parent key i and child[i+1] into child[i]; free the
+   right sibling.  Both children hold t-1 keys. *)
+let merge_children ctx pool touched parent i =
+  let left = read_child ctx parent i and right = read_child ctx parent (i + 1) in
+  touch_once ctx pool touched parent;
+  touch_once ctx pool touched left;
+  touch_once ctx pool touched right;
+  copy_entry ctx ~src:parent ~si:i ~dst:left ~di:(t_degree - 1);
+  for j = 0 to t_degree - 2 do
+    copy_entry ctx ~src:right ~si:j ~dst:left ~di:(t_degree + j)
+  done;
+  if not (is_leaf ctx left) then
+    for j = 0 to t_degree - 1 do
+      Layout.write_ptr ctx ~loc:!!__POS__ (child_addr left (t_degree + j)) (read_child ctx right j)
+    done;
+  write_n ctx left ((2 * t_degree) - 1);
+  let pn = read_n ctx parent in
+  for j = i to pn - 2 do
+    copy_entry ctx ~src:parent ~si:(j + 1) ~dst:parent ~di:j
+  done;
+  for j = i + 1 to pn - 1 do
+    Layout.write_ptr ctx ~loc:!!__POS__ (child_addr parent j) (read_child ctx parent (j + 1))
+  done;
+  write_n ctx parent (pn - 1);
+  Alloc.free ctx pool ~loc:!!__POS__ right
+
+(* Move one entry from child[pos-1] through the parent into child[pos]. *)
+let borrow_from_prev ctx pool touched parent pos =
+  let child = read_child ctx parent pos and sib = read_child ctx parent (pos - 1) in
+  touch_once ctx pool touched parent;
+  touch_once ctx pool touched child;
+  touch_once ctx pool touched sib;
+  let cn = read_n ctx child and sn = read_n ctx sib in
+  for j = cn - 1 downto 0 do
+    copy_entry ctx ~src:child ~si:j ~dst:child ~di:(j + 1)
+  done;
+  if not (is_leaf ctx child) then
+    for j = cn downto 0 do
+      Layout.write_ptr ctx ~loc:!!__POS__ (child_addr child (j + 1)) (read_child ctx child j)
+    done;
+  copy_entry ctx ~src:parent ~si:(pos - 1) ~dst:child ~di:0;
+  if not (is_leaf ctx child) then
+    Layout.write_ptr ctx ~loc:!!__POS__ (child_addr child 0) (read_child ctx sib sn);
+  copy_entry ctx ~src:sib ~si:(sn - 1) ~dst:parent ~di:(pos - 1);
+  write_n ctx child (cn + 1);
+  write_n ctx sib (sn - 1)
+
+let borrow_from_next ctx pool touched parent pos =
+  let child = read_child ctx parent pos and sib = read_child ctx parent (pos + 1) in
+  touch_once ctx pool touched parent;
+  touch_once ctx pool touched child;
+  touch_once ctx pool touched sib;
+  let cn = read_n ctx child and sn = read_n ctx sib in
+  copy_entry ctx ~src:parent ~si:pos ~dst:child ~di:cn;
+  if not (is_leaf ctx child) then
+    Layout.write_ptr ctx ~loc:!!__POS__ (child_addr child (cn + 1)) (read_child ctx sib 0);
+  copy_entry ctx ~src:sib ~si:0 ~dst:parent ~di:pos;
+  for j = 0 to sn - 2 do
+    copy_entry ctx ~src:sib ~si:(j + 1) ~dst:sib ~di:j
+  done;
+  if not (is_leaf ctx sib) then
+    for j = 0 to sn - 1 do
+      Layout.write_ptr ctx ~loc:!!__POS__ (child_addr sib j) (read_child ctx sib (j + 1))
+    done;
+  write_n ctx child (cn + 1);
+  write_n ctx sib (sn - 1)
+
+(* Guarantee child[pos] has at least t keys before descending; returns the
+   (possibly shifted) child position. *)
+let ensure_roomy ctx pool touched parent pos =
+  let child = read_child ctx parent pos in
+  if read_n ctx child >= t_degree then pos
+  else begin
+    let n = read_n ctx parent in
+    if pos > 0 && read_n ctx (read_child ctx parent (pos - 1)) >= t_degree then begin
+      borrow_from_prev ctx pool touched parent pos;
+      pos
+    end
+    else if pos < n && read_n ctx (read_child ctx parent (pos + 1)) >= t_degree then begin
+      borrow_from_next ctx pool touched parent pos;
+      pos
+    end
+    else if pos < n then begin
+      merge_children ctx pool touched parent pos;
+      pos
+    end
+    else begin
+      merge_children ctx pool touched parent (pos - 1);
+      pos - 1
+    end
+  end
+
+let remove_from_leaf ctx pool touched node pos =
+  touch_once ctx pool touched node;
+  let n = read_n ctx node in
+  for j = pos to n - 2 do
+    copy_entry ctx ~src:node ~si:(j + 1) ~dst:node ~di:j
+  done;
+  write_n ctx node (n - 1)
+
+let rec delete_from ctx pool touched node k =
+  let n = read_n ctx node in
+  let rec find i = if i < n && Int64.compare (read_key ctx node i) k < 0 then find (i + 1) else i in
+  let pos = find 0 in
+  if pos < n && Int64.equal (read_key ctx node pos) k then begin
+    if is_leaf ctx node then begin
+      remove_from_leaf ctx pool touched node pos;
+      true
+    end
+    else begin
+      let left = read_child ctx node pos and right = read_child ctx node (pos + 1) in
+      if read_n ctx left >= t_degree then begin
+        let pk, pv = max_entry ctx left in
+        touch_once ctx pool touched node;
+        Ctx.write_i64 ctx ~loc:!!__POS__ (key_addr node pos) pk;
+        Ctx.write_i64 ctx ~loc:!!__POS__ (val_addr node pos) pv;
+        ignore (delete_from ctx pool touched left pk);
+        true
+      end
+      else if read_n ctx right >= t_degree then begin
+        let sk, sv = min_entry ctx right in
+        touch_once ctx pool touched node;
+        Ctx.write_i64 ctx ~loc:!!__POS__ (key_addr node pos) sk;
+        Ctx.write_i64 ctx ~loc:!!__POS__ (val_addr node pos) sv;
+        ignore (delete_from ctx pool touched right sk);
+        true
+      end
+      else begin
+        merge_children ctx pool touched node pos;
+        ignore (delete_from ctx pool touched (read_child ctx node pos) k);
+        true
+      end
+    end
+  end
+  else if is_leaf ctx node then false
+  else begin
+    let pos = ensure_roomy ctx pool touched node pos in
+    delete_from ctx pool touched (read_child ctx node pos) k
+  end
+
+let remove ctx pool k =
+  Tx.run ctx pool ~loc:!!__POS__ (fun () ->
+      let root = Layout.read_ptr ctx ~loc:!!__POS__ (root_ptr_addr pool) in
+      if Layout.is_null root then false
+      else begin
+        let touched = Hashtbl.create 16 in
+        let found = delete_from ctx pool touched root k in
+        (* An emptied internal root shrinks the tree by one level. *)
+        if read_n ctx root = 0 && not (is_leaf ctx root) then begin
+          Tx.add ctx pool ~loc:!!__POS__ (root_ptr_addr pool) 8;
+          Layout.write_ptr ctx ~loc:!!__POS__ (root_ptr_addr pool) (read_child ctx root 0);
+          Alloc.free ctx pool ~loc:!!__POS__ root
+        end
+        else if read_n ctx root = 0 && is_leaf ctx root then begin
+          Tx.add ctx pool ~loc:!!__POS__ (root_ptr_addr pool) 8;
+          Layout.write_ptr ctx ~loc:!!__POS__ (root_ptr_addr pool) Layout.null;
+          Alloc.free ctx pool ~loc:!!__POS__ root
+        end;
+        if found then begin
+          Tx.add ctx pool ~loc:!!__POS__ (count_addr pool) 8;
+          let c = Ctx.read_i64 ctx ~loc:!!__POS__ (count_addr pool) in
+          Ctx.write_i64 ctx ~loc:!!__POS__ (count_addr pool) (Int64.sub c 1L)
+        end;
+        found
+      end)
+
+let get ctx pool k =
+  let rec go node =
+    if Layout.is_null node then None
+    else begin
+      let n = read_n ctx node in
+      let rec find i = if i < n && Int64.compare (read_key ctx node i) k < 0 then find (i + 1) else i in
+      let pos = find 0 in
+      if pos < n && Int64.equal (read_key ctx node pos) k then Some (read_val ctx node pos)
+      else if is_leaf ctx node then None
+      else go (read_child ctx node pos)
+    end
+  in
+  go (Layout.read_ptr ctx ~loc:!!__POS__ (root_ptr_addr pool))
+
+let count ctx pool = Ctx.read_i64 ctx ~loc:!!__POS__ (count_addr pool)
+
+let entries ctx pool =
+  let rec go acc node =
+    if Layout.is_null node then acc
+    else begin
+      let n = read_n ctx node in
+      let leaf = is_leaf ctx node in
+      let acc = ref acc in
+      for i = n - 1 downto 0 do
+        if not leaf then acc := go !acc (read_child ctx node (i + 1));
+        acc := (read_key ctx node i, read_val ctx node i) :: !acc
+      done;
+      if not leaf then acc := go !acc (read_child ctx node 0);
+      !acc
+    end
+  in
+  go [] (Layout.read_ptr ctx ~loc:!!__POS__ (root_ptr_addr pool))
+
+let depth ctx pool =
+  let rec go node =
+    if Layout.is_null node then 0
+    else if is_leaf ctx node then 1
+    else 1 + go (read_child ctx node 0)
+  in
+  go (Layout.read_ptr ctx ~loc:!!__POS__ (root_ptr_addr pool))
+
+let recover ctx pool = Tx.recover ctx pool ~loc:!!__POS__
+
+let program ?(init_size = 0) ?(size = 1) () =
+  let setup ctx =
+    let pool = create ctx in
+    List.iter (fun k -> insert ctx pool k (Int64.neg k)) (Wl.keys ~seed:11 init_size)
+  in
+  let pre ctx =
+    let pool = open_ ctx in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    List.iter (fun k -> insert ctx pool k (Int64.neg k)) (Wl.keys ~seed:13 size);
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  let post ctx =
+    let pool = open_ ctx in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    recover ctx pool;
+    (match Wl.keys ~seed:13 (max size 1) with
+    | k :: _ -> ignore (get ctx pool k)
+    | [] -> ());
+    insert ctx pool 999_979L 1L;
+    ignore (count ctx pool);
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  { Xfd.Engine.name = "btree"; setup; pre; post }

@@ -1,0 +1,33 @@
+(** Transactional persistent B-Tree (PMDK's btree example).
+
+    A CLRS-style B-Tree of minimum degree 4 (up to 7 keys / 8 children per
+    node) with preemptive splitting.  Every insert runs inside one undo-log
+    transaction; nodes are snapshotted with TX_ADD before modification and
+    freshly allocated nodes are registered no-snapshot.  Correct by
+    construction — the Table 5 validation seeds bugs through the
+    fault-injection configuration. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type handle
+
+val create : Ctx.t -> handle
+val open_ : Ctx.t -> handle
+val insert : Ctx.t -> handle -> int64 -> int64 -> unit
+
+(** Transactional deletion (full CLRS rebalancing: borrow and merge);
+    returns whether the key was present. *)
+val remove : Ctx.t -> handle -> int64 -> bool
+
+val get : Ctx.t -> handle -> int64 -> int64 option
+val count : Ctx.t -> handle -> int64
+
+(** In-order key/value pairs (sorted by key). *)
+val entries : Ctx.t -> handle -> (int64 * int64) list
+
+(** Maximum node depth, for structure tests. *)
+val depth : Ctx.t -> handle -> int
+
+val recover : Ctx.t -> handle -> unit
+
+val program : ?init_size:int -> ?size:int -> unit -> Xfd.Engine.program

@@ -1,0 +1,122 @@
+module Faults = Xfd_sim.Faults
+
+type expected = Race | Semantic | Perf
+type suite = Pmtest | Additional
+
+type case = {
+  id : string;
+  workload : string;
+  suite : suite;
+  expect : expected;
+  faults : unit -> Faults.t;
+  program : unit -> Xfd.Engine.program;
+}
+
+let workloads = [ "btree"; "ctree"; "rbtree"; "hashmap-tx"; "hashmap-atomic" ]
+
+(* Occurrence indices below were calibrated once against the workloads at
+   these exact sizes; the Table 5 tests assert every case still detects. *)
+
+let tree_case workload program suite expect i faults =
+  {
+    id = Printf.sprintf "%s-%s%d" workload (match expect with Race -> "race" | Semantic -> "sem" | Perf -> "perf") i;
+    workload;
+    suite;
+    expect;
+    faults;
+    program;
+  }
+
+let btree_prog () = Btree.program ~init_size:5 ~size:5 ()
+let ctree_prog () = Ctree.program ~init_size:5 ~size:5 ()
+let rbtree_prog () = Rbtree.program ~init_size:5 ~size:5 ()
+let hashtx_prog () = Hashmap_tx.program ~size:5 ()
+let hashat_prog variant () = Hashmap_atomic.program ~size:5 ~variant ()
+
+let skip_tx_add is () = Faults.make ~skip_tx_add:is ()
+let dup_tx_add is () = Faults.make ~dup_tx_add:is ()
+let skip_flush is () = Faults.make ~skip_flush:is ()
+let skip_fence is () = Faults.make ~skip_fence:is ()
+let dup_flush is () = Faults.make ~dup_flush:is ()
+let no_faults () = Faults.none
+
+let btree_cases =
+  let c = tree_case "btree" btree_prog in
+  List.mapi (fun n i -> c Pmtest Race n (skip_tx_add [ i ])) [ 0; 1; 2; 3; 4; 6; 8; 9 ]
+  @ [ c Pmtest Perf 0 (dup_tx_add [ 0 ]); c Pmtest Perf 1 (dup_tx_add [ 3 ]) ]
+  @ List.mapi
+      (fun n is -> c Additional Race (100 + n) (skip_tx_add is))
+      [ [ 10 ]; [ 11 ]; [ 12 ]; [ 0; 2 ] ]
+
+let ctree_cases =
+  let c = tree_case "ctree" ctree_prog in
+  List.mapi (fun n i -> c Pmtest Race n (skip_tx_add [ i ])) [ 0; 1; 2; 3; 4 ]
+  @ [ c Pmtest Perf 0 (dup_tx_add [ 0 ]) ]
+  @ [ c Additional Race 100 (skip_tx_add [ 5 ]) ]
+
+let rbtree_cases =
+  let c = tree_case "rbtree" rbtree_prog in
+  List.mapi (fun n i -> c Pmtest Race n (skip_tx_add [ i ])) [ 0; 1; 3; 4; 5; 6; 7 ]
+  @ [ c Pmtest Perf 0 (dup_tx_add [ 0 ]) ]
+  @ [ c Additional Race 100 (skip_tx_add [ 8 ]) ]
+
+let hashtx_cases =
+  let c = tree_case "hashmap-tx" hashtx_prog in
+  List.mapi (fun n i -> c Pmtest Race n (skip_tx_add [ i ])) [ 0; 1; 3; 5; 7; 9 ]
+  @ [ c Pmtest Perf 0 (dup_tx_add [ 0 ]) ]
+  @ List.mapi
+      (fun n is -> c Additional Race (100 + n) (skip_tx_add is))
+      [ [ 0; 1 ]; [ 1; 3 ]; [ 3; 5 ] ]
+
+let hashat_cases =
+  let fixed = hashat_prog `Fixed in
+  let c = tree_case "hashmap-atomic" fixed in
+  (* 10 PMTest races: six flush skips, four fence skips. *)
+  List.mapi (fun n i -> c Pmtest Race n (skip_flush [ i ])) [ 1; 5; 10; 15; 20; 25 ]
+  @ List.mapi (fun n i -> c Pmtest Race (10 + n) (skip_fence [ i ])) [ 7; 12; 17; 22 ]
+  (* 2 PMTest semantic bugs: protocol-order patches. *)
+  @ [
+      tree_case "hashmap-atomic" (hashat_prog `Count_before_dirty) Pmtest Semantic 0 no_faults;
+      tree_case "hashmap-atomic" (hashat_prog `Early_clear) Pmtest Semantic 1 no_faults;
+    ]
+  (* 3 PMTest performance bugs. *)
+  @ [
+      c Pmtest Perf 0 (dup_flush [ 0 ]);
+      c Pmtest Perf 1 (dup_flush [ 3 ]);
+      c Pmtest Perf 2 (dup_flush [ 6 ]);
+    ]
+  (* Additional: 4 races (double omissions + a late fence skip), 1 semantic. *)
+  @ List.mapi
+      (fun n fs -> c Additional Race (100 + n) fs)
+      [ skip_flush [ 1; 5 ]; skip_flush [ 1; 10 ]; skip_fence [ 7; 12 ]; skip_fence [ 27 ] ]
+  @ [ tree_case "hashmap-atomic" (hashat_prog `Spurious_commit) Additional Semantic 100 no_faults ]
+
+let cases = function
+  | "btree" -> btree_cases
+  | "ctree" -> ctree_cases
+  | "rbtree" -> rbtree_cases
+  | "hashmap-tx" -> hashtx_cases
+  | "hashmap-atomic" -> hashat_cases
+  | w -> invalid_arg ("Bug_suite.cases: unknown workload " ^ w)
+
+let all_cases = List.concat_map cases workloads
+
+let expected_row = function
+  | "btree" -> ((8, 0, 2), (4, 0))
+  | "ctree" -> ((5, 0, 1), (1, 0))
+  | "rbtree" -> ((7, 0, 1), (1, 0))
+  | "hashmap-tx" -> ((6, 0, 1), (3, 0))
+  | "hashmap-atomic" -> ((10, 2, 3), (4, 1))
+  | w -> invalid_arg ("Bug_suite.expected_row: unknown workload " ^ w)
+
+let run case =
+  let config = { Xfd.Config.default with faults = case.faults () } in
+  let outcome = Xfd.Engine.detect ~config (case.program ()) in
+  let races, semantics, perfs, _errors = Xfd.Engine.tally outcome in
+  let passed =
+    match case.expect with
+    | Race -> races > 0
+    | Semantic -> semantics > 0
+    | Perf -> perfs > 0
+  in
+  (outcome, passed)

@@ -1,0 +1,37 @@
+(** The synthetic-bug validation suite — the paper's Table 5.
+
+    Each case is one seeded bug: a workload plus either a mechanical fault
+    specification (skip/duplicate the n-th user-level flush, fence or
+    TX_ADD) or a semantically patched workload variant.  Running detection
+    on a case must report at least one bug of the expected class.  The case
+    counts per workload reproduce Table 5: B-Tree 8R+2P (+4R additional),
+    C-Tree 5R+1P (+1R), RB-Tree 7R+1P (+1R), Hashmap-TX 6R+1P (+3R),
+    Hashmap-Atomic 10R+2S+3P (+4R+1S). *)
+
+type expected = Race | Semantic | Perf
+type suite = Pmtest | Additional
+
+type case = {
+  id : string;
+  workload : string;
+  suite : suite;
+  expect : expected;
+  (* Both thunks build fresh state so cases can run in any order. *)
+  faults : unit -> Xfd_sim.Faults.t;
+  program : unit -> Xfd.Engine.program;
+}
+
+val workloads : string list
+
+(** All cases for one workload. *)
+val cases : string -> case list
+
+val all_cases : case list
+
+(** Expected Table 5 row: ((races, semantics, perfs) from the PMTest suite,
+    (races, semantics) additional). *)
+val expected_row : string -> (int * int * int) * (int * int)
+
+(** Run one case: detect and check that a bug of the expected class was
+    reported.  Returns the outcome and whether the case passed. *)
+val run : case -> Xfd.Engine.outcome * bool

@@ -1,0 +1,140 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Tx = Xfd_pmdk.Tx
+module Alloc = Xfd_pmdk.Alloc
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Wl.loc
+
+type handle = Pool.t
+
+(* Leaf: slot 0 = 0, slot 1 = key, slot 2 = value.
+   Internal: slot 0 = 1, slot 1 = diff bit, slot 2 = child0, slot 3 = child1. *)
+let node_size = 32
+let tag_addr node = Layout.slot node 0
+let leaf_key_addr node = Layout.slot node 1
+let leaf_val_addr node = Layout.slot node 2
+let diff_addr node = Layout.slot node 1
+let child_addr node b = Layout.slot node (2 + b)
+
+let root_ptr_addr pool = Layout.slot (Pool.root pool) 0
+let count_addr pool = Layout.slot (Pool.root pool) 8
+
+let is_internal ctx node = Int64.equal (Ctx.read_i64 ctx ~loc:!!__POS__ (tag_addr node)) 1L
+let read_diff ctx node = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (diff_addr node))
+let read_child ctx node b = Layout.read_ptr ctx ~loc:!!__POS__ (child_addr node b)
+let read_key ctx node = Ctx.read_i64 ctx ~loc:!!__POS__ (leaf_key_addr node)
+
+let bit_of k d = Int64.to_int (Int64.logand (Int64.shift_right_logical k d) 1L)
+
+(* Index of the highest bit in which a and b differ; they must differ. *)
+let crit_bit a b =
+  let x = Int64.logxor a b in
+  assert (not (Int64.equal x 0L));
+  let rec msb d = if Int64.equal (Int64.shift_right_logical x d) 0L then d - 1 else msb (d + 1) in
+  msb 0
+
+let new_leaf ctx pool k v =
+  let node = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:node_size ~zero:true in
+  Tx.add_range_no_snapshot ctx pool ~loc:!!__POS__ node node_size;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (leaf_key_addr node) k;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (leaf_val_addr node) v;
+  node
+
+let create ctx = Pool.create_atomic ctx ~loc:!!__POS__ ()
+let open_ ctx = Pool.open_pool ctx ~loc:!!__POS__ ()
+
+let find_leaf ctx k root =
+  let rec go node = if is_internal ctx node then go (read_child ctx node (bit_of k (read_diff ctx node))) else node in
+  go root
+
+let bump_count ctx pool =
+  Tx.add ctx pool ~loc:!!__POS__ (count_addr pool) 8;
+  let c = Ctx.read_i64 ctx ~loc:!!__POS__ (count_addr pool) in
+  Ctx.write_i64 ctx ~loc:!!__POS__ (count_addr pool) (Int64.add c 1L)
+
+let insert ctx pool k v =
+  Tx.run ctx pool ~loc:!!__POS__ (fun () ->
+      let root = Layout.read_ptr ctx ~loc:!!__POS__ (root_ptr_addr pool) in
+      if Layout.is_null root then begin
+        let leaf = new_leaf ctx pool k v in
+        Tx.add ctx pool ~loc:!!__POS__ (root_ptr_addr pool) 8;
+        Layout.write_ptr ctx ~loc:!!__POS__ (root_ptr_addr pool) leaf;
+        bump_count ctx pool
+      end
+      else begin
+        let closest = find_leaf ctx k root in
+        let ck = read_key ctx closest in
+        if Int64.equal ck k then begin
+          Tx.add ctx pool ~loc:!!__POS__ (leaf_val_addr closest) 8;
+          Ctx.write_i64 ctx ~loc:!!__POS__ (leaf_val_addr closest) v
+        end
+        else begin
+          let d = crit_bit k ck in
+          (* Walk down to the link whose subtree's crit bit is below d. *)
+          let rec locate link node =
+            if is_internal ctx node && read_diff ctx node > d then begin
+              let link = child_addr node (bit_of k (read_diff ctx node)) in
+              locate link (Layout.read_ptr ctx ~loc:!!__POS__ link)
+            end
+            else (link, node)
+          in
+          let link, displaced = locate (root_ptr_addr pool) root in
+          let leaf = new_leaf ctx pool k v in
+          let inner = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:node_size ~zero:true in
+          Tx.add_range_no_snapshot ctx pool ~loc:!!__POS__ inner node_size;
+          Ctx.write_i64 ctx ~loc:!!__POS__ (tag_addr inner) 1L;
+          Ctx.write_i64 ctx ~loc:!!__POS__ (diff_addr inner) (Int64.of_int d);
+          Layout.write_ptr ctx ~loc:!!__POS__ (child_addr inner (bit_of k d)) leaf;
+          Layout.write_ptr ctx ~loc:!!__POS__ (child_addr inner (1 - bit_of k d)) displaced;
+          Tx.add ctx pool ~loc:!!__POS__ link 8;
+          Layout.write_ptr ctx ~loc:!!__POS__ link inner;
+          bump_count ctx pool
+        end
+      end)
+
+let get ctx pool k =
+  let root = Layout.read_ptr ctx ~loc:!!__POS__ (root_ptr_addr pool) in
+  if Layout.is_null root then None
+  else begin
+    let leaf = find_leaf ctx k root in
+    if Int64.equal (read_key ctx leaf) k then
+      Some (Ctx.read_i64 ctx ~loc:!!__POS__ (leaf_val_addr leaf))
+    else None
+  end
+
+let count ctx pool = Ctx.read_i64 ctx ~loc:!!__POS__ (count_addr pool)
+
+let entries ctx pool =
+  let rec go acc node =
+    if Layout.is_null node then acc
+    else if is_internal ctx node then go (go acc (read_child ctx node 1)) (read_child ctx node 0)
+    else (read_key ctx node, Ctx.read_i64 ctx ~loc:!!__POS__ (leaf_val_addr node)) :: acc
+  in
+  go [] (Layout.read_ptr ctx ~loc:!!__POS__ (root_ptr_addr pool))
+
+let recover ctx pool = Tx.recover ctx pool ~loc:!!__POS__
+
+let program ?(init_size = 0) ?(size = 1) () =
+  let setup ctx =
+    let pool = create ctx in
+    List.iter (fun k -> insert ctx pool k (Int64.neg k)) (Wl.keys ~seed:19 init_size)
+  in
+  let pre ctx =
+    let pool = open_ ctx in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    List.iter (fun k -> insert ctx pool k (Int64.neg k)) (Wl.keys ~seed:23 size);
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  let post ctx =
+    let pool = open_ ctx in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    recover ctx pool;
+    (match Wl.keys ~seed:23 (max size 1) with
+    | k :: _ -> ignore (get ctx pool k)
+    | [] -> ());
+    insert ctx pool 999_961L 2L;
+    ignore (count ctx pool);
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  { Xfd.Engine.name = "ctree"; setup; pre; post }

@@ -1,0 +1,22 @@
+(** Transactional persistent crit-bit tree (PMDK's ctree example).
+
+    Internal nodes hold the index of the highest bit in which their two
+    subtrees differ; leaves hold key/value pairs.  Inserting replaces one
+    parent link with a fresh internal node, so each transaction snapshots
+    exactly one existing pointer slot plus the counter. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type handle
+
+val create : Ctx.t -> handle
+val open_ : Ctx.t -> handle
+val insert : Ctx.t -> handle -> int64 -> int64 -> unit
+val get : Ctx.t -> handle -> int64 -> int64 option
+val count : Ctx.t -> handle -> int64
+
+(** Key/value pairs in ascending key order (keys must be non-negative). *)
+val entries : Ctx.t -> handle -> (int64 * int64) list
+
+val recover : Ctx.t -> handle -> unit
+val program : ?init_size:int -> ?size:int -> unit -> Xfd.Engine.program

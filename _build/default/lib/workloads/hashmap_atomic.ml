@@ -1,0 +1,228 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Alloc = Xfd_pmdk.Alloc
+module Layout = Xfd_pmdk.Layout
+module Pmem = Xfd_pmdk.Pmem
+
+let ( !! ) = Wl.loc
+
+type variant =
+  [ `Faithful | `Fixed | `Count_before_dirty | `Early_clear | `Spurious_commit ]
+
+type handle = { pool : Pool.t; mutable hm : Xfd_mem.Addr.t }
+
+(* Root layout: slot 0 = pointer to the hashmap struct.
+   Hashmap struct (128 bytes):
+     slot 0 = seed, slot 1 = hash_fun_a, slot 2 = hash_fun_b,
+     slot 3 = nbuckets, slot 4 = buckets pointer,
+     slot 8 = count, slot 9 = count_dirty (second cache line).
+   Node: slot 0 = key, slot 1 = value, slot 2 = next. *)
+let hm_ptr_addr pool = Layout.slot (Pool.root pool) 0
+let seed_addr hm = Layout.slot hm 0
+let fun_a_addr hm = Layout.slot hm 1
+let fun_b_addr hm = Layout.slot hm 2
+let nbuckets_addr hm = Layout.slot hm 3
+let buckets_ptr_addr hm = Layout.slot hm 4
+let count_addr hm = Layout.slot hm 8
+let count_dirty_addr hm = Layout.slot hm 9
+
+let node_key n = Layout.slot n 0
+let node_value n = Layout.slot n 1
+let node_next n = Layout.slot n 2
+
+let register ctx hm =
+  Ctx.add_commit_var ctx ~loc:!!__POS__ (count_dirty_addr hm) 8;
+  Ctx.add_commit_range ctx ~loc:!!__POS__ ~var:(count_dirty_addr hm) (count_addr hm) 8
+
+(* The bucket head pointers are this workload's crash-consistency
+   mechanism: an 8-byte atomic store either exposes the new node or leaves
+   the old chain, and recovery is correct for both outcomes.  They are the
+   canonical benign cross-failure race, annotated as commit variables. *)
+let register_buckets ctx arr buckets =
+  Ctx.add_commit_var ctx ~loc:!!__POS__ arr (8 * buckets)
+
+(* create_hashmap of Figure 14a.  The faithful variant persists the
+   metadata only once, at the very end, after the bucket-array allocation
+   (whose library failure points can fire first) — Bug 1; and it allocates
+   the struct raw, never initialising count — Bug 2. *)
+let create_hashmap ctx pool ~variant ~buckets =
+  let fixed = match variant with `Faithful -> false | _ -> true in
+  let hm = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:128 ~zero:fixed in
+  register ctx hm;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (seed_addr hm) 0x9E3779B9L;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (fun_a_addr hm) 2654435761L;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (fun_b_addr hm) 40503L;
+  if fixed then Pmem.persist ctx ~loc:!!__POS__ hm 64;
+  let arr = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:(8 * buckets) ~zero:true in
+  register_buckets ctx arr buckets;
+  Layout.write_ptr ctx ~loc:!!__POS__ (buckets_ptr_addr hm) arr;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (nbuckets_addr hm) (Int64.of_int buckets);
+  if fixed then begin
+    (* Correct protocol: the counter must persist in its own epoch before
+       the commit flag is written (Eq. 3 orders Wm strictly before Cx). *)
+    Ctx.write_i64 ctx ~loc:!!__POS__ (count_addr hm) 0L;
+    Pmem.persist ctx ~loc:!!__POS__ hm 128
+  end;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (count_dirty_addr hm) 0L;
+  if fixed then Pmem.persist ctx ~loc:!!__POS__ (count_dirty_addr hm) 8;
+  Layout.write_ptr ctx ~loc:!!__POS__ (hm_ptr_addr pool) hm;
+  if not fixed then Pmem.persist ctx ~loc:!!__POS__ hm 128;
+  Pmem.persist ctx ~loc:!!__POS__ (hm_ptr_addr pool) 8;
+  hm
+
+let create ctx ?(buckets = 16) ~variant () =
+  let pool = Pool.create_atomic ctx ~loc:!!__POS__ () in
+  let hm = create_hashmap ctx pool ~variant ~buckets in
+  { pool; hm }
+
+let open_ ctx =
+  let pool = Pool.open_pool ctx ~loc:!!__POS__ () in
+  let hm = Layout.read_ptr ctx ~loc:!!__POS__ (hm_ptr_addr pool) in
+  if not (Layout.is_null hm) then begin
+    register ctx hm;
+    let arr = Layout.read_ptr ctx ~loc:!!__POS__ (buckets_ptr_addr hm) in
+    let n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (nbuckets_addr hm)) in
+    if (not (Layout.is_null arr)) && n > 0 && n <= 1 lsl 20 then register_buckets ctx arr n
+  end;
+  { pool; hm }
+
+let hash_slot ctx h k =
+  let seed = Ctx.read_i64 ctx ~loc:!!__POS__ (seed_addr h.hm) in
+  let a = Ctx.read_i64 ctx ~loc:!!__POS__ (fun_a_addr h.hm) in
+  let n = Ctx.read_i64 ctx ~loc:!!__POS__ (nbuckets_addr h.hm) in
+  if Int64.equal n 0L then raise (Wl.Segfault "hashmap: zero buckets");
+  let v = Int64.add (Int64.mul k a) seed in
+  let r = Int64.rem (Int64.logand v Int64.max_int) n in
+  Int64.to_int r
+
+let bucket_addr ctx h slot =
+  let arr = Wl.deref "hashmap.buckets" (Layout.read_ptr ctx ~loc:!!__POS__ (buckets_ptr_addr h.hm)) in
+  Layout.slot arr slot
+
+(* hash_atomic_insert: persist the node, link it, then update the counter
+   under the count_dirty commit variable.  The three seeded semantic
+   variants disorder the counter/flag protocol (Table 5 validation). *)
+let insert ctx h ~variant k v =
+  let node = Alloc.alloc ctx h.pool ~loc:!!__POS__ ~size:24 ~zero:false in
+  let slot = hash_slot ctx h k in
+  let bucket = bucket_addr ctx h slot in
+  Ctx.write_i64 ctx ~loc:!!__POS__ (node_key node) k;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (node_value node) v;
+  let head = Layout.read_ptr ctx ~loc:!!__POS__ bucket in
+  Layout.write_ptr ctx ~loc:!!__POS__ (node_next node) head;
+  Pmem.persist ctx ~loc:!!__POS__ node 24;
+  let bump_count () =
+    let c = Ctx.read_i64 ctx ~loc:!!__POS__ (count_addr h.hm) in
+    Ctx.write_i64 ctx ~loc:!!__POS__ (count_addr h.hm) (Int64.add c 1L);
+    Pmem.persist ctx ~loc:!!__POS__ (count_addr h.hm) 8
+  in
+  let set_dirty v =
+    Ctx.write_i64 ctx ~loc:!!__POS__ (count_dirty_addr h.hm) v;
+    Pmem.persist ctx ~loc:!!__POS__ (count_dirty_addr h.hm) 8
+  in
+  let link () =
+    Layout.write_ptr ctx ~loc:!!__POS__ bucket node;
+    Pmem.persist ctx ~loc:!!__POS__ bucket 8
+  in
+  match variant with
+  | `Faithful | `Fixed ->
+    set_dirty 1L;
+    link ();
+    bump_count ();
+    set_dirty 0L
+  | `Count_before_dirty ->
+    (* counter escapes the commit window: stale after completion *)
+    bump_count ();
+    set_dirty 1L;
+    link ();
+    set_dirty 0L
+  | `Early_clear ->
+    (* window closes before the counter update: uncommitted forever *)
+    set_dirty 1L;
+    set_dirty 0L;
+    link ();
+    bump_count ()
+  | `Spurious_commit ->
+    (* The protocol itself runs correctly, but a spurious flag toggle
+       afterwards closes a new commit window that the counter is not in:
+       the counter becomes stale. *)
+    set_dirty 1L;
+    link ();
+    bump_count ();
+    set_dirty 0L;
+    set_dirty 1L;
+    set_dirty 0L
+
+let get ctx h k =
+  let slot = hash_slot ctx h k in
+  let rec go node =
+    if Layout.is_null node then None
+    else if Int64.equal (Ctx.read_i64 ctx ~loc:!!__POS__ (node_key node)) k then
+      Some (Ctx.read_i64 ctx ~loc:!!__POS__ (node_value node))
+    else go (Layout.read_ptr ctx ~loc:!!__POS__ (node_next node))
+  in
+  go (Layout.read_ptr ctx ~loc:!!__POS__ (bucket_addr ctx h slot))
+
+let count ctx h = Ctx.read_i64 ctx ~loc:!!__POS__ (count_addr h.hm)
+
+let recover ctx h =
+  if not (Layout.is_null h.hm) then begin
+    let dirty = Ctx.read_i64 ctx ~loc:!!__POS__ (count_dirty_addr h.hm) in
+    if Int64.equal dirty 1L then begin
+      (* Recount every element and overwrite the counter. *)
+      let n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (nbuckets_addr h.hm)) in
+      let total = ref 0L in
+      for slot = 0 to n - 1 do
+        let rec go node =
+          if not (Layout.is_null node) then begin
+            total := Int64.add !total 1L;
+            go (Layout.read_ptr ctx ~loc:!!__POS__ (node_next node))
+          end
+        in
+        go (Layout.read_ptr ctx ~loc:!!__POS__ (bucket_addr ctx h slot))
+      done;
+      Ctx.write_i64 ctx ~loc:!!__POS__ (count_addr h.hm) !total;
+      Pmem.persist ctx ~loc:!!__POS__ (count_addr h.hm) 8;
+      Ctx.write_i64 ctx ~loc:!!__POS__ (count_dirty_addr h.hm) 0L;
+      Pmem.persist ctx ~loc:!!__POS__ (count_dirty_addr h.hm) 8
+    end
+  end
+
+let program ?(init_size = 0) ?(size = 1) ?(buckets = 16) ?(variant = `Faithful) () =
+  let setup ctx = ignore (Pool.create_atomic ctx ~loc:!!__POS__ ()) in
+  let pre ctx =
+    let pool = Pool.open_pool ctx ~loc:!!__POS__ () in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    (* Initialisation runs inside the RoI: Bugs 1 and 2 live there. *)
+    let hm = create_hashmap ctx pool ~variant ~buckets in
+    let h = { pool; hm } in
+    List.iter (fun k -> insert ctx h ~variant k (Int64.mul k 3L)) (Wl.keys ~seed:5 init_size);
+    List.iter (fun k -> insert ctx h ~variant k (Int64.mul k 3L)) (Wl.keys ~seed:7 size);
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  let post ctx =
+    let h = open_ ctx in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    if Layout.is_null h.hm then Ctx.complete_detection ctx
+    else begin
+      recover ctx h;
+      (* Resumption: one lookup and a size query. *)
+      (match Wl.keys ~seed:7 (max size 1) with
+      | k :: _ -> ignore (get ctx h k)
+      | [] -> ());
+      ignore (count ctx h);
+      Ctx.roi_end ctx ~loc:!!__POS__
+    end
+  in
+  let name =
+    let v =
+      match variant with
+      | `Faithful -> "faithful"
+      | `Fixed -> "fixed"
+      | `Count_before_dirty -> "count-before-dirty"
+      | `Early_clear -> "early-clear"
+      | `Spurious_commit -> "spurious-commit"
+    in
+    Printf.sprintf "hashmap-atomic(%s)" v
+  in
+  { Xfd.Engine.name; setup; pre; post }

@@ -1,0 +1,43 @@
+(** Low-level persistent hashmap (PMDK's hashmap_atomic example).
+
+    No transactions: crash consistency comes from careful persist ordering
+    and a [count_dirty] commit variable guarding the element counter, as in
+    the original C code.  Recovery recounts the elements when the dirty flag
+    is set.
+
+    This workload carries the paper's two real Hashmap-Atomic bugs:
+
+    - {b Bug 1} — [create] writes the hash-function parameters (seed and
+      multipliers) into the hashmap metadata and only persists them at the
+      very end, after an allocation whose library failure points can strike
+      first (Figure 14a, hashmap_atomic.c:132-138);
+    - {b Bug 2} — the hashmap struct is allocated {e raw}, and its [count]
+      field is never initialised: the code relies on the allocator
+      happening to return zeroed memory (hashmap_atomic.c:280).
+
+    [variant] selects the faithful buggy code ([`Faithful]), the fixed
+    version ([`Fixed]), or one of three seeded cross-failure {e semantic}
+    bugs in the [count_dirty] protocol used for the Table 5 validation:
+    [`Count_before_dirty] updates the counter before raising the flag (the
+    counter ends up stale), [`Early_clear] closes the commit window before
+    the counter update (uncommitted forever), [`Spurious_commit] toggles the
+    flag once more after a correct update (the counter falls out of the
+    latest window). *)
+
+module Ctx = Xfd_sim.Ctx
+
+type variant =
+  [ `Faithful | `Fixed | `Count_before_dirty | `Early_clear | `Spurious_commit ]
+
+type handle
+
+val create : Ctx.t -> ?buckets:int -> variant:variant -> unit -> handle
+val open_ : Ctx.t -> handle
+val insert : Ctx.t -> handle -> variant:variant -> int64 -> int64 -> unit
+val get : Ctx.t -> handle -> int64 -> int64 option
+val count : Ctx.t -> handle -> int64
+val recover : Ctx.t -> handle -> unit
+
+val program :
+  ?init_size:int -> ?size:int -> ?buckets:int -> ?variant:variant -> unit ->
+  Xfd.Engine.program

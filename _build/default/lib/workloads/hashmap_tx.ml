@@ -1,0 +1,161 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Tx = Xfd_pmdk.Tx
+module Alloc = Xfd_pmdk.Alloc
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Wl.loc
+
+type handle = Pool.t
+
+(* Root layout: slot 0 = buckets array pointer, slot 1 = bucket count,
+   slot 8 = element count (own cache line, see Linkedlist).
+   Node layout: slot 0 = key, slot 1 = value, slot 2 = next. *)
+let buckets_addr pool = Layout.slot (Pool.root pool) 0
+let nbuckets_addr pool = Layout.slot (Pool.root pool) 1
+let count_addr pool = Layout.slot (Pool.root pool) 8
+
+let node_key n = Layout.slot n 0
+let node_value n = Layout.slot n 1
+let node_next n = Layout.slot n 2
+
+let hash_slot ctx pool k =
+  let n = Ctx.read_i64 ctx ~loc:!!__POS__ (nbuckets_addr pool) in
+  if Int64.compare n 0L <= 0 then raise (Wl.Segfault "hashmap-tx: uninitialised bucket table");
+  let h = Int64.rem (Int64.mul k 2654435761L) n in
+  let h = if Int64.compare h 0L < 0 then Int64.add h n else h in
+  Int64.to_int h
+
+let bucket_addr ctx pool i =
+  let buckets = Layout.read_ptr ctx ~loc:!!__POS__ (buckets_addr pool) in
+  Layout.slot buckets i
+
+let create ctx ?(buckets = 16) () =
+  let pool = Pool.create_atomic ctx ~loc:!!__POS__ () in
+  let arr = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:(8 * buckets) ~zero:true in
+  Layout.write_ptr ctx ~loc:!!__POS__ (buckets_addr pool) arr;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (nbuckets_addr pool) (Int64.of_int buckets);
+  Ctx.write_i64 ctx ~loc:!!__POS__ (count_addr pool) 0L;
+  Xfd_pmdk.Pmem.persist ctx ~loc:!!__POS__ (Pool.root pool) 128;
+  pool
+
+let open_ ctx = Pool.open_pool ctx ~loc:!!__POS__ ()
+
+let find_node ctx pool k =
+  let slot = hash_slot ctx pool k in
+  let rec go node =
+    if Layout.is_null node then None
+    else if Int64.equal (Ctx.read_i64 ctx ~loc:!!__POS__ (node_key node)) k then Some node
+    else go (Layout.read_ptr ctx ~loc:!!__POS__ (node_next node))
+  in
+  go (Layout.read_ptr ctx ~loc:!!__POS__ (bucket_addr ctx pool slot))
+
+let insert ctx pool k v =
+  Tx.run ctx pool ~loc:!!__POS__ (fun () ->
+      match find_node ctx pool k with
+      | Some node ->
+        Tx.add ctx pool ~loc:!!__POS__ (node_value node) 8;
+        Ctx.write_i64 ctx ~loc:!!__POS__ (node_value node) v
+      | None ->
+        let node = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:24 ~zero:false in
+        Tx.add_range_no_snapshot ctx pool ~loc:!!__POS__ node 24;
+        Ctx.write_i64 ctx ~loc:!!__POS__ (node_key node) k;
+        Ctx.write_i64 ctx ~loc:!!__POS__ (node_value node) v;
+        let slot = hash_slot ctx pool k in
+        let bucket = bucket_addr ctx pool slot in
+        let head = Layout.read_ptr ctx ~loc:!!__POS__ bucket in
+        Layout.write_ptr ctx ~loc:!!__POS__ (node_next node) head;
+        Tx.add ctx pool ~loc:!!__POS__ bucket 8;
+        Layout.write_ptr ctx ~loc:!!__POS__ bucket node;
+        Tx.add ctx pool ~loc:!!__POS__ (count_addr pool) 8;
+        let c = Ctx.read_i64 ctx ~loc:!!__POS__ (count_addr pool) in
+        Ctx.write_i64 ctx ~loc:!!__POS__ (count_addr pool) (Int64.add c 1L))
+
+let get ctx pool k =
+  match find_node ctx pool k with
+  | Some node -> Some (Ctx.read_i64 ctx ~loc:!!__POS__ (node_value node))
+  | None -> None
+
+let remove ctx pool k =
+  Tx.run ctx pool ~loc:!!__POS__ (fun () ->
+      let slot = hash_slot ctx pool k in
+      let bucket = bucket_addr ctx pool slot in
+      let rec go link node =
+        if Layout.is_null node then false
+        else if Int64.equal (Ctx.read_i64 ctx ~loc:!!__POS__ (node_key node)) k then begin
+          let next = Layout.read_ptr ctx ~loc:!!__POS__ (node_next node) in
+          Tx.add ctx pool ~loc:!!__POS__ link 8;
+          Layout.write_ptr ctx ~loc:!!__POS__ link next;
+          Tx.add ctx pool ~loc:!!__POS__ (count_addr pool) 8;
+          let c = Ctx.read_i64 ctx ~loc:!!__POS__ (count_addr pool) in
+          Ctx.write_i64 ctx ~loc:!!__POS__ (count_addr pool) (Int64.sub c 1L);
+          Alloc.free ctx pool ~loc:!!__POS__ node;
+          true
+        end
+        else go (node_next node) (Layout.read_ptr ctx ~loc:!!__POS__ (node_next node))
+      in
+      go bucket (Layout.read_ptr ctx ~loc:!!__POS__ bucket))
+
+let count ctx pool = Ctx.read_i64 ctx ~loc:!!__POS__ (count_addr pool)
+
+let iter_nodes ctx pool f =
+  let n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (nbuckets_addr pool)) in
+  for i = 0 to n - 1 do
+    let rec go node =
+      if not (Layout.is_null node) then begin
+        f node;
+        go (Layout.read_ptr ctx ~loc:!!__POS__ (node_next node))
+      end
+    in
+    go (Layout.read_ptr ctx ~loc:!!__POS__ (bucket_addr ctx pool i))
+  done
+
+let rehash ctx pool =
+  Tx.run ctx pool ~loc:!!__POS__ (fun () ->
+      let old_n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (nbuckets_addr pool)) in
+      let new_n = 2 * old_n in
+      (* Collect all nodes before rewiring anything. *)
+      let nodes = ref [] in
+      iter_nodes ctx pool (fun n -> nodes := n :: !nodes);
+      let arr = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:(8 * new_n) ~zero:true in
+      Tx.add_range_no_snapshot ctx pool ~loc:!!__POS__ arr (8 * new_n);
+      Tx.add ctx pool ~loc:!!__POS__ (buckets_addr pool) 16;
+      Layout.write_ptr ctx ~loc:!!__POS__ (buckets_addr pool) arr;
+      Ctx.write_i64 ctx ~loc:!!__POS__ (nbuckets_addr pool) (Int64.of_int new_n);
+      List.iter
+        (fun node ->
+          let k = Ctx.read_i64 ctx ~loc:!!__POS__ (node_key node) in
+          let slot = hash_slot ctx pool k in
+          let bucket = Layout.slot arr slot in
+          let head = Layout.read_ptr ctx ~loc:!!__POS__ bucket in
+          Tx.add ctx pool ~loc:!!__POS__ (node_next node) 8;
+          Layout.write_ptr ctx ~loc:!!__POS__ (node_next node) head;
+          Layout.write_ptr ctx ~loc:!!__POS__ bucket node)
+        !nodes)
+
+let recover ctx pool = Tx.recover ctx pool ~loc:!!__POS__
+
+let program ?(init_size = 0) ?(size = 1) ?(buckets = 16) () =
+  let setup ctx =
+    let pool = create ctx ~buckets () in
+    List.iter (fun k -> insert ctx pool k (Int64.mul k 3L)) (Wl.keys ~seed:5 init_size)
+  in
+  let pre ctx =
+    let pool = open_ ctx in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    List.iter (fun k -> insert ctx pool k (Int64.mul k 3L)) (Wl.keys ~seed:7 size);
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  let post ctx =
+    let pool = open_ ctx in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    recover ctx pool;
+    (* Resumption: one query and one insertion, like the artifact driver. *)
+    (match Wl.keys ~seed:7 (max size 1) with
+    | k :: _ -> ignore (get ctx pool k)
+    | [] -> ());
+    insert ctx pool 999_983L 42L;
+    ignore (count ctx pool);
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  { Xfd.Engine.name = "hashmap-tx"; setup; pre; post }

@@ -1,0 +1,28 @@
+(** Transaction-based persistent hashmap (PMDK's hashmap_tx example).
+
+    Chained buckets; every mutation is wrapped in an undo-log transaction
+    that snapshots the bucket head and the element counter.  A correct
+    implementation — crash-consistency bugs are seeded mechanically through
+    the fault-injection configuration (skipped TX_ADDs / flushes), as in the
+    paper's Table 5 validation. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type handle
+
+val create : Ctx.t -> ?buckets:int -> unit -> handle
+val open_ : Ctx.t -> handle
+val insert : Ctx.t -> handle -> int64 -> int64 -> unit
+val get : Ctx.t -> handle -> int64 -> int64 option
+val remove : Ctx.t -> handle -> int64 -> bool
+val count : Ctx.t -> handle -> int64
+
+(** Grow the table to twice the bucket count, rehashing every element inside
+    one transaction. *)
+val rehash : Ctx.t -> handle -> unit
+
+val recover : Ctx.t -> handle -> unit
+
+(** Detection program: [size] inserts in the RoI; post-failure recovery,
+    then a lookup and one more insert as resumption. *)
+val program : ?init_size:int -> ?size:int -> ?buckets:int -> unit -> Xfd.Engine.program

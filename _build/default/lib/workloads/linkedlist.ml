@@ -1,0 +1,107 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Tx = Xfd_pmdk.Tx
+module Alloc = Xfd_pmdk.Alloc
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Wl.loc
+
+type handle = Pool.t
+
+(* Root layout: slot 0 = head pointer; length lives one cache line further
+   (slot 8), as in the padded PMDK root struct — flushing head must not
+   accidentally persist length or the Figure 1 race disappears.
+   Node layout: slot 0 = value, slot 1 = next pointer. *)
+let head_addr pool = Layout.slot (Pool.root pool) 0
+let length_addr pool = Layout.slot (Pool.root pool) 8
+
+let create ctx = Pool.create_atomic ctx ~loc:!!__POS__ ()
+let open_ ctx = Pool.open_pool ctx ~loc:!!__POS__ ()
+
+let append ctx pool ~log_length v =
+  Tx.run ctx pool ~loc:!!__POS__ (fun () ->
+      let node = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:16 ~zero:false in
+      Tx.add_range_no_snapshot ctx pool ~loc:!!__POS__ node 16;
+      Ctx.write_i64 ctx ~loc:!!__POS__ (Layout.slot node 0) v;
+      let head = Layout.read_ptr ctx ~loc:!!__POS__ (head_addr pool) in
+      Layout.write_ptr ctx ~loc:!!__POS__ (Layout.slot node 1) head;
+      Tx.add ctx pool ~loc:!!__POS__ (head_addr pool) 8;
+      Layout.write_ptr ctx ~loc:!!__POS__ (head_addr pool) node;
+      (* The Figure 1 bug: length is updated without being logged. *)
+      if log_length then Tx.add ctx pool ~loc:!!__POS__ (length_addr pool) 8;
+      let len = Ctx.read_i64 ctx ~loc:!!__POS__ (length_addr pool) in
+      Ctx.write_i64 ctx ~loc:!!__POS__ (length_addr pool) (Int64.add len 1L))
+
+let pop ctx pool ~log_length =
+  Tx.run ctx pool ~loc:!!__POS__ (fun () ->
+      let len = Ctx.read_i64 ctx ~loc:!!__POS__ (length_addr pool) in
+      if Int64.compare len 0L > 0 then begin
+        let head = Wl.deref "list.head" (Layout.read_ptr ctx ~loc:!!__POS__ (head_addr pool)) in
+        let v = Ctx.read_i64 ctx ~loc:!!__POS__ (Layout.slot head 0) in
+        let next = Layout.read_ptr ctx ~loc:!!__POS__ (Layout.slot head 1) in
+        Tx.add ctx pool ~loc:!!__POS__ (head_addr pool) 8;
+        Layout.write_ptr ctx ~loc:!!__POS__ (head_addr pool) next;
+        if log_length then Tx.add ctx pool ~loc:!!__POS__ (length_addr pool) 8;
+        Ctx.write_i64 ctx ~loc:!!__POS__ (length_addr pool) (Int64.sub len 1L);
+        Alloc.free ctx pool ~loc:!!__POS__ head;
+        Some v
+      end
+      else None)
+
+let length ctx pool = Ctx.read_i64 ctx ~loc:!!__POS__ (length_addr pool)
+
+let to_list ctx pool =
+  let rec go acc node =
+    if Layout.is_null node then List.rev acc
+    else begin
+      let v = Ctx.read_i64 ctx ~loc:!!__POS__ (Layout.slot node 0) in
+      go (v :: acc) (Layout.read_ptr ctx ~loc:!!__POS__ (Layout.slot node 1))
+    end
+  in
+  go [] (Layout.read_ptr ctx ~loc:!!__POS__ (head_addr pool))
+
+let recover_naive ctx pool = Tx.recover ctx pool ~loc:!!__POS__
+
+let recover_robust ctx pool =
+  Tx.recover ctx pool ~loc:!!__POS__;
+  (* recover_alt of Figure 1: re-derive length from the (consistent) list
+     and overwrite the possibly-inconsistent persistent counter.  The
+     overwrite needs no transaction because recovery always reruns it. *)
+  let rec count acc node =
+    if Layout.is_null node then acc
+    else count (Int64.add acc 1L) (Layout.read_ptr ctx ~loc:!!__POS__ (Layout.slot node 1))
+  in
+  let n = count 0L (Layout.read_ptr ctx ~loc:!!__POS__ (head_addr pool)) in
+  Ctx.write_i64 ctx ~loc:!!__POS__ (length_addr pool) n;
+  Xfd_pmdk.Pmem.persist ctx ~loc:!!__POS__ (length_addr pool) 8
+
+let program ?(init_size = 0) ?(size = 1) ?(log_length = false) ?(recovery = `Naive) () =
+  let setup ctx =
+    let pool = create ctx in
+    List.iter (fun v -> append ctx pool ~log_length v) (Wl.keys ~seed:17 init_size)
+  in
+  let pre ctx =
+    let pool = open_ ctx in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    List.iter (fun v -> append ctx pool ~log_length v) (Wl.keys ~seed:42 size);
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  let post ctx =
+    let pool = open_ ctx in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    (match recovery with
+    | `Naive -> recover_naive ctx pool
+    | `Robust -> recover_robust ctx pool);
+    (* Resumption: the next operation on the list is a pop (Figure 1). *)
+    ignore (pop ctx pool ~log_length);
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  {
+    Xfd.Engine.name =
+      Printf.sprintf "linkedlist(%s,%s)"
+        (if log_length then "logged" else "fig1-bug")
+        (match recovery with `Naive -> "naive" | `Robust -> "robust");
+    setup;
+    pre;
+    post;
+  }

@@ -1,0 +1,40 @@
+(** The paper's Figure 1 workload: a persistent linked list whose [append]
+    forgets to add [length] to the transaction.
+
+    Two recovery strategies are provided.  [`Naive] only applies the undo
+    logs and resumes — so the resumed [pop] reads the inconsistent [length]
+    (a cross-failure race; when the list was empty and the new length
+    happened to persist, the resumed pop even dereferences a null head, the
+    paper's segmentation-fault scenario).  [`Robust] is the paper's
+    [recover_alt]: after applying the logs it re-derives [length] by
+    traversing the list and overwrites it, making the program crash-
+    consistent {e without} logging [length] — the case on which pre-failure-
+    only tools report a false positive and XFDetector stays silent. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type handle
+
+(** Direct API, usable outside the detection engine. *)
+
+val create : Ctx.t -> handle
+val open_ : Ctx.t -> handle
+
+(** [append ctx h ~log_length v] — [log_length:false] reproduces the bug. *)
+val append : Ctx.t -> handle -> log_length:bool -> int64 -> unit
+
+val pop : Ctx.t -> handle -> log_length:bool -> int64 option
+val length : Ctx.t -> handle -> int64
+val to_list : Ctx.t -> handle -> int64 list
+val recover_naive : Ctx.t -> handle -> unit
+val recover_robust : Ctx.t -> handle -> unit
+
+(** Detection program: [append]s [size] values in the RoI; the post-failure
+    stage recovers with the chosen strategy and resumes with a [pop]. *)
+val program :
+  ?init_size:int ->
+  ?size:int ->
+  ?log_length:bool ->
+  ?recovery:[ `Naive | `Robust ] ->
+  unit ->
+  Xfd.Engine.program

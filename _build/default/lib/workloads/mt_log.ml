@@ -1,0 +1,79 @@
+module Ctx = Xfd_sim.Ctx
+module Mt = Xfd_sim.Mt
+module Pool = Xfd_pmdk.Pool
+module Pmem = Xfd_pmdk.Pmem
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Wl.loc
+
+type variant = [ `Independent | `Shared_unsynchronized ]
+
+let max_records = 32
+
+(* Per-log layout: one line for the committed count (commit variable), then
+   one line per record.  Logs are stacked in the root object. *)
+let log_bytes = 64 * (1 + max_records)
+let log_base pool which = Pool.root pool + (which * log_bytes)
+let count_addr pool which = log_base pool which
+let record_addr pool which i = log_base pool which + (64 * (i + 1))
+
+let register ctx pool which =
+  Ctx.add_commit_var ctx ~loc:!!__POS__ (count_addr pool which) 8
+
+let append ctx pool which payload =
+  let n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (count_addr pool which)) in
+  if n >= max_records then failwith "mt_log: full";
+  Ctx.write_i64 ctx ~loc:!!__POS__ (record_addr pool which n) payload;
+  Pmem.persist ctx ~loc:!!__POS__ (record_addr pool which n) 8;
+  Ctx.write_i64 ctx ~loc:!!__POS__ (count_addr pool which) (Int64.of_int (n + 1));
+  Pmem.persist ctx ~loc:!!__POS__ (count_addr pool which) 8
+
+let read_all ctx pool which =
+  let n = Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (count_addr pool which)) in
+  List.init (min n max_records) (fun i ->
+      Ctx.read_i64 ctx ~loc:!!__POS__ (record_addr pool which i))
+
+let program ?(threads = 3) ?(appends_per_thread = 3)
+    ?(schedule = Xfd_sim.Mt.Seeded 1234) ?(variant = `Independent) () =
+  let nlogs = match variant with `Independent -> threads | `Shared_unsynchronized -> 1 in
+  let thread t ctx =
+    let pool = Pool.open_pool ctx ~loc:!!__POS__ () in
+    let which = match variant with `Independent -> t | `Shared_unsynchronized -> 0 in
+    for a = 0 to appends_per_thread - 1 do
+      append ctx pool which (Int64.of_int ((100 * t) + a))
+    done
+  in
+  {
+    Xfd.Engine.name =
+      Printf.sprintf "mt-log(%d threads,%s)" threads
+        (match variant with
+        | `Independent -> "independent"
+        | `Shared_unsynchronized -> "shared-unsync");
+    setup =
+      (fun ctx ->
+        let pool = Pool.create_atomic ctx ~loc:!!__POS__ () in
+        for w = 0 to nlogs - 1 do
+          register ctx pool w
+        done);
+    pre =
+      (fun ctx ->
+        let pool = Pool.open_pool ctx ~loc:!!__POS__ () in
+        for w = 0 to nlogs - 1 do
+          register ctx pool w
+        done;
+        Ctx.roi_begin ctx ~loc:!!__POS__;
+        Mt.interleave ~schedule (List.init threads thread) ctx;
+        Ctx.roi_end ctx ~loc:!!__POS__);
+    post =
+      (fun ctx ->
+        let pool = Pool.open_pool ctx ~loc:!!__POS__ () in
+        for w = 0 to nlogs - 1 do
+          register ctx pool w
+        done;
+        Ctx.roi_begin ctx ~loc:!!__POS__;
+        (* Recovery = resume: replay every committed record of every log. *)
+        for w = 0 to nlogs - 1 do
+          ignore (read_all ctx pool w)
+        done;
+        Ctx.roi_end ctx ~loc:!!__POS__);
+  }

@@ -1,0 +1,25 @@
+(** Multithreaded PM workload (paper section 7).
+
+    [`Independent] reproduces the paper's evaluated setting: each logical
+    thread appends to its own persistent event log (slots guarded by a
+    per-thread committed-count commit variable), so the interleaved
+    execution is crash-consistent and detection must stay clean for every
+    schedule.
+
+    [`Shared_unsynchronized] is the collaborative-update case the paper
+    says needs extra rules: all threads append through one shared counter
+    with no synchronization, so interleavings let one thread's commit cover
+    another thread's not-yet-persisted record — a cross-failure race (or
+    semantic bug) at some failure points. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type variant = [ `Independent | `Shared_unsynchronized ]
+
+val program :
+  ?threads:int ->
+  ?appends_per_thread:int ->
+  ?schedule:Xfd_sim.Mt.schedule ->
+  ?variant:variant ->
+  unit ->
+  Xfd.Engine.program

@@ -1,0 +1,39 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+
+let ( !! ) = Wl.loc
+
+exception Incomplete_pool of string
+
+let program ?(atomic = false) () =
+  let setup _ctx = () in
+  let pre ctx =
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    let create = if atomic then Pool.create_atomic else Pool.create in
+    let pool = create ctx ~loc:!!__POS__ () in
+    (* A first application write, so the pool is actually used. *)
+    Ctx.write_i64 ctx ~loc:!!__POS__ (Pool.root pool) 1L;
+    Xfd_pmdk.Pmem.persist ctx ~loc:!!__POS__ (Pool.root pool) 8;
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  let post ctx =
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    (match Pool.open_pool ctx ~loc:!!__POS__ () with
+    | _pool -> ()
+    | exception Pool.Pool_corrupt reason ->
+      if String.length reason >= 3 && String.sub reason 0 3 = "bad" then
+        (* Blank or half-blank header: normal first-boot path — recreate. *)
+        ignore (Pool.create_atomic ctx ~loc:!!__POS__ ())
+      else
+        (* Valid magic over garbage metadata: Bug 4. *)
+        raise (Incomplete_pool reason));
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  {
+    Xfd.Engine.name = Printf.sprintf "pool-create(%s)" (if atomic then "atomic" else "faithful");
+    setup;
+    pre;
+    post;
+  }
+
+let config = { Xfd.Config.default with trust_library = false }

@@ -1,0 +1,23 @@
+(** The pool-creation workload behind the paper's Bug 4 (Figure 14c,
+    obj.c:1324).
+
+    [pmemobj_createU → util_pool_create → util_pool_create_uuids] persists
+    pool metadata in several steps with no consistency guarantee across the
+    sequence.  Run with [trust_library = false] (testing the PM library
+    itself), failure points land in the middle of creation; the post-failure
+    stage then tries to open the pool for recovery and fails on incomplete
+    metadata.
+
+    The post-failure program distinguishes the two open failures an
+    application can meet: a missing/blank pool ("bad magic") is the normal
+    first-boot path and is handled by re-creating; {e incomplete metadata
+    behind a valid magic} is unrecoverable corruption and surfaces as a
+    post-failure error — the paper's observable for Bug 4. *)
+
+module Ctx = Xfd_sim.Ctx
+
+(** [program ~atomic ()] uses the fixed creation sequence when [atomic]. *)
+val program : ?atomic:bool -> unit -> Xfd.Engine.program
+
+(** The configuration Bug 4 needs: library internals under test. *)
+val config : Xfd.Config.t

@@ -1,0 +1,108 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Pmem = Xfd_pmdk.Pmem
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Wl.loc
+
+type variant = [ `Correct | `Tail_first | `No_entry_persist ]
+
+let capacity = 16
+
+exception Full
+exception Empty
+
+(* Root layout: slot 0 = head cursor, slot 8 = tail cursor (separate
+   lines), then one line per ring entry.  Cursors only grow; entry i of the
+   ring is cursor value mod capacity. *)
+type t = Pool.t
+
+let head_addr pool = Layout.slot (Pool.root pool) 0
+let tail_addr pool = Layout.slot (Pool.root pool) 8
+let entry_addr pool i = Pool.root pool + 128 + (64 * (i mod capacity))
+
+let register ctx pool =
+  Ctx.add_commit_var ctx ~loc:!!__POS__ (head_addr pool) 8;
+  Ctx.add_commit_var ctx ~loc:!!__POS__ (tail_addr pool) 8
+
+let create ctx =
+  let pool = Pool.create_atomic ctx ~loc:!!__POS__ () in
+  register ctx pool;
+  pool
+
+let open_ ctx =
+  let pool = Pool.open_pool ctx ~loc:!!__POS__ () in
+  register ctx pool;
+  pool
+
+let cursors ctx pool =
+  ( Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (head_addr pool)),
+    Int64.to_int (Ctx.read_i64 ctx ~loc:!!__POS__ (tail_addr pool)) )
+
+let length ctx pool =
+  let head, tail = cursors ctx pool in
+  tail - head
+
+let enqueue ctx pool ~variant v =
+  let head, tail = cursors ctx pool in
+  if tail - head >= capacity then raise Full;
+  let entry = entry_addr pool tail in
+  let commit_tail () =
+    Ctx.write_i64 ctx ~loc:!!__POS__ (tail_addr pool) (Int64.of_int (tail + 1));
+    Pmem.persist ctx ~loc:!!__POS__ (tail_addr pool) 8
+  in
+  match variant with
+  | `Correct ->
+    Ctx.write_i64 ctx ~loc:!!__POS__ entry v;
+    Pmem.persist ctx ~loc:!!__POS__ entry 8;
+    commit_tail ()
+  | `Tail_first ->
+    (* BUG: the cursor exposes an entry that may never persist. *)
+    commit_tail ();
+    Ctx.write_i64 ctx ~loc:!!__POS__ entry v;
+    Pmem.persist ctx ~loc:!!__POS__ entry 8
+  | `No_entry_persist ->
+    (* BUG: no explicit persist of the entry at all. *)
+    Ctx.write_i64 ctx ~loc:!!__POS__ entry v;
+    commit_tail ()
+
+let dequeue ctx pool =
+  let head, tail = cursors ctx pool in
+  if head >= tail then raise Empty;
+  let v = Ctx.read_i64 ctx ~loc:!!__POS__ (entry_addr pool head) in
+  Ctx.write_i64 ctx ~loc:!!__POS__ (head_addr pool) (Int64.of_int (head + 1));
+  Pmem.persist ctx ~loc:!!__POS__ (head_addr pool) 8;
+  v
+
+let peek_all ctx pool =
+  let head, tail = cursors ctx pool in
+  List.init (tail - head) (fun i -> Ctx.read_i64 ctx ~loc:!!__POS__ (entry_addr pool (head + i)))
+
+let program ?(enqueues = 4) ?(dequeues = 1) ?(variant = `Correct) () =
+  {
+    Xfd.Engine.name =
+      Printf.sprintf "queue(%s)"
+        (match variant with
+        | `Correct -> "correct"
+        | `Tail_first -> "tail-first"
+        | `No_entry_persist -> "no-entry-persist");
+    setup = (fun ctx -> ignore (create ctx));
+    pre =
+      (fun ctx ->
+        let pool = open_ ctx in
+        Ctx.roi_begin ctx ~loc:!!__POS__;
+        for i = 1 to enqueues do
+          enqueue ctx pool ~variant (Int64.of_int (1000 + i))
+        done;
+        for _ = 1 to min dequeues enqueues do
+          ignore (dequeue ctx pool)
+        done;
+        Ctx.roi_end ctx ~loc:!!__POS__);
+    post =
+      (fun ctx ->
+        let pool = open_ ctx in
+        Ctx.roi_begin ctx ~loc:!!__POS__;
+        (* Recovery = resume: drain whatever the cursors say is live. *)
+        ignore (peek_all ctx pool);
+        Ctx.roi_end ctx ~loc:!!__POS__);
+  }

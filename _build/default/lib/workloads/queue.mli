@@ -1,0 +1,37 @@
+(** Persistent circular FIFO queue (PMDK's queue example).
+
+    A fixed-capacity ring of one-line entries with persistent head/tail
+    cursors.  Enqueue writes and persists the entry, then commits it by
+    advancing the tail; dequeue reads the head entry and advances the head.
+    Both cursors are commit variables (8-byte atomic advances whose
+    post-failure reads decide which entries are live — benign races).
+
+    Variants:
+    - [`Correct];
+    - [`Tail_first] — the tail advances before the entry is persisted, so
+      recovery can consume an entry that never became durable (race);
+    - [`No_entry_persist] — the entry is never explicitly persisted and
+      rides on the tail's line flush only when it happens to share a line
+      (race on most entries). *)
+
+module Ctx = Xfd_sim.Ctx
+
+type variant = [ `Correct | `Tail_first | `No_entry_persist ]
+
+type t
+
+val capacity : int
+
+val create : Ctx.t -> t
+val open_ : Ctx.t -> t
+
+exception Full
+exception Empty
+
+val enqueue : Ctx.t -> t -> variant:variant -> int64 -> unit
+val dequeue : Ctx.t -> t -> int64
+val length : Ctx.t -> t -> int
+val peek_all : Ctx.t -> t -> int64 list
+
+val program :
+  ?enqueues:int -> ?dequeues:int -> ?variant:variant -> unit -> Xfd.Engine.program

@@ -1,0 +1,252 @@
+module Ctx = Xfd_sim.Ctx
+module Pool = Xfd_pmdk.Pool
+module Tx = Xfd_pmdk.Tx
+module Alloc = Xfd_pmdk.Alloc
+module Layout = Xfd_pmdk.Layout
+
+let ( !! ) = Wl.loc
+
+type handle = Pool.t
+
+(* Node layout (48 bytes): slot 0 = key, slot 1 = value, slot 2 = color
+   (0 black, 1 red), slot 3 = parent, slot 4 = left, slot 5 = right. *)
+let node_size = 48
+let key_addr n = Layout.slot n 0
+let val_addr n = Layout.slot n 1
+let color_addr n = Layout.slot n 2
+let parent_addr n = Layout.slot n 3
+let left_addr n = Layout.slot n 4
+let right_addr n = Layout.slot n 5
+
+let root_ptr_addr pool = Layout.slot (Pool.root pool) 0
+let count_addr pool = Layout.slot (Pool.root pool) 8
+
+let red = 1L
+let black = 0L
+
+(* Per-transaction snapshot bookkeeping: each node is TX_ADDed at most once
+   per insert, before its first modification. *)
+type tx_ctx = { pool : Pool.t; touched : (Xfd_mem.Addr.t, unit) Hashtbl.t }
+
+let touch ctx t node =
+  if (not (Layout.is_null node)) && not (Hashtbl.mem t.touched node) then begin
+    Hashtbl.replace t.touched node ();
+    Tx.add ctx t.pool ~loc:!!__POS__ node node_size
+  end
+
+let touch_root ctx t =
+  if not (Hashtbl.mem t.touched (root_ptr_addr t.pool)) then begin
+    Hashtbl.replace t.touched (root_ptr_addr t.pool) ();
+    Tx.add ctx t.pool ~loc:!!__POS__ (root_ptr_addr t.pool) 8
+  end
+
+let rd ctx a = Ctx.read_i64 ctx ~loc:!!__POS__ a
+let wr ctx a v = Ctx.write_i64 ctx ~loc:!!__POS__ a v
+let rd_ptr ctx a = Layout.read_ptr ctx ~loc:!!__POS__ a
+let wr_ptr ctx a p = Layout.write_ptr ctx ~loc:!!__POS__ a p
+
+let color ctx n = if Layout.is_null n then black else rd ctx (color_addr n)
+let set_color ctx t n c =
+  touch ctx t n;
+  wr ctx (color_addr n) c
+
+let create ctx = Pool.create_atomic ctx ~loc:!!__POS__ ()
+let open_ ctx = Pool.open_pool ctx ~loc:!!__POS__ ()
+
+let root_of ctx pool = rd_ptr ctx (root_ptr_addr pool)
+
+(* Replace the link from [u]'s parent to [u] with [v]. *)
+let transplant_link ctx t u v =
+  let p = rd_ptr ctx (parent_addr u) in
+  if Layout.is_null p then begin
+    touch_root ctx t;
+    wr_ptr ctx (root_ptr_addr t.pool) v
+  end
+  else begin
+    touch ctx t p;
+    if rd_ptr ctx (left_addr p) = u then wr_ptr ctx (left_addr p) v
+    else wr_ptr ctx (right_addr p) v
+  end;
+  if not (Layout.is_null v) then begin
+    touch ctx t v;
+    wr_ptr ctx (parent_addr v) p
+  end
+
+let rotate_left ctx t x =
+  let y = rd_ptr ctx (right_addr x) in
+  let yl = rd_ptr ctx (left_addr y) in
+  transplant_link ctx t x y;
+  touch ctx t x;
+  wr_ptr ctx (right_addr x) yl;
+  if not (Layout.is_null yl) then begin
+    touch ctx t yl;
+    wr_ptr ctx (parent_addr yl) x
+  end;
+  touch ctx t y;
+  wr_ptr ctx (left_addr y) x;
+  wr_ptr ctx (parent_addr x) y
+
+let rotate_right ctx t x =
+  let y = rd_ptr ctx (left_addr x) in
+  let yr = rd_ptr ctx (right_addr y) in
+  transplant_link ctx t x y;
+  touch ctx t x;
+  wr_ptr ctx (left_addr x) yr;
+  if not (Layout.is_null yr) then begin
+    touch ctx t yr;
+    wr_ptr ctx (parent_addr yr) x
+  end;
+  touch ctx t y;
+  wr_ptr ctx (right_addr y) x;
+  wr_ptr ctx (parent_addr x) y
+
+let rec fixup ctx t z =
+  let p = rd_ptr ctx (parent_addr z) in
+  if Layout.is_null p || Int64.equal (color ctx p) black then begin
+    let root = root_of ctx t.pool in
+    if Int64.equal (color ctx root) red then set_color ctx t root black
+  end
+  else begin
+    let g = rd_ptr ctx (parent_addr p) in
+    (* A red node always has a parent (the root is black), so g exists. *)
+    let p_is_left = rd_ptr ctx (left_addr g) = p in
+    let uncle = if p_is_left then rd_ptr ctx (right_addr g) else rd_ptr ctx (left_addr g) in
+    if Int64.equal (color ctx uncle) red then begin
+      set_color ctx t p black;
+      set_color ctx t uncle black;
+      set_color ctx t g red;
+      fixup ctx t g
+    end
+    else begin
+      let z, p =
+        if p_is_left && rd_ptr ctx (right_addr p) = z then begin
+          rotate_left ctx t p;
+          (p, rd_ptr ctx (parent_addr p))
+        end
+        else if (not p_is_left) && rd_ptr ctx (left_addr p) = z then begin
+          rotate_right ctx t p;
+          (p, rd_ptr ctx (parent_addr p))
+        end
+        else (z, p)
+      in
+      ignore z;
+      set_color ctx t p black;
+      set_color ctx t g red;
+      if p_is_left then rotate_right ctx t g else rotate_left ctx t g
+    end
+  end
+
+let insert ctx pool k v =
+  Tx.run ctx pool ~loc:!!__POS__ (fun () ->
+      let t = { pool; touched = Hashtbl.create 16 } in
+      let rec descend parent node =
+        if Layout.is_null node then `Attach parent
+        else begin
+          let nk = rd ctx (key_addr node) in
+          if Int64.equal nk k then `Update node
+          else if Int64.compare k nk < 0 then descend node (rd_ptr ctx (left_addr node))
+          else descend node (rd_ptr ctx (right_addr node))
+        end
+      in
+      match descend Layout.null (root_of ctx pool) with
+      | `Update node ->
+        touch ctx t node;
+        wr ctx (val_addr node) v
+      | `Attach parent ->
+        let z = Alloc.alloc ctx pool ~loc:!!__POS__ ~size:node_size ~zero:true in
+        Tx.add_range_no_snapshot ctx pool ~loc:!!__POS__ z node_size;
+        Hashtbl.replace t.touched z ();
+        wr ctx (key_addr z) k;
+        wr ctx (val_addr z) v;
+        wr ctx (color_addr z) red;
+        wr_ptr ctx (parent_addr z) parent;
+        if Layout.is_null parent then begin
+          touch_root ctx t;
+          wr_ptr ctx (root_ptr_addr pool) z
+        end
+        else begin
+          touch ctx t parent;
+          if Int64.compare k (rd ctx (key_addr parent)) < 0 then wr_ptr ctx (left_addr parent) z
+          else wr_ptr ctx (right_addr parent) z
+        end;
+        fixup ctx t z;
+        Tx.add ctx pool ~loc:!!__POS__ (count_addr pool) 8;
+        wr ctx (count_addr pool) (Int64.add (rd ctx (count_addr pool)) 1L))
+
+let get ctx pool k =
+  let rec go node =
+    if Layout.is_null node then None
+    else begin
+      let nk = rd ctx (key_addr node) in
+      if Int64.equal nk k then Some (rd ctx (val_addr node))
+      else if Int64.compare k nk < 0 then go (rd_ptr ctx (left_addr node))
+      else go (rd_ptr ctx (right_addr node))
+    end
+  in
+  go (root_of ctx pool)
+
+let count ctx pool = rd ctx (count_addr pool)
+
+let entries ctx pool =
+  let rec go acc node =
+    if Layout.is_null node then acc
+    else begin
+      let acc = go acc (rd_ptr ctx (right_addr node)) in
+      let acc = (rd ctx (key_addr node), rd ctx (val_addr node)) :: acc in
+      go acc (rd_ptr ctx (left_addr node))
+    end
+  in
+  go [] (root_of ctx pool)
+
+let check_invariants ctx pool =
+  let exception Violation of string in
+  let rec walk node =
+    (* returns black height *)
+    if Layout.is_null node then 1
+    else begin
+      let c = color ctx node in
+      if Int64.equal c red then begin
+        let l = rd_ptr ctx (left_addr node) and r = rd_ptr ctx (right_addr node) in
+        if Int64.equal (color ctx l) red || Int64.equal (color ctx r) red then
+          raise (Violation (Printf.sprintf "red-red edge at node 0x%x" node))
+      end;
+      let hl = walk (rd_ptr ctx (left_addr node)) in
+      let hr = walk (rd_ptr ctx (right_addr node)) in
+      if hl <> hr then raise (Violation (Printf.sprintf "black-height mismatch at 0x%x" node));
+      hl + (if Int64.equal c black then 1 else 0)
+    end
+  in
+  match
+    let root = root_of ctx pool in
+    if (not (Layout.is_null root)) && Int64.equal (color ctx root) red then
+      raise (Violation "red root");
+    ignore (walk root)
+  with
+  | () -> Ok ()
+  | exception Violation msg -> Error msg
+
+let recover ctx pool = Tx.recover ctx pool ~loc:!!__POS__
+
+let program ?(init_size = 0) ?(size = 1) () =
+  let setup ctx =
+    let pool = create ctx in
+    List.iter (fun k -> insert ctx pool k (Int64.neg k)) (Wl.keys ~seed:29 init_size)
+  in
+  let pre ctx =
+    let pool = open_ ctx in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    List.iter (fun k -> insert ctx pool k (Int64.neg k)) (Wl.keys ~seed:31 size);
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  let post ctx =
+    let pool = open_ ctx in
+    Ctx.roi_begin ctx ~loc:!!__POS__;
+    recover ctx pool;
+    (match Wl.keys ~seed:31 (max size 1) with
+    | k :: _ -> ignore (get ctx pool k)
+    | [] -> ());
+    insert ctx pool 999_959L 3L;
+    ignore (count ctx pool);
+    Ctx.roi_end ctx ~loc:!!__POS__
+  in
+  { Xfd.Engine.name = "rbtree"; setup; pre; post }

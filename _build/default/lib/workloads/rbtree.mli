@@ -1,0 +1,25 @@
+(** Transactional persistent red-black tree (PMDK's rbtree example).
+
+    Classic CLRS red-black insertion with parent pointers and rotation
+    fix-ups.  Every node touched by an insert is snapshotted once (TX_ADD)
+    before its first modification within the transaction. *)
+
+module Ctx = Xfd_sim.Ctx
+
+type handle
+
+val create : Ctx.t -> handle
+val open_ : Ctx.t -> handle
+val insert : Ctx.t -> handle -> int64 -> int64 -> unit
+val get : Ctx.t -> handle -> int64 -> int64 option
+val count : Ctx.t -> handle -> int64
+
+(** Key/value pairs in ascending key order. *)
+val entries : Ctx.t -> handle -> (int64 * int64) list
+
+(** Check the red-black invariants (root black, no red-red edge, equal
+    black height on every path); returns an error description on violation. *)
+val check_invariants : Ctx.t -> handle -> (unit, string) result
+
+val recover : Ctx.t -> handle -> unit
+val program : ?init_size:int -> ?size:int -> unit -> Xfd.Engine.program

@@ -1,0 +1,21 @@
+module Ctx = Xfd_sim.Ctx
+
+let loc = Xfd_util.Loc.of_pos
+
+exception Segfault of string
+
+let deref name p =
+  if Xfd_pmdk.Layout.is_null p then raise (Segfault ("null dereference: " ^ name)) else p
+
+let keys ~seed n =
+  let rng = Xfd_util.Rng.create (Int64.of_int seed) in
+  let tbl = Hashtbl.create n in
+  let rec fresh () =
+    let k = Xfd_util.Rng.int64_in rng 1_000_000L in
+    if Hashtbl.mem tbl k then fresh ()
+    else begin
+      Hashtbl.replace tbl k ();
+      k
+    end
+  in
+  List.init n (fun _ -> fresh ())

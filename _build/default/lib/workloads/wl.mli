@@ -1,0 +1,18 @@
+(** Shared helpers for the PM workloads. *)
+
+module Ctx = Xfd_sim.Ctx
+
+(** [loc __POS__] — shorthand to capture the instrumented source location. *)
+val loc : string * int * int * int -> Xfd_util.Loc.t
+
+(** Raised by workloads when they dereference a null persistent pointer —
+    the simulation's analogue of the segmentation fault in the paper's
+    Figure 1 scenario. *)
+exception Segfault of string
+
+(** [deref name p] returns [p] or raises {!Segfault} when it is null. *)
+val deref : string -> Xfd_mem.Addr.t -> Xfd_mem.Addr.t
+
+(** Deterministic keys for workload generators: [keys ~seed n] yields [n]
+    distinct int64 keys. *)
+val keys : seed:int -> int -> int64 list

@@ -1,0 +1,1 @@
+test/suite_baselines.ml: Alcotest List Tu Xfd Xfd_baselines Xfd_mem Xfd_sim Xfd_trace Xfd_workloads

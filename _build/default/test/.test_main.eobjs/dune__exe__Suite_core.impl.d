@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest List Tu Xfd Xfd_mem Xfd_trace Xfd_util

@@ -1,0 +1,1 @@
+test/suite_detection.ml: Alcotest List Printf String Tu Xfd Xfd_experiments Xfd_memcached Xfd_redis Xfd_util Xfd_workloads

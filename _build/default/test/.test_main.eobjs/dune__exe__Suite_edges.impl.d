@@ -1,0 +1,1 @@
+test/suite_edges.ml: Alcotest Bytes List Tu Xfd Xfd_mem Xfd_sim Xfd_trace Xfd_util

@@ -1,0 +1,1 @@
+test/suite_engine.ml: Alcotest Int64 List Tu Xfd Xfd_mem Xfd_sim Xfd_workloads

@@ -1,0 +1,1 @@
+test/suite_extras.ml: Alcotest Format Int64 List String Tu Xfd Xfd_experiments Xfd_mem Xfd_sim Xfd_util Xfd_workloads

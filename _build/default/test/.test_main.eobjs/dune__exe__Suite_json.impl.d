@@ -1,0 +1,1 @@
+test/suite_json.ml: Alcotest Seq String Tu Xfd Xfd_util Xfd_workloads

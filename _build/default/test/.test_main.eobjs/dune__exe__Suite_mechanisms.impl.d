@@ -1,0 +1,1 @@
+test/suite_mechanisms.ml: Alcotest Char Int64 List Printf String Tu Xfd Xfd_mechanisms Xfd_mem Xfd_sim Xfd_util

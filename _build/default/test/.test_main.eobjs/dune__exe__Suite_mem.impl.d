@@ -1,0 +1,1 @@
+test/suite_mem.ml: Alcotest Bytes Int64 List Printf Tu Xfd_mem Xfd_util

@@ -1,0 +1,1 @@
+test/suite_mt.ml: Alcotest Filename Format Int64 List Sys Tu Xfd Xfd_mem Xfd_sim Xfd_trace Xfd_workloads

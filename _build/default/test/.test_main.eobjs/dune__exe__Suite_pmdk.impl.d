@@ -1,0 +1,1 @@
+test/suite_pmdk.ml: Alcotest Bytes Char Tu Xfd Xfd_mem Xfd_pmdk Xfd_sim

@@ -1,0 +1,1 @@
+test/suite_pools.ml: Alcotest Bytes Char List Tu Xfd Xfd_mem Xfd_pmdk Xfd_sim

@@ -1,0 +1,1 @@
+test/suite_props.ml: Array Bytes Char Fun Hashtbl Int64 List Map Printf QCheck QCheck_alcotest String Tu Xfd Xfd_mem Xfd_memcached Xfd_pmdk Xfd_redis Xfd_sim Xfd_trace Xfd_util Xfd_workloads

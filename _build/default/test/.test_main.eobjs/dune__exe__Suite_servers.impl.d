@@ -1,0 +1,1 @@
+test/suite_servers.ml: Alcotest Hashtbl List Printf String Tu Xfd_mem Xfd_memcached Xfd_pmdk Xfd_redis Xfd_sim

@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Bytes List Tu Xfd_mem Xfd_sim Xfd_trace

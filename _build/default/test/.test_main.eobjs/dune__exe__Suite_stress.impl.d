@@ -1,0 +1,1 @@
+test/suite_stress.ml: Alcotest Bytes Char Int64 List String Tu Xfd_mechanisms Xfd_mem Xfd_pmdk Xfd_sim Xfd_util Xfd_workloads

@@ -1,0 +1,1 @@
+test/suite_trace.ml: Alcotest Bytes Filename Format Int64 List Printf String Sys Tu Xfd_trace Xfd_util

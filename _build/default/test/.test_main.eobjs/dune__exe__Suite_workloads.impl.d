@@ -1,0 +1,1 @@
+test/suite_workloads.ml: Alcotest Int64 List Tu Xfd Xfd_mem Xfd_pmdk Xfd_sim Xfd_workloads

@@ -1,0 +1,1 @@
+test/tu.ml: Alcotest Format Int64 List Xfd Xfd_mem Xfd_sim Xfd_trace Xfd_util

@@ -1,0 +1,108 @@
+(* Tests for the prior-work baselines and the capability comparison the
+   paper's Figure 3 makes: pre-failure-only tools miss post-failure bugs
+   and false-positive on intentionally unlogged-but-recovered data. *)
+
+module Pmtest = Xfd_baselines.Pmtest
+module Pmemcheck = Xfd_baselines.Pmemcheck
+module Pure_trace = Xfd_baselines.Pure_trace
+
+let pmtest_tests =
+  [
+    Tu.case "flags the unlogged length write of figure 1" (fun () ->
+        let r, _ = Pmtest.run (Xfd_workloads.Linkedlist.program ~size:1 ()) in
+        Alcotest.(check bool) "violations" true (List.length r.Pmtest.violations > 0);
+        let has_tx_rule =
+          List.exists
+            (fun v -> v.Pmtest.rule = "write inside transaction to object not added to it")
+            r.Pmtest.violations
+        in
+        Alcotest.(check bool) "transaction rule fired" true has_tx_rule);
+    Tu.case "false positive: identical report on the robust-recovery variant" (fun () ->
+        (* XFDetector is clean here (see detection suite); PMTest still
+           complains because it never sees the recovery code. *)
+        let r, _ = Pmtest.run (Xfd_workloads.Linkedlist.program ~size:1 ~recovery:`Robust ()) in
+        Alcotest.(check bool) "still complains" true (List.length r.Pmtest.violations > 0));
+    Tu.case "silent on the logged variant" (fun () ->
+        let r, _ = Pmtest.run (Xfd_workloads.Linkedlist.program ~size:1 ~log_length:true ()) in
+        Alcotest.(check (list string)) "no violations" []
+          (List.map (fun v -> v.Pmtest.rule) r.Pmtest.violations));
+    Tu.case "misses the figure 2 semantic bug" (fun () ->
+        let r, _ = Pmtest.run (Xfd_workloads.Array_update.program ~size:1 ()) in
+        Alcotest.(check int) "blind to cross-failure semantics" 0
+          (List.length r.Pmtest.violations));
+    Tu.case "clean on correct transactional workloads" (fun () ->
+        List.iter
+          (fun p ->
+            let r, _ = Pmtest.run p in
+            Alcotest.(check (list string)) "no violations" []
+              (List.map (fun v -> v.Pmtest.rule) r.Pmtest.violations))
+          [
+            Xfd_workloads.Btree.program ~init_size:2 ~size:2 ();
+            Xfd_workloads.Hashmap_tx.program ~size:2 ();
+          ]);
+    Tu.case "catches a seeded unpersisted write" (fun () ->
+        let faults = Xfd_sim.Faults.make ~skip_flush:[ 1 ] () in
+        let program = Xfd_workloads.Hashmap_atomic.program ~size:2 ~variant:`Fixed () in
+        (* Run the pre-failure stage under the fault spec, then check. *)
+        let dev = Xfd_mem.Pm_device.create () in
+        let trace = Xfd_trace.Trace.create () in
+        let ctx = Xfd_sim.Ctx.create ~faults ~stage:Xfd_sim.Ctx.Pre_failure ~dev ~trace () in
+        program.Xfd.Engine.setup ctx;
+        program.Xfd.Engine.pre ctx;
+        let r = Pmtest.check trace in
+        let unpersisted =
+          List.exists
+            (fun v -> v.Pmtest.rule = "PM update not persisted by end of execution")
+            r.Pmtest.violations
+        in
+        Alcotest.(check bool) "found" true unpersisted);
+  ]
+
+let pmemcheck_tests =
+  [
+    Tu.case "reports figure 1's never-flushed length" (fun () ->
+        let r, _ = Pmemcheck.run (Xfd_workloads.Linkedlist.program ~size:1 ()) in
+        let leftovers =
+          List.filter (fun i -> i.Pmemcheck.kind = `Not_persisted) r.Pmemcheck.issues
+        in
+        Alcotest.(check bool) "at least one" true (List.length leftovers >= 1));
+    Tu.case "no leftover stores on the logged variant" (fun () ->
+        let r, _ = Pmemcheck.run (Xfd_workloads.Linkedlist.program ~size:1 ~log_length:true ()) in
+        let leftovers =
+          List.filter (fun i -> i.Pmemcheck.kind = `Not_persisted) r.Pmemcheck.issues
+        in
+        Alcotest.(check int) "none" 0 (List.length leftovers));
+    Tu.case "misses the figure 2 semantic bug" (fun () ->
+        let r, _ = Pmemcheck.run (Xfd_workloads.Array_update.program ~size:1 ()) in
+        let leftovers =
+          List.filter (fun i -> i.Pmemcheck.kind = `Not_persisted) r.Pmemcheck.issues
+        in
+        Alcotest.(check int) "blind" 0 (List.length leftovers));
+    Tu.case "tracks store counts" (fun () ->
+        let r, _ = Pmemcheck.run (Xfd_workloads.Btree.program ~size:1 ()) in
+        Alcotest.(check bool) "stores seen" true (r.Pmemcheck.stores_tracked > 10));
+  ]
+
+let pure_trace_tests =
+  [
+    Tu.case "produces both stage traces" (fun () ->
+        let r = Pure_trace.run (Xfd_workloads.Btree.program ~init_size:2 ~size:2 ()) in
+        Alcotest.(check bool) "pre events" true (r.Pure_trace.pre_events > 50);
+        Alcotest.(check bool) "post events" true (r.Pure_trace.post_events > 10));
+    Tu.case "detection costs more than pure tracing, which costs more than nothing" (fun () ->
+        (* Repeat to smooth timing noise; the ordering must hold on medians
+           of several runs for a sizeable workload. *)
+        let program () = Xfd_workloads.Btree.program ~init_size:10 ~size:10 () in
+        let median xs = List.nth (List.sort compare xs) (List.length xs / 2) in
+        let runs f = median (List.init 3 (fun _ -> f ())) in
+        let detect_t = runs (fun () -> Xfd.Engine.total_wall (Tu.detect (program ()))) in
+        let trace_t = runs (fun () -> (Pure_trace.run (program ())).Pure_trace.wall) in
+        Alcotest.(check bool) "detect slower than trace" true (detect_t > trace_t));
+  ]
+
+let suite =
+  [
+    ("baselines.pmtest", pmtest_tests);
+    ("baselines.pmemcheck", pmemcheck_tests);
+    ("baselines.pure_trace", pure_trace_tests);
+  ]

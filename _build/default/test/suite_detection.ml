@@ -1,0 +1,170 @@
+(* End-to-end detection capability: the paper's Figures 1/2, the four new
+   bugs of section 6.3.2, the Table 5 synthetic-bug validation, and the
+   real-workload runs that must stay clean. *)
+
+module Engine = Xfd.Engine
+module Report = Xfd.Report
+module Bug_suite = Xfd_workloads.Bug_suite
+
+let figure_tests =
+  [
+    Tu.case "figure 1 bug: race on length + segfault observed" (fun () ->
+        let o = Tu.detect (Xfd_workloads.Linkedlist.program ~size:1 ()) in
+        let races, _, _, errors = Engine.tally o in
+        Alcotest.(check bool) "race on length" true (races >= 1);
+        Alcotest.(check bool) "segfault scenario observed" true (errors >= 1);
+        (* The reported race is on the length read in pop. *)
+        let has_length_race =
+          List.exists
+            (function
+              | Report.Race r -> r.Report.read_loc.Xfd_util.Loc.file = "lib/workloads/linkedlist.ml"
+              | _ -> false)
+            o.Engine.unique_bugs
+        in
+        Alcotest.(check bool) "race points into pop" true has_length_race);
+    Tu.case "figure 1 with robust recovery is clean (no false positive)" (fun () ->
+        Tu.check_clean "fig1-robust" (Tu.detect (Xfd_workloads.Linkedlist.program ~size:1 ~recovery:`Robust ())));
+    Tu.case "figure 1 with length logged is clean" (fun () ->
+        Tu.check_clean "fig1-logged"
+          (Tu.detect (Xfd_workloads.Linkedlist.program ~size:1 ~log_length:true ())));
+    Tu.case "figure 2 bug: race and stale semantic bug" (fun () ->
+        let o = Tu.detect (Xfd_workloads.Array_update.program ~size:1 ()) in
+        let races, semantics, _, _ = Engine.tally o in
+        Alcotest.(check bool) "race" true (races >= 1);
+        Alcotest.(check bool) "semantic" true (semantics >= 1);
+        let stale =
+          List.exists
+            (function
+              | Report.Semantic s -> s.Report.status = Xfd.Cstate.Stale
+              | _ -> false)
+            o.Engine.unique_bugs
+        in
+        Alcotest.(check bool) "stale backup read" true stale);
+    Tu.case "figure 2 fixed is clean" (fun () ->
+        Tu.check_clean "fig2-fixed"
+          (Tu.detect (Xfd_workloads.Array_update.program ~size:1 ~correct_valid:true ())));
+    Tu.case "figure 2 bug detected at multiple sizes" (fun () ->
+        List.iter
+          (fun size ->
+            let _, semantics, _, _ =
+              Tu.tally_of (Xfd_workloads.Array_update.program ~size ())
+            in
+            Alcotest.(check bool) (Printf.sprintf "size %d" size) true (semantics >= 1))
+          [ 2; 4 ]);
+  ]
+
+let newbug_tests =
+  [
+    Tu.case "bug 1: hashmap-atomic unpersisted metadata races" (fun () ->
+        let o = Tu.detect (Xfd_workloads.Hashmap_atomic.program ~size:1 ~variant:`Faithful ()) in
+        let races, _, _, _ = Engine.tally o in
+        Alcotest.(check bool) "several metadata races" true (races >= 3));
+    Tu.case "bug 2: hashmap-atomic uninitialised count read" (fun () ->
+        let o = Tu.detect (Xfd_workloads.Hashmap_atomic.program ~size:1 ~variant:`Faithful ()) in
+        let uninit =
+          List.exists
+            (function Report.Race r -> r.Report.uninit | _ -> false)
+            o.Engine.unique_bugs
+        in
+        Alcotest.(check bool) "uninit race present" true uninit);
+    Tu.case "bugs 1+2 absent from the fixed hashmap-atomic" (fun () ->
+        Tu.check_clean "hashmap-atomic fixed"
+          (Tu.detect (Xfd_workloads.Hashmap_atomic.program ~size:2 ~variant:`Fixed ())));
+    Tu.case "bug 3: redis unprotected init races" (fun () ->
+        let o = Tu.detect (Xfd_redis.Server.program ~size:2 ()) in
+        let races, _, _, errors = Engine.tally o in
+        Alcotest.(check bool) "race on num_dict_entries" true (races >= 1);
+        Alcotest.(check int) "no crash" 0 errors);
+    Tu.case "bug 3 absent from the fixed redis" (fun () ->
+        Tu.check_clean "redis fixed" (Tu.detect (Xfd_redis.Server.program ~size:2 ~variant:`Fixed ())));
+    Tu.case "bug 4: pool creation leaves incomplete metadata" (fun () ->
+        let o =
+          Tu.detect ~config:Xfd_workloads.Pool_create.config (Xfd_workloads.Pool_create.program ())
+        in
+        let contains s sub =
+          let n = String.length sub in
+          let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        let incomplete =
+          List.exists
+            (function
+              | Report.Post_failure_error { exn; _ } -> contains exn "Incomplete"
+              | _ -> false)
+            o.Engine.unique_bugs
+        in
+        Alcotest.(check bool) "incomplete-pool error observed" true incomplete);
+    Tu.case "bug 4 absent from atomic pool creation" (fun () ->
+        Tu.check_clean "pool-create atomic"
+          (Tu.detect ~config:Xfd_workloads.Pool_create.config
+             (Xfd_workloads.Pool_create.program ~atomic:true ())));
+    Tu.case "memcached is clean under detection" (fun () ->
+        Tu.check_clean "memcached" (Tu.detect (Xfd_memcached.Mc_server.program ~size:3 ())));
+    Tu.case "all five microbenchmarks are clean unpatched" (fun () ->
+        List.iter
+          (fun (name, p) -> Tu.check_clean name (Tu.detect p))
+          [
+            ("btree", Xfd_workloads.Btree.program ~init_size:2 ~size:2 ());
+            ("ctree", Xfd_workloads.Ctree.program ~init_size:2 ~size:2 ());
+            ("rbtree", Xfd_workloads.Rbtree.program ~init_size:2 ~size:2 ());
+            ("hashmap-tx", Xfd_workloads.Hashmap_tx.program ~size:2 ());
+            ("hashmap-atomic", Xfd_workloads.Hashmap_atomic.program ~size:2 ~variant:`Fixed ());
+          ]);
+  ]
+
+(* Table 5: every seeded bug must be detected with its expected class. *)
+let table5_tests =
+  List.map
+    (fun workload ->
+      Tu.case (Printf.sprintf "table 5 row: %s" workload) (fun () ->
+          let cases = Bug_suite.cases workload in
+          (* Check the row shape against the paper's counts. *)
+          let (races_p, sems_p, perfs_p), (races_a, sems_a) = Bug_suite.expected_row workload in
+          let count suite expect =
+            List.length
+              (List.filter (fun c -> c.Bug_suite.suite = suite && c.Bug_suite.expect = expect) cases)
+          in
+          Alcotest.(check int) "pmtest races" races_p (count Bug_suite.Pmtest Bug_suite.Race);
+          Alcotest.(check int) "pmtest semantic" sems_p (count Bug_suite.Pmtest Bug_suite.Semantic);
+          Alcotest.(check int) "pmtest perf" perfs_p (count Bug_suite.Pmtest Bug_suite.Perf);
+          Alcotest.(check int) "additional races" races_a (count Bug_suite.Additional Bug_suite.Race);
+          Alcotest.(check int) "additional semantic" sems_a
+            (count Bug_suite.Additional Bug_suite.Semantic);
+          (* And every case must actually detect. *)
+          List.iter
+            (fun c ->
+              let _, passed = Bug_suite.run c in
+              if not passed then Alcotest.failf "case %s not detected" c.Bug_suite.id)
+            cases))
+    Bug_suite.workloads
+
+let suite =
+  [
+    ("detection.figures", figure_tests);
+    ("detection.newbugs", newbug_tests);
+    ("detection.table5", table5_tests);
+  ]
+
+(* Cross-validation: under the strict crash mode (non-persisted bytes
+   dropped from the image) every correct workload in the registry must
+   still come back clean — recovery works on what actually survived. *)
+let crossval_tests =
+  [
+    Tu.case "all registered workloads clean under strict crash images" (fun () ->
+        let config = { Xfd.Config.default with crash_mode = `Strict } in
+        List.iter
+          (fun e ->
+            let o =
+              Tu.detect ~config (e.Xfd_experiments.Workload_set.make ~init:1 ~test:2)
+            in
+            Tu.check_clean (e.Xfd_experiments.Workload_set.name ^ " (strict)") o)
+          Xfd_experiments.Workload_set.extended);
+    Tu.case "all registered workloads clean under full crash images" (fun () ->
+        List.iter
+          (fun e ->
+            let o = Tu.detect (e.Xfd_experiments.Workload_set.make ~init:1 ~test:2) in
+            Tu.check_clean (e.Xfd_experiments.Workload_set.name ^ " (full)") o)
+          Xfd_experiments.Workload_set.extended);
+  ]
+
+let suite = suite @ [ ("detection.crossval", crossval_tests) ]

@@ -1,0 +1,201 @@
+(* Edge-case coverage: non-temporal stores, the CLFLUSH family, deferred
+   (persist-time) commit windows, and detector corner conditions. *)
+
+module Ctx = Xfd_sim.Ctx
+module Detector = Xfd.Detector
+module Registry = Xfd.Commit_registry
+module Report = Xfd.Report
+module Event = Xfd_trace.Event
+module Trace = Xfd_trace.Trace
+
+let l = Xfd_util.Loc.make ~file:"edge.ml" ~line:1
+let l2 = Xfd_util.Loc.make ~file:"edge.ml" ~line:2
+let base = Xfd_mem.Addr.pool_base
+
+let mk_trace kinds =
+  let t = Trace.create () in
+  List.iter (fun (kind, loc) -> ignore (Trace.append t ~kind ~loc)) kinds;
+  t
+
+let post_read ?(loc = l2) addr size =
+  mk_trace [ (Event.Roi_begin, loc); (Event.Read { addr; size }, loc) ]
+
+let run_pre_post pre post_trace =
+  let d = Detector.create () in
+  Detector.replay d pre ~from:0 ~upto:(Trace.length pre);
+  let fork = Detector.fork_for_post d in
+  Detector.replay fork post_trace ~from:0 ~upto:(Trace.length post_trace);
+  Detector.bugs fork
+
+let nt_tests =
+  [
+    Tu.case "nt store races until fenced" (fun () ->
+        let pre =
+          mk_trace [ (Event.Roi_begin, l); (Event.Nt_write { addr = base; size = 8 }, l) ]
+        in
+        Alcotest.(check int) "race" 1 (List.length (run_pre_post pre (post_read base 8))));
+    Tu.case "nt store + fence is clean without any flush" (fun () ->
+        let pre =
+          mk_trace
+            [
+              (Event.Roi_begin, l);
+              (Event.Nt_write { addr = base; size = 8 }, l);
+              (Event.Sfence, l);
+            ]
+        in
+        Alcotest.(check int) "clean" 0 (List.length (run_pre_post pre (post_read base 8))));
+    Tu.case "nt store end-to-end through the context" (fun () ->
+        let dev, _, ctx = Tu.make_ctx () in
+        Ctx.write_nt ctx ~loc:l base (Bytes.make 8 '\042');
+        Ctx.sfence ctx ~loc:l;
+        let img = Xfd_mem.Pm_device.crash dev Xfd_mem.Pm_device.Strict in
+        Alcotest.(check bytes) "persisted" (Bytes.make 8 '\042')
+          (Xfd_mem.Image.read img base 8));
+  ]
+
+let clflush_tests =
+  [
+    Tu.case "clflush and clflushopt both capture for the next fence" (fun () ->
+        List.iter
+          (fun flush_kind ->
+            let pre =
+              mk_trace
+                [
+                  (Event.Roi_begin, l);
+                  (Event.Write { addr = base; size = 8 }, l);
+                  (flush_kind, l);
+                  (Event.Sfence, l);
+                ]
+            in
+            Alcotest.(check int) "clean" 0 (List.length (run_pre_post pre (post_read base 8))))
+          [ Event.Clflush { addr = base }; Event.Clflushopt { addr = base } ]);
+    Tu.case "mfence is an ordering point too" (fun () ->
+        let pre =
+          mk_trace
+            [
+              (Event.Roi_begin, l);
+              (Event.Write { addr = base; size = 8 }, l);
+              (Event.Clwb { addr = base }, l);
+              (Event.Mfence, l);
+            ]
+        in
+        Alcotest.(check int) "clean" 0 (List.length (run_pre_post pre (post_read base 8))));
+    Tu.case "context clflush reaches the device" (fun () ->
+        let dev, _, ctx = Tu.make_ctx () in
+        Ctx.write_i64 ctx ~loc:l base 9L;
+        Ctx.clflush ctx ~loc:l base;
+        Ctx.sfence ctx ~loc:l;
+        Alcotest.(check bool) "persisted" true (Xfd_mem.Pm_device.is_persisted_range dev base 8));
+  ]
+
+let deferred_tests =
+  [
+    Tu.case "deferred commits move the window only at a fence" (fun () ->
+        let r = Registry.create () in
+        Registry.register_range r ~var:100 ~addr:200 ~size:8;
+        Registry.on_write r ~defer:true ~addr:100 ~size:8 ~ts:3;
+        Alcotest.(check bool) "still open" true (Registry.window_for r 200 = Some None);
+        Registry.apply_pending r;
+        Alcotest.(check bool) "applied" true (Registry.window_for r 200 = Some (Some (-1, 3))));
+    Tu.case "drop_pending discards unpersisted commits" (fun () ->
+        let r = Registry.create () in
+        Registry.register_range r ~var:100 ~addr:200 ~size:8;
+        Registry.on_write r ~defer:true ~addr:100 ~size:8 ~ts:3;
+        Registry.drop_pending r;
+        Registry.apply_pending r;
+        Alcotest.(check bool) "never committed" true (Registry.window_for r 200 = Some None));
+    Tu.case "pending commits apply in order" (fun () ->
+        let r = Registry.create () in
+        Registry.register_range r ~var:100 ~addr:200 ~size:8;
+        Registry.on_write r ~defer:true ~addr:100 ~size:8 ~ts:1;
+        Registry.on_write r ~defer:true ~addr:100 ~size:8 ~ts:2;
+        Registry.apply_pending r;
+        Alcotest.(check bool) "window (1,2)" true (Registry.window_for r 200 = Some (Some (1, 2))));
+    Tu.case "strict-mode detector defers; full-mode commits at write" (fun () ->
+        (* Data persisted, flag written but never persisted; post reads the
+           data.  Write-time windows call it consistent (the full image
+           exposes flag=1 and recovery would have read data legitimately);
+           persist-time windows never opened, so the data is uncommitted. *)
+        let pre =
+          mk_trace
+            [
+              (Event.Commit_var { addr = base; size = 8 }, l);
+              (Event.Commit_range { var = base; addr = base + 64; size = 8 }, l);
+              (Event.Roi_begin, l);
+              (Event.Write { addr = base + 64; size = 8 }, l);
+              (Event.Clwb { addr = base + 64 }, l);
+              (Event.Sfence, l);
+              (Event.Write { addr = base; size = 8 }, l) (* flag: unpersisted commit *);
+            ]
+        in
+        let bugs_with commit_at =
+          let d = Detector.create ~commit_at () in
+          Detector.replay d pre ~from:0 ~upto:(Trace.length pre);
+          let fork = Detector.fork_for_post d in
+          let post = post_read (base + 64) 8 in
+          Detector.replay fork post ~from:0 ~upto:(Trace.length post);
+          Detector.bugs fork
+        in
+        Alcotest.(check int) "full mode clean" 0 (List.length (bugs_with `Write));
+        (match bugs_with `Persist with
+        | [ Report.Semantic s ] ->
+          Alcotest.(check bool) "uncommitted" true (s.Report.status = Xfd.Cstate.Uncommitted)
+        | bugs -> Alcotest.failf "strict mode: expected one semantic bug, got %d" (List.length bugs)));
+  ]
+
+let corner_tests =
+  [
+    Tu.case "zero-size post read is harmless" (fun () ->
+        let pre = mk_trace [ (Event.Roi_begin, l); (Event.Write { addr = base; size = 8 }, l) ] in
+        Alcotest.(check int) "no findings" 0 (List.length (run_pre_post pre (post_read base 0))));
+    Tu.case "reads spanning mixed verdicts split into multiple reports" (fun () ->
+        (* bytes 0..7 persisted, 8..15 racy: one read over both must yield
+           exactly one race of size 8. *)
+        let pre =
+          mk_trace
+            [
+              (Event.Roi_begin, l);
+              (Event.Write { addr = base; size = 8 }, l);
+              (Event.Clwb { addr = base }, l);
+              (Event.Sfence, l);
+              (Event.Write { addr = base + 8; size = 8 }, l2);
+            ]
+        in
+        match run_pre_post pre (post_read base 16) with
+        | [ Report.Race r ] ->
+          Alcotest.(check int) "racy half only" 8 r.Report.size;
+          Alcotest.(check int) "starts at the racy byte" (base + 8) r.Report.addr
+        | bugs -> Alcotest.failf "expected one race, got %d findings" (List.length bugs));
+    Tu.case "second read of the same bytes is not re-checked" (fun () ->
+        let pre = mk_trace [ (Event.Roi_begin, l); (Event.Write { addr = base; size = 8 }, l) ] in
+        let post =
+          mk_trace
+            [
+              (Event.Roi_begin, l2);
+              (Event.Read { addr = base; size = 8 }, l2);
+              (Event.Read { addr = base; size = 8 }, Xfd_util.Loc.make ~file:"edge.ml" ~line:99);
+            ]
+        in
+        (* first-read-only: the second read site reports nothing even though
+           its dedup key differs *)
+        Alcotest.(check int) "one report" 1 (List.length (run_pre_post pre post)));
+    Tu.case "two distinct racy regions from one read site share one report" (fun () ->
+        let pre =
+          mk_trace
+            [
+              (Event.Roi_begin, l);
+              (Event.Write { addr = base; size = 4 }, l);
+              (Event.Write { addr = base + 32; size = 4 }, l);
+            ]
+        in
+        (* same reader loc and writer loc: deduplicated *)
+        Alcotest.(check int) "deduped" 1 (List.length (run_pre_post pre (post_read base 64))));
+  ]
+
+let suite =
+  [
+    ("edges.nt", nt_tests);
+    ("edges.clflush", clflush_tests);
+    ("edges.deferred_commits", deferred_tests);
+    ("edges.corners", corner_tests);
+  ]

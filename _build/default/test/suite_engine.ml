@@ -1,0 +1,146 @@
+(* Engine-level behaviour: failure-point placement and elision, the
+   terminal failure point, crash modes, the ablation strategy, and outcome
+   accounting. *)
+
+module Ctx = Xfd_sim.Ctx
+module Engine = Xfd.Engine
+module Config = Xfd.Config
+
+let l = Tu.loc __POS__
+let base = Xfd_mem.Addr.pool_base
+
+(* A tiny crash-consistent low-level program: an append-only log of slots
+   guarded by a persisted element counter (the commit variable).  The
+   post-failure stage reads the counter (benign) and only the slots it
+   covers — each of which was persisted strictly before the counter. *)
+let counter_program ?(n = 4) () =
+  let count_addr = base and slot_addr i = base + (64 * (i + 1)) in
+  {
+    Engine.name = "counter";
+    setup = (fun _ -> ());
+    pre =
+      (fun ctx ->
+        Ctx.add_commit_var ctx ~loc:l count_addr 8;
+        Ctx.roi_begin ctx ~loc:l;
+        for i = 0 to n - 1 do
+          Ctx.write_i64 ctx ~loc:l (slot_addr i) (Int64.of_int (100 + i));
+          Ctx.persist_barrier ctx ~loc:l (slot_addr i) 8;
+          Ctx.write_i64 ctx ~loc:l count_addr (Int64.of_int (i + 1));
+          Ctx.persist_barrier ctx ~loc:l count_addr 8
+        done;
+        Ctx.roi_end ctx ~loc:l);
+    post =
+      (fun ctx ->
+        Ctx.add_commit_var ctx ~loc:l count_addr 8;
+        Ctx.roi_begin ctx ~loc:l;
+        let valid = Int64.to_int (Ctx.read_i64 ctx ~loc:l count_addr) in
+        for i = 0 to valid - 1 do
+          ignore (Ctx.read_i64 ctx ~loc:l (slot_addr i))
+        done;
+        Ctx.roi_end ctx ~loc:l);
+  }
+
+let tests =
+  [
+    Tu.case "one failure point per ordering point plus terminal" (fun () ->
+        let o = Tu.detect (counter_program ~n:4 ()) in
+        (* 8 barriers -> 8 failure points before them, plus the terminal
+           point for the program-completed state. *)
+        Alcotest.(check int) "count" 9 o.Engine.failure_points;
+        Tu.check_clean "correct program" o);
+    Tu.case "terminal failure point can be disabled" (fun () ->
+        let config = { Config.default with inject_terminal_fp = false } in
+        let o = Tu.detect ~config (counter_program ~n:4 ()) in
+        Alcotest.(check int) "count" 8 o.Engine.failure_points);
+    Tu.case "empty ordering points are elided" (fun () ->
+        let program =
+          {
+            (counter_program ~n:1 ()) with
+            Engine.pre =
+              (fun ctx ->
+                Ctx.roi_begin ctx ~loc:l;
+                Ctx.write_i64 ctx ~loc:l base 1L;
+                Ctx.persist_barrier ctx ~loc:l base 8;
+                (* Three fences with no PM update in between. *)
+                Ctx.sfence ctx ~loc:l;
+                Ctx.sfence ctx ~loc:l;
+                Ctx.sfence ctx ~loc:l;
+                Ctx.roi_end ctx ~loc:l);
+          }
+        in
+        let o = Tu.detect program in
+        (* Only the barrier's failure point: the empty fences add update_ops
+           through the fence itself, so at most one more, never three. *)
+        Alcotest.(check bool) "elision works" true (o.Engine.failure_points <= 3));
+    Tu.case "max_failure_points caps injection" (fun () ->
+        let config = { Config.default with max_failure_points = 2; inject_terminal_fp = false } in
+        let o = Tu.detect ~config (counter_program ~n:10 ()) in
+        Alcotest.(check int) "capped" 2 o.Engine.failure_points);
+    Tu.case "every_update ablation injects strictly more failure points" (fun () ->
+        let baseline = Tu.detect (counter_program ~n:6 ()) in
+        let config = { Config.default with strategy = Ctx.Every_update } in
+        let naive = Tu.detect ~config (counter_program ~n:6 ()) in
+        Alcotest.(check bool) "more points" true
+          (naive.Engine.failure_points > baseline.Engine.failure_points);
+        (* And finds nothing extra on a correct program. *)
+        Tu.check_clean "naive on correct" naive);
+    Tu.case "ablation finds the same bug on a buggy program" (fun () ->
+        let p = Xfd_workloads.Array_update.program ~size:1 () in
+        let r1, s1, _, _ = Tu.tally_of p in
+        let config = { Config.default with strategy = Ctx.Every_update } in
+        let r2, s2, _, _ = Tu.tally_of ~config (Xfd_workloads.Array_update.program ~size:1 ()) in
+        Alcotest.(check bool) "race found both ways" true (r1 >= 1 && r2 >= 1);
+        Alcotest.(check bool) "semantic found both ways" true (s1 >= 1 && s2 >= 1));
+    Tu.case "strict crash mode agrees on the figure 2 verdicts" (fun () ->
+        let config = { Config.default with crash_mode = `Strict } in
+        let races, semantics, _, _ =
+          Tu.tally_of ~config (Xfd_workloads.Array_update.program ~size:1 ())
+        in
+        Alcotest.(check bool) "race" true (races >= 1);
+        Alcotest.(check bool) "semantic" true (semantics >= 1));
+    Tu.case "unique bugs deduplicate across failure points" (fun () ->
+        let o = Tu.detect (Xfd_workloads.Linkedlist.program ~size:3 ()) in
+        (* The same length race occurs at many failure points but is one
+           programming error. *)
+        let races = List.filter Xfd.Report.is_race o.Engine.unique_bugs in
+        Alcotest.(check bool) "few unique races" true (List.length races <= 3);
+        let reported_at =
+          List.length
+            (List.filter (fun r -> List.exists Xfd.Report.is_race r.Xfd.Report.bugs) o.Engine.reports)
+        in
+        Alcotest.(check bool) "reported at several points" true (reported_at > List.length races));
+    Tu.case "outcome accounting is sane" (fun () ->
+        let o = Tu.detect (Xfd_workloads.Btree.program ~init_size:2 ~size:2 ()) in
+        Alcotest.(check bool) "pre events" true (o.Engine.pre_events > 50);
+        Alcotest.(check bool) "post events" true (o.Engine.post_events > o.Engine.pre_events / 10);
+        Alcotest.(check bool) "reports per failure point" true
+          (List.length o.Engine.reports = o.Engine.failure_points);
+        let pre, post = Engine.wall_breakdown o in
+        Alcotest.(check bool) "times nonnegative" true (pre >= 0.0 && post >= 0.0);
+        Alcotest.(check bool) "total is the sum" true
+          (abs_float (Engine.total_wall o -. (pre +. post)) < 1e-9));
+    Tu.case "run_traced and run_original complete" (fun () ->
+        let p = Xfd_workloads.Btree.program ~init_size:2 ~size:2 () in
+        Alcotest.(check bool) "traced" true (Engine.run_traced p >= 0.0);
+        Alcotest.(check bool) "original" true (Engine.run_original p >= 0.0));
+    Tu.case "detection is deterministic" (fun () ->
+        let run () =
+          let o = Tu.detect (Xfd_workloads.Array_update.program ~size:2 ()) in
+          ( o.Engine.failure_points,
+            List.map Xfd.Report.dedup_key o.Engine.unique_bugs,
+            o.Engine.pre_events )
+        in
+        let a = run () and b = run () in
+        Alcotest.(check bool) "identical outcomes" true (a = b));
+    Tu.case "seeded faults do not corrupt the trace determinism" (fun () ->
+        let config =
+          { Config.default with faults = Xfd_sim.Faults.make ~skip_tx_add:[ 0 ] () }
+        in
+        let run () =
+          let o = Tu.detect ~config (Xfd_workloads.Btree.program ~size:2 ()) in
+          List.map Xfd.Report.dedup_key o.Engine.unique_bugs
+        in
+        Alcotest.(check bool) "same bugs twice" true (run () = run ()));
+  ]
+
+let suite = [ ("engine", tests) ]

@@ -1,0 +1,222 @@
+(* Tests for the queue workload, post-failure value assertions (section
+   5.5), the report module, and small experiment-harness helpers. *)
+
+module Ctx = Xfd_sim.Ctx
+module Queue_wl = Xfd_workloads.Queue
+module Report = Xfd.Report
+
+let l = Tu.loc __POS__
+let base = Xfd_mem.Addr.pool_base
+
+let queue_tests =
+  [
+    Tu.case "fifo order" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let q = Queue_wl.create ctx in
+        List.iter (fun v -> Queue_wl.enqueue ctx q ~variant:`Correct v) [ 1L; 2L; 3L ];
+        Alcotest.(check int) "length" 3 (Queue_wl.length ctx q);
+        Alcotest.check Tu.i64 "first out" 1L (Queue_wl.dequeue ctx q);
+        Alcotest.check Tu.i64 "second out" 2L (Queue_wl.dequeue ctx q);
+        Alcotest.(check (list Tu.i64)) "peek rest" [ 3L ] (Queue_wl.peek_all ctx q));
+    Tu.case "empty and full raise" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let q = Queue_wl.create ctx in
+        Alcotest.check_raises "empty" Queue_wl.Empty (fun () -> ignore (Queue_wl.dequeue ctx q));
+        for i = 1 to Queue_wl.capacity do
+          Queue_wl.enqueue ctx q ~variant:`Correct (Int64.of_int i)
+        done;
+        Alcotest.check_raises "full" Queue_wl.Full (fun () ->
+            Queue_wl.enqueue ctx q ~variant:`Correct 0L));
+    Tu.case "ring wraps around" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let q = Queue_wl.create ctx in
+        for round = 0 to 3 do
+          for i = 0 to Queue_wl.capacity - 1 do
+            Queue_wl.enqueue ctx q ~variant:`Correct (Int64.of_int ((round * 100) + i))
+          done;
+          for i = 0 to Queue_wl.capacity - 1 do
+            Alcotest.check Tu.i64 "fifo across wraps"
+              (Int64.of_int ((round * 100) + i))
+              (Queue_wl.dequeue ctx q)
+          done
+        done);
+    Tu.case "live entries survive a strict crash" (fun () ->
+        let vs =
+          Tu.crash_boot
+            ~pre:(fun ctx ->
+              let q = Queue_wl.create ctx in
+              List.iter (fun v -> Queue_wl.enqueue ctx q ~variant:`Correct v) [ 7L; 8L; 9L ];
+              ignore (Queue_wl.dequeue ctx q))
+            ~mode:Xfd_mem.Pm_device.Strict
+            ~post:(fun ctx ->
+              let q = Queue_wl.open_ ctx in
+              Queue_wl.peek_all ctx q)
+        in
+        Alcotest.(check (list Tu.i64)) "committed entries" [ 8L; 9L ] vs);
+    Tu.case "correct variant clean under detection" (fun () ->
+        Tu.check_clean "queue" (Tu.detect (Queue_wl.program ())));
+    Tu.case "tail-first commit races" (fun () ->
+        let r, _, _, _ = Tu.tally_of (Queue_wl.program ~variant:`Tail_first ()) in
+        Alcotest.(check bool) "race" true (r >= 1));
+    Tu.case "missing entry persist races" (fun () ->
+        let r, _, _, _ = Tu.tally_of (Queue_wl.program ~variant:`No_entry_persist ()) in
+        Alcotest.(check bool) "race" true (r >= 1));
+  ]
+
+(* A workload whose bug is purely value-level: it writes the WRONG value
+   into a correctly persisted slot.  The shadow PM cannot see it (the
+   paper's stated limitation), but a post-failure value assertion plus the
+   failure-injection machinery catches it — section 5.5's recipe. *)
+let assertion_program ~buggy =
+  let slot = base and mirror = base + 64 in
+  {
+    Xfd.Engine.name = "value-assert";
+    setup = (fun _ -> ());
+    pre =
+      (fun ctx ->
+        (* Both copies act as a checksum-style pair: reads are benign, so
+           the persistence machinery stays quiet and only values matter. *)
+        Ctx.add_commit_var ctx ~loc:l slot 8;
+        Ctx.add_commit_var ctx ~loc:l mirror 8;
+        Ctx.roi_begin ctx ~loc:l;
+        (* Keep two copies that must agree; the bug writes them unequal. *)
+        Ctx.write_i64 ctx ~loc:l slot 5L;
+        Ctx.persist_barrier ctx ~loc:l slot 8;
+        Ctx.write_i64 ctx ~loc:l mirror (if buggy then 6L else 5L);
+        Ctx.persist_barrier ctx ~loc:l mirror 8;
+        Ctx.roi_end ctx ~loc:l);
+    post =
+      (fun ctx ->
+        Ctx.add_commit_var ctx ~loc:l slot 8;
+        Ctx.add_commit_var ctx ~loc:l mirror 8;
+        Ctx.roi_begin ctx ~loc:l;
+        let a = Ctx.read_i64 ctx ~loc:l slot in
+        let b = Ctx.read_i64 ctx ~loc:l mirror in
+        (* Both copies persisted: no race, no semantic bug.  Only the value
+           assertion can catch the divergence — and must tolerate the legal
+           mid-update state where the mirror was not yet written. *)
+        Ctx.check ctx ~loc:l
+          (Int64.equal b 0L || Int64.equal a b)
+          "mirror diverged from slot";
+        Ctx.roi_end ctx ~loc:l);
+  }
+
+let assertion_tests =
+  [
+    Tu.case "check is silent when the condition holds" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        Ctx.check ctx ~loc:l true "fine";
+        Alcotest.(check pass) "no raise" () ());
+    Tu.case "check raises and names the location" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        match Ctx.check ctx ~loc:l false "boom" with
+        | () -> Alcotest.fail "expected Assertion_failed"
+        | exception Ctx.Assertion_failed msg ->
+          Alcotest.(check bool) "message" true (String.length msg > 4));
+    Tu.case "value bug invisible to the shadow PM, caught by the assertion" (fun () ->
+        let o = Tu.detect (assertion_program ~buggy:true) in
+        let races, semantics, _, errors = Xfd.Engine.tally o in
+        Alcotest.(check int) "no races" 0 races;
+        Alcotest.(check int) "no semantic bugs" 0 semantics;
+        Alcotest.(check bool) "assertion fired at some failure point" true (errors >= 1));
+    Tu.case "correct values keep the assertion quiet" (fun () ->
+        Tu.check_clean "value-assert correct" (Tu.detect (assertion_program ~buggy:false)));
+  ]
+
+let report_tests =
+  [
+    Tu.case "dedup keys distinguish bug kinds" (fun () ->
+        let loc1 = Xfd_util.Loc.make ~file:"a.ml" ~line:1 in
+        let loc2 = Xfd_util.Loc.make ~file:"a.ml" ~line:2 in
+        let race u = Report.Race { addr = 0; size = 8; read_loc = loc1; write_loc = loc2; uninit = u } in
+        let sem s = Report.Semantic { addr = 0; size = 8; read_loc = loc1; write_loc = loc2; status = s } in
+        let keys =
+          List.map Report.dedup_key
+            [
+              race false;
+              race true;
+              sem Xfd.Cstate.Stale;
+              sem Xfd.Cstate.Uncommitted;
+              Report.Perf { addr = 0; loc = loc1; waste = `Duplicate_tx_add };
+              Report.Perf { addr = 0; loc = loc1; waste = `Flush Xfd.Pstate.Double_flush };
+              Report.Post_failure_error { exn = "x"; failure_point = 3 };
+            ]
+        in
+        Alcotest.(check int) "all distinct" (List.length keys)
+          (List.length (List.sort_uniq compare keys)));
+    Tu.case "same program points share a key across failure points" (fun () ->
+        let loc1 = Xfd_util.Loc.make ~file:"a.ml" ~line:1 in
+        let loc2 = Xfd_util.Loc.make ~file:"a.ml" ~line:2 in
+        let mk addr = Report.Race { addr; size = 8; read_loc = loc1; write_loc = loc2; uninit = false } in
+        Alcotest.(check string) "key ignores address" (Report.dedup_key (mk 0))
+          (Report.dedup_key (mk 4096)));
+    Tu.case "classification predicates" (fun () ->
+        let loc = Xfd_util.Loc.unknown in
+        let race = Report.Race { addr = 0; size = 1; read_loc = loc; write_loc = loc; uninit = false } in
+        Alcotest.(check bool) "race" true (Report.is_race race);
+        Alcotest.(check bool) "not semantic" false (Report.is_semantic race);
+        let err = Report.Post_failure_error { exn = "e"; failure_point = 0 } in
+        Alcotest.(check bool) "post error" true (Report.is_post_error err));
+    Tu.case "pp_bug renders every kind" (fun () ->
+        let loc = Xfd_util.Loc.make ~file:"w.ml" ~line:9 in
+        List.iter
+          (fun b ->
+            let s = Format.asprintf "%a" Report.pp_bug b in
+            Alcotest.(check bool) "non-empty" true (String.length s > 10))
+          [
+            Report.Race { addr = 64; size = 8; read_loc = loc; write_loc = loc; uninit = true };
+            Report.Semantic { addr = 64; size = 8; read_loc = loc; write_loc = loc; status = Xfd.Cstate.Stale };
+            Report.Perf { addr = 64; loc; waste = `Flush Xfd.Pstate.Unnecessary_flush };
+            Report.Post_failure_error { exn = "Boom"; failure_point = 7 };
+          ]);
+  ]
+
+let harness_tests =
+  [
+    Tu.case "workload_set finds names loosely" (fun () ->
+        List.iter
+          (fun name ->
+            ignore (Xfd_experiments.Workload_set.find name))
+          [ "btree"; "B-Tree"; "hashmap_tx"; "HASHMAP-TX"; "redis"; "Memcached" ];
+        Alcotest.check_raises "unknown"
+          (Invalid_argument "Workload_set.find: unknown workload nope") (fun () ->
+            ignore (Xfd_experiments.Workload_set.find "nope")));
+    Tu.case "geomean and formatting helpers" (fun () ->
+        let open Xfd_experiments.Tbl in
+        Alcotest.(check bool) "geomean of equal values" true (abs_float (geomean [ 2.0; 2.0 ] -. 2.0) < 1e-9);
+        Alcotest.(check bool) "geomean skips nonpositive" true (abs_float (geomean [ 4.0; 0.0 ] -. 4.0) < 1e-9);
+        Alcotest.(check string) "microseconds" "500us" (secs 0.0005);
+        Alcotest.(check string) "milliseconds" "12.00ms" (secs 0.012);
+        Alcotest.(check string) "seconds" "2.50s" (secs 2.5);
+        Alcotest.(check string) "times" "3.0x" (times 3.0));
+    Tu.case "fig13 r_squared is 1 on a perfect line" (fun () ->
+        let series =
+          {
+            Xfd_experiments.Fig13.name = "synthetic";
+            points =
+              List.map
+                (fun i ->
+                  {
+                    Xfd_experiments.Fig13.transactions = i;
+                    failure_points = 2 * i;
+                    wall = 0.5 *. float i;
+                  })
+                [ 1; 2; 3; 4; 5 ];
+          }
+        in
+        Alcotest.(check bool) "r2 = 1" true
+          (abs_float (Xfd_experiments.Fig13.r_squared series -. 1.0) < 1e-9));
+    Tu.case "table4 counts sources when run from the repo root" (fun () ->
+        (* dune runs tests in _build sandboxes, so LoC may be unavailable;
+           the rows must still be well-formed. *)
+        let rows = Xfd_experiments.Table4_exp.run () in
+        Alcotest.(check int) "seven workloads" 7 (List.length rows));
+  ]
+
+let suite =
+  [
+    ("extras.queue", queue_tests);
+    ("extras.assertions", assertion_tests);
+    ("extras.report", report_tests);
+    ("extras.harness", harness_tests);
+  ]

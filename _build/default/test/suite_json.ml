@@ -1,0 +1,64 @@
+(* Tests for the JSON encoder and the machine-readable outcome output. *)
+
+module Json = Xfd_util.Json
+
+let encoder_tests =
+  [
+    Tu.case "scalar rendering" (fun () ->
+        Alcotest.(check string) "int" "42" (Json.to_string (Json.Int 42));
+        Alcotest.(check string) "neg" "-7" (Json.to_string (Json.Int (-7)));
+        Alcotest.(check string) "bool" "true" (Json.to_string (Json.Bool true));
+        Alcotest.(check string) "null" "null" (Json.to_string Json.Null);
+        Alcotest.(check string) "float" "1.5" (Json.to_string (Json.Float 1.5));
+        Alcotest.(check string) "integral float" "3.0" (Json.to_string (Json.Float 3.0)));
+    Tu.case "string escaping" (fun () ->
+        Alcotest.(check string) "quote" "\\\"" (Json.escape "\"");
+        Alcotest.(check string) "backslash" "\\\\" (Json.escape "\\");
+        Alcotest.(check string) "newline" "a\\nb" (Json.escape "a\nb");
+        Alcotest.(check string) "control" "\\u0001" (Json.escape "\001");
+        Alcotest.(check string) "rendered" "\"a\\tb\"" (Json.to_string (Json.Str "a\tb")));
+    Tu.case "compound rendering" (fun () ->
+        let v = Json.Obj [ ("xs", Json.Arr [ Json.Int 1; Json.Int 2 ]); ("ok", Json.Bool false) ] in
+        Alcotest.(check string) "compact" {|{"xs":[1,2],"ok":false}|} (Json.to_string v);
+        Alcotest.(check string) "empties" {|{"a":[],"b":{}}|}
+          (Json.to_string (Json.Obj [ ("a", Json.Arr []); ("b", Json.Obj []) ])));
+    Tu.case "pretty output is indented and re-compactable" (fun () ->
+        let v = Json.Obj [ ("k", Json.Arr [ Json.Str "v" ]) ] in
+        let pretty = Json.to_string_pretty v in
+        Alcotest.(check bool) "has newlines" true (String.contains pretty '\n');
+        (* stripping whitespace outside strings must recover the compact form *)
+        let compact =
+          String.to_seq pretty
+          |> Seq.filter (fun c -> c <> '\n' && c <> ' ')
+          |> String.of_seq
+        in
+        Alcotest.(check string) "same structure" (Json.to_string v) compact);
+  ]
+
+let outcome_tests =
+  [
+    Tu.case "outcome JSON carries the tally and the bug kinds" (fun () ->
+        let o = Tu.detect (Xfd_workloads.Array_update.program ~size:1 ()) in
+        let s = Json.to_string (Xfd.Engine.outcome_to_json o) in
+        let contains sub =
+          let n = String.length sub in
+          let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "program name" true (contains "\"array_update(fig2-bug)\"");
+        Alcotest.(check bool) "race kind" true (contains "\"cross-failure-race\"");
+        Alcotest.(check bool) "semantic kind" true (contains "\"cross-failure-semantic-bug\"");
+        Alcotest.(check bool) "status" true (contains "\"IC-stale\"");
+        Alcotest.(check bool) "locations" true (contains "\"lib/workloads/array_update.ml\""));
+    Tu.case "clean outcome has empty bug arrays" (fun () ->
+        let o = Tu.detect (Xfd_workloads.Array_update.program ~size:1 ~correct_valid:true ()) in
+        let s = Json.to_string (Xfd.Engine.outcome_to_json o) in
+        let contains sub =
+          let n = String.length sub in
+          let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "no bugs" true (contains "\"unique_bugs\":[]"));
+  ]
+
+let suite = [ ("json.encoder", encoder_tests); ("json.outcome", outcome_tests) ]

@@ -1,0 +1,309 @@
+(* Functional tests for the PMDK clone: pool, allocator, transactions. *)
+
+module Ctx = Xfd_sim.Ctx
+module Device = Xfd_mem.Pm_device
+module Pool = Xfd_pmdk.Pool
+module Alloc = Xfd_pmdk.Alloc
+module Tx = Xfd_pmdk.Tx
+module Layout = Xfd_pmdk.Layout
+module Pmem = Xfd_pmdk.Pmem
+
+let l = Tu.loc __POS__
+
+let with_pool f =
+  let _, _, ctx = Tu.make_ctx () in
+  let pool = Pool.create_atomic ctx ~loc:l () in
+  f ctx pool
+
+let pool_tests =
+  [
+    Tu.case "create then open round trip" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let p = Pool.create_atomic ctx ~loc:l () in
+        let q = Pool.open_pool ctx ~loc:l () in
+        Alcotest.(check int) "root" (Pool.root p) (Pool.root q);
+        Alcotest.(check int) "root size" (Pool.root_size p) (Pool.root_size q);
+        Alcotest.(check (pair int int)) "heap" (Pool.heap p) (Pool.heap q));
+    Tu.case "open of blank memory fails" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        match Pool.open_pool ctx ~loc:l () with
+        | _ -> Alcotest.fail "expected Pool_corrupt"
+        | exception Pool.Pool_corrupt _ -> ());
+    Tu.case "faithful create also opens when complete" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let _ = Pool.create ctx ~loc:l () in
+        ignore (Pool.open_pool ctx ~loc:l ()));
+    Tu.case "root region starts zeroed and persisted" (fun () ->
+        with_pool (fun ctx pool ->
+            let dev = Ctx.device ctx in
+            Alcotest.(check bool) "persisted" true
+              (Device.is_persisted_range dev (Pool.root pool) (Pool.root_size pool));
+            Alcotest.check Tu.i64 "zero" 0L (Ctx.read_i64 ctx ~loc:l (Pool.root pool))));
+    Tu.case "atomic create survives a strict crash at completion" (fun () ->
+        let ok =
+          Tu.crash_boot
+            ~pre:(fun ctx -> ignore (Pool.create_atomic ctx ~loc:l ()))
+            ~mode:Device.Strict
+            ~post:(fun ctx ->
+              match Pool.open_pool ctx ~loc:l () with
+              | _ -> true
+              | exception Pool.Pool_corrupt _ -> false)
+        in
+        Alcotest.(check bool) "opens" true ok);
+    Tu.case "log_entry bounds checked" (fun () ->
+        with_pool (fun _ pool ->
+            Alcotest.check_raises "oob" (Invalid_argument "Pool.log_entry: index out of range")
+              (fun () -> ignore (Pool.log_entry pool Pool.log_entry_count))));
+    Tu.case "pool too small rejected" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        Alcotest.check_raises "small" (Invalid_argument "Pool.create: pool_size too small")
+          (fun () -> ignore (Pool.create_atomic ctx ~loc:l ~pool_size:4096 ())));
+  ]
+
+let alloc_tests =
+  [
+    Tu.case "payloads are line-aligned and disjoint" (fun () ->
+        with_pool (fun ctx pool ->
+            let a = Alloc.alloc ctx pool ~loc:l ~size:24 ~zero:false in
+            let b = Alloc.alloc ctx pool ~loc:l ~size:24 ~zero:false in
+            Alcotest.(check int) "aligned a" 0 (a mod 64);
+            Alcotest.(check int) "aligned b" 0 (b mod 64);
+            Alcotest.(check bool) "disjoint" false
+              (Xfd_mem.Addr.overlap (a, 64) (b, 64))));
+    Tu.case "zeroed allocation reads as zero" (fun () ->
+        with_pool (fun ctx pool ->
+            let a = Alloc.alloc ctx pool ~loc:l ~size:32 ~zero:true in
+            Alcotest.(check bytes) "zeros" (Bytes.make 32 '\000') (Ctx.read ctx ~loc:l a 32)));
+    Tu.case "usable size is the rounded request" (fun () ->
+        with_pool (fun ctx pool ->
+            let a = Alloc.alloc ctx pool ~loc:l ~size:24 ~zero:false in
+            Alcotest.(check int) "rounded to line" 64 (Alloc.usable_size ctx pool ~loc:l a)));
+    Tu.case "free then alloc reuses the block" (fun () ->
+        with_pool (fun ctx pool ->
+            let a = Alloc.alloc ctx pool ~loc:l ~size:24 ~zero:false in
+            Alloc.free ctx pool ~loc:l a;
+            Alcotest.(check int) "on free list" 1 (Alloc.free_list_length ctx pool ~loc:l);
+            let b = Alloc.alloc ctx pool ~loc:l ~size:24 ~zero:false in
+            Alcotest.(check int) "reused" a b;
+            Alcotest.(check int) "free list empty" 0 (Alloc.free_list_length ctx pool ~loc:l)));
+    Tu.case "first fit skips too-small blocks" (fun () ->
+        with_pool (fun ctx pool ->
+            let small = Alloc.alloc ctx pool ~loc:l ~size:16 ~zero:false in
+            let big = Alloc.alloc ctx pool ~loc:l ~size:200 ~zero:false in
+            Alloc.free ctx pool ~loc:l small;
+            Alloc.free ctx pool ~loc:l big;
+            let c = Alloc.alloc ctx pool ~loc:l ~size:200 ~zero:false in
+            Alcotest.(check int) "took the big block" big c));
+    Tu.case "alloc size must be positive" (fun () ->
+        with_pool (fun ctx pool ->
+            Alcotest.check_raises "zero" (Invalid_argument "Alloc.alloc: size <= 0") (fun () ->
+                ignore (Alloc.alloc ctx pool ~loc:l ~size:0 ~zero:false))));
+    Tu.case "heap exhaustion raises" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let pool = Pool.create_atomic ctx ~loc:l ~pool_size:(256 * 1024) () in
+        match
+          for _ = 1 to 10_000 do
+            ignore (Alloc.alloc ctx pool ~loc:l ~size:4096 ~zero:false)
+          done
+        with
+        | () -> Alcotest.fail "expected Heap_exhausted"
+        | exception Alloc.Heap_exhausted -> ());
+    Tu.case "many allocations stay within the heap" (fun () ->
+        with_pool (fun ctx pool ->
+            let heap_addr, heap_size = Pool.heap pool in
+            for i = 1 to 500 do
+              let a = Alloc.alloc ctx pool ~loc:l ~size:(16 + (i mod 96)) ~zero:false in
+              Alcotest.(check bool) "inside heap" true
+                (a >= heap_addr && a + 16 <= heap_addr + heap_size)
+            done));
+  ]
+
+let tx_tests =
+  [
+    Tu.case "commit keeps updates after a strict crash" (fun () ->
+        let v =
+          Tu.crash_boot
+            ~pre:(fun ctx ->
+              let pool = Pool.create_atomic ctx ~loc:l () in
+              Tx.run ctx pool ~loc:l (fun () ->
+                  Tx.add ctx pool ~loc:l (Pool.root pool) 8;
+                  Ctx.write_i64 ctx ~loc:l (Pool.root pool) 42L))
+            ~mode:Device.Strict
+            ~post:(fun ctx ->
+              let pool = Pool.open_pool ctx ~loc:l () in
+              Tx.recover ctx pool ~loc:l;
+              Ctx.read_i64 ctx ~loc:l (Pool.root pool))
+        in
+        Alcotest.check Tu.i64 "committed value" 42L v);
+    Tu.case "uncommitted update rolls back after a strict crash" (fun () ->
+        let v =
+          Tu.crash_boot
+            ~pre:(fun ctx ->
+              let pool = Pool.create_atomic ctx ~loc:l () in
+              Ctx.write_i64 ctx ~loc:l (Pool.root pool) 1L;
+              Pmem.persist ctx ~loc:l (Pool.root pool) 8;
+              Tx.begin_ ctx pool ~loc:l;
+              Tx.add ctx pool ~loc:l (Pool.root pool) 8;
+              Ctx.write_i64 ctx ~loc:l (Pool.root pool) 99L;
+              Pmem.persist ctx ~loc:l (Pool.root pool) 8
+              (* crash before commit *))
+            ~mode:Device.Strict
+            ~post:(fun ctx ->
+              let pool = Pool.open_pool ctx ~loc:l () in
+              Tx.recover ctx pool ~loc:l;
+              Ctx.read_i64 ctx ~loc:l (Pool.root pool))
+        in
+        Alcotest.check Tu.i64 "rolled back" 1L v);
+    Tu.case "abort restores immediately" (fun () ->
+        with_pool (fun ctx pool ->
+            Ctx.write_i64 ctx ~loc:l (Pool.root pool) 5L;
+            Pmem.persist ctx ~loc:l (Pool.root pool) 8;
+            (match
+               Tx.run ctx pool ~loc:l (fun () ->
+                   Tx.add ctx pool ~loc:l (Pool.root pool) 8;
+                   Ctx.write_i64 ctx ~loc:l (Pool.root pool) 6L;
+                   failwith "boom")
+             with
+            | () -> Alcotest.fail "should have raised"
+            | exception Failure _ -> ());
+            Alcotest.check Tu.i64 "restored" 5L (Ctx.read_i64 ctx ~loc:l (Pool.root pool));
+            Alcotest.(check int) "log empty" 0 (Tx.valid_entries ctx pool ~loc:l)));
+    Tu.case "nested transactions commit once at the outermost end" (fun () ->
+        with_pool (fun ctx pool ->
+            Tx.begin_ ctx pool ~loc:l;
+            Tx.add ctx pool ~loc:l (Pool.root pool) 8;
+            Tx.begin_ ctx pool ~loc:l;
+            Ctx.write_i64 ctx ~loc:l (Pool.root pool) 7L;
+            Tx.commit ctx pool ~loc:l;
+            Alcotest.(check bool) "still open" true (Tx.valid_entries ctx pool ~loc:l > 0);
+            Tx.commit ctx pool ~loc:l;
+            Alcotest.(check int) "retired" 0 (Tx.valid_entries ctx pool ~loc:l)));
+    Tu.case "rollback applies newest entry first" (fun () ->
+        (* Add the same location twice with different intermediate values:
+           recovery must end at the oldest (pre-transaction) value. *)
+        let v =
+          Tu.crash_boot
+            ~pre:(fun ctx ->
+              let pool = Pool.create_atomic ctx ~loc:l () in
+              Ctx.write_i64 ctx ~loc:l (Pool.root pool) 10L;
+              Pmem.persist ctx ~loc:l (Pool.root pool) 8;
+              Tx.begin_ ctx pool ~loc:l;
+              Tx.add ctx pool ~loc:l (Pool.root pool) 8;
+              Ctx.write_i64 ctx ~loc:l (Pool.root pool) 20L;
+              Tx.add ctx pool ~loc:l (Pool.root pool) 8 (* snapshots 20 *);
+              Ctx.write_i64 ctx ~loc:l (Pool.root pool) 30L;
+              Pmem.persist ctx ~loc:l (Pool.root pool) 8)
+            ~mode:Device.Strict
+            ~post:(fun ctx ->
+              let pool = Pool.open_pool ctx ~loc:l () in
+              Tx.recover ctx pool ~loc:l;
+              Ctx.read_i64 ctx ~loc:l (Pool.root pool))
+        in
+        Alcotest.check Tu.i64 "oldest value wins" 10L v);
+    Tu.case "large ranges split across log entries" (fun () ->
+        let expected = Bytes.init 2000 (fun i -> Char.chr (i mod 256)) in
+        let v =
+          Tu.crash_boot
+            ~pre:(fun ctx ->
+              let pool = Pool.create_atomic ctx ~loc:l () in
+              Ctx.write ctx ~loc:l (Pool.root pool) expected;
+              Pmem.persist ctx ~loc:l (Pool.root pool) 2000;
+              Tx.begin_ ctx pool ~loc:l;
+              Tx.add ctx pool ~loc:l (Pool.root pool) 2000;
+              Ctx.write ctx ~loc:l (Pool.root pool) (Bytes.make 2000 '\xFF');
+              Pmem.persist ctx ~loc:l (Pool.root pool) 2000)
+            ~mode:Device.Strict
+            ~post:(fun ctx ->
+              let pool = Pool.open_pool ctx ~loc:l () in
+              Tx.recover ctx pool ~loc:l;
+              Ctx.read ctx ~loc:l (Pool.root pool) 2000)
+        in
+        Alcotest.(check bytes) "restored" expected v);
+    Tu.case "operations outside a transaction raise" (fun () ->
+        with_pool (fun ctx pool ->
+            Alcotest.check_raises "add" Tx.No_active_transaction (fun () ->
+                Tx.add ctx pool ~loc:l (Pool.root pool) 8);
+            Alcotest.check_raises "commit" Tx.No_active_transaction (fun () ->
+                Tx.commit ctx pool ~loc:l);
+            Alcotest.check_raises "abort" Tx.No_active_transaction (fun () ->
+                Tx.abort ctx pool ~loc:l)));
+    Tu.case "log exhaustion raises" (fun () ->
+        with_pool (fun ctx pool ->
+            Tx.begin_ ctx pool ~loc:l;
+            match
+              for _ = 1 to Pool.log_entry_count + 1 do
+                Tx.add ctx pool ~loc:l (Pool.root pool) 8
+              done
+            with
+            | () -> Alcotest.fail "expected Log_exhausted"
+            | exception Tx.Log_exhausted -> ()));
+    Tu.case "detector finds no bugs in the tx library itself" (fun () ->
+        (* Audit mode: trust_library = false exposes all tx internals to
+           instruction-granularity failure injection and checking. *)
+        let program =
+          {
+            Xfd.Engine.name = "tx-audit";
+            setup =
+              (fun ctx ->
+                let pool = Pool.create_atomic ctx ~loc:l () in
+                Ctx.write_i64 ctx ~loc:l (Pool.root pool) 1L;
+                Pmem.persist ctx ~loc:l (Pool.root pool) 8);
+            pre =
+              (fun ctx ->
+                let pool = Pool.open_pool ctx ~loc:l () in
+                Ctx.roi_begin ctx ~loc:l;
+                Tx.run ctx pool ~loc:l (fun () ->
+                    Tx.add ctx pool ~loc:l (Pool.root pool) 8;
+                    Ctx.write_i64 ctx ~loc:l (Pool.root pool) 2L);
+                Ctx.roi_end ctx ~loc:l);
+            post =
+              (fun ctx ->
+                let pool = Pool.open_pool ctx ~loc:l () in
+                Ctx.roi_begin ctx ~loc:l;
+                Tx.recover ctx pool ~loc:l;
+                ignore (Ctx.read_i64 ctx ~loc:l (Pool.root pool));
+                Ctx.roi_end ctx ~loc:l);
+          }
+        in
+        let config = { Xfd.Config.default with trust_library = false } in
+        let outcome = Tu.detect ~config program in
+        Alcotest.(check bool) "many failure points" true (outcome.Xfd.Engine.failure_points > 5);
+        Tu.check_clean "tx audit" outcome);
+  ]
+
+let pmem_tests =
+  [
+    Tu.case "memcpy_persist persists" (fun () ->
+        let dev, _, ctx = Tu.make_ctx () in
+        Pmem.memcpy_persist ctx ~loc:l 0x1000 (Bytes.of_string "abc");
+        Alcotest.(check bool) "persisted" true (Device.is_persisted_range dev 0x1000 3));
+    Tu.case "memset_persist fills and persists" (fun () ->
+        let dev, _, ctx = Tu.make_ctx () in
+        Pmem.memset_persist ctx ~loc:l 0x1000 'z' 100;
+        Alcotest.(check bytes) "filled" (Bytes.make 100 'z') (Device.load dev 0x1000 100);
+        Alcotest.(check bool) "persisted" true (Device.is_persisted_range dev 0x1000 100));
+    Tu.case "library_call closes regions on exceptions" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        (match Pmem.library_call ctx ~loc:l (fun () -> failwith "inner") with
+        | () -> Alcotest.fail "should raise"
+        | exception Failure _ -> ());
+        (* If the skip regions leaked, this would raise. *)
+        Ctx.skip_detection_begin ctx ~loc:l;
+        Ctx.skip_detection_end ctx ~loc:l;
+        Alcotest.(check pass) "balanced" () ());
+    Tu.case "layout strings round trip" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        Layout.write_string ctx ~loc:l 0x2000 "hello";
+        Alcotest.(check string) "round" "hello" (Layout.read_string ctx ~loc:l 0x2000);
+        Layout.write_string ctx ~loc:l 0x3000 "";
+        Alcotest.(check string) "empty" "" (Layout.read_string ctx ~loc:l 0x3000);
+        Alcotest.(check int) "footprint" 13 (Layout.string_footprint "hello"));
+  ]
+
+let suite =
+  [
+    ("pmdk.pool", pool_tests);
+    ("pmdk.alloc", alloc_tests);
+    ("pmdk.tx", tx_tests);
+    ("pmdk.pmem", pmem_tests);
+  ]

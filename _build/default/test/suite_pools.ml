@@ -1,0 +1,339 @@
+(* Tests for the auxiliary persistent-pool libraries: Plog (libpmemlog
+   analogue) and Pblk (libpmemblk / BTT analogue). *)
+
+module Ctx = Xfd_sim.Ctx
+module Device = Xfd_mem.Pm_device
+module Pool = Xfd_pmdk.Pool
+module Plog = Xfd_pmdk.Plog
+module Pblk = Xfd_pmdk.Pblk
+
+let l = Tu.loc __POS__
+
+let with_pool f =
+  let _, _, ctx = Tu.make_ctx () in
+  let pool = Pool.create_atomic ctx ~loc:l () in
+  f ctx pool
+
+let chunks_of ctx log =
+  let acc = ref [] in
+  Plog.walk ctx log (fun b -> acc := Bytes.to_string b :: !acc);
+  List.rev !acc
+
+let plog_tests =
+  [
+    Tu.case "append and walk in order" (fun () ->
+        with_pool (fun ctx pool ->
+            let log = Plog.create ctx pool ~capacity:1024 in
+            List.iter
+              (fun s -> Plog.append ctx log (Bytes.of_string s))
+              [ "alpha"; ""; "gamma" ];
+            Alcotest.(check (list string)) "order" [ "alpha"; ""; "gamma" ] (chunks_of ctx log);
+            Alcotest.(check int) "tell" (8 + 5 + 8 + 0 + 8 + 5) (Plog.tell ctx log)));
+    Tu.case "attach finds the same contents" (fun () ->
+        with_pool (fun ctx pool ->
+            let log = Plog.create ctx pool ~capacity:256 in
+            Plog.append ctx log (Bytes.of_string "persist me");
+            let log' = Plog.attach ctx ~meta:(Plog.meta_addr log) in
+            Alcotest.(check (list string)) "same" [ "persist me" ] (chunks_of ctx log')));
+    Tu.case "full log raises" (fun () ->
+        with_pool (fun ctx pool ->
+            let log = Plog.create ctx pool ~capacity:32 in
+            Plog.append ctx log (Bytes.make 20 'x');
+            Alcotest.check_raises "full" Plog.Log_full (fun () ->
+                Plog.append ctx log (Bytes.make 20 'y'))));
+    Tu.case "rewind empties" (fun () ->
+        with_pool (fun ctx pool ->
+            let log = Plog.create ctx pool ~capacity:256 in
+            Plog.append ctx log (Bytes.of_string "gone");
+            Plog.rewind ctx log;
+            Alcotest.(check (list string)) "empty" [] (chunks_of ctx log);
+            Plog.append ctx log (Bytes.of_string "fresh");
+            Alcotest.(check (list string)) "reusable" [ "fresh" ] (chunks_of ctx log)));
+    Tu.case "committed chunks survive any strict crash as a prefix" (fun () ->
+        let appended = [ "one"; "two"; "three"; "four" ] in
+        let images =
+          Tu.strict_crash_points
+            ~setup:(fun ctx ->
+              let pool = Pool.create_atomic ctx ~loc:l () in
+              let log = Plog.create ctx pool ~capacity:1024 in
+              (* stash the meta address in the root for the post stage *)
+              Xfd_pmdk.Layout.write_ptr ctx ~loc:l (Pool.root pool) (Plog.meta_addr log);
+              Xfd_pmdk.Pmem.persist ctx ~loc:l (Pool.root pool) 8)
+            ~pre:(fun ctx ->
+              let pool = Pool.open_pool ctx ~loc:l () in
+              let log =
+                Plog.attach ctx ~meta:(Xfd_pmdk.Layout.read_ptr ctx ~loc:l (Pool.root pool))
+              in
+              Ctx.roi_begin ctx ~loc:l;
+              List.iter (fun s -> Plog.append ctx log (Bytes.of_string s)) appended;
+              Ctx.roi_end ctx ~loc:l)
+        in
+        Alcotest.(check bool) "several points" true (List.length images > 3);
+        List.iteri
+          (fun n img ->
+            Tu.on_image img (fun ctx ->
+                let pool = Pool.open_pool ctx ~loc:l () in
+                let log =
+                  Plog.attach ctx ~meta:(Xfd_pmdk.Layout.read_ptr ctx ~loc:l (Pool.root pool))
+                in
+                let got = chunks_of ctx log in
+                if not (Tu.is_prefix_set got appended && got = List.filteri (fun i _ -> i < List.length got) appended)
+                then Alcotest.failf "image %d: not an append prefix" n))
+          images);
+    Tu.case "log reads are clean under detection" (fun () ->
+        let program =
+          {
+            Xfd.Engine.name = "plog";
+            setup =
+              (fun ctx ->
+                let pool = Pool.create_atomic ctx ~loc:l () in
+                let log = Plog.create ctx pool ~capacity:1024 in
+                Xfd_pmdk.Layout.write_ptr ctx ~loc:l (Pool.root pool) (Plog.meta_addr log);
+                Xfd_pmdk.Pmem.persist ctx ~loc:l (Pool.root pool) 8);
+            pre =
+              (fun ctx ->
+                let pool = Pool.open_pool ctx ~loc:l () in
+                let log =
+                  Plog.attach ctx ~meta:(Xfd_pmdk.Layout.read_ptr ctx ~loc:l (Pool.root pool))
+                in
+                Ctx.roi_begin ctx ~loc:l;
+                for i = 1 to 3 do
+                  Plog.append ctx log (Bytes.make i 'z')
+                done;
+                Ctx.roi_end ctx ~loc:l);
+            post =
+              (fun ctx ->
+                let pool = Pool.open_pool ctx ~loc:l () in
+                let log =
+                  Plog.attach ctx ~meta:(Xfd_pmdk.Layout.read_ptr ctx ~loc:l (Pool.root pool))
+                in
+                Ctx.roi_begin ctx ~loc:l;
+                Plog.walk ctx log (fun _ -> ());
+                Ctx.roi_end ctx ~loc:l);
+          }
+        in
+        Tu.check_clean "plog" (Tu.detect program));
+  ]
+
+let blk_bytes ?(size = 128) i round = Bytes.make size (Char.chr (65 + ((i + round) mod 26)))
+
+let pblk_tests =
+  [
+    Tu.case "read back what was written" (fun () ->
+        with_pool (fun ctx pool ->
+            let blk = Pblk.create ctx pool ~block_size:128 ~count:4 in
+            Pblk.write ctx blk 2 (blk_bytes 2 0);
+            Alcotest.(check bytes) "block 2" (blk_bytes 2 0) (Pblk.read ctx blk 2);
+            Alcotest.(check bytes) "block 0 untouched" (Bytes.make 128 '\000')
+              (Pblk.read ctx blk 0)));
+    Tu.case "rewrites cycle through physical blocks" (fun () ->
+        with_pool (fun ctx pool ->
+            let blk = Pblk.create ctx pool ~block_size:64 ~count:2 in
+            for round = 0 to 9 do
+              Pblk.write ctx blk 0 (blk_bytes ~size:64 0 round);
+              Pblk.write ctx blk 1 (blk_bytes ~size:64 1 round)
+            done;
+            Alcotest.(check bytes) "b0" (blk_bytes ~size:64 0 9) (Pblk.read ctx blk 0);
+            Alcotest.(check bytes) "b1" (blk_bytes ~size:64 1 9) (Pblk.read ctx blk 1)));
+    Tu.case "geometry validated" (fun () ->
+        with_pool (fun ctx pool ->
+            let blk = Pblk.create ctx pool ~block_size:64 ~count:2 in
+            Alcotest.check_raises "bad index" (Invalid_argument "Pblk: logical block out of range")
+              (fun () -> ignore (Pblk.read ctx blk 2));
+            Alcotest.check_raises "bad size" (Invalid_argument "Pblk.write: wrong block size")
+              (fun () -> Pblk.write ctx blk 0 (Bytes.make 63 'x'))));
+    Tu.case "block writes are atomic at every failure point" (fun () ->
+        (* After a crash anywhere inside a sequence of block rewrites, every
+           block must hold a complete old or complete new image. *)
+        let images =
+          Tu.strict_crash_points
+            ~setup:(fun ctx ->
+              let pool = Pool.create_atomic ctx ~loc:l () in
+              let blk = Pblk.create ctx pool ~block_size:128 ~count:3 in
+              Xfd_pmdk.Layout.write_ptr ctx ~loc:l (Pool.root pool) (Pblk.meta_addr blk);
+              Xfd_pmdk.Pmem.persist ctx ~loc:l (Pool.root pool) 8;
+              for i = 0 to 2 do
+                Pblk.write ctx blk i (blk_bytes i 0)
+              done)
+            ~pre:(fun ctx ->
+              let pool = Pool.open_pool ctx ~loc:l () in
+              let blk =
+                Pblk.attach ctx ~meta:(Xfd_pmdk.Layout.read_ptr ctx ~loc:l (Pool.root pool))
+              in
+              Ctx.roi_begin ctx ~loc:l;
+              for round = 1 to 2 do
+                for i = 0 to 2 do
+                  Pblk.write ctx blk i (blk_bytes i round)
+                done
+              done;
+              Ctx.roi_end ctx ~loc:l)
+        in
+        List.iteri
+          (fun n img ->
+            Tu.on_image img (fun ctx ->
+                let pool = Pool.open_pool ctx ~loc:l () in
+                let blk =
+                  Pblk.attach ctx ~meta:(Xfd_pmdk.Layout.read_ptr ctx ~loc:l (Pool.root pool))
+                in
+                for i = 0 to 2 do
+                  let b = Pblk.read ctx blk i in
+                  let legal = List.exists (fun r -> Bytes.equal b (blk_bytes i r)) [ 0; 1; 2 ] in
+                  if not legal then Alcotest.failf "image %d: torn block %d" n i
+                done))
+          images);
+    Tu.case "block reads are clean under detection" (fun () ->
+        let program =
+          {
+            Xfd.Engine.name = "pblk";
+            setup =
+              (fun ctx ->
+                let pool = Pool.create_atomic ctx ~loc:l () in
+                let blk = Pblk.create ctx pool ~block_size:128 ~count:3 in
+                Xfd_pmdk.Layout.write_ptr ctx ~loc:l (Pool.root pool) (Pblk.meta_addr blk);
+                Xfd_pmdk.Pmem.persist ctx ~loc:l (Pool.root pool) 8);
+            pre =
+              (fun ctx ->
+                let pool = Pool.open_pool ctx ~loc:l () in
+                let blk =
+                  Pblk.attach ctx ~meta:(Xfd_pmdk.Layout.read_ptr ctx ~loc:l (Pool.root pool))
+                in
+                Ctx.roi_begin ctx ~loc:l;
+                for i = 0 to 2 do
+                  Pblk.write ctx blk i (blk_bytes i 1)
+                done;
+                Ctx.roi_end ctx ~loc:l);
+            post =
+              (fun ctx ->
+                let pool = Pool.open_pool ctx ~loc:l () in
+                let blk =
+                  Pblk.attach ctx ~meta:(Xfd_pmdk.Layout.read_ptr ctx ~loc:l (Pool.root pool))
+                in
+                Ctx.roi_begin ctx ~loc:l;
+                for i = 0 to 2 do
+                  ignore (Pblk.read ctx blk i)
+                done;
+                Ctx.roi_end ctx ~loc:l);
+          }
+        in
+        Tu.check_clean "pblk" (Tu.detect program));
+  ]
+
+let suite = [ ("pools.plog", plog_tests); ("pools.pblk", pblk_tests) ]
+
+(* --- Plist: the POBJ_LIST analogue --- *)
+module Plist = Xfd_pmdk.Plist
+module Alloc = Xfd_pmdk.Alloc
+
+let new_node ctx pool v =
+  let node = Alloc.alloc ctx pool ~loc:l ~size:32 ~zero:true in
+  (* payload persisted before linking, as the contract requires *)
+  Ctx.write_i64 ctx ~loc:l (node + 16) v;
+  Xfd_pmdk.Pmem.persist ctx ~loc:l node 32;
+  node
+
+let node_value ctx node = Ctx.read_i64 ctx ~loc:l (node + 16)
+
+let plist_tests =
+  [
+    Tu.case "insert_head builds LIFO order with sound links" (fun () ->
+        with_pool (fun ctx pool ->
+            let t = Plist.create ctx pool in
+            let n1 = new_node ctx pool 1L and n2 = new_node ctx pool 2L in
+            let n3 = new_node ctx pool 3L in
+            List.iter (fun n -> Plist.insert_head ctx t n) [ n1; n2; n3 ];
+            Alcotest.(check (list Tu.i64)) "lifo" [ 3L; 2L; 1L ]
+              (List.map (node_value ctx) (Plist.to_list ctx t));
+            Alcotest.(check bool) "links" true (Plist.check_links ctx t = Ok ())));
+    Tu.case "remove at head, middle and tail" (fun () ->
+        with_pool (fun ctx pool ->
+            let t = Plist.create ctx pool in
+            let nodes = List.map (new_node ctx pool) [ 1L; 2L; 3L; 4L ] in
+            List.iter (fun n -> Plist.insert_head ctx t n) nodes;
+            (* list is [4;3;2;1] *)
+            Plist.remove ctx t (List.nth nodes 3) (* head: 4 *);
+            Plist.remove ctx t (List.nth nodes 1) (* middle: 2 *);
+            Plist.remove ctx t (List.nth nodes 0) (* tail: 1 *);
+            Alcotest.(check (list Tu.i64)) "remaining" [ 3L ]
+              (List.map (node_value ctx) (Plist.to_list ctx t));
+            Alcotest.(check bool) "links" true (Plist.check_links ctx t = Ok ());
+            Plist.remove ctx t (List.nth nodes 2);
+            Alcotest.(check int) "empty" 0 (Plist.length ctx t)));
+    Tu.case "operations are atomic at every failure point" (fun () ->
+        (* Recovery from any strict crash image must yield a well-linked
+           list whose contents are one of the states the op sequence
+           passes through. *)
+        let images =
+          Tu.strict_crash_points
+            ~setup:(fun ctx ->
+              let pool = Pool.create_atomic ctx ~loc:l () in
+              let t = Plist.create ctx pool in
+              Xfd_pmdk.Layout.write_ptr ctx ~loc:l (Pool.root pool) (Plist.meta_addr t);
+              Xfd_pmdk.Pmem.persist ctx ~loc:l (Pool.root pool) 8)
+            ~pre:(fun ctx ->
+              let pool = Pool.open_pool ctx ~loc:l () in
+              let t =
+                Plist.attach ctx ~meta:(Xfd_pmdk.Layout.read_ptr ctx ~loc:l (Pool.root pool))
+              in
+              Ctx.roi_begin ctx ~loc:l;
+              let n1 = new_node ctx pool 1L in
+              Plist.insert_head ctx t n1;
+              let n2 = new_node ctx pool 2L in
+              Plist.insert_head ctx t n2;
+              Plist.remove ctx t n1;
+              Ctx.roi_end ctx ~loc:l)
+        in
+        let legal = [ []; [ 1L ]; [ 2L; 1L ]; [ 2L ] ] in
+        List.iteri
+          (fun n img ->
+            Tu.on_image img (fun ctx ->
+                let pool = Pool.open_pool ctx ~loc:l () in
+                let t =
+                  Plist.attach ctx ~meta:(Xfd_pmdk.Layout.read_ptr ctx ~loc:l (Pool.root pool))
+                in
+                Plist.recover ctx t;
+                (match Plist.check_links ctx t with
+                | Ok () -> ()
+                | Error e -> Alcotest.failf "image %d: broken links: %s" n e);
+                let vs = List.map (node_value ctx) (Plist.to_list ctx t) in
+                if not (List.mem vs legal) then
+                  Alcotest.failf "image %d: impossible list state (%d nodes)" n (List.length vs)))
+          images);
+    Tu.case "list traversal is clean under detection" (fun () ->
+        let program =
+          {
+            Xfd.Engine.name = "plist";
+            setup =
+              (fun ctx ->
+                let pool = Pool.create_atomic ctx ~loc:l () in
+                let t = Plist.create ctx pool in
+                Xfd_pmdk.Layout.write_ptr ctx ~loc:l (Pool.root pool) (Plist.meta_addr t);
+                Xfd_pmdk.Pmem.persist ctx ~loc:l (Pool.root pool) 8);
+            pre =
+              (fun ctx ->
+                let pool = Pool.open_pool ctx ~loc:l () in
+                let t =
+                  Plist.attach ctx ~meta:(Xfd_pmdk.Layout.read_ptr ctx ~loc:l (Pool.root pool))
+                in
+                Ctx.roi_begin ctx ~loc:l;
+                let n1 = new_node ctx pool 1L in
+                Plist.insert_head ctx t n1;
+                let n2 = new_node ctx pool 2L in
+                Plist.insert_head ctx t n2;
+                Plist.remove ctx t n1;
+                Ctx.roi_end ctx ~loc:l);
+            post =
+              (fun ctx ->
+                let pool = Pool.open_pool ctx ~loc:l () in
+                let t =
+                  Plist.attach ctx ~meta:(Xfd_pmdk.Layout.read_ptr ctx ~loc:l (Pool.root pool))
+                in
+                Ctx.roi_begin ctx ~loc:l;
+                Plist.recover ctx t;
+                List.iter (fun n -> ignore (node_value ctx n)) (Plist.to_list ctx t);
+                Ctx.roi_end ctx ~loc:l);
+          }
+        in
+        Tu.check_clean "plist" (Tu.detect program));
+  ]
+
+let suite = suite @ [ ("pools.plist", plist_tests) ]

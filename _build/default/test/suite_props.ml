@@ -1,0 +1,341 @@
+(* Property-based tests (qcheck): device model soundness, detector
+   race-soundness, data-structure model equivalence, protocol round trips. *)
+
+module Ctx = Xfd_sim.Ctx
+module Device = Xfd_mem.Pm_device
+module Image = Xfd_mem.Image
+module Addr = Xfd_mem.Addr
+module Trace = Xfd_trace.Trace
+
+let l = Tu.loc __POS__
+let base = Addr.pool_base
+
+(* Random low-level PM op sequences over a small address window. *)
+type op = Write of int * char | Flush of int | Fence
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun o v -> Write (o, Char.chr (32 + v))) (int_bound 255) (int_bound 94));
+        (3, map (fun o -> Flush o) (int_bound 255));
+        (2, return Fence);
+      ])
+
+let op_print = function
+  | Write (o, c) -> Printf.sprintf "W(%d,%c)" o c
+  | Flush o -> Printf.sprintf "F(%d)" o
+  | Fence -> "SF"
+
+let ops_arb = QCheck.make ~print:(fun ops -> String.concat ";" (List.map op_print ops))
+    QCheck.Gen.(list_size (int_bound 60) op_gen)
+
+(* Reference model of the device: per byte, current value, a dirty set, a
+   captured (flushed, unfenced) value, and the persisted value. *)
+let run_model ops =
+  let current = Hashtbl.create 64
+  and dirty = Hashtbl.create 64
+  and captured = Hashtbl.create 64
+  and persisted = Hashtbl.create 64 in
+  List.iter
+    (fun op ->
+      match op with
+      | Write (o, c) ->
+        Hashtbl.replace current o c;
+        Hashtbl.replace dirty o ()
+      | Flush o ->
+        let line = o - (o mod 64) in
+        for b = line to line + 63 do
+          if Hashtbl.mem dirty b then begin
+            Hashtbl.remove dirty b;
+            Hashtbl.replace captured b (Hashtbl.find current b)
+          end
+        done
+      | Fence ->
+        Hashtbl.iter (fun b v -> Hashtbl.replace persisted b v) captured;
+        Hashtbl.reset captured)
+    ops;
+  (current, persisted)
+
+let run_device ops =
+  let d = Device.create () in
+  List.iter
+    (fun op ->
+      match op with
+      | Write (o, c) -> Device.store d (base + o) (Bytes.make 1 c)
+      | Flush o -> Device.clwb d (base + o)
+      | Fence -> Device.sfence d)
+    ops;
+  d
+
+let device_props =
+  [
+    QCheck.Test.make ~count:300 ~name:"device strict image matches reference model" ops_arb
+      (fun ops ->
+        let current, persisted = run_model ops in
+        let d = run_device ops in
+        let strict = Device.crash d Device.Strict in
+        let full = Device.crash d Device.Full in
+        Hashtbl.fold
+          (fun o v ok -> ok && Char.equal (Image.read_byte full (base + o)) v)
+          current true
+        && List.for_all
+             (fun o ->
+               let expected =
+                 match Hashtbl.find_opt persisted o with Some v -> v | None -> '\000'
+               in
+               Char.equal (Image.read_byte strict (base + o)) expected)
+             (List.init 256 Fun.id));
+    QCheck.Test.make ~count:200
+      ~name:"randomized crash bytes are values actually written (or zero)" ops_arb (fun ops ->
+        (* A line may crash with its persisted value, its current value, or
+           a value captured by an unfenced flush — but never anything that
+           was not written to that byte. *)
+        let d = run_device ops in
+        let rng = Xfd_util.Rng.create 5L in
+        let rand = Device.crash d (Device.Randomized rng) in
+        let written = Hashtbl.create 64 in
+        List.iter
+          (function
+            | Write (o, c) -> Hashtbl.add written o c
+            | Flush _ | Fence -> ())
+          ops;
+        List.for_all
+          (fun o ->
+            let v = Image.read_byte rand (base + o) in
+            Char.equal v '\000' || List.mem v (Hashtbl.find_all written o))
+          (List.init 256 Fun.id));
+    QCheck.Test.make ~count:200 ~name:"boot image equals full crash image" ops_arb (fun ops ->
+        let d = run_device ops in
+        let full = Device.crash d Device.Full in
+        let booted = Device.boot full in
+        Image.equal_range (Device.image booted) full base 256);
+  ]
+
+(* Detector soundness: an unflagged post-failure read of a plain byte (not
+   a commit variable, not rewritten post-failure) must be crash-
+   deterministic: the strict and full images agree on it. *)
+let detector_props =
+  [
+    QCheck.Test.make ~count:300 ~name:"unflagged reads are crash-deterministic" ops_arb
+      (fun ops ->
+        let dev = Device.create () in
+        let trace = Trace.create () in
+        let ctx = Ctx.create ~stage:Ctx.Pre_failure ~dev ~trace () in
+        Ctx.roi_begin ctx ~loc:l;
+        List.iter
+          (fun op ->
+            match op with
+            | Write (o, c) -> Ctx.write ctx ~loc:l (base + o) (Bytes.make 1 c)
+            | Flush o -> Ctx.clwb ctx ~loc:l (base + o)
+            | Fence -> Ctx.sfence ctx ~loc:l)
+          ops;
+        Ctx.roi_end ctx ~loc:l;
+        let det = Xfd.Detector.create () in
+        Xfd.Detector.replay det trace ~from:0 ~upto:(Trace.length trace);
+        let fork = Xfd.Detector.fork_for_post det in
+        let post = Trace.create () in
+        ignore (Trace.append post ~kind:Xfd_trace.Event.Roi_begin ~loc:l);
+        for o = 0 to 255 do
+          (* Distinct read locations per byte: bug reports deduplicate by
+             program point, and this test needs per-byte verdicts. *)
+          let loc = Xfd_util.Loc.make ~file:"reader.ml" ~line:o in
+          ignore
+            (Trace.append post ~kind:(Xfd_trace.Event.Read { addr = base + o; size = 1 }) ~loc)
+        done;
+        Xfd.Detector.replay fork post ~from:0 ~upto:(Trace.length post);
+        let flagged = Hashtbl.create 16 in
+        List.iter
+          (fun bug ->
+            match bug with
+            | Xfd.Report.Race r ->
+              Addr.iter_bytes r.Xfd.Report.addr r.Xfd.Report.size (fun a ->
+                  Hashtbl.replace flagged a ())
+            | _ -> ())
+          (Xfd.Detector.bugs fork);
+        let strict = Device.crash dev Device.Strict in
+        let full = Device.crash dev Device.Full in
+        List.for_all
+          (fun o ->
+            Hashtbl.mem flagged (base + o)
+            || Char.equal (Image.read_byte strict (base + o)) (Image.read_byte full (base + o)))
+          (List.init 256 Fun.id));
+  ]
+
+(* Data structures vs a functional model. *)
+let kv_list_arb =
+  QCheck.make
+    ~print:(fun kvs ->
+      String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%Ld->%Ld" k v) kvs))
+    QCheck.Gen.(
+      list_size (int_bound 120)
+        (map2 (fun k v -> (Int64.of_int (k mod 1000), Int64.of_int v)) nat nat))
+
+module I64Map = Map.Make (Int64)
+
+let model_of kvs = List.fold_left (fun m (k, v) -> I64Map.add k v m) I64Map.empty kvs
+
+let structure_props =
+  let check_entries name create insert entries =
+    QCheck.Test.make ~count:60 ~name kv_list_arb (fun kvs ->
+        let _, _, ctx = Tu.make_ctx () in
+        let h = create ctx in
+        List.iter (fun (k, v) -> insert ctx h k v) kvs;
+        let model = I64Map.bindings (model_of kvs) in
+        entries ctx h = model)
+  in
+  [
+    check_entries "btree agrees with Map" Xfd_workloads.Btree.create
+      Xfd_workloads.Btree.insert Xfd_workloads.Btree.entries;
+    check_entries "ctree agrees with Map" Xfd_workloads.Ctree.create
+      Xfd_workloads.Ctree.insert Xfd_workloads.Ctree.entries;
+    check_entries "rbtree agrees with Map" Xfd_workloads.Rbtree.create
+      Xfd_workloads.Rbtree.insert Xfd_workloads.Rbtree.entries;
+    QCheck.Test.make ~count:60 ~name:"rbtree invariants under random inserts" kv_list_arb
+      (fun kvs ->
+        let _, _, ctx = Tu.make_ctx () in
+        let h = Xfd_workloads.Rbtree.create ctx in
+        List.iter (fun (k, v) -> Xfd_workloads.Rbtree.insert ctx h k v) kvs;
+        Xfd_workloads.Rbtree.check_invariants ctx h = Ok ());
+    QCheck.Test.make ~count:40 ~name:"hashmap-tx agrees with Map" kv_list_arb (fun kvs ->
+        let _, _, ctx = Tu.make_ctx () in
+        let h = Xfd_workloads.Hashmap_tx.create ctx ~buckets:8 () in
+        List.iter (fun (k, v) -> Xfd_workloads.Hashmap_tx.insert ctx h k v) kvs;
+        let model = model_of kvs in
+        I64Map.for_all (fun k v -> Xfd_workloads.Hashmap_tx.get ctx h k = Some v) model
+        && Int64.to_int (Xfd_workloads.Hashmap_tx.count ctx h) = I64Map.cardinal model);
+  ]
+
+let string_arb = QCheck.string_gen_of_size (QCheck.Gen.int_bound 40) QCheck.Gen.printable
+
+let protocol_props =
+  [
+    QCheck.Test.make ~count:200 ~name:"RESP SET round trips any printable strings"
+      (QCheck.pair string_arb string_arb) (fun (k, v) ->
+        (* RESP bulk strings are binary safe. *)
+        let cmd = Xfd_redis.Resp.Set ((if k = "" then "k" else k), v) in
+        fst (Xfd_redis.Resp.parse_command (Xfd_redis.Resp.encode_command cmd)) = cmd);
+    QCheck.Test.make ~count:200 ~name:"RESP bulk reply round trips" string_arb (fun s ->
+        let r = Xfd_redis.Resp.Bulk (Some s) in
+        fst (Xfd_redis.Resp.parse_reply (Xfd_redis.Resp.encode_reply r)) = r);
+    QCheck.Test.make ~count:200 ~name:"memcached set request round trips"
+      (QCheck.pair string_arb string_arb) (fun (k, data) ->
+        let key =
+          if k = "" || String.contains k ' ' || String.contains k '\r' || String.contains k '\n'
+          then "key"
+          else k
+        in
+        let req = Xfd_memcached.Protocol.Set { key; flags = 0L; exptime = 0L; data } in
+        fst (Xfd_memcached.Protocol.parse_request (Xfd_memcached.Protocol.encode_request req))
+        = req);
+    QCheck.Test.make ~count:300 ~name:"rng int64_in stays in bounds"
+      (QCheck.pair QCheck.int64 QCheck.pos_int) (fun (seed, bound) ->
+        let bound = Int64.of_int (max 1 bound) in
+        let r = Xfd_util.Rng.create seed in
+        let v = Xfd_util.Rng.int64_in r bound in
+        Int64.compare v 0L >= 0 && Int64.compare v bound < 0);
+  ]
+
+(* Store/cache model equivalence for the servers. *)
+let server_props =
+  [
+    QCheck.Test.make ~count:30 ~name:"redis store agrees with Hashtbl model"
+      (QCheck.list_of_size (QCheck.Gen.int_bound 60)
+         (QCheck.pair QCheck.small_printable_string QCheck.small_printable_string))
+      (fun kvs ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Xfd_redis.Server.init_persistent_memory ctx ~variant:`Fixed in
+        let model = Hashtbl.create 16 in
+        List.iter
+          (fun (k, v) ->
+            let k = if k = "" then "empty" else k in
+            Xfd_redis.Store.set ctx (Xfd_redis.Server.store t) k v;
+            Hashtbl.replace model k v)
+          kvs;
+        Hashtbl.fold
+          (fun k v ok -> ok && Xfd_redis.Store.get ctx (Xfd_redis.Server.store t) k = Some v)
+          model true
+        && Int64.to_int (Xfd_redis.Store.num_entries ctx (Xfd_redis.Server.store t))
+           = Hashtbl.length model);
+  ]
+
+(* Model equivalence of the auxiliary pool libraries under random ops. *)
+let pool_props =
+  let with_pool f =
+    let _, _, ctx = Tu.make_ctx () in
+    let pool = Xfd_pmdk.Pool.create_atomic ctx ~loc:l () in
+    f ctx pool
+  in
+  [
+    QCheck.Test.make ~count:40 ~name:"plog agrees with a list model"
+      (QCheck.list_of_size (QCheck.Gen.int_bound 20) QCheck.small_printable_string)
+      (fun chunks ->
+        with_pool (fun ctx pool ->
+            let log = Xfd_pmdk.Plog.create ctx pool ~capacity:4096 in
+            let model = ref [] in
+            (try
+               List.iter
+                 (fun s ->
+                   Xfd_pmdk.Plog.append ctx log (Bytes.of_string s);
+                   model := s :: !model)
+                 chunks
+             with Xfd_pmdk.Plog.Log_full -> ());
+            let got = ref [] in
+            Xfd_pmdk.Plog.walk ctx log (fun b -> got := Bytes.to_string b :: !got);
+            !got = !model));
+    QCheck.Test.make ~count:40 ~name:"pblk agrees with an array model"
+      (QCheck.list_of_size (QCheck.Gen.int_bound 40)
+         (QCheck.pair (QCheck.int_bound 3) (QCheck.int_bound 200)))
+      (fun writes ->
+        with_pool (fun ctx pool ->
+            let blk = Xfd_pmdk.Pblk.create ctx pool ~block_size:64 ~count:4 in
+            let model = Array.make 4 (Bytes.make 64 '\000') in
+            List.iter
+              (fun (i, v) ->
+                let data = Bytes.make 64 (Char.chr (32 + (v mod 90))) in
+                Xfd_pmdk.Pblk.write ctx blk i data;
+                model.(i) <- data)
+              writes;
+            Array.for_all Fun.id
+              (Array.mapi (fun i m -> Bytes.equal (Xfd_pmdk.Pblk.read ctx blk i) m) model)));
+    QCheck.Test.make ~count:40 ~name:"plist agrees with a list model and keeps links sound"
+      (QCheck.list_of_size (QCheck.Gen.int_bound 30) (QCheck.option (QCheck.int_bound 5)))
+      (fun script ->
+        (* Some n = insert node labelled n at head; None = remove the
+           current head (if any). *)
+        with_pool (fun ctx pool ->
+            let t = Xfd_pmdk.Plist.create ctx pool in
+            let model = ref [] in
+            List.iter
+              (fun step ->
+                match step with
+                | Some v ->
+                  let node = Xfd_pmdk.Alloc.alloc ctx pool ~loc:l ~size:32 ~zero:true in
+                  Ctx.write_i64 ctx ~loc:l (node + 16) (Int64.of_int v);
+                  Xfd_pmdk.Pmem.persist ctx ~loc:l node 32;
+                  Xfd_pmdk.Plist.insert_head ctx t node;
+                  model := (node, v) :: !model
+                | None -> begin
+                  match !model with
+                  | [] -> ()
+                  | (node, _) :: rest ->
+                    Xfd_pmdk.Plist.remove ctx t node;
+                    model := rest
+                end)
+              script;
+            Xfd_pmdk.Plist.check_links ctx t = Ok ()
+            && Xfd_pmdk.Plist.to_list ctx t = List.map fst !model));
+  ]
+
+let to_alcotest = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ("props.device", to_alcotest device_props);
+    ("props.detector", to_alcotest detector_props);
+    ("props.structures", to_alcotest structure_props);
+    ("props.protocols", to_alcotest protocol_props);
+    ("props.servers", to_alcotest server_props);
+    ("props.pools", to_alcotest pool_props);
+  ]
+

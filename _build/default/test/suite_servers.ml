@@ -1,0 +1,422 @@
+(* Functional tests for the mini Redis (RESP protocol + PM store + server)
+   and the mini memcached (ASCII protocol + slab allocator + item cache). *)
+
+module Resp = Xfd_redis.Resp
+module Store = Xfd_redis.Store
+module Server = Xfd_redis.Server
+module Protocol = Xfd_memcached.Protocol
+module Slab = Xfd_memcached.Slab
+module Cache = Xfd_memcached.Cache
+module Mc = Xfd_memcached.Mc_server
+module Pool = Xfd_pmdk.Pool
+
+let l = Tu.loc __POS__
+
+let resp_tests =
+  [
+    Tu.case "inline command parsing" (fun () ->
+        Alcotest.(check bool) "set" true
+          (fst (Resp.parse_command "SET foo bar\r\n") = Resp.Set ("foo", "bar"));
+        Alcotest.(check bool) "get lowercase" true
+          (fst (Resp.parse_command "get foo\r\n") = Resp.Get "foo");
+        Alcotest.(check bool) "ping" true (fst (Resp.parse_command "PING\r\n") = Resp.Ping));
+    Tu.case "resp array command parsing" (fun () ->
+        let wire = "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n" in
+        let cmd, consumed = Resp.parse_command wire in
+        Alcotest.(check bool) "set" true (cmd = Resp.Set ("k", "hello"));
+        Alcotest.(check int) "consumed all" (String.length wire) consumed);
+    Tu.case "command encode/parse round trip" (fun () ->
+        List.iter
+          (fun cmd ->
+            let cmd', _ = Resp.parse_command (Resp.encode_command cmd) in
+            Alcotest.(check bool) "round" true (cmd = cmd'))
+          [
+            Resp.Set ("key with space?", "value\nwith\nnewlines");
+            Resp.Get "k";
+            Resp.Del "k";
+            Resp.Exists "k";
+            Resp.Incr "counter";
+            Resp.Dbsize;
+            Resp.Ping;
+            Resp.Flushall;
+          ]);
+    Tu.case "reply encode/parse round trip" (fun () ->
+        List.iter
+          (fun r ->
+            let r', _ = Resp.parse_reply (Resp.encode_reply r) in
+            Alcotest.(check bool) "round" true (r = r'))
+          [
+            Resp.Simple "OK";
+            Resp.Error "ERR nope";
+            Resp.Integer 42L;
+            Resp.Integer (-7L);
+            Resp.Bulk None;
+            Resp.Bulk (Some "binary\r\nsafe");
+          ]);
+    Tu.case "protocol errors raise" (fun () ->
+        List.iter
+          (fun s ->
+            match Resp.parse_command s with
+            | _ -> Alcotest.failf "should reject %S" s
+            | exception Resp.Protocol_error _ -> ())
+          [ ""; "SET only_key\r\n"; "*1\r\n$3\r\nBAD\r\n"; "BOGUS\r\n"; "GET x" ]);
+  ]
+
+let redis_store_tests =
+  [
+    Tu.case "set/get/del through the server" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Server.init_persistent_memory ctx ~variant:`Fixed in
+        Alcotest.(check string) "set" "+OK\r\n" (Server.handle ctx t "SET a 1\r\n");
+        Alcotest.(check string) "get" "$1\r\n1\r\n" (Server.handle ctx t "GET a\r\n");
+        Alcotest.(check string) "missing" "$-1\r\n" (Server.handle ctx t "GET b\r\n");
+        Alcotest.(check string) "dbsize" ":1\r\n" (Server.handle ctx t "DBSIZE\r\n");
+        Alcotest.(check string) "del" ":1\r\n" (Server.handle ctx t "DEL a\r\n");
+        Alcotest.(check string) "del again" ":0\r\n" (Server.handle ctx t "DEL a\r\n");
+        Alcotest.(check string) "dbsize 0" ":0\r\n" (Server.handle ctx t "DBSIZE\r\n"));
+    Tu.case "incr and type errors" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Server.init_persistent_memory ctx ~variant:`Fixed in
+        Alcotest.(check string) "incr fresh" ":1\r\n" (Server.handle ctx t "INCR c\r\n");
+        Alcotest.(check string) "incr again" ":2\r\n" (Server.handle ctx t "INCR c\r\n");
+        ignore (Server.handle ctx t "SET s not_a_number\r\n");
+        let reply = Server.handle ctx t "INCR s\r\n" in
+        Alcotest.(check bool) "error reply" true (String.length reply > 0 && reply.[0] = '-'));
+    Tu.case "overwrite frees the old value blob" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Server.init_persistent_memory ctx ~variant:`Fixed in
+        ignore (Server.handle ctx t "SET k aaaa\r\n");
+        ignore (Server.handle ctx t "SET k bbbb\r\n");
+        Alcotest.(check string) "new value" "$4\r\nbbbb\r\n" (Server.handle ctx t "GET k\r\n");
+        Alcotest.(check string) "still one entry" ":1\r\n" (Server.handle ctx t "DBSIZE\r\n"));
+    Tu.case "flushall empties the store" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Server.init_persistent_memory ctx ~variant:`Fixed in
+        for i = 1 to 20 do
+          ignore (Server.handle ctx t (Printf.sprintf "SET k%d v%d\r\n" i i))
+        done;
+        Alcotest.(check string) "full" ":20\r\n" (Server.handle ctx t "DBSIZE\r\n");
+        Alcotest.(check string) "flush" "+OK\r\n" (Server.handle ctx t "FLUSHALL\r\n");
+        Alcotest.(check string) "empty" ":0\r\n" (Server.handle ctx t "DBSIZE\r\n");
+        Alcotest.(check string) "gone" "$-1\r\n" (Server.handle ctx t "GET k3\r\n"));
+    Tu.case "restart preserves committed data (strict crash)" (fun () ->
+        let v =
+          Tu.crash_boot
+            ~pre:(fun ctx ->
+              let t = Server.init_persistent_memory ctx ~variant:`Fixed in
+              ignore (Server.handle ctx t "SET durable yes\r\n"))
+            ~mode:Xfd_mem.Pm_device.Strict
+            ~post:(fun ctx ->
+              let t = Server.restart ctx in
+              Server.handle ctx t "GET durable\r\n")
+        in
+        Alcotest.(check string) "survived" "$3\r\nyes\r\n" v);
+    Tu.case "many keys with colliding buckets" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let pool = Pool.create_atomic ctx ~loc:l () in
+        let st = Store.attach_fresh ctx pool ~buckets:2 in
+        for i = 1 to 50 do
+          Store.set ctx st (Printf.sprintf "key-%03d" i) (string_of_int i)
+        done;
+        Alcotest.check Tu.i64 "entries" 50L (Store.num_entries ctx st);
+        for i = 1 to 50 do
+          Alcotest.(check bool) "present" true
+            (Store.get ctx st (Printf.sprintf "key-%03d" i) = Some (string_of_int i))
+        done);
+  ]
+
+let mc_protocol_tests =
+  [
+    Tu.case "set request with data block" (fun () ->
+        let req, consumed = Protocol.parse_request "set k 7 0 5\r\nhello\r\n" in
+        (match req with
+        | Protocol.Set { key; flags; data; _ } ->
+          Alcotest.(check string) "key" "k" key;
+          Alcotest.check Tu.i64 "flags" 7L flags;
+          Alcotest.(check string) "data" "hello" data
+        | _ -> Alcotest.fail "wrong request");
+        Alcotest.(check int) "consumed" (String.length "set k 7 0 5\r\nhello\r\n") consumed);
+    Tu.case "request encode/parse round trip" (fun () ->
+        List.iter
+          (fun r ->
+            let r', _ = Protocol.parse_request (Protocol.encode_request r) in
+            Alcotest.(check bool) "round" true (r = r'))
+          [
+            Protocol.Set { key = "k"; flags = 1L; exptime = 2L; data = "multi\r\nline" };
+            Protocol.Get "key";
+            Protocol.Delete "key";
+            Protocol.Stats;
+          ]);
+    Tu.case "malformed requests rejected" (fun () ->
+        List.iter
+          (fun s ->
+            match Protocol.parse_request s with
+            | _ -> Alcotest.failf "should reject %S" s
+            | exception Protocol.Protocol_error _ -> ())
+          [ "set k 0 0 5\r\nhi\r\n"; "bogus\r\n"; "get\r\n"; "set k 0 0 -1\r\n\r\n" ]);
+    Tu.case "responses encode correctly" (fun () ->
+        Alcotest.(check string) "stored" "STORED\r\n" (Protocol.encode_response Protocol.Stored);
+        Alcotest.(check string) "value block"
+          "VALUE k 3 2\r\nhi\r\nEND\r\n"
+          (Protocol.encode_response (Protocol.Values [ ("k", 3L, "hi") ]));
+        Alcotest.(check string) "empty get" "END\r\n" (Protocol.encode_response (Protocol.Values [])));
+  ]
+
+let slab_tests =
+  [
+    Tu.case "size classes" (fun () ->
+        Alcotest.(check int) "small" 64 (Slab.chunk_size_for 10);
+        Alcotest.(check int) "exact" 64 (Slab.chunk_size_for 64);
+        Alcotest.(check int) "next" 128 (Slab.chunk_size_for 65);
+        Alcotest.(check int) "big" 1024 (Slab.chunk_size_for 1000);
+        match Slab.chunk_size_for 5000 with
+        | _ -> Alcotest.fail "expected No_slab_class"
+        | exception Slab.No_slab_class _ -> ());
+    Tu.case "alloc/free/reuse per class" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let pool = Pool.create_atomic ctx ~loc:l () in
+        let s = Slab.create ctx pool in
+        let a = Slab.alloc ctx s ~size:100 in
+        let b = Slab.alloc ctx s ~size:100 in
+        Alcotest.(check bool) "distinct" true (a <> b);
+        Slab.free ctx s a ~size:100;
+        Alcotest.(check int) "one free chunk" 1 (Slab.free_chunks ctx s ~size:100);
+        let c = Slab.alloc ctx s ~size:100 in
+        Alcotest.(check int) "reused" a c;
+        (* A different class does not see that free list. *)
+        Slab.free ctx s b ~size:100;
+        Alcotest.(check int) "other class empty" 0 (Slab.free_chunks ctx s ~size:600));
+    Tu.case "page rollover" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let pool = Pool.create_atomic ctx ~loc:l () in
+        let s = Slab.create ctx pool in
+        let seen = Hashtbl.create 64 in
+        (* 4096/64 = 64 chunks per page; allocate 200 to force 4 pages. *)
+        for _ = 1 to 200 do
+          let a = Slab.alloc ctx s ~size:16 in
+          Alcotest.(check bool) "fresh chunk" false (Hashtbl.mem seen a);
+          Hashtbl.replace seen a ()
+        done);
+  ]
+
+let mc_cache_tests =
+  [
+    Tu.case "set/get/delete/stats through the server" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Mc.boot ctx () in
+        Alcotest.(check string) "stored" "STORED\r\n" (Mc.handle ctx t "set k 0 0 2\r\nhi\r\n");
+        Alcotest.(check string) "value" "VALUE k 0 2\r\nhi\r\nEND\r\n" (Mc.handle ctx t "get k\r\n");
+        Alcotest.(check string) "miss" "END\r\n" (Mc.handle ctx t "get nope\r\n");
+        Alcotest.(check string) "stats" "STAT curr_items 1\r\nEND\r\n" (Mc.handle ctx t "stats\r\n");
+        Alcotest.(check string) "deleted" "DELETED\r\n" (Mc.handle ctx t "delete k\r\n");
+        Alcotest.(check string) "not found" "NOT_FOUND\r\n" (Mc.handle ctx t "delete k\r\n"));
+    Tu.case "replacement keeps a single copy" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Mc.boot ctx () in
+        ignore (Mc.handle ctx t "set k 0 0 3\r\nold\r\n");
+        ignore (Mc.handle ctx t "set k 0 0 3\r\nnew\r\n");
+        Alcotest.(check string) "new value" "VALUE k 0 3\r\nnew\r\nEND\r\n" (Mc.handle ctx t "get k\r\n");
+        Alcotest.(check string) "one item" "STAT curr_items 1\r\nEND\r\n" (Mc.handle ctx t "stats\r\n"));
+    Tu.case "items survive a strict crash after set" (fun () ->
+        let reply =
+          Tu.crash_boot
+            ~pre:(fun ctx ->
+              let t = Mc.boot ctx () in
+              ignore (Mc.handle ctx t "set k 5 0 4\r\ndata\r\n"))
+            ~mode:Xfd_mem.Pm_device.Strict
+            ~post:(fun ctx ->
+              let t = Mc.restart ctx in
+              Mc.handle ctx t "get k\r\n")
+        in
+        Alcotest.(check string) "survived" "VALUE k 5 4\r\ndata\r\nEND\r\n" reply);
+    Tu.case "flags and exptime round trip through the cache" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let pool = Pool.create_atomic ctx ~loc:l () in
+        let c = Cache.create ctx pool ~buckets:8 in
+        Cache.set ctx c ~key:"x" ~value:"v" ~flags:99L ~exptime:12345L;
+        match Cache.get ctx c "x" with
+        | Some (v, flags) ->
+          Alcotest.(check string) "value" "v" v;
+          Alcotest.check Tu.i64 "flags" 99L flags
+        | None -> Alcotest.fail "missing");
+  ]
+
+let suite =
+  [
+    ("redis.resp", resp_tests);
+    ("redis.store", redis_store_tests);
+    ("memcached.protocol", mc_protocol_tests);
+    ("memcached.slab", slab_tests);
+    ("memcached.cache", mc_cache_tests);
+  ]
+
+(* --- extended Redis command set --- *)
+let redis_ext_tests =
+  [
+    Tu.case "setnx only sets absent keys" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Server.init_persistent_memory ctx ~variant:`Fixed in
+        Alcotest.(check string) "first" ":1\r\n" (Server.handle ctx t "SETNX k one\r\n");
+        Alcotest.(check string) "second" ":0\r\n" (Server.handle ctx t "SETNX k two\r\n");
+        Alcotest.(check string) "unchanged" "$3\r\none\r\n" (Server.handle ctx t "GET k\r\n"));
+    Tu.case "mset stores all pairs" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Server.init_persistent_memory ctx ~variant:`Fixed in
+        Alcotest.(check string) "ok" "+OK\r\n" (Server.handle ctx t "MSET a 1 b 2 c 3\r\n");
+        Alcotest.(check string) "a" "$1\r\n1\r\n" (Server.handle ctx t "GET a\r\n");
+        Alcotest.(check string) "c" "$1\r\n3\r\n" (Server.handle ctx t "GET c\r\n");
+        Alcotest.(check string) "dbsize" ":3\r\n" (Server.handle ctx t "DBSIZE\r\n");
+        let reply = Server.handle ctx t "MSET a 1 b\r\n" in
+        Alcotest.(check bool) "odd arity rejected" true (reply.[0] = '-'));
+    Tu.case "mset is atomic across strict crashes" (fun () ->
+        (* At every failure point of one MSET, recovery must find either
+           none or all of the three keys. *)
+        let images =
+          Tu.strict_crash_points
+            ~setup:(fun ctx -> ignore (Server.init_persistent_memory ctx ~variant:`Fixed))
+            ~pre:(fun ctx ->
+              let t = Server.restart ctx in
+              Xfd_sim.Ctx.roi_begin ctx ~loc:Tu.(loc __POS__);
+              ignore (Server.handle ctx t "MSET a 1 b 2 c 3\r\n");
+              Xfd_sim.Ctx.roi_end ctx ~loc:Tu.(loc __POS__))
+        in
+        List.iteri
+          (fun n img ->
+            Tu.on_image img (fun ctx ->
+                let t = Server.restart ctx in
+                let present =
+                  List.filter
+                    (fun k -> Server.handle ctx t (Printf.sprintf "GET %s\r\n" k) <> "$-1\r\n")
+                    [ "a"; "b"; "c" ]
+                in
+                if List.length present <> 0 && List.length present <> 3 then
+                  Alcotest.failf "image %d: torn MSET (%d of 3 keys)" n (List.length present)))
+          images);
+    Tu.case "append and strlen" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Server.init_persistent_memory ctx ~variant:`Fixed in
+        Alcotest.(check string) "append fresh" ":5\r\n" (Server.handle ctx t "APPEND k hello\r\n");
+        Alcotest.(check string) "append more" ":11\r\n" (Server.handle ctx t "APPEND k _world\r\n");
+        Alcotest.(check string) "value" "$11\r\nhello_world\r\n" (Server.handle ctx t "GET k\r\n");
+        Alcotest.(check string) "strlen" ":11\r\n" (Server.handle ctx t "STRLEN k\r\n");
+        Alcotest.(check string) "strlen absent" ":0\r\n" (Server.handle ctx t "STRLEN nope\r\n"));
+    Tu.case "keys glob patterns" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Server.init_persistent_memory ctx ~variant:`Fixed in
+        List.iter
+          (fun k -> ignore (Server.handle ctx t (Printf.sprintf "SET %s x\r\n" k)))
+          [ "user:1"; "user:2"; "session:9"; "user_admin" ];
+        Alcotest.(check string) "prefix" "*2\r\n$6\r\nuser:1\r\n$6\r\nuser:2\r\n"
+          (Server.handle ctx t "KEYS user:*\r\n");
+        Alcotest.(check string) "all" ":4\r\n"
+          (let r = Server.handle ctx t "KEYS *\r\n" in
+           Printf.sprintf ":%d\r\n" (List.length (String.split_on_char '$' r) - 1));
+        Alcotest.(check string) "middle star" "*1\r\n$9\r\nsession:9\r\n"
+          (Server.handle ctx t "KEYS se*:9\r\n");
+        Alcotest.(check string) "exact" "*1\r\n$10\r\nuser_admin\r\n"
+          (Server.handle ctx t "KEYS user_admin\r\n");
+        Alcotest.(check string) "no match" "*0\r\n" (Server.handle ctx t "KEYS zz*\r\n"));
+    Tu.case "extended commands round trip through RESP" (fun () ->
+        List.iter
+          (fun cmd ->
+            let cmd', _ = Resp.parse_command (Resp.encode_command cmd) in
+            Alcotest.(check bool) "round" true (cmd = cmd'))
+          [
+            Resp.Setnx ("k", "v");
+            Resp.Mset [ ("a", "1"); ("b", "2") ];
+            Resp.Append ("k", "suffix");
+            Resp.Strlen "k";
+            Resp.Keys "user:*";
+          ];
+        let r = Resp.Multi [ "a"; "bb" ] in
+        Alcotest.(check bool) "multi reply round" true
+          (fst (Resp.parse_reply (Resp.encode_reply r)) = r));
+  ]
+
+let suite = suite @ [ ("redis.extended", redis_ext_tests) ]
+
+(* --- extended memcached command set --- *)
+let mc_ext_tests =
+  [
+    Tu.case "add only stores absent keys" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Mc.boot ctx () in
+        Alcotest.(check string) "fresh" "STORED\r\n" (Mc.handle ctx t "add k 0 0 1\r\na\r\n");
+        Alcotest.(check string) "again" "NOT_STORED\r\n" (Mc.handle ctx t "add k 0 0 1\r\nb\r\n");
+        Alcotest.(check string) "kept" "VALUE k 0 1\r\na\r\nEND\r\n" (Mc.handle ctx t "get k\r\n"));
+    Tu.case "replace only stores present keys" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Mc.boot ctx () in
+        Alcotest.(check string) "absent" "NOT_STORED\r\n"
+          (Mc.handle ctx t "replace k 0 0 1\r\na\r\n");
+        ignore (Mc.handle ctx t "set k 0 0 1\r\na\r\n");
+        Alcotest.(check string) "present" "STORED\r\n" (Mc.handle ctx t "replace k 0 0 1\r\nb\r\n");
+        Alcotest.(check string) "new value" "VALUE k 0 1\r\nb\r\nEND\r\n"
+          (Mc.handle ctx t "get k\r\n"));
+    Tu.case "incr/decr semantics" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Mc.boot ctx () in
+        ignore (Mc.handle ctx t "set n 0 0 2\r\n10\r\n");
+        Alcotest.(check string) "incr" "15\r\n" (Mc.handle ctx t "incr n 5\r\n");
+        Alcotest.(check string) "decr" "3\r\n" (Mc.handle ctx t "decr n 12\r\n");
+        Alcotest.(check string) "decr clamps at zero" "0\r\n" (Mc.handle ctx t "decr n 100\r\n");
+        Alcotest.(check string) "missing" "NOT_FOUND\r\n" (Mc.handle ctx t "incr nope 1\r\n");
+        ignore (Mc.handle ctx t "set s 0 0 3\r\nabc\r\n");
+        let r = Mc.handle ctx t "incr s 1\r\n" in
+        Alcotest.(check bool) "non-numeric" true
+          (String.length r > 12 && String.sub r 0 12 = "CLIENT_ERROR"));
+    Tu.case "extended requests round trip" (fun () ->
+        List.iter
+          (fun r ->
+            let r', _ = Protocol.parse_request (Protocol.encode_request r) in
+            Alcotest.(check bool) "round" true (r = r'))
+          [
+            Protocol.Add { key = "k"; flags = 0L; exptime = 0L; data = "d" };
+            Protocol.Replace { key = "k"; flags = 1L; exptime = 0L; data = "" };
+            Protocol.Incr ("k", 3L);
+            Protocol.Decr ("k", 0L);
+          ]);
+    Tu.case "counter survives a strict crash" (fun () ->
+        let reply =
+          Tu.crash_boot
+            ~pre:(fun ctx ->
+              let t = Mc.boot ctx () in
+              ignore (Mc.handle ctx t "set n 0 0 1\r\n5\r\n");
+              ignore (Mc.handle ctx t "incr n 2\r\n"))
+            ~mode:Xfd_mem.Pm_device.Strict
+            ~post:(fun ctx ->
+              let t = Mc.restart ctx in
+              Mc.handle ctx t "get n\r\n")
+        in
+        Alcotest.(check string) "survived" "VALUE n 0 1\r\n7\r\nEND\r\n" reply);
+  ]
+
+let suite = suite @ [ ("memcached.extended", mc_ext_tests) ]
+
+(* --- glob corner cases through KEYS --- *)
+let glob_tests =
+  [
+    Tu.case "tricky glob patterns" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let t = Server.init_persistent_memory ctx ~variant:`Fixed in
+        List.iter
+          (fun k -> ignore (Server.handle ctx t (Printf.sprintf "SET %s x\r\n" k)))
+          [ "abc"; "axbxc"; "ab"; "c"; "abcabc" ];
+        let keys_of pattern =
+          match
+            Xfd_redis.Resp.parse_reply
+              (Server.handle ctx t (Printf.sprintf "KEYS %s\r\n" pattern))
+          with
+          | Xfd_redis.Resp.Multi ks, _ -> ks
+          | _ -> Alcotest.fail "expected multi reply"
+        in
+        Alcotest.(check (list string)) "a*b*c" [ "abc"; "abcabc"; "axbxc" ] (keys_of "a*b*c");
+        Alcotest.(check (list string)) "suffix" [ "abc"; "abcabc"; "axbxc"; "c" ] (keys_of "*c");
+        Alcotest.(check (list string)) "prefix" [ "ab"; "abc"; "abcabc" ] (keys_of "ab*");
+        Alcotest.(check (list string)) "double star" [ "abcabc" ] (keys_of "abc*a*");
+        Alcotest.(check (list string)) "star only" [ "ab"; "abc"; "abcabc"; "axbxc"; "c" ]
+          (keys_of "*");
+        Alcotest.(check (list string)) "exact miss" [] (keys_of "abx"));
+  ]
+
+let suite = suite @ [ ("redis.glob", glob_tests) ]

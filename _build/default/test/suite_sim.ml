@@ -1,0 +1,154 @@
+(* Unit tests for the instrumented execution context and fault injection. *)
+
+module Ctx = Xfd_sim.Ctx
+module Faults = Xfd_sim.Faults
+module Event = Xfd_trace.Event
+module Trace = Xfd_trace.Trace
+module Device = Xfd_mem.Pm_device
+
+let l = Tu.loc __POS__
+let base = Xfd_mem.Addr.pool_base
+
+let kinds trace =
+  List.map (fun ev -> ev.Event.kind) (Trace.to_list trace)
+
+let ctx_tests =
+  [
+    Tu.case "accesses emit trace events and hit the device" (fun () ->
+        let dev, trace, ctx = Tu.make_ctx () in
+        Ctx.write_i64 ctx ~loc:l base 7L;
+        Alcotest.check Tu.i64 "device sees write" 7L (Device.load_i64 dev base);
+        Alcotest.check Tu.i64 "read returns value" 7L (Ctx.read_i64 ctx ~loc:l base);
+        (match kinds trace with
+        | [ Event.Write { addr; size }; Event.Read _ ] ->
+          Alcotest.(check int) "addr" base addr;
+          Alcotest.(check int) "size" 8 size
+        | _ -> Alcotest.fail "unexpected trace shape"));
+    Tu.case "persist_barrier = clwb per line + one sfence" (fun () ->
+        let _, trace, ctx = Tu.make_ctx () in
+        Ctx.write ctx ~loc:l base (Bytes.make 130 'x');
+        Ctx.persist_barrier ctx ~loc:l base 130;
+        let c = Trace.counts trace in
+        Alcotest.(check int) "three lines flushed" 3 c.Trace.flushes;
+        Alcotest.(check int) "one fence" 1 c.Trace.fences;
+        Alcotest.(check int) "one ordering point" 1 (Ctx.ordering_points ctx));
+    Tu.case "failure points fire before fences inside RoI only" (fun () ->
+        let fired = ref 0 in
+        let _, _, ctx = Tu.make_ctx ~on_failure_point:(fun _ -> incr fired) () in
+        Ctx.write_i64 ctx ~loc:l base 1L;
+        Ctx.sfence ctx ~loc:l;
+        Alcotest.(check int) "outside roi" 0 !fired;
+        Ctx.roi_begin ctx ~loc:l;
+        Ctx.write_i64 ctx ~loc:l base 2L;
+        Ctx.sfence ctx ~loc:l;
+        Alcotest.(check int) "inside roi" 1 !fired;
+        Ctx.roi_end ctx ~loc:l;
+        Ctx.write_i64 ctx ~loc:l base 3L;
+        Ctx.sfence ctx ~loc:l;
+        Alcotest.(check int) "after roi" 1 !fired);
+    Tu.case "skip_failure suppresses failure points" (fun () ->
+        let fired = ref 0 in
+        let _, _, ctx = Tu.make_ctx ~on_failure_point:(fun _ -> incr fired) () in
+        Ctx.roi_begin ctx ~loc:l;
+        Ctx.skip_failure_begin ctx;
+        Ctx.write_i64 ctx ~loc:l base 1L;
+        Ctx.sfence ctx ~loc:l;
+        Ctx.skip_failure_end ctx;
+        Alcotest.(check int) "suppressed" 0 !fired;
+        Ctx.add_failure_point ctx;
+        Alcotest.(check int) "manual fires" 1 !fired);
+    Tu.case "skip_failure_end without begin raises" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        Alcotest.check_raises "unbalanced"
+          (Invalid_argument "Ctx.skip_failure_end: not in a skip region") (fun () ->
+            Ctx.skip_failure_end ctx));
+    Tu.case "post-failure stage never fires failure points" (fun () ->
+        let fired = ref 0 in
+        let _, _, ctx =
+          Tu.make_ctx ~stage:Ctx.Post_failure ~on_failure_point:(fun _ -> incr fired) ()
+        in
+        Ctx.roi_begin ctx ~loc:l;
+        Ctx.write_i64 ctx ~loc:l base 1L;
+        Ctx.sfence ctx ~loc:l;
+        Ctx.add_failure_point ctx;
+        Alcotest.(check int) "never" 0 !fired);
+    Tu.case "every_update strategy fires on writes and flushes" (fun () ->
+        let fired = ref 0 in
+        let _, _, ctx =
+          Tu.make_ctx ~strategy:Ctx.Every_update ~on_failure_point:(fun _ -> incr fired) ()
+        in
+        Ctx.roi_begin ctx ~loc:l;
+        Ctx.write_i64 ctx ~loc:l base 1L;
+        Ctx.write_i64 ctx ~loc:l (base + 8) 2L;
+        Ctx.clwb ctx ~loc:l base;
+        Alcotest.(check bool) "several points" true (!fired >= 3));
+    Tu.case "update_ops counts status-changing operations only" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        let before = Ctx.update_ops ctx in
+        ignore (Ctx.read_i64 ctx ~loc:l base);
+        Alcotest.(check int) "reads don't count" before (Ctx.update_ops ctx);
+        Ctx.write_i64 ctx ~loc:l base 1L;
+        Alcotest.(check bool) "writes count" true (Ctx.update_ops ctx > before));
+    Tu.case "tracing:false emits nothing" (fun () ->
+        let dev = Device.create () in
+        let trace = Trace.create () in
+        let ctx = Ctx.create ~tracing:false ~stage:Ctx.Pre_failure ~dev ~trace () in
+        Ctx.write_i64 ctx ~loc:l base 1L;
+        Ctx.persist_barrier ctx ~loc:l base 8;
+        Alcotest.(check int) "empty trace" 0 (Trace.length trace);
+        Alcotest.check Tu.i64 "device still updated" 1L (Device.load_i64 dev base));
+    Tu.case "annotations emit their events" (fun () ->
+        let _, trace, ctx = Tu.make_ctx () in
+        Ctx.add_commit_var ctx ~loc:l base 8;
+        Ctx.add_commit_range ctx ~loc:l ~var:base (base + 8) 16;
+        Ctx.marker ctx ~loc:l "note";
+        Ctx.skip_detection_begin ctx ~loc:l;
+        Ctx.skip_detection_end ctx ~loc:l;
+        match kinds trace with
+        | [ Event.Commit_var _; Event.Commit_range _; Event.Marker "note";
+            Event.Skip_detection_begin; Event.Skip_detection_end ] ->
+          ()
+        | _ -> Alcotest.fail "unexpected annotation trace");
+    Tu.case "complete_detection raises Detection_complete" (fun () ->
+        let _, _, ctx = Tu.make_ctx () in
+        Alcotest.check_raises "raises" Ctx.Detection_complete (fun () ->
+            Ctx.complete_detection ctx));
+  ]
+
+let faults_tests =
+  [
+    Tu.case "none is none" (fun () ->
+        Alcotest.(check bool) "none" true (Faults.is_none Faults.none);
+        Alcotest.(check bool) "non-none" false
+          (Faults.is_none (Faults.make ~skip_flush:[ 1 ] ())));
+    Tu.case "occurrence selection" (fun () ->
+        let f = Faults.make ~skip_flush:[ 1 ] ~dup_flush:[ 2 ] () in
+        Alcotest.(check bool) "0 normal" true (Faults.on_flush f = Faults.Normal);
+        Alcotest.(check bool) "1 skip" true (Faults.on_flush f = Faults.Skip);
+        Alcotest.(check bool) "2 dup" true (Faults.on_flush f = Faults.Duplicate);
+        Alcotest.(check bool) "3 normal" true (Faults.on_flush f = Faults.Normal));
+    Tu.case "reset restarts occurrence counting" (fun () ->
+        let f = Faults.make ~skip_fence:[ 0 ] () in
+        Alcotest.(check bool) "first skip" true (Faults.on_fence f = Faults.Skip);
+        Alcotest.(check bool) "second normal" true (Faults.on_fence f = Faults.Normal);
+        Faults.reset f;
+        Alcotest.(check bool) "after reset skip" true (Faults.on_fence f = Faults.Skip));
+    Tu.case "skipped flush leaves data unpersisted on device" (fun () ->
+        let faults = Faults.make ~skip_flush:[ 0 ] () in
+        let dev, _, ctx = Tu.make_ctx ~faults () in
+        Ctx.roi_begin ctx ~loc:l;
+        Ctx.write_i64 ctx ~loc:l base 9L;
+        Ctx.persist_barrier ctx ~loc:l base 8;
+        Ctx.roi_end ctx ~loc:l;
+        let img = Device.crash dev Device.Strict in
+        Alcotest.check Tu.i64 "not persisted" 0L (Xfd_mem.Image.read_i64 img base));
+    Tu.case "faults only apply inside the RoI" (fun () ->
+        let faults = Faults.make ~skip_flush:[ 0 ] () in
+        let dev, _, ctx = Tu.make_ctx ~faults () in
+        Ctx.write_i64 ctx ~loc:l base 9L;
+        Ctx.persist_barrier ctx ~loc:l base 8 (* outside RoI: not skipped *);
+        let img = Device.crash dev Device.Strict in
+        Alcotest.check Tu.i64 "persisted" 9L (Xfd_mem.Image.read_i64 img base));
+  ]
+
+let suite = [ ("sim.ctx", ctx_tests); ("sim.faults", faults_tests) ]
