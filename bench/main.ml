@@ -5,7 +5,9 @@
    Usage: main.exe [fig12a|fig12b|fig13|table4|table5|newbugs|capability|
                     ablation|mechanisms|mtsweep|parallel|micro|all]
                                                (default: all, fast sizes)
-          main.exe --full        (paper-scale figure 13 sweep: 1..50 txns) *)
+          main.exe --full        (paper-scale figure 13 sweep: 1..50 txns)
+          main.exe EXPERIMENT --metrics-out telemetry.jsonl
+                                 (stream spans + a summary record as JSONL) *)
 
 module E = Xfd_experiments
 
@@ -124,10 +126,25 @@ let microbenches () =
         (Test.elements test))
     tests
 
+(* Extract "--metrics-out FILE" from the argument list. *)
+let rec extract_metrics_out acc = function
+  | [] -> (None, List.rev acc)
+  | "--metrics-out" :: path :: rest -> (Some path, List.rev_append acc rest)
+  | a :: rest -> extract_metrics_out (a :: acc) rest
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let args = List.filter (fun a -> a <> "--full") args in
+  let metrics_out, args = extract_metrics_out [] args in
+  let sink = Option.map Xfd_obs.Obs.Sink.to_file metrics_out in
+  Option.iter Xfd_obs.Obs.Sink.install sink;
+  at_exit (fun () ->
+      Option.iter
+        (fun s ->
+          Xfd_obs.Obs.write_summary ();
+          Xfd_obs.Obs.Sink.uninstall s)
+        sink);
   let what = match args with [] -> "all" | w :: _ -> w in
   let header () =
     Printf.printf "XFDetector reproduction: evaluation harness (Liu et al., ASPLOS 2020)\n"

@@ -82,7 +82,22 @@ let run_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Print the full outcome as JSON.")
   in
-  let action workload init test patch naive untrusted quiet json =
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Stream run telemetry as JSONL to $(docv): one record per pipeline span \
+             plus a final summary record (counters, histograms, per-phase span \
+             durations).")
+  in
+  let quiet_metrics =
+    Arg.(
+      value & flag
+      & info [ "quiet-metrics" ] ~doc:"Do not print the human-readable telemetry summary.")
+  in
+  let action workload init test patch naive untrusted quiet json metrics_out quiet_metrics =
     let entry = Xfd_experiments.Workload_set.find workload in
     let faults = match patch with Some s -> parse_patch s | None -> Xfd_sim.Faults.none in
     let config =
@@ -93,9 +108,16 @@ let run_cmd =
         trust_library = not untrusted;
       }
     in
+    let sink = Option.map Xfd_obs.Obs.Sink.to_file metrics_out in
+    Option.iter Xfd_obs.Obs.Sink.install sink;
     let outcome =
       Xfd.Engine.detect ~config (entry.Xfd_experiments.Workload_set.make ~init ~test)
     in
+    Option.iter
+      (fun s ->
+        Xfd_obs.Obs.write_summary ();
+        Xfd_obs.Obs.Sink.uninstall s)
+      sink;
     let r, s, p, e = Xfd.Engine.tally outcome in
     if json then
       print_endline (Xfd_util.Json.to_string_pretty (Xfd.Engine.outcome_to_json outcome))
@@ -104,11 +126,14 @@ let run_cmd =
         outcome.Xfd.Engine.program outcome.Xfd.Engine.failure_points r s p e
         (1000.0 *. Xfd.Engine.total_wall outcome)
     else Format.printf "%a" Xfd.Engine.pp_outcome outcome;
+    if not quiet_metrics then Format.eprintf "%a" Xfd_obs.Obs.pp_summary ();
     if r + s + p + e > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under cross-failure detection")
-    Term.(const action $ workload $ init $ test $ patch $ naive $ untrusted $ quiet $ json)
+    Term.(
+      const action $ workload $ init $ test $ patch $ naive $ untrusted $ quiet $ json
+      $ metrics_out $ quiet_metrics)
 
 let list_cmd =
   let action () =

@@ -74,18 +74,80 @@ let record_cmd =
 
 let stats_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
-  let action file =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the summary as one JSON object.")
+  in
+  let action file json =
     let t = load_trace file in
     let c = Xfd_trace.Trace.counts t in
-    Printf.printf "%s: %d events\n" file (Xfd_trace.Trace.length t);
-    Printf.printf "  writes       %d\n" c.Xfd_trace.Trace.writes;
-    Printf.printf "  reads        %d\n" c.Xfd_trace.Trace.reads;
-    Printf.printf "  flushes      %d\n" c.Xfd_trace.Trace.flushes;
-    Printf.printf "  fences       %d\n" c.Xfd_trace.Trace.fences;
-    Printf.printf "  tx ops       %d\n" c.Xfd_trace.Trace.tx_ops;
-    Printf.printf "  annotations  %d\n" c.Xfd_trace.Trace.annotations
+    (* Access-size distributions, through the same histogram machinery the
+       online pipeline reports with. *)
+    let h_writes = Xfd_obs.Obs.Histogram.make "trace.write_bytes" in
+    let h_reads = Xfd_obs.Obs.Histogram.make "trace.read_bytes" in
+    Xfd_trace.Trace.iter t (fun ev ->
+        match ev.Xfd_trace.Event.kind with
+        | Xfd_trace.Event.Write { size; _ } | Xfd_trace.Event.Nt_write { size; _ } ->
+          Xfd_obs.Obs.Histogram.observe h_writes size
+        | Xfd_trace.Event.Read { size; _ } -> Xfd_obs.Obs.Histogram.observe h_reads size
+        | _ -> ());
+    if json then begin
+      let hist h =
+        Xfd_util.Json.Obj
+          [
+            ("count", Xfd_util.Json.Int (Xfd_obs.Obs.Histogram.count h));
+            ("sum", Xfd_util.Json.Int (Xfd_obs.Obs.Histogram.sum h));
+            ("max", Xfd_util.Json.Int (Xfd_obs.Obs.Histogram.max_value h));
+            ( "buckets",
+              Xfd_util.Json.Arr
+                (List.map
+                   (fun (le, n) ->
+                     Xfd_util.Json.Obj
+                       [ ("le", Xfd_util.Json.Int le); ("count", Xfd_util.Json.Int n) ])
+                   (Xfd_obs.Obs.Histogram.buckets h)) );
+          ]
+      in
+      print_endline
+        (Xfd_util.Json.to_string
+           (Xfd_util.Json.Obj
+              [
+                ("type", Xfd_util.Json.Str "trace_stats");
+                ("file", Xfd_util.Json.Str file);
+                ("events", Xfd_util.Json.Int (Xfd_trace.Trace.length t));
+                ("writes", Xfd_util.Json.Int c.Xfd_trace.Trace.writes);
+                ("reads", Xfd_util.Json.Int c.Xfd_trace.Trace.reads);
+                ("flushes", Xfd_util.Json.Int c.Xfd_trace.Trace.flushes);
+                ("fences", Xfd_util.Json.Int c.Xfd_trace.Trace.fences);
+                ("tx_ops", Xfd_util.Json.Int c.Xfd_trace.Trace.tx_ops);
+                ("annotations", Xfd_util.Json.Int c.Xfd_trace.Trace.annotations);
+                ("write_bytes", hist h_writes);
+                ("read_bytes", hist h_reads);
+              ]))
+    end
+    else begin
+      Printf.printf "%s: %d events\n" file (Xfd_trace.Trace.length t);
+      Printf.printf "  writes       %d\n" c.Xfd_trace.Trace.writes;
+      Printf.printf "  reads        %d\n" c.Xfd_trace.Trace.reads;
+      Printf.printf "  flushes      %d\n" c.Xfd_trace.Trace.flushes;
+      Printf.printf "  fences       %d\n" c.Xfd_trace.Trace.fences;
+      Printf.printf "  tx ops       %d\n" c.Xfd_trace.Trace.tx_ops;
+      Printf.printf "  annotations  %d\n" c.Xfd_trace.Trace.annotations;
+      let print_hist label h =
+        if Xfd_obs.Obs.Histogram.count h > 0 then begin
+          Printf.printf "  %s: count=%d sum=%d max=%d\n" label
+            (Xfd_obs.Obs.Histogram.count h) (Xfd_obs.Obs.Histogram.sum h)
+            (Xfd_obs.Obs.Histogram.max_value h);
+          List.iter
+            (fun (le, n) -> Printf.printf "    le %-8d %d\n" le n)
+            (Xfd_obs.Obs.Histogram.buckets h)
+        end
+      in
+      print_hist "write sizes" h_writes;
+      print_hist "read sizes" h_reads
+    end
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Event counts of a trace file") Term.(const action $ file)
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Event counts and access-size histograms of a trace file")
+    Term.(const action $ file $ json)
 
 let dump_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in

@@ -2,6 +2,17 @@ module Addr = Xfd_mem.Addr
 module Event = Xfd_trace.Event
 module Trace = Xfd_trace.Trace
 module Loc = Xfd_util.Loc
+module Obs = Xfd_obs.Obs
+
+let c_replayed = Obs.Counter.make "detector.replayed_events"
+let c_checked_bytes = Obs.Counter.make "detector.checked_bytes"
+
+(* Bug *emissions*: one per deduplicated report of each detector instance,
+   so the same programming error surfacing at several failure points counts
+   once per failure point.  [bugs.post_failure_error] lives in the engine. *)
+let c_bug_race = Obs.Counter.make "bugs.race"
+let c_bug_semantic = Obs.Counter.make "bugs.semantic"
+let c_bug_perf = Obs.Counter.make "bugs.perf"
 
 type t = {
   shadow : Shadow_pm.t;
@@ -68,6 +79,11 @@ let record t bug =
   let key = Report.dedup_key bug in
   if not (Hashtbl.mem t.dedup key) then begin
     Hashtbl.replace t.dedup key ();
+    (match bug with
+    | Report.Race _ -> Obs.Counter.incr c_bug_race
+    | Report.Semantic _ -> Obs.Counter.incr c_bug_semantic
+    | Report.Perf _ -> Obs.Counter.incr c_bug_perf
+    | Report.Post_failure_error _ -> ());
     t.bugs_rev <- bug :: t.bugs_rev
   end
 
@@ -80,6 +96,7 @@ let check_byte t a =
   if Hashtbl.mem t.checked a then Ok_read
   else begin
     Hashtbl.replace t.checked a ();
+    Obs.Counter.incr c_checked_bytes;
     if Commit_registry.is_commit_byte t.registry a then Ok_read (* benign race *)
     else begin
       match Shadow_pm.find t.shadow a with
@@ -200,6 +217,8 @@ let replay_event t (ev : Event.t) =
   | Event.Marker _ -> ()
 
 let replay t trace ~from ~upto =
-  for i = from to min upto (Trace.length trace) - 1 do
+  let last = min upto (Trace.length trace) - 1 in
+  Obs.Counter.add c_replayed (max 0 (last - from + 1));
+  for i = from to last do
     replay_event t (Trace.get trace i)
   done

@@ -1,6 +1,7 @@
 module Ctx = Xfd_sim.Ctx
 module Device = Xfd_mem.Pm_device
 module Trace = Xfd_trace.Trace
+module Obs = Xfd_obs.Obs
 
 type program = {
   name : string;
@@ -25,11 +26,50 @@ type outcome = {
   pre_events : int;
   post_events : int;
   timings : timings;
+  spans : Obs.Span.record list;
 }
 
 type snapshot = { index : int; trace_pos : int; dev : Device.t }
 
 let now () = Unix.gettimeofday ()
+
+let c_runs = Obs.Counter.make "engine.runs"
+let c_fp_fired = Obs.Counter.make "engine.failure_points.fired"
+let c_fp_elided = Obs.Counter.make "engine.failure_points.elided"
+let c_bug_post_error = Obs.Counter.make "bugs.post_failure_error"
+let c_unique_bugs = Obs.Counter.make "engine.unique_bugs"
+let h_pre_events = Obs.Histogram.make "engine.pre_trace_events"
+let h_post_events = Obs.Histogram.make "engine.post_trace_events_per_run"
+
+(* Span names of the detection pipeline's phases.  [timings] is *derived*
+   from these spans (see [timings_of_spans]), so the Figure 12 breakdown is
+   span aggregation — there is no second, hand-rolled timing path that
+   could drift. *)
+let sp_detect = "detect"
+let sp_pre_exec = "pre_exec"
+let sp_snapshot = "snapshot"
+let sp_post_exec = "post_exec"
+let sp_post_run = "post_run"
+let sp_pre_replay = "pre_replay"
+let sp_post_replay = "post_replay"
+
+let timings_of_spans spans =
+  let total name =
+    List.fold_left
+      (fun acc (r : Obs.Span.record) -> if String.equal r.Obs.Span.name name then acc +. r.Obs.Span.dur else acc)
+      0.0 spans
+  in
+  let snapshotting = total sp_snapshot in
+  {
+    (* Snapshots are taken inside the pre-failure execution (the failure-
+       point hook fires mid-[pre]), so their cost is carved out of the
+       enclosing span, as the legacy accumulator did. *)
+    pre_exec = Float.max 0.0 (total sp_pre_exec -. snapshotting);
+    post_exec = total sp_post_exec;
+    pre_replay = total sp_pre_replay;
+    post_replay = total sp_post_replay;
+    snapshotting;
+  }
 
 let run_post ~config ~dev ~post =
   let trace = Trace.create () in
@@ -46,142 +86,161 @@ let run_post ~config ~dev ~post =
   (trace, exn)
 
 let detect ?(config = Config.default) program =
-  let dev = Device.create () in
-  let trace = Trace.create () in
-  let snapshots = ref [] and n_snapshots = ref 0 in
-  let last_ops = ref 0 in
-  let snap_time = ref 0.0 in
-  let take_snapshot ctx =
-    if !n_snapshots < config.Config.max_failure_points && Ctx.update_ops ctx > !last_ops
-    then begin
-      last_ops := Ctx.update_ops ctx;
-      let t0 = now () in
-      snapshots :=
-        { index = !n_snapshots; trace_pos = Trace.length trace; dev = Device.snapshot dev }
-        :: !snapshots;
-      incr n_snapshots;
-      snap_time := !snap_time +. (now () -. t0)
-    end
-  in
-  Xfd_sim.Faults.reset config.Config.faults;
-  let ctx =
-    Ctx.create ~faults:config.Config.faults ~strategy:config.Config.strategy
-      ~trust_library:config.Config.trust_library ~on_failure_point:take_snapshot
-      ~stage:Ctx.Pre_failure ~dev ~trace ()
-  in
-  let t0 = now () in
-  program.setup ctx;
-  (match program.pre ctx with () -> () | exception Ctx.Detection_complete -> ());
-  (* One terminal failure point: the state in which the pre-failure stage
-     ran to completion must recover cleanly too. *)
-  if config.Config.inject_terminal_fp && Ctx.update_ops ctx > !last_ops then begin
-    let ts = now () in
-    snapshots :=
-      { index = !n_snapshots; trace_pos = Trace.length trace; dev = Device.snapshot dev }
-      :: !snapshots;
-    incr n_snapshots;
-    snap_time := !snap_time +. (now () -. ts)
-  end;
-  let pre_exec = now () -. t0 -. !snap_time in
-  let snapshots = List.rev !snapshots in
-  let commit_at = match config.Config.crash_mode with `Full -> `Write | `Strict -> `Persist in
-  let detector = Detector.create ~check_perf:config.Config.check_perf ~commit_at () in
-  let pre_pos = ref 0 in
-  let pre_replay = ref 0.0 and post_exec = ref 0.0 and post_replay = ref 0.0 in
-  let post_events = ref 0 in
-  let crash_mode =
-    match config.Config.crash_mode with `Full -> Device.Full | `Strict -> Device.Strict
-  in
-  (* One post-failure execution per failure point.  The executions are
-     independent (each runs on its own copy of the PM image), so with
-     post_jobs > 1 they run on a small domain pool — the parallelisation
-     the paper leaves as future work.  Trace replay and checking stay
-     sequential: the backend's shadow forks off the incrementally-advanced
-     pre-failure state. *)
-  let run_one s =
-    let post_dev = Device.boot (Device.crash s.dev crash_mode) in
-    run_post ~config ~dev:post_dev ~post:program.post
-  in
-  let post_runs =
-    let n = List.length snapshots in
-    let jobs = max 1 (min config.Config.post_jobs n) in
-    let t0 = now () in
-    let results =
-      if jobs = 1 then List.map run_one snapshots
-      else begin
-        let input = Array.of_list snapshots in
-        let output = Array.make n None in
-        let next = Atomic.make 0 in
-        let worker () =
-          let rec go () =
-            let i = Atomic.fetch_and_add next 1 in
-            if i < n then begin
-              output.(i) <- Some (run_one input.(i));
-              go ()
-            end
-          in
-          go ()
+  Obs.Counter.incr c_runs;
+  let mark = Obs.Span.mark () in
+  let reports, unique_bugs, n_failure_points, pre_events, post_events =
+    Obs.Span.with_ ~name:sp_detect
+      ~meta:[ ("program", Xfd_util.Json.Str program.name) ]
+      (fun () ->
+        let dev = Device.create () in
+        let trace = Trace.create () in
+        let snapshots = ref [] and n_snapshots = ref 0 in
+        let last_ops = ref 0 in
+        let take_snapshot ctx =
+          if
+            !n_snapshots < config.Config.max_failure_points
+            && Ctx.update_ops ctx > !last_ops
+          then begin
+            last_ops := Ctx.update_ops ctx;
+            Obs.Span.with_ ~name:sp_snapshot (fun () ->
+                snapshots :=
+                  {
+                    index = !n_snapshots;
+                    trace_pos = Trace.length trace;
+                    dev = Device.snapshot dev;
+                  }
+                  :: !snapshots;
+                incr n_snapshots);
+            Obs.Counter.incr c_fp_fired
+          end
+          else Obs.Counter.incr c_fp_elided
         in
-        let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-        worker ();
-        List.iter Domain.join domains;
-        Array.to_list (Array.map Option.get output)
-      end
-    in
-    post_exec := now () -. t0;
-    results
-  in
-  let reports =
-    List.map2
-      (fun s (post_trace, post_exn) ->
-        let t0 = now () in
-        Detector.replay detector trace ~from:!pre_pos ~upto:s.trace_pos;
-        pre_pos := s.trace_pos;
-        pre_replay := !pre_replay +. (now () -. t0);
-        post_events := !post_events + Trace.length post_trace;
-        let t0 = now () in
-        let fork = Detector.fork_for_post detector in
-        Detector.replay fork post_trace ~from:0 ~upto:(Trace.length post_trace);
-        post_replay := !post_replay +. (now () -. t0);
-        let bugs =
-          Detector.bugs fork
-          @
-          match post_exn with
-          | Some exn -> [ Report.Post_failure_error { exn; failure_point = s.index } ]
-          | None -> []
+        Xfd_sim.Faults.reset config.Config.faults;
+        let ctx =
+          Ctx.create ~faults:config.Config.faults ~strategy:config.Config.strategy
+            ~trust_library:config.Config.trust_library ~on_failure_point:take_snapshot
+            ~stage:Ctx.Pre_failure ~dev ~trace ()
         in
-        { Report.failure_point = s.index; trace_pos = s.trace_pos; bugs })
-      snapshots post_runs
+        Obs.Span.with_ ~name:sp_pre_exec (fun () ->
+            program.setup ctx;
+            (match program.pre ctx with () -> () | exception Ctx.Detection_complete -> ());
+            (* One terminal failure point: the state in which the pre-failure
+               stage ran to completion must recover cleanly too. *)
+            if config.Config.inject_terminal_fp && Ctx.update_ops ctx > !last_ops then begin
+              Obs.Span.with_ ~name:sp_snapshot (fun () ->
+                  snapshots :=
+                    {
+                      index = !n_snapshots;
+                      trace_pos = Trace.length trace;
+                      dev = Device.snapshot dev;
+                    }
+                    :: !snapshots;
+                  incr n_snapshots);
+              Obs.Counter.incr c_fp_fired
+            end);
+        let snapshots = List.rev !snapshots in
+        let commit_at =
+          match config.Config.crash_mode with `Full -> `Write | `Strict -> `Persist
+        in
+        let detector = Detector.create ~check_perf:config.Config.check_perf ~commit_at () in
+        let pre_pos = ref 0 in
+        let post_events = ref 0 in
+        let crash_mode =
+          match config.Config.crash_mode with `Full -> Device.Full | `Strict -> Device.Strict
+        in
+        (* One post-failure execution per failure point.  The executions are
+           independent (each runs on its own copy of the PM image), so with
+           post_jobs > 1 they run on a small domain pool — the parallelisation
+           the paper leaves as future work.  Trace replay and checking stay
+           sequential: the backend's shadow forks off the incrementally-advanced
+           pre-failure state. *)
+        let run_one s =
+          Obs.Span.with_ ~name:sp_post_run
+            ~meta:[ ("failure_point", Xfd_util.Json.Int s.index) ]
+            (fun () ->
+              let post_dev = Device.boot (Device.crash s.dev crash_mode) in
+              run_post ~config ~dev:post_dev ~post:program.post)
+        in
+        let post_runs =
+          Obs.Span.with_ ~name:sp_post_exec (fun () ->
+              let n = List.length snapshots in
+              let jobs = max 1 (min config.Config.post_jobs n) in
+              if jobs = 1 then List.map run_one snapshots
+              else begin
+                let input = Array.of_list snapshots in
+                let output = Array.make n None in
+                let next = Atomic.make 0 in
+                let worker () =
+                  let rec go () =
+                    let i = Atomic.fetch_and_add next 1 in
+                    if i < n then begin
+                      output.(i) <- Some (run_one input.(i));
+                      go ()
+                    end
+                  in
+                  go ()
+                in
+                let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+                worker ();
+                List.iter Domain.join domains;
+                Array.to_list (Array.map Option.get output)
+              end)
+        in
+        let reports =
+          List.map2
+            (fun s (post_trace, post_exn) ->
+              let fp_meta = [ ("failure_point", Xfd_util.Json.Int s.index) ] in
+              Obs.Span.with_ ~name:sp_pre_replay ~meta:fp_meta (fun () ->
+                  Detector.replay detector trace ~from:!pre_pos ~upto:s.trace_pos;
+                  pre_pos := s.trace_pos);
+              post_events := !post_events + Trace.length post_trace;
+              Obs.Histogram.observe h_post_events (Trace.length post_trace);
+              let fork_bugs =
+                Obs.Span.with_ ~name:sp_post_replay ~meta:fp_meta (fun () ->
+                    let fork = Detector.fork_for_post detector in
+                    Detector.replay fork post_trace ~from:0
+                      ~upto:(Trace.length post_trace);
+                    Detector.bugs fork)
+              in
+              let bugs =
+                fork_bugs
+                @
+                match post_exn with
+                | Some exn ->
+                  Obs.Counter.incr c_bug_post_error;
+                  [ Report.Post_failure_error { exn; failure_point = s.index } ]
+                | None -> []
+              in
+              { Report.failure_point = s.index; trace_pos = s.trace_pos; bugs })
+            snapshots post_runs
+        in
+        Obs.Span.with_ ~name:sp_pre_replay (fun () ->
+            Detector.replay detector trace ~from:!pre_pos ~upto:(Trace.length trace));
+        let dedup = Hashtbl.create 64 in
+        let unique_bugs =
+          List.concat_map (fun r -> r.Report.bugs) reports @ Detector.bugs detector
+          |> List.filter (fun b ->
+                 let key = Report.dedup_key b in
+                 if Hashtbl.mem dedup key then false
+                 else begin
+                   Hashtbl.replace dedup key ();
+                   true
+                 end)
+        in
+        Obs.Counter.add c_unique_bugs (List.length unique_bugs);
+        Obs.Histogram.observe h_pre_events (Trace.length trace);
+        (reports, unique_bugs, List.length snapshots, Trace.length trace, !post_events))
   in
-  let t0 = now () in
-  Detector.replay detector trace ~from:!pre_pos ~upto:(Trace.length trace);
-  pre_replay := !pre_replay +. (now () -. t0);
-  let dedup = Hashtbl.create 64 in
-  let unique_bugs =
-    List.concat_map (fun r -> r.Report.bugs) reports @ Detector.bugs detector
-    |> List.filter (fun b ->
-           let key = Report.dedup_key b in
-           if Hashtbl.mem dedup key then false
-           else begin
-             Hashtbl.replace dedup key ();
-             true
-           end)
-  in
+  let spans = Obs.Span.records_since mark in
   {
     program = program.name;
-    failure_points = List.length snapshots;
+    failure_points = n_failure_points;
     reports;
     unique_bugs;
-    pre_events = Trace.length trace;
-    post_events = !post_events;
-    timings =
-      {
-        pre_exec;
-        post_exec = !post_exec;
-        pre_replay = !pre_replay;
-        post_replay = !post_replay;
-        snapshotting = !snap_time;
-      };
+    pre_events;
+    post_events;
+    timings = timings_of_spans spans;
+    spans;
   }
 
 let wall_breakdown o =
@@ -268,4 +327,19 @@ let outcome_to_json o =
             ("pre_wall_seconds", Float pre);
             ("post_wall_seconds", Float post);
           ] );
+      ( "timings",
+        Obj
+          [
+            ("pre_exec_s", Float o.timings.pre_exec);
+            ("post_exec_s", Float o.timings.post_exec);
+            ("pre_replay_s", Float o.timings.pre_replay);
+            ("post_replay_s", Float o.timings.post_replay);
+            ("snapshotting_s", Float o.timings.snapshotting);
+          ] );
+      ( "spans",
+        Obj
+          (List.map
+             (fun (name, (count, total)) ->
+               (name, Obj [ ("count", Int count); ("total_s", Float total) ]))
+             (Obs.Span.aggregate o.spans)) );
     ]

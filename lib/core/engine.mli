@@ -37,10 +37,22 @@ type outcome = {
   unique_bugs : Report.bug list;  (** deduplicated across failure points *)
   pre_events : int;
   post_events : int;  (** total over all post-failure runs *)
-  timings : timings;
+  timings : timings;  (** derived from [spans] via {!timings_of_spans} *)
+  spans : Xfd_obs.Obs.Span.record list;
+      (** this run's span tree: a root ["detect"] span with ["pre_exec"],
+          ["post_exec"], ["pre_replay"], ["post_replay"] phases,
+          ["snapshot"] children inside [pre_exec], and per-failure-point
+          ["post_run"]/replay children carrying a [failure_point] meta
+          field *)
 }
 
 val detect : ?config:Config.t -> program -> outcome
+
+(** Aggregate a span tree into the Figure 12 timing struct: phase totals
+    by span name, with snapshot time carved out of [pre_exec].  [detect]
+    builds [outcome.timings] with exactly this function, so the legacy
+    struct cannot drift from the span tree. *)
+val timings_of_spans : Xfd_obs.Obs.Span.record list -> timings
 
 (** Aggregate wall-clock attributed to the pre-failure stage (execution +
     replay + snapshotting) and the post-failure stage, as broken down in the

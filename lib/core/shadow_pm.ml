@@ -1,4 +1,12 @@
 module Addr = Xfd_mem.Addr
+module Obs = Xfd_obs.Obs
+
+(* Per-byte FSM transition tallies (paper Figure 8): one increment per byte
+   entering the named state during replay. *)
+let c_to_modified = Obs.Counter.make "shadow.fsm.to_modified"
+let c_to_writeback = Obs.Counter.make "shadow.fsm.to_writeback_pending"
+let c_to_persisted = Obs.Counter.make "shadow.fsm.to_persisted"
+let c_to_unmodified = Obs.Counter.make "shadow.fsm.to_unmodified"
 
 type cell = {
   mutable pstate : Pstate.t;
@@ -67,6 +75,7 @@ let create_or_own t addr =
 
 let write_byte t addr ~ts ~loc ~nt ~post =
   let c = create_or_own t addr in
+  Obs.Counter.incr (if nt then c_to_writeback else c_to_modified);
   c.pstate <- (if nt then Pstate.on_nt_write c.pstate else Pstate.on_write c.pstate);
   c.tlast <- ts;
   c.writer <- loc;
@@ -92,6 +101,7 @@ let flush_line t line =
         match find t a with
         | Some c when Pstate.equal c.pstate Pstate.Modified ->
           let c = create_or_own t a in
+          Obs.Counter.incr c_to_writeback;
           c.pstate <- Pstate.on_flush c.pstate;
           Hashtbl.replace t.pending a ()
         | Some _ | None -> ());
@@ -105,7 +115,10 @@ let fence t =
   Hashtbl.iter
     (fun a () ->
       match own_cell t a with
-      | Some c -> c.pstate <- Pstate.on_fence c.pstate
+      | Some c ->
+        if Pstate.equal c.pstate Pstate.Writeback_pending then
+          Obs.Counter.incr c_to_persisted;
+        c.pstate <- Pstate.on_fence c.pstate
       | None -> ())
     t.pending;
   Hashtbl.reset t.pending
@@ -113,6 +126,7 @@ let fence t =
 let mark_alloc_raw t addr size =
   Addr.iter_bytes addr size (fun a ->
       let c = create_or_own t a in
+      Obs.Counter.incr c_to_unmodified;
       c.pstate <- Pstate.Unmodified;
       c.uninit <- true;
       c.post_written <- false;

@@ -1,3 +1,20 @@
+module Obs = Xfd_obs.Obs
+
+(* Device-level telemetry: every simulated hardware operation counts here,
+   whichever layer drives it (frontend, engine snapshots, offline boot). *)
+let c_loads = Obs.Counter.make "pm.loads"
+let c_load_bytes = Obs.Counter.make "pm.load_bytes"
+let c_stores = Obs.Counter.make "pm.stores"
+let c_store_bytes = Obs.Counter.make "pm.store_bytes"
+let c_nt_stores = Obs.Counter.make "pm.nt_stores"
+let c_flushes = Obs.Counter.make "pm.flushes"
+let c_fences = Obs.Counter.make "pm.fences"
+let c_snapshots = Obs.Counter.make "pm.snapshots"
+let c_snapshot_bytes = Obs.Counter.make "pm.snapshot_bytes"
+let h_snapshot_bytes = Obs.Histogram.make "pm.snapshot_bytes_per_snapshot"
+let c_crashes = Obs.Counter.make "pm.crashes"
+let c_boots = Obs.Counter.make "pm.boots"
+
 type crash_mode = Full | Strict | Randomized of Xfd_util.Rng.t
 
 type stats = { stores : int; loads : int; flushes : int; fences : int; nt_stores : int }
@@ -24,10 +41,14 @@ let stats t = t.st
 
 let load t addr size =
   t.st <- { t.st with loads = t.st.loads + 1 };
+  Obs.Counter.incr c_loads;
+  Obs.Counter.add c_load_bytes size;
   Image.read t.img addr size
 
 let store t addr b =
   t.st <- { t.st with stores = t.st.stores + 1 };
+  Obs.Counter.incr c_stores;
+  Obs.Counter.add c_store_bytes (Bytes.length b);
   Image.write t.img addr b;
   Addr.iter_bytes addr (Bytes.length b) (fun a -> Hashtbl.replace t.dirty a ())
 
@@ -36,6 +57,8 @@ let store_i64 t addr v = store t addr (Xfd_util.Bytesx.i64_to_bytes v)
 
 let store_nt t addr b =
   t.st <- { t.st with nt_stores = t.st.nt_stores + 1 };
+  Obs.Counter.incr c_nt_stores;
+  Obs.Counter.add c_store_bytes (Bytes.length b);
   Image.write t.img addr b;
   Addr.iter_bytes addr (Bytes.length b) (fun a ->
       Hashtbl.remove t.dirty a;
@@ -51,12 +74,14 @@ let capture_line t addr =
 
 let clwb t addr =
   t.st <- { t.st with flushes = t.st.flushes + 1 };
+  Obs.Counter.incr c_flushes;
   capture_line t addr
 
 let clflush t addr = clwb t addr
 
 let sfence t =
   t.st <- { t.st with fences = t.st.fences + 1 };
+  Obs.Counter.incr c_fences;
   Hashtbl.iter (fun a v -> Image.write_byte t.persisted a v) t.pending;
   Hashtbl.reset t.pending
 
@@ -72,6 +97,7 @@ let is_persisted_range t addr size =
   !ok
 
 let crash t mode =
+  Obs.Counter.incr c_crashes;
   match mode with
   | Full -> Image.snapshot t.img
   | Strict -> Image.snapshot t.persisted
@@ -96,6 +122,7 @@ let crash t mode =
     out
 
 let boot img =
+  Obs.Counter.incr c_boots;
   let t = create () in
   Image.iter_chunks img (fun base chunk ->
       Image.write t.img base (Bytes.copy chunk);
@@ -103,6 +130,10 @@ let boot img =
   t
 
 let snapshot t =
+  let copied = Image.footprint t.img + Image.footprint t.persisted in
+  Obs.Counter.incr c_snapshots;
+  Obs.Counter.add c_snapshot_bytes copied;
+  Obs.Histogram.observe h_snapshot_bytes copied;
   {
     img = Image.snapshot t.img;
     persisted = Image.snapshot t.persisted;

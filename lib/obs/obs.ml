@@ -1,0 +1,412 @@
+module Json = Xfd_util.Json
+
+let now () = Unix.gettimeofday ()
+
+(* ---- global switch ---- *)
+
+let enabled_flag = Atomic.make true
+let enabled () = Atomic.get enabled_flag
+let set_enabled v = Atomic.set enabled_flag v
+
+(* ---- metric registry ----
+
+   One global table, name -> metric.  Registration happens at module
+   initialisation of the instrumented libraries; updates happen from the
+   main domain and from the engine's post-execution worker domains, so
+   all metric state is Atomic and the registry itself is mutex-protected. *)
+
+type counter = { c_name : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_value : float Atomic.t }
+
+let hist_buckets = 63
+
+type histogram = {
+  h_name : string;
+  h_counts : int Atomic.t array; (* bucket i >= 1: samples in [2^(i-1), 2^i - 1] *)
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_max : int Atomic.t;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
+
+let register name build probe =
+  with_lock registry_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> begin
+        match probe m with
+        | Some v -> v
+        | None -> invalid_arg (Printf.sprintf "Obs: %S already registered as another metric kind" name)
+      end
+      | None ->
+        let v = build () in
+        v)
+
+module Counter = struct
+  type t = counter
+
+  let make name =
+    register name
+      (fun () ->
+        let c = { c_name = name; c_value = Atomic.make 0 } in
+        Hashtbl.replace registry name (C c);
+        c)
+      (function C c -> Some c | G _ | H _ -> None)
+
+  let name t = t.c_name
+  let add t n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add t.c_value n)
+  let incr t = add t 1
+  let value t = Atomic.get t.c_value
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make name =
+    register name
+      (fun () ->
+        let g = { g_name = name; g_value = Atomic.make 0.0 } in
+        Hashtbl.replace registry name (G g);
+        g)
+      (function G g -> Some g | C _ | H _ -> None)
+
+  let name t = t.g_name
+  let set t v = if Atomic.get enabled_flag then Atomic.set t.g_value v
+  let value t = Atomic.get t.g_value
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let make name =
+    register name
+      (fun () ->
+        let h =
+          {
+            h_name = name;
+            h_counts = Array.init hist_buckets (fun _ -> Atomic.make 0);
+            h_count = Atomic.make 0;
+            h_sum = Atomic.make 0;
+            h_max = Atomic.make 0;
+          }
+        in
+        Hashtbl.replace registry name (H h);
+        h)
+      (function H h -> Some h | C _ | G _ -> None)
+
+  let name t = t.h_name
+
+  (* Bucket index = bit width of the sample: 0 -> 0, 1 -> 1, 2..3 -> 2, ... *)
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+      min (hist_buckets - 1) (bits 0 v)
+    end
+
+  let rec store_max cell v =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then store_max cell v
+
+  let observe t v =
+    if Atomic.get enabled_flag then begin
+      ignore (Atomic.fetch_and_add t.h_counts.(bucket_of v) 1);
+      ignore (Atomic.fetch_and_add t.h_count 1);
+      ignore (Atomic.fetch_and_add t.h_sum (max 0 v));
+      store_max t.h_max v
+    end
+
+  let count t = Atomic.get t.h_count
+  let sum t = Atomic.get t.h_sum
+  let max_value t = Atomic.get t.h_max
+
+  let upper_bound i = if i = 0 then 0 else (1 lsl i) - 1
+
+  let buckets t =
+    let acc = ref [] in
+    for i = hist_buckets - 1 downto 0 do
+      let n = Atomic.get t.h_counts.(i) in
+      if n > 0 then acc := (upper_bound i, n) :: !acc
+    done;
+    !acc
+end
+
+let find_metric name = with_lock registry_mutex (fun () -> Hashtbl.find_opt registry name)
+
+let counter_value name =
+  match find_metric name with Some (C c) -> Some (Counter.value c) | _ -> None
+
+let gauge_value name =
+  match find_metric name with Some (G g) -> Some (Gauge.value g) | _ -> None
+
+(* ---- sinks ---- *)
+
+module Sink = struct
+  type t = { id : int; write : Json.t -> unit; close : unit -> unit }
+
+  let next_id = Atomic.make 0
+
+  let to_channel oc =
+    {
+      id = Atomic.fetch_and_add next_id 1;
+      write =
+        (fun j ->
+          output_string oc (Json.to_string j);
+          output_char oc '\n');
+      close = (fun () -> flush oc);
+    }
+
+  let to_file path =
+    let oc = open_out path in
+    {
+      id = Atomic.fetch_and_add next_id 1;
+      write =
+        (fun j ->
+          output_string oc (Json.to_string j);
+          output_char oc '\n');
+      close = (fun () -> close_out oc);
+    }
+
+  let sinks : t list ref = ref []
+  let sinks_mutex = Mutex.create ()
+  let any_active = Atomic.make false
+
+  let install t =
+    with_lock sinks_mutex (fun () ->
+        sinks := t :: !sinks;
+        Atomic.set any_active true)
+
+  let uninstall t =
+    with_lock sinks_mutex (fun () ->
+        sinks := List.filter (fun s -> s.id <> t.id) !sinks;
+        Atomic.set any_active (!sinks <> []));
+    t.close ()
+
+  let active () = Atomic.get any_active
+
+  let emit j =
+    if Atomic.get any_active then
+      with_lock sinks_mutex (fun () -> List.iter (fun s -> s.write j) !sinks)
+end
+
+(* ---- spans ---- *)
+
+module Span = struct
+  type record = {
+    id : int;
+    parent : int option;
+    name : string;
+    start : float;
+    dur : float;
+    meta : (string * Json.t) list;
+  }
+
+  let next_id = Atomic.make 0
+
+  (* Finished spans, newest first, with a monotone completion index so
+     callers can collect exactly the spans finished inside a region. *)
+  let finished : record list ref = ref []
+  let finished_count = ref 0
+  let agg : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 32
+  let span_mutex = Mutex.create ()
+
+  (* Per-domain stack of open span ids, for parent linkage. *)
+  let stack_key = Domain.DLS.new_key (fun () -> ref [])
+
+  let record_to_json r =
+    Json.Obj
+      ([
+         ("type", Json.Str "span");
+         ("id", Json.Int r.id);
+         ("parent", match r.parent with Some p -> Json.Int p | None -> Json.Null);
+         ("name", Json.Str r.name);
+         ("start_s", Json.Float r.start);
+         ("dur_s", Json.Float r.dur);
+       ]
+      @ match r.meta with [] -> [] | m -> [ ("meta", Json.Obj m) ])
+
+  let finish r =
+    with_lock span_mutex (fun () ->
+        finished := r :: !finished;
+        incr finished_count;
+        let c, s =
+          match Hashtbl.find_opt agg r.name with
+          | Some cs -> cs
+          | None ->
+            let cs = (ref 0, ref 0.0) in
+            Hashtbl.replace agg r.name cs;
+            cs
+        in
+        incr c;
+        s := !s +. r.dur);
+    Sink.emit (record_to_json r)
+
+  let with_ ?(meta = []) ~name f =
+    let stack = Domain.DLS.get stack_key in
+    let id = Atomic.fetch_and_add next_id 1 in
+    let parent = match !stack with [] -> None | p :: _ -> Some p in
+    stack := id :: !stack;
+    let start = now () in
+    let exit () =
+      (match !stack with _ :: rest -> stack := rest | [] -> ());
+      finish { id; parent; name; start; dur = now () -. start; meta }
+    in
+    match f () with
+    | v ->
+      exit ();
+      v
+    | exception e ->
+      exit ();
+      raise e
+
+  type mark = int
+
+  let mark () = with_lock span_mutex (fun () -> !finished_count)
+
+  let records_since m =
+    with_lock span_mutex (fun () ->
+        let n = max 0 (!finished_count - m) in
+        let rec split acc k rest =
+          if k = 0 then (acc, rest)
+          else
+            match rest with
+            | [] -> (acc, [])
+            | r :: tl -> split (r :: acc) (k - 1) tl
+        in
+        let since, before = split [] n !finished in
+        finished := before;
+        finished_count := m;
+        since)
+
+  let aggregate records =
+    let t = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+        let c, s =
+          match Hashtbl.find_opt t r.name with
+          | Some cs -> cs
+          | None ->
+            let cs = (ref 0, ref 0.0) in
+            Hashtbl.replace t r.name cs;
+            cs
+        in
+        incr c;
+        s := !s +. r.dur)
+      records;
+    Hashtbl.fold (fun name (c, s) acc -> (name, (!c, !s)) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let aggregate_all () =
+    with_lock span_mutex (fun () ->
+        Hashtbl.fold (fun name (c, s) acc -> (name, (!c, !s)) :: acc) agg [])
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let reset () =
+    with_lock span_mutex (fun () ->
+        finished := [];
+        finished_count := 0;
+        Hashtbl.reset agg)
+end
+
+let reset () =
+  with_lock registry_mutex (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | C c -> Atomic.set c.c_value 0
+          | G g -> Atomic.set g.g_value 0.0
+          | H h ->
+            Array.iter (fun cell -> Atomic.set cell 0) h.h_counts;
+            Atomic.set h.h_count 0;
+            Atomic.set h.h_sum 0;
+            Atomic.set h.h_max 0)
+        registry);
+  Span.reset ()
+
+(* ---- summaries ---- *)
+
+let metrics_snapshot () =
+  let items =
+    with_lock registry_mutex (fun () ->
+        Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.fold_left
+    (fun (cs, gs, hs) (name, m) ->
+      match m with
+      | C c -> ((name, Counter.value c) :: cs, gs, hs)
+      | G g -> (cs, (name, Gauge.value g) :: gs, hs)
+      | H h -> (cs, gs, (name, h) :: hs))
+    ([], [], []) (List.rev items)
+  |> fun (cs, gs, hs) -> (List.rev cs, List.rev gs, List.rev hs)
+
+let summary_json () =
+  let counters, gauges, hists = metrics_snapshot () in
+  let hist_json h =
+    Json.Obj
+      [
+        ("count", Json.Int (Histogram.count h));
+        ("sum", Json.Int (Histogram.sum h));
+        ("max", Json.Int (Histogram.max_value h));
+        ( "buckets",
+          Json.Arr
+            (List.map
+               (fun (le, n) -> Json.Obj [ ("le", Json.Int le); ("count", Json.Int n) ])
+               (Histogram.buckets h)) );
+      ]
+  in
+  Json.Obj
+    [
+      ("type", Json.Str "summary");
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) gauges));
+      ("histograms", Json.Obj (List.map (fun (n, h) -> (n, hist_json h)) hists));
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (name, (count, total)) ->
+               (name, Json.Obj [ ("count", Json.Int count); ("total_s", Json.Float total) ]))
+             (Span.aggregate_all ())) );
+    ]
+
+let write_summary () = Sink.emit (summary_json ())
+
+let pp_summary ppf () =
+  let counters, gauges, hists = metrics_snapshot () in
+  let nonzero_counters = List.filter (fun (_, v) -> v <> 0) counters in
+  Format.fprintf ppf "== telemetry ==@.";
+  List.iter (fun (n, v) -> Format.fprintf ppf "  %-34s %d@." n v) nonzero_counters;
+  List.iter
+    (fun (n, v) -> if v <> 0.0 then Format.fprintf ppf "  %-34s %g@." n v)
+    gauges;
+  List.iter
+    (fun (n, h) ->
+      if Histogram.count h > 0 then begin
+        Format.fprintf ppf "  %-34s count=%d sum=%d max=%d@." n (Histogram.count h)
+          (Histogram.sum h) (Histogram.max_value h);
+        List.iter
+          (fun (le, c) -> Format.fprintf ppf "    le %-10d %d@." le c)
+          (Histogram.buckets h)
+      end)
+    hists;
+  match Span.aggregate_all () with
+  | [] -> ()
+  | spans ->
+    Format.fprintf ppf "  spans:@.";
+    List.iter
+      (fun (name, (count, total)) ->
+        Format.fprintf ppf "    %-32s n=%-6d %.6f s@." name count total)
+      spans

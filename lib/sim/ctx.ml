@@ -1,6 +1,14 @@
 module Device = Xfd_mem.Pm_device
 module Event = Xfd_trace.Event
 module Trace = Xfd_trace.Trace
+module Obs = Xfd_obs.Obs
+
+(* Frontend telemetry: everything the instrumented context observes about
+   the program under test, across both stages. *)
+let c_events = Obs.Counter.make "sim.trace_events"
+let c_ordering_points = Obs.Counter.make "sim.ordering_points"
+let c_roi_transitions = Obs.Counter.make "sim.roi_transitions"
+let c_manual_fps = Obs.Counter.make "sim.manual_failure_points"
 
 type stage = Pre_failure | Post_failure
 type strategy = Ordering_points | Every_update
@@ -52,7 +60,11 @@ let ordering_points t = t.ordering_points
 let faults t = t.faults
 let update_ops t = t.update_ops
 
-let emit t ~loc kind = if t.tracing then ignore (Trace.append t.trace ~kind ~loc)
+let emit t ~loc kind =
+  if t.tracing then begin
+    Obs.Counter.incr c_events;
+    ignore (Trace.append t.trace ~kind ~loc)
+  end
 
 let set_scheduler_hook t hook = t.scheduler_hook <- hook
 let yield t = match t.scheduler_hook with Some f -> f () | None -> ()
@@ -136,6 +148,7 @@ let do_sfence t ~loc =
   emit t ~loc Event.Sfence;
   Device.sfence t.dev;
   t.ordering_points <- t.ordering_points + 1;
+  Obs.Counter.incr c_ordering_points;
   if promotes then t.update_ops <- t.update_ops + 1
 
 let sfence t ~loc =
@@ -149,10 +162,12 @@ let persist_barrier t ~loc addr size =
 
 let roi_begin t ~loc =
   t.in_roi <- true;
+  Obs.Counter.incr c_roi_transitions;
   emit t ~loc Event.Roi_begin
 
 let roi_end t ~loc =
   t.in_roi <- false;
+  Obs.Counter.incr c_roi_transitions;
   emit t ~loc Event.Roi_end
 
 let skip_failure_begin t = t.skip_failure_depth <- t.skip_failure_depth + 1
@@ -171,7 +186,11 @@ let skip_detection_end t ~loc =
   t.skip_detection_depth <- t.skip_detection_depth - 1;
   emit t ~loc Event.Skip_detection_end
 
-let add_failure_point t = if injectable t then fire_failure_point t
+let add_failure_point t =
+  if injectable t then begin
+    Obs.Counter.incr c_manual_fps;
+    fire_failure_point t
+  end
 
 let add_commit_var t ~loc addr size = emit t ~loc (Event.Commit_var { addr; size })
 

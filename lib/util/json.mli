@@ -1,7 +1,9 @@
-(** A minimal JSON encoder (no external dependencies).
+(** A minimal JSON encoder and parser (no external dependencies).
 
-    Only what the report output needs: objects, arrays, strings with
-    correct escaping, integers, floats and booleans. *)
+    Only what the report and telemetry output needs: objects, arrays,
+    strings with correct escaping, integers, floats and booleans.  The
+    parser exists so that JSONL telemetry written by {!Xfd_obs} can be
+    round-tripped and checked without an external dependency. *)
 
 type t =
   | Obj of (string * t) list
@@ -19,3 +21,13 @@ val to_string_pretty : t -> string
 
 (** Escape a string body per RFC 8259 (without the surrounding quotes). *)
 val escape : string -> string
+
+(** Parse one JSON value.  Numbers without a fraction or exponent that fit
+    in an OCaml [int] parse as [Int], everything else as [Float]; [\uXXXX]
+    escapes below 0x80 decode to the corresponding byte, higher code points
+    are preserved as their literal escape text.  Trailing whitespace is
+    allowed, trailing garbage is an error. *)
+val of_string : string -> (t, string) result
+
+(** [member key json] looks up [key] in an [Obj] ([None] otherwise). *)
+val member : string -> t -> t option
