@@ -97,7 +97,41 @@ let run_cmd =
       value & flag
       & info [ "quiet-metrics" ] ~doc:"Do not print the human-readable telemetry summary.")
   in
-  let action workload init test patch naive untrusted quiet json metrics_out quiet_metrics =
+  let report_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the full detection report as pretty JSON to $(docv), with per-bug \
+             provenance chains and the run's coverage block (enables forensics).")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print each unique bug with its provenance chain — the pre-failure \
+             write/writeback/fence (and framing commit) events behind the verdict, with \
+             trace-timeline excerpts — plus the run's coverage report (enables \
+             forensics).")
+  in
+  let fail_on_bug =
+    Arg.(
+      value & flag
+      & info [ "fail-on-bug" ]
+          ~doc:"Exit non-zero when any unique bug is reported — for CI gating.")
+  in
+  let allow_perf =
+    Arg.(
+      value & flag
+      & info [ "allow-perf" ]
+          ~doc:
+            "With $(b,--fail-on-bug), do not fail on performance bugs alone (races, \
+             semantic bugs and post-failure errors still fail).")
+  in
+  let action workload init test patch naive untrusted quiet json metrics_out quiet_metrics
+      report_out explain fail_on_bug allow_perf =
     let entry = Xfd_experiments.Workload_set.find workload in
     let faults = match patch with Some s -> parse_patch s | None -> Xfd_sim.Faults.none in
     let config =
@@ -106,6 +140,7 @@ let run_cmd =
         faults;
         strategy = (if naive then Xfd_sim.Ctx.Every_update else Xfd_sim.Ctx.Ordering_points);
         trust_library = not untrusted;
+        forensics = explain || report_out <> None;
       }
     in
     let sink = Option.map Xfd_obs.Obs.Sink.to_file metrics_out in
@@ -126,14 +161,38 @@ let run_cmd =
         outcome.Xfd.Engine.program outcome.Xfd.Engine.failure_points r s p e
         (1000.0 *. Xfd.Engine.total_wall outcome)
     else Format.printf "%a" Xfd.Engine.pp_outcome outcome;
+    if explain then begin
+      Format.printf "@.-- forensics --@.";
+      List.iter
+        (fun b -> Format.printf "%a" Xfd.Report.pp_bug_explained b)
+        outcome.Xfd.Engine.unique_bugs;
+      Format.printf "%a" Xfd_forensics.Coverage.pp outcome.Xfd.Engine.coverage
+    end;
+    Option.iter
+      (fun file ->
+        let report =
+          Xfd_util.Json.Obj
+            [
+              ("type", Xfd_util.Json.Str "xfd_report");
+              ("schema_version", Xfd_util.Json.Int 1);
+              ("report", Xfd.Engine.outcome_to_json outcome);
+            ]
+        in
+        let oc = open_out file in
+        output_string oc (Xfd_util.Json.to_string_pretty report);
+        output_char oc '\n';
+        close_out oc;
+        Format.eprintf "report written to %s@." file)
+      report_out;
     if not quiet_metrics then Format.eprintf "%a" Xfd_obs.Obs.pp_summary ();
-    if r + s + p + e > 0 then exit 1
+    let failing = if allow_perf then r + s + e else r + s + p + e in
+    if fail_on_bug && failing > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under cross-failure detection")
     Term.(
       const action $ workload $ init $ test $ patch $ naive $ untrusted $ quiet $ json
-      $ metrics_out $ quiet_metrics)
+      $ metrics_out $ quiet_metrics $ report_out $ explain $ fail_on_bug $ allow_perf)
 
 let list_cmd =
   let action () =

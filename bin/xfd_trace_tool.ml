@@ -152,34 +152,154 @@ let stats_cmd =
 let dump_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let head = Arg.(value & opt int max_int & info [ "head" ] ~docv:"N") in
-  let action file head =
-    let t = load_trace file in
-    Xfd_trace.Trace.iter_prefix t head (fun ev -> Format.printf "%a@." Xfd_trace.Event.pp ev)
+  let range =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "range" ] ~docv:"FROM:TO"
+          ~doc:
+            "Print only events $(i,FROM) to $(i,TO) (half-open, clamped to the \
+             trace), rendered as a timeline.  Overrides $(b,--head).")
   in
-  Cmd.v (Cmd.info "dump" ~doc:"Pretty-print a trace file") Term.(const action $ file $ head)
+  let parse_range s =
+    match String.split_on_char ':' s with
+    | [ a; b ] -> begin
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some from, Some upto when from >= 0 && upto >= from -> (from, upto)
+      | _ -> failwith (Printf.sprintf "bad --range %S (want FROM:TO, 0 <= FROM <= TO)" s)
+    end
+    | _ -> failwith (Printf.sprintf "bad --range %S (want FROM:TO)" s)
+  in
+  let action file head range =
+    let t = load_trace file in
+    match range with
+    | Some spec ->
+      let from, upto = parse_range spec in
+      List.iter print_endline (Xfd_forensics.Timeline.range t ~from ~upto ~marks:[])
+    | None ->
+      Xfd_trace.Trace.iter_prefix t head (fun ev ->
+          Format.printf "%a@." Xfd_trace.Event.pp ev)
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Pretty-print a trace file")
+    Term.(const action $ file $ head $ range)
+
+let explain_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let at =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "at" ] ~docv:"INDEX" ~doc:"Event index to explain.")
+  in
+  let radius =
+    Arg.(
+      value
+      & opt int Xfd_forensics.Timeline.default_radius
+      & info [ "radius" ] ~docv:"N" ~doc:"Context events on each side.")
+  in
+  let action file at radius =
+    let t = load_trace file in
+    let len = Xfd_trace.Trace.length t in
+    if at < 0 || at >= len then begin
+      Printf.eprintf "index %d out of range (trace has %d events)\n" at len;
+      exit 2
+    end;
+    let ev = Xfd_trace.Trace.get t at in
+    Format.printf "%s: event %d of %d@." file at len;
+    (* For a store, chase its persistence through the rest of the trace:
+       which later flush captured the line, and which fence persisted it —
+       the manual walk a provenance chain automates. *)
+    (match ev.Xfd_trace.Event.kind with
+    | Xfd_trace.Event.Write { addr; size } | Xfd_trace.Event.Nt_write { addr; size } ->
+      let line = Xfd_mem.Addr.line_of addr in
+      let nt =
+        match ev.Xfd_trace.Event.kind with Xfd_trace.Event.Nt_write _ -> true | _ -> false
+      in
+      let flush_at = ref (if nt then Some at else None) in
+      let fence_at = ref None in
+      (try
+         for i = at + 1 to len - 1 do
+           let e = Xfd_trace.Trace.get t i in
+           match e.Xfd_trace.Event.kind with
+           | Xfd_trace.Event.Clwb { addr = a }
+           | Xfd_trace.Event.Clflush { addr = a }
+           | Xfd_trace.Event.Clflushopt { addr = a } ->
+             if !flush_at = None && Xfd_mem.Addr.line_of a = line then flush_at := Some i
+           | Xfd_trace.Event.Sfence | Xfd_trace.Event.Mfence ->
+             if !flush_at <> None then begin
+               fence_at := Some i;
+               raise Exit
+             end
+           | Xfd_trace.Event.Write { addr = a; size = s }
+           | Xfd_trace.Event.Nt_write { addr = a; size = s } ->
+             (* Overwritten before being written back: stop the chase. *)
+             if !flush_at = None && Xfd_mem.Addr.overlap (a, s) (addr, size) then raise Exit
+           | _ -> ()
+         done
+       with Exit -> ());
+      (match (!flush_at, !fence_at) with
+      | None, _ ->
+        Format.printf "store to %a+%d: never written back in this trace@."
+          Xfd_mem.Addr.pp addr size
+      | Some f, None ->
+        Format.printf
+          "store to %a+%d: written back at event %d but no later fence — not \
+           guaranteed persisted@."
+          Xfd_mem.Addr.pp addr size f
+      | Some f, Some s ->
+        if nt && f = at then
+          Format.printf "store to %a+%d: non-temporal, persisted by fence at event %d@."
+            Xfd_mem.Addr.pp addr size s
+        else
+          Format.printf
+            "store to %a+%d: written back at event %d, persisted by fence at event %d@."
+            Xfd_mem.Addr.pp addr size f s)
+    | _ -> ());
+    Format.printf "timeline:@.";
+    List.iter
+      (fun (e : Xfd_forensics.Timeline.excerpt) ->
+        List.iter (fun l -> Format.printf "  %s@." l) e.Xfd_forensics.Timeline.lines)
+      (Xfd_forensics.Timeline.excerpts t ~indices:[ at ] ~radius)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the timeline around one event; for stores, chase the writeback and \
+          fence that (fail to) persist them")
+    Term.(const action $ file $ at $ radius)
 
 let check_cmd =
   let pre = Arg.(required & opt (some string) None & info [ "pre" ] ~docv:"FILE") in
   let post = Arg.(required & opt (some string) None & info [ "post" ] ~docv:"FILE") in
-  let action pre post =
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ] ~doc:"Attach a provenance chain to every finding.")
+  in
+  let action pre post explain =
     let pre_t = load_trace pre and post_t = load_trace post in
-    let det = Xfd.Detector.create () in
+    let det = Xfd.Detector.create ~forensics:explain () in
     Xfd.Detector.replay det pre_t ~from:0 ~upto:(Xfd_trace.Trace.length pre_t);
     let fork = Xfd.Detector.fork_for_post det in
     Xfd.Detector.replay fork post_t ~from:0 ~upto:(Xfd_trace.Trace.length post_t);
     let bugs = Xfd.Detector.bugs fork @ Xfd.Detector.bugs det in
     Printf.printf "offline check (%d pre + %d post events): %d finding(s)\n"
       (Xfd_trace.Trace.length pre_t) (Xfd_trace.Trace.length post_t) (List.length bugs);
-    List.iter (fun b -> Format.printf "  %a@." Xfd.Report.pp_bug b) bugs;
+    List.iter
+      (fun b ->
+        if explain then Format.printf "  %a" Xfd.Report.pp_bug_explained b
+        else Format.printf "  %a@." Xfd.Report.pp_bug b)
+      bugs;
     if bugs <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Run the detection backend over recorded traces")
-    Term.(const action $ pre $ post)
+    Term.(const action $ pre $ post $ explain)
 
 let () =
   let info =
     Cmd.info "xfd_trace" ~version:"1.0.0"
       ~doc:"Record, inspect and offline-check XFDetector PM-operation traces"
   in
-  exit (Cmd.eval (Cmd.group info [ record_cmd; stats_cmd; dump_cmd; check_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ record_cmd; stats_cmd; dump_cmd; explain_cmd; check_cmd ]))

@@ -12,11 +12,15 @@
 let () =
   print_endline "Part 1: the faithful hashmap-atomic creation path (Bugs 1 and 2)";
   print_endline "------------------------------------------------------------------";
+  let config = { Xfd.Config.default with forensics = true } in
   let outcome =
-    Xfd.Engine.detect (Xfd_workloads.Hashmap_atomic.program ~size:1 ~variant:`Faithful ())
+    Xfd.Engine.detect ~config
+      (Xfd_workloads.Hashmap_atomic.program ~size:1 ~variant:`Faithful ())
   in
+  (* With forensics on, each bug explains itself: which write, which (if
+     any) writeback and fence, and the read that tripped the check. *)
   List.iter
-    (fun b -> Format.printf "  %a@." Xfd.Report.pp_bug b)
+    (fun b -> Format.printf "%a@." Xfd.Report.pp_bug_explained b)
     outcome.Xfd.Engine.unique_bugs;
   let uninit =
     List.exists

@@ -6,6 +6,10 @@ type var = {
   mutable ranges : (Addr.t * int) list;
   mutable t_prelast : int;
   mutable t_last : int;
+  (* Trace indices of the commit writes behind [t_prelast]/[t_last], for
+     provenance chains; -1 = none. *)
+  mutable ev_prelast : int;
+  mutable ev_last : int;
   mutable commits : int;
 }
 
@@ -13,7 +17,7 @@ type t = {
   vars : (Addr.t, var) Hashtbl.t;
   var_bytes : (Addr.t, Addr.t) Hashtbl.t; (* byte -> owning variable *)
   range_bytes : (Addr.t, Addr.t) Hashtbl.t; (* byte -> governing variable *)
-  mutable pending : (Addr.t * int) list; (* deferred commit writes (var, ts) *)
+  mutable pending : (Addr.t * int * int) list; (* deferred commit writes (var, ts, ev) *)
 }
 
 exception Overlapping_commit_ranges of Addr.t * Addr.t
@@ -37,6 +41,8 @@ let clone t =
           ranges = v.ranges;
           t_prelast = v.t_prelast;
           t_last = v.t_last;
+          ev_prelast = v.ev_prelast;
+          ev_last = v.ev_last;
           commits = v.commits;
         })
     t.vars;
@@ -49,7 +55,18 @@ let clone t =
 
 let register_var t ~var ~size =
   if not (Hashtbl.mem t.vars var) then begin
-    let v = { var_addr = var; var_size = size; ranges = []; t_prelast = -1; t_last = -1; commits = 0 } in
+    let v =
+      {
+        var_addr = var;
+        var_size = size;
+        ranges = [];
+        t_prelast = -1;
+        t_last = -1;
+        ev_prelast = -1;
+        ev_last = -1;
+        commits = 0;
+      }
+    in
     Hashtbl.replace t.vars var v;
     Addr.iter_bytes var size (fun a -> Hashtbl.replace t.var_bytes a var)
   end
@@ -67,13 +84,15 @@ let register_range t ~var ~addr ~size =
     Addr.iter_bytes addr size (fun a -> Hashtbl.replace t.range_bytes a var)
   end
 
-let commit t var ts =
+let commit t var ts ev =
   let v = Hashtbl.find t.vars var in
   v.t_prelast <- v.t_last;
   v.t_last <- ts;
+  v.ev_prelast <- v.ev_last;
+  v.ev_last <- ev;
   v.commits <- v.commits + 1
 
-let on_write t ~defer ~addr ~size ~ts =
+let on_write t ~defer ~addr ~size ~ts ~ev =
   (* A write spanning several commit variables commits each of them once. *)
   let touched = ref [] in
   Addr.iter_bytes addr size (fun a ->
@@ -81,11 +100,12 @@ let on_write t ~defer ~addr ~size ~ts =
       | Some var when not (List.mem var !touched) -> touched := var :: !touched
       | Some _ | None -> ());
   List.iter
-    (fun var -> if defer then t.pending <- (var, ts) :: t.pending else commit t var ts)
+    (fun var ->
+      if defer then t.pending <- (var, ts, ev) :: t.pending else commit t var ts ev)
     !touched
 
 let apply_pending t =
-  List.iter (fun (var, ts) -> commit t var ts) (List.rev t.pending);
+  List.iter (fun (var, ts, ev) -> commit t var ts ev) (List.rev t.pending);
   t.pending <- []
 
 let drop_pending t = t.pending <- []
@@ -99,5 +119,12 @@ let window_for t addr =
     let v = Hashtbl.find t.vars var in
     if v.commits = 0 then Some None
     else Some (Some ((if v.commits = 1 then -1 else v.t_prelast), v.t_last))
+
+let frame_for t addr =
+  match Hashtbl.find_opt t.range_bytes addr with
+  | None -> None
+  | Some var ->
+    let v = Hashtbl.find t.vars var in
+    if v.commits = 0 then None else Some (v.ev_prelast, v.ev_last)
 
 let var_count t = Hashtbl.length t.vars

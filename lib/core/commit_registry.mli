@@ -33,8 +33,11 @@ val register_range :
     [defer:true] the window does not move until {!apply_pending} — used
     when detection runs against strict crash images, where a commit write
     only becomes visible to the post-failure stage once persisted (this is
-    Eq. 3's [<=p] ordering made operational). *)
-val on_write : t -> defer:bool -> addr:Xfd_mem.Addr.t -> size:int -> ts:int -> unit
+    Eq. 3's [<=p] ordering made operational).  [ev] is the trace index of
+    the writing event, retained so provenance chains can name the commit
+    writes that framed a window. *)
+val on_write :
+  t -> defer:bool -> addr:Xfd_mem.Addr.t -> size:int -> ts:int -> ev:int -> unit
 
 (** Apply deferred commit writes (called at each ordering point). *)
 val apply_pending : t -> unit
@@ -53,6 +56,12 @@ val window_for : t -> Xfd_mem.Addr.t -> (int * int) option option
 (** [None] — byte not in any commit range; [Some None] — in a range whose
     variable has never been committed; [Some (Some (t_prelast, t_last))] —
     committed at least once ([t_prelast] is [-1] after a single commit). *)
+
+(** Trace indices of the governing variable's last two commit writes —
+    the events that framed the Eq. 3 window — for provenance chains.
+    [None] if the byte is in no range or its variable was never committed;
+    the first component is [-1] after a single commit. *)
+val frame_for : t -> Xfd_mem.Addr.t -> (int * int) option
 
 (** Number of registered variables. *)
 val var_count : t -> int

@@ -7,6 +7,7 @@ type t = {
   check_perf : bool;
   crash_mode : [ `Full | `Strict ];
   post_jobs : int;
+  forensics : bool;
 }
 
 let default =
@@ -19,4 +20,5 @@ let default =
     check_perf = true;
     crash_mode = `Full;
     post_jobs = 1;
+    forensics = false;
   }

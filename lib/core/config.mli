@@ -22,6 +22,11 @@ type t = {
           operate on a copy of the original PM image, and therefore, can be
           parallelized.  We leave the parallelized detection as a future
           work"; 1 = fully sequential *)
+  forensics : bool;
+      (** record per-byte provenance history during replay and attach a
+          provenance chain plus trace-timeline excerpts to every reported
+          bug; off by default — the history ring costs a little memory and
+          time per tracked byte *)
 }
 
 val default : t

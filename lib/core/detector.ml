@@ -3,9 +3,15 @@ module Event = Xfd_trace.Event
 module Trace = Xfd_trace.Trace
 module Loc = Xfd_util.Loc
 module Obs = Xfd_obs.Obs
+module History = Xfd_forensics.History
+module Provenance = Xfd_forensics.Provenance
 
 let c_replayed = Obs.Counter.make "detector.replayed_events"
 let c_checked_bytes = Obs.Counter.make "detector.checked_bytes"
+
+(* Bytes stored by replayed pre-failure writes inside the RoI: the
+   denominator of the coverage report's read-checked ratio. *)
+let c_written_bytes = Obs.Counter.make "detector.written_bytes"
 
 (* Bug *emissions*: one per deduplicated report of each detector instance,
    so the same programming error surfacing at several failure points counts
@@ -19,6 +25,7 @@ type t = {
   registry : Commit_registry.t;
   check_perf : bool;
   defer_commits : bool;
+  forensics : bool;
   post : bool;
   mutable ts : int;
   mutable in_roi : bool;
@@ -28,14 +35,20 @@ type t = {
   mutable bugs_rev : Report.bug list;
   dedup : (string, unit) Hashtbl.t;
   checked : (Addr.t, unit) Hashtbl.t;
+  (* Traces provenance chains resolve against: the shared pre-failure trace
+     (set when the base detector replays it; inherited by forks) and the
+     trace currently being replayed into this instance. *)
+  mutable pre_trace : Trace.t option;
+  mutable cur_trace : Trace.t option;
 }
 
-let create ?(check_perf = true) ?(commit_at = `Write) () =
+let create ?(check_perf = true) ?(commit_at = `Write) ?(forensics = false) () =
   {
-    shadow = Shadow_pm.create ();
+    shadow = Shadow_pm.create ~forensics ();
     registry = Commit_registry.create ();
     check_perf;
     defer_commits = (commit_at = `Persist);
+    forensics;
     post = false;
     ts = 0;
     in_roi = false;
@@ -45,6 +58,8 @@ let create ?(check_perf = true) ?(commit_at = `Write) () =
     bugs_rev = [];
     dedup = Hashtbl.create 64;
     checked = Hashtbl.create 256;
+    pre_trace = None;
+    cur_trace = None;
   }
 
 let fork_for_post t =
@@ -57,6 +72,7 @@ let fork_for_post t =
     registry;
     check_perf = t.check_perf;
     defer_commits = t.defer_commits;
+    forensics = t.forensics;
     post = true;
     ts = t.ts;
     (* The post-failure program runs from its own entry point: RoI and skip
@@ -68,6 +84,8 @@ let fork_for_post t =
     bugs_rev = [];
     dedup = Hashtbl.create 16;
     checked = Hashtbl.create 64;
+    pre_trace = t.pre_trace;
+    cur_trace = None;
   }
 
 let bugs t = List.rev t.bugs_rev
@@ -135,18 +153,117 @@ let check_byte t a =
     end
   end
 
+let persistence_name = function
+  | Pstate.Modified -> "modified"
+  | Pstate.Writeback_pending -> "writeback-pending"
+  | Pstate.Persisted -> "persisted"
+  | Pstate.Unmodified -> "unmodified"
+
+(* Materialise the provenance chain for a racy/inconsistent read of
+   [addr..addr+size): the cell's bounded history (allocation, retained
+   writes, writeback, fence), the commit writes that framed the Eq. 3
+   window for semantic verdicts, and the reading event — each resolved
+   against the retained traces, with timeline excerpts. *)
+let provenance_for_read t ~addr ~size ~read_ev finding =
+  if not t.forensics then None
+  else
+    match (t.pre_trace, Shadow_pm.find t.shadow addr) with
+    | Some pre, Some c -> begin
+      match c.Shadow_pm.hist with
+      | None -> None
+      | Some h ->
+        let spec = ref [] in
+        let add stage role idx =
+          if idx >= 0 then spec := (stage, role, idx) :: !spec
+        in
+        (match History.alloc_site h with
+        | Some i -> add Provenance.Pre Provenance.Alloc i
+        | None -> ());
+        List.iter (fun i -> add Provenance.Pre Provenance.Write i) (History.writes h);
+        (match History.last_flush h with
+        | Some i -> add Provenance.Pre Provenance.Writeback i
+        | None -> ());
+        (match History.last_fence h with
+        | Some i -> add Provenance.Pre Provenance.Fence i
+        | None -> ());
+        let window, verdict =
+          match finding with
+          | Racy { uninit = true; _ } -> (None, "race-uninit")
+          | Racy _ -> (None, "race")
+          | Inconsistent { status; _ } ->
+            let window =
+              match Commit_registry.window_for t.registry addr with
+              | Some (Some w) -> Some w
+              | Some None | None -> None
+            in
+            (match Commit_registry.frame_for t.registry addr with
+            | Some (ev_prelast, ev_last) ->
+              add Provenance.Pre Provenance.Commit_prelast ev_prelast;
+              add Provenance.Pre Provenance.Commit_last ev_last
+            | None -> ());
+            ( window,
+              match status with
+              | Cstate.Stale -> "semantic-stale"
+              | Cstate.Uncommitted | Cstate.Consistent -> "semantic-uncommitted" )
+          | Ok_read -> (None, "ok")
+        in
+        add Provenance.Post Provenance.Read read_ev;
+        Some
+          (Provenance.build ~pre ?post:t.cur_trace ?window ~tlast:c.Shadow_pm.tlast
+             ~addr ~size ~verdict
+             ~persistence:(persistence_name c.Shadow_pm.pstate)
+             (List.rev !spec))
+    end
+    | (Some _ | None), _ -> None
+
+(* Chain for a performance bug: the wasted operation itself plus the line's
+   write/writeback/fence history that made it redundant. *)
+let provenance_for_waste t ~addr ~size ~ev ~verdict ~persistence =
+  if not t.forensics then None
+  else
+    match t.pre_trace with
+    | None -> None
+    | Some pre ->
+      let stage = if t.post then Provenance.Post else Provenance.Pre in
+      let spec = ref [ (stage, Provenance.Wasted_flush, ev) ] in
+      let add role idx =
+        if idx >= 0 then spec := (Provenance.Pre, role, idx) :: !spec
+      in
+      let rep = ref None in
+      Addr.iter_bytes addr size (fun a ->
+          match !rep with
+          | Some _ -> ()
+          | None -> begin
+            match Shadow_pm.find t.shadow a with
+            | Some { Shadow_pm.hist = Some h; _ } -> rep := Some h
+            | Some _ | None -> ()
+          end);
+      (match !rep with
+      | Some h ->
+        (match History.last_write h with Some i -> add Provenance.Write i | None -> ());
+        (match History.last_flush h with Some i -> add Provenance.Writeback i | None -> ());
+        (match History.last_fence h with Some i -> add Provenance.Fence i | None -> ())
+      | None -> ());
+      Some
+        (Provenance.build ~pre
+           ?post:(if t.post then t.cur_trace else None)
+           ~addr ~size ~verdict ~persistence (List.rev !spec))
+
 (* Check a post-failure read, coalescing contiguous bytes with the same
    verdict into a single report. *)
-let check_read t ~loc addr size =
+let check_read t ~loc ~ev addr size =
   let flush_pending start len = function
     | Ok_read -> ()
-    | Racy { writer; uninit } ->
+    | Racy { writer; uninit } as f ->
+      let provenance = provenance_for_read t ~addr:start ~size:len ~read_ev:ev f in
       record t
-        (Report.Race { addr = start; size = len; read_loc = loc; write_loc = writer; uninit })
-    | Inconsistent { writer; status } ->
+        (Report.Race
+           { addr = start; size = len; read_loc = loc; write_loc = writer; uninit; provenance })
+    | Inconsistent { writer; status } as f ->
+      let provenance = provenance_for_read t ~addr:start ~size:len ~read_ev:ev f in
       record t
         (Report.Semantic
-           { addr = start; size = len; read_loc = loc; write_loc = writer; status })
+           { addr = start; size = len; read_loc = loc; write_loc = writer; status; provenance })
   in
   let pending = ref Ok_read and start = ref addr and len = ref 0 in
   Addr.iter_bytes addr size (fun a ->
@@ -160,52 +277,67 @@ let check_read t ~loc addr size =
       end);
   flush_pending !start !len !pending
 
-let on_write t ~loc ~nt addr size =
-  Commit_registry.on_write t.registry ~defer:t.defer_commits ~addr ~size ~ts:t.ts;
+let on_write t ~loc ~ev ~nt addr size =
+  Commit_registry.on_write t.registry ~defer:t.defer_commits ~addr ~size ~ts:t.ts ~ev;
+  if (not t.post) && checking t then Obs.Counter.add c_written_bytes size;
   Addr.iter_bytes addr size (fun a ->
-      Shadow_pm.write_byte t.shadow a ~ts:t.ts ~loc ~nt ~post:t.post)
+      Shadow_pm.write_byte t.shadow a ~ts:t.ts ~ev ~loc ~nt ~post:t.post)
 
-let on_flush t ~loc addr =
+let on_flush t ~loc ~ev addr =
   let line = Addr.line_of addr in
-  match Shadow_pm.flush_line t.shadow line with
+  match Shadow_pm.flush_line t.shadow line ~ev with
   | `Had_modified | `Clean -> ()
   | `Waste w ->
-    if t.check_perf && checking t then
-      record t (Report.Perf { addr = line; loc; waste = `Flush w })
+    if t.check_perf && checking t then begin
+      let verdict, persistence =
+        match w with
+        | Pstate.Double_flush -> ("perf-redundant-writeback", "writeback-pending")
+        | Pstate.Unnecessary_flush -> ("perf-unnecessary-writeback", "persisted")
+      in
+      let provenance =
+        provenance_for_waste t ~addr:line ~size:Addr.line_size ~ev ~verdict ~persistence
+      in
+      record t (Report.Perf { addr = line; loc; waste = `Flush w; provenance })
+    end
 
-let on_fence t =
-  Shadow_pm.fence t.shadow;
-  if t.defer_commits then Commit_registry.apply_pending t.registry;
-  t.ts <- t.ts + 1
-
-let on_tx_add t ~loc addr size =
+let on_tx_add t ~loc ~ev addr size =
   if t.tx_active then begin
     if
       t.check_perf && checking t
       && List.exists (fun r -> Addr.overlap r (addr, size)) t.tx_added
-    then record t (Report.Perf { addr; loc; waste = `Duplicate_tx_add });
+    then begin
+      let provenance =
+        provenance_for_waste t ~addr ~size ~ev ~verdict:"perf-duplicate-tx-add"
+          ~persistence:"n/a"
+      in
+      record t (Report.Perf { addr; loc; waste = `Duplicate_tx_add; provenance })
+    end;
     t.tx_added <- (addr, size) :: t.tx_added
   end
 
 let replay_event t (ev : Event.t) =
   let loc = ev.Event.loc in
+  let seq = ev.Event.seq in
   match ev.Event.kind with
-  | Event.Write { addr; size } -> on_write t ~loc ~nt:false addr size
-  | Event.Nt_write { addr; size } -> on_write t ~loc ~nt:true addr size
-  | Event.Read { addr; size } -> if t.post && checking t then check_read t ~loc addr size
+  | Event.Write { addr; size } -> on_write t ~loc ~ev:seq ~nt:false addr size
+  | Event.Nt_write { addr; size } -> on_write t ~loc ~ev:seq ~nt:true addr size
+  | Event.Read { addr; size } -> if t.post && checking t then check_read t ~loc ~ev:seq addr size
   | Event.Clwb { addr } | Event.Clflush { addr } | Event.Clflushopt { addr } ->
-    on_flush t ~loc addr
-  | Event.Sfence | Event.Mfence -> on_fence t
+    on_flush t ~loc ~ev:seq addr
+  | Event.Sfence | Event.Mfence ->
+    Shadow_pm.fence t.shadow ~ev:seq;
+    if t.defer_commits then Commit_registry.apply_pending t.registry;
+    t.ts <- t.ts + 1
   | Event.Tx_begin ->
     t.tx_active <- true;
     t.tx_added <- []
-  | Event.Tx_add { addr; size } -> on_tx_add t ~loc addr size
+  | Event.Tx_add { addr; size } -> on_tx_add t ~loc ~ev:seq addr size
   | Event.Tx_xadd _ -> ()
   | Event.Tx_commit | Event.Tx_abort ->
     t.tx_active <- false;
     t.tx_added <- []
   | Event.Tx_alloc { addr; size; zeroed } ->
-    if not zeroed then Shadow_pm.mark_alloc_raw t.shadow addr size
+    if not zeroed then Shadow_pm.mark_alloc_raw t.shadow addr size ~ev:seq
   | Event.Tx_free _ -> ()
   | Event.Commit_var { addr; size } -> Commit_registry.register_var t.registry ~var:addr ~size
   | Event.Commit_range { var; addr; size } ->
@@ -217,6 +349,10 @@ let replay_event t (ev : Event.t) =
   | Event.Marker _ -> ()
 
 let replay t trace ~from ~upto =
+  if t.forensics then begin
+    if not t.post then t.pre_trace <- Some trace;
+    t.cur_trace <- Some trace
+  end;
   let last = min upto (Trace.length trace) - 1 in
   Obs.Counter.add c_replayed (max 0 (last - from + 1));
   for i = from to last do

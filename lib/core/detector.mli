@@ -27,8 +27,15 @@ type t
     crash images, where the post-failure stage observes the newest flag
     value) or [`Persist] (matches strict crash images, where only persisted
     flag values survive — Eq. 3's [<=p] made operational).  The engine picks
-    the mode matching its crash mode. *)
-val create : ?check_perf:bool -> ?commit_at:[ `Write | `Persist ] -> unit -> t
+    the mode matching its crash mode.
+
+    [forensics] attaches bounded provenance histories to shadow cells and
+    makes every recorded Race/Semantic/Perf bug carry a
+    {!Xfd_forensics.Provenance.t} chain resolved against the replayed
+    traces.  Off by default: with it off the per-byte cost is one extra
+    word and bugs carry no chain. *)
+val create :
+  ?check_perf:bool -> ?commit_at:[ `Write | `Persist ] -> ?forensics:bool -> unit -> t
 
 (** [replay t trace ~from ~upto] replays events [from .. upto-1]. *)
 val replay : t -> Xfd_trace.Trace.t -> from:int -> upto:int -> unit

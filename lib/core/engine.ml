@@ -27,6 +27,7 @@ type outcome = {
   post_events : int;
   timings : timings;
   spans : Obs.Span.record list;
+  coverage : Xfd_forensics.Coverage.t;
 }
 
 type snapshot = { index : int; trace_pos : int; dev : Device.t }
@@ -88,6 +89,7 @@ let run_post ~config ~dev ~post =
 let detect ?(config = Config.default) program =
   Obs.Counter.incr c_runs;
   let mark = Obs.Span.mark () in
+  let cov_mark = Xfd_forensics.Coverage.mark () in
   let reports, unique_bugs, n_failure_points, pre_events, post_events =
     Obs.Span.with_ ~name:sp_detect
       ~meta:[ ("program", Xfd_util.Json.Str program.name) ]
@@ -142,7 +144,10 @@ let detect ?(config = Config.default) program =
         let commit_at =
           match config.Config.crash_mode with `Full -> `Write | `Strict -> `Persist
         in
-        let detector = Detector.create ~check_perf:config.Config.check_perf ~commit_at () in
+        let detector =
+          Detector.create ~check_perf:config.Config.check_perf ~commit_at
+            ~forensics:config.Config.forensics ()
+        in
         let pre_pos = ref 0 in
         let post_events = ref 0 in
         let crash_mode =
@@ -241,6 +246,7 @@ let detect ?(config = Config.default) program =
     post_events;
     timings = timings_of_spans spans;
     spans;
+    coverage = Xfd_forensics.Coverage.since cov_mark;
   }
 
 let wall_breakdown o =
@@ -342,4 +348,5 @@ let outcome_to_json o =
              (fun (name, (count, total)) ->
                (name, Obj [ ("count", Int count); ("total_s", Float total) ]))
              (Obs.Span.aggregate o.spans)) );
+      ("coverage", Xfd_forensics.Coverage.to_json o.coverage);
     ]

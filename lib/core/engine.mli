@@ -44,6 +44,10 @@ type outcome = {
           ["snapshot"] children inside [pre_exec], and per-failure-point
           ["post_run"]/replay children carrying a [failure_point] meta
           field *)
+  coverage : Xfd_forensics.Coverage.t;
+      (** what this run exercised: failure points fired vs elided, RoI
+          ordering points, bytes read-checked vs bytes written, per-class
+          bug counts — counter deltas over the run *)
 }
 
 val detect : ?config:Config.t -> program -> outcome

@@ -1,4 +1,5 @@
 module Loc = Xfd_util.Loc
+module Provenance = Xfd_forensics.Provenance
 
 type race = {
   addr : Xfd_mem.Addr.t;
@@ -6,6 +7,7 @@ type race = {
   read_loc : Loc.t;
   write_loc : Loc.t;
   uninit : bool;
+  provenance : Provenance.t option;
 }
 
 type semantic = {
@@ -14,12 +16,14 @@ type semantic = {
   read_loc : Loc.t;
   write_loc : Loc.t;
   status : Cstate.t;
+  provenance : Provenance.t option;
 }
 
 type perf = {
   addr : Xfd_mem.Addr.t;
   loc : Loc.t;
   waste : [ `Flush of Pstate.flush_waste | `Duplicate_tx_add ];
+  provenance : Provenance.t option;
 }
 
 type bug =
@@ -38,6 +42,11 @@ let is_post_error = function
   | Post_failure_error _ -> true
   | Race _ | Semantic _ | Perf _ -> false
 
+let provenance = function
+  | Race { provenance; _ } | Semantic { provenance; _ } | Perf { provenance; _ } ->
+    provenance
+  | Post_failure_error _ -> None
+
 let dedup_key = function
   | Race { read_loc; write_loc; uninit; _ } ->
     Printf.sprintf "race:%s:%s:%b" (Loc.to_string read_loc) (Loc.to_string write_loc) uninit
@@ -55,15 +64,15 @@ let dedup_key = function
   | Post_failure_error { exn; _ } -> Printf.sprintf "post-error:%s" exn
 
 let pp_bug ppf = function
-  | Race { addr; size; read_loc; write_loc; uninit } ->
+  | Race { addr; size; read_loc; write_loc; uninit; _ } ->
     Format.fprintf ppf "CROSS-FAILURE RACE%s: post-failure read at %a of %a+%d; last pre-failure writer %a"
       (if uninit then " (uninitialised allocation)" else "")
       Loc.pp read_loc Xfd_mem.Addr.pp addr size Loc.pp write_loc
-  | Semantic { addr; size; read_loc; write_loc; status } ->
+  | Semantic { addr; size; read_loc; write_loc; status; _ } ->
     Format.fprintf ppf
       "CROSS-FAILURE SEMANTIC BUG (%a): post-failure read at %a of %a+%d; last pre-failure writer %a"
       Cstate.pp status Loc.pp read_loc Xfd_mem.Addr.pp addr size Loc.pp write_loc
-  | Perf { addr; loc; waste } ->
+  | Perf { addr; loc; waste; _ } ->
     let w =
       match waste with
       | `Flush Pstate.Double_flush -> "redundant writeback (line already pending)"
@@ -74,6 +83,16 @@ let pp_bug ppf = function
   | Post_failure_error { exn; failure_point } ->
     Format.fprintf ppf "POST-FAILURE ERROR at failure point %d: %s" failure_point exn
 
+let pp_bug_explained ppf bug =
+  Format.fprintf ppf "%a@." pp_bug bug;
+  match provenance bug with
+  | None -> ()
+  | Some p ->
+    (* Indent the chain under the bug line. *)
+    let body = Format.asprintf "%a" Provenance.pp p in
+    String.split_on_char '\n' body
+    |> List.iter (fun line -> if line <> "" then Format.fprintf ppf "    %s@." line)
+
 let pp_failure_report ppf { failure_point; trace_pos; bugs } =
   Format.fprintf ppf "failure point %d (trace position %d): %d finding(s)@." failure_point
     trace_pos (List.length bugs);
@@ -82,30 +101,36 @@ let pp_failure_report ppf { failure_point; trace_pos; bugs } =
 let loc_json (loc : Loc.t) =
   Xfd_util.Json.Obj [ ("file", Xfd_util.Json.Str loc.Loc.file); ("line", Xfd_util.Json.Int loc.Loc.line) ]
 
+let provenance_json = function
+  | None -> []
+  | Some p -> [ ("provenance", Provenance.to_json p) ]
+
 let bug_to_json bug =
   let open Xfd_util.Json in
   match bug with
-  | Race { addr; size; read_loc; write_loc; uninit } ->
+  | Race { addr; size; read_loc; write_loc; uninit; provenance } ->
     Obj
-      [
-        ("kind", Str "cross-failure-race");
-        ("uninitialised", Bool uninit);
-        ("addr", Str (Printf.sprintf "0x%x" addr));
-        ("size", Int size);
-        ("read", loc_json read_loc);
-        ("last_writer", loc_json write_loc);
-      ]
-  | Semantic { addr; size; read_loc; write_loc; status } ->
+      ([
+         ("kind", Str "cross-failure-race");
+         ("uninitialised", Bool uninit);
+         ("addr", Str (Printf.sprintf "0x%x" addr));
+         ("size", Int size);
+         ("read", loc_json read_loc);
+         ("last_writer", loc_json write_loc);
+       ]
+      @ provenance_json provenance)
+  | Semantic { addr; size; read_loc; write_loc; status; provenance } ->
     Obj
-      [
-        ("kind", Str "cross-failure-semantic-bug");
-        ("status", Str (Cstate.to_string status));
-        ("addr", Str (Printf.sprintf "0x%x" addr));
-        ("size", Int size);
-        ("read", loc_json read_loc);
-        ("last_writer", loc_json write_loc);
-      ]
-  | Perf { addr; loc; waste } ->
+      ([
+         ("kind", Str "cross-failure-semantic-bug");
+         ("status", Str (Cstate.to_string status));
+         ("addr", Str (Printf.sprintf "0x%x" addr));
+         ("size", Int size);
+         ("read", loc_json read_loc);
+         ("last_writer", loc_json write_loc);
+       ]
+      @ provenance_json provenance)
+  | Perf { addr; loc; waste; provenance } ->
     let w =
       match waste with
       | `Flush Pstate.Double_flush -> "redundant-writeback"
@@ -113,12 +138,13 @@ let bug_to_json bug =
       | `Duplicate_tx_add -> "duplicate-tx-add"
     in
     Obj
-      [
-        ("kind", Str "performance-bug");
-        ("waste", Str w);
-        ("addr", Str (Printf.sprintf "0x%x" addr));
-        ("at", loc_json loc);
-      ]
+      ([
+         ("kind", Str "performance-bug");
+         ("waste", Str w);
+         ("addr", Str (Printf.sprintf "0x%x" addr));
+         ("at", loc_json loc);
+       ]
+      @ provenance_json provenance)
   | Post_failure_error { exn; failure_point } ->
     Obj
       [

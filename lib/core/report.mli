@@ -6,7 +6,13 @@
     prints.  [Post_failure_error] records an exception escaping the
     post-failure program (e.g. the pool refusing to open after a failure
     mid-creation, which is how the paper's Bug 4 manifests, or the
-    segmentation fault of the Figure 1 example). *)
+    segmentation fault of the Figure 1 example).
+
+    When detection runs with forensics enabled, every race/semantic/perf
+    bug additionally carries a {!Xfd_forensics.Provenance.t} chain — the
+    ordered pre-failure events (write, writeback, fence, framing commit
+    writes, allocation) that explain the verdict, with trace-timeline
+    excerpts.  The chain never participates in {!dedup_key}. *)
 
 type race = {
   addr : Xfd_mem.Addr.t;
@@ -14,6 +20,7 @@ type race = {
   read_loc : Xfd_util.Loc.t;
   write_loc : Xfd_util.Loc.t;
   uninit : bool;  (** allocated but never initialised (paper's Bug 2) *)
+  provenance : Xfd_forensics.Provenance.t option;
 }
 
 type semantic = {
@@ -22,12 +29,14 @@ type semantic = {
   read_loc : Xfd_util.Loc.t;
   write_loc : Xfd_util.Loc.t;
   status : Cstate.t;  (** [Uncommitted] or [Stale] *)
+  provenance : Xfd_forensics.Provenance.t option;
 }
 
 type perf = {
   addr : Xfd_mem.Addr.t;
   loc : Xfd_util.Loc.t;
   waste : [ `Flush of Pstate.flush_waste | `Duplicate_tx_add ];
+  provenance : Xfd_forensics.Provenance.t option;
 }
 
 type bug =
@@ -44,11 +53,20 @@ val is_semantic : bug -> bool
 val is_perf : bug -> bool
 val is_post_error : bug -> bool
 
+(** The provenance chain attached to a bug, if forensics was on. *)
+val provenance : bug -> Xfd_forensics.Provenance.t option
+
 (** Deduplication key: bugs with the same kind and program points are the
     same programming error reported at several failure points. *)
 val dedup_key : bug -> string
 
 val pp_bug : Format.formatter -> bug -> unit
+
+(** The bug line followed by its indented provenance chain and timeline
+    excerpts (identical to {!pp_bug} plus a newline when the bug carries no
+    chain). *)
+val pp_bug_explained : Format.formatter -> bug -> unit
+
 val pp_failure_report : Format.formatter -> failure_report -> unit
 
 (** JSON form of one bug, for machine consumption (CI, dashboards). *)

@@ -1,5 +1,6 @@
 module Addr = Xfd_mem.Addr
 module Obs = Xfd_obs.Obs
+module History = Xfd_forensics.History
 
 (* Per-byte FSM transition tallies (paper Figure 8): one increment per byte
    entering the named state during replay. *)
@@ -14,17 +15,30 @@ type cell = {
   mutable writer : Xfd_util.Loc.t;
   mutable uninit : bool;
   mutable post_written : bool;
+  hist : History.t option;
 }
 
 type t = {
   cells : (Addr.t, cell) Hashtbl.t;
   pending : (Addr.t, unit) Hashtbl.t; (* writeback-pending bytes of this layer *)
   parent : t option;
+  (* Whether this layer records provenance history.  Only the base
+     pre-failure layer does: post-failure overlays read the shared history
+     but never write it, so forks at different failure points cannot
+     pollute each other's chains. *)
+  record_hist : bool;
 }
 
-let create () = { cells = Hashtbl.create 1024; pending = Hashtbl.create 64; parent = None }
+let create ?(forensics = false) () =
+  {
+    cells = Hashtbl.create 1024;
+    pending = Hashtbl.create 64;
+    parent = None;
+    record_hist = forensics;
+  }
 
-let overlay t = { cells = Hashtbl.create 256; pending = Hashtbl.create 32; parent = Some t }
+let overlay t =
+  { cells = Hashtbl.create 256; pending = Hashtbl.create 32; parent = Some t; record_hist = false }
 
 let rec find t addr =
   match Hashtbl.find_opt t.cells addr with
@@ -38,6 +52,9 @@ let copy_cell c =
     writer = c.writer;
     uninit = c.uninit;
     post_written = c.post_written;
+    (* The history is shared with the parent cell by reference: overlays
+       never record into it, so sharing is safe and keeps forks cheap. *)
+    hist = c.hist;
   }
 
 (* A cell owned by this layer, copied up from the parent if needed. *)
@@ -68,12 +85,15 @@ let create_or_own t addr =
         writer = Xfd_util.Loc.unknown;
         uninit = false;
         post_written = false;
+        hist = (if t.record_hist then Some (History.create ()) else None);
       }
     in
     Hashtbl.replace t.cells addr c;
     c
 
-let write_byte t addr ~ts ~loc ~nt ~post =
+let record t c f = if t.record_hist then match c.hist with Some h -> f h | None -> ()
+
+let write_byte t addr ~ts ~ev ~loc ~nt ~post =
   let c = create_or_own t addr in
   Obs.Counter.incr (if nt then c_to_writeback else c_to_modified);
   c.pstate <- (if nt then Pstate.on_nt_write c.pstate else Pstate.on_write c.pstate);
@@ -81,9 +101,10 @@ let write_byte t addr ~ts ~loc ~nt ~post =
   c.writer <- loc;
   c.uninit <- false;
   if post then c.post_written <- true;
+  record t c (fun h -> History.record_write h ~ev ~nt);
   if nt then Hashtbl.replace t.pending addr () else Hashtbl.remove t.pending addr
 
-let flush_line t line =
+let flush_line t line ~ev =
   let had_modified = ref false and had_pending = ref false and had_persisted = ref false in
   (* First pass: only observe, so a wasted flush copies no cells up. *)
   Addr.iter_bytes line Addr.line_size (fun a ->
@@ -103,6 +124,7 @@ let flush_line t line =
           let c = create_or_own t a in
           Obs.Counter.incr c_to_writeback;
           c.pstate <- Pstate.on_flush c.pstate;
+          record t c (fun h -> History.record_flush h ~ev);
           Hashtbl.replace t.pending a ()
         | Some _ | None -> ());
     `Had_modified
@@ -111,25 +133,28 @@ let flush_line t line =
   else if !had_persisted then `Waste Pstate.Unnecessary_flush
   else `Clean
 
-let fence t =
+let fence t ~ev =
   Hashtbl.iter
     (fun a () ->
       match own_cell t a with
       | Some c ->
-        if Pstate.equal c.pstate Pstate.Writeback_pending then
+        if Pstate.equal c.pstate Pstate.Writeback_pending then begin
           Obs.Counter.incr c_to_persisted;
+          record t c (fun h -> History.record_fence h ~ev)
+        end;
         c.pstate <- Pstate.on_fence c.pstate
       | None -> ())
     t.pending;
   Hashtbl.reset t.pending
 
-let mark_alloc_raw t addr size =
+let mark_alloc_raw t addr size ~ev =
   Addr.iter_bytes addr size (fun a ->
       let c = create_or_own t a in
       Obs.Counter.incr c_to_unmodified;
       c.pstate <- Pstate.Unmodified;
       c.uninit <- true;
       c.post_written <- false;
+      record t c (fun h -> History.record_alloc h ~ev);
       Hashtbl.remove t.pending a)
 
 let tracked_bytes t = Hashtbl.length t.cells

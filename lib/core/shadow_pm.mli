@@ -18,11 +18,19 @@ type cell = {
   mutable writer : Xfd_util.Loc.t;
   mutable uninit : bool;  (** allocated raw, never written since *)
   mutable post_written : bool;
+  hist : Xfd_forensics.History.t option;
+      (** bounded provenance history (trace indices of the last writes,
+          writeback, fence and allocation); [Some] only when the shadow was
+          created with [~forensics:true].  Shared by reference with overlay
+          copies — overlays never record into it. *)
 }
 
 type t
 
-val create : unit -> t
+(** [create ~forensics:true] attaches a {!Xfd_forensics.History.t} to every
+    cell this (base) layer creates and records write/flush/fence/alloc
+    trace indices into it during replay. *)
+val create : ?forensics:bool -> unit -> t
 
 (** Copy-on-write fork reading through to [t]. *)
 val overlay : t -> t
@@ -31,9 +39,18 @@ val overlay : t -> t
     touched: reading it cannot be a cross-failure bug. *)
 val find : t -> Xfd_mem.Addr.t -> cell option
 
-(** [write_byte t addr ~ts ~loc ~nt ~post] applies a store. *)
+(** [write_byte t addr ~ts ~ev ~loc ~nt ~post] applies a store.  [ev] is
+    the trace index of the writing event (recorded into the provenance
+    history when forensics is on; otherwise ignored). *)
 val write_byte :
-  t -> Xfd_mem.Addr.t -> ts:int -> loc:Xfd_util.Loc.t -> nt:bool -> post:bool -> unit
+  t ->
+  Xfd_mem.Addr.t ->
+  ts:int ->
+  ev:int ->
+  loc:Xfd_util.Loc.t ->
+  nt:bool ->
+  post:bool ->
+  unit
 
 (** [flush_line t line] captures the line's modified bytes and reports what
     the flush found, for performance-bug classification: [`Had_modified]
@@ -42,15 +59,18 @@ val write_byte :
     bytes are all pending ([Double_flush]) or already persisted
     ([Unnecessary_flush]). *)
 val flush_line :
-  t -> Xfd_mem.Addr.t -> [ `Had_modified | `Clean | `Waste of Pstate.flush_waste ]
+  t ->
+  Xfd_mem.Addr.t ->
+  ev:int ->
+  [ `Had_modified | `Clean | `Waste of Pstate.flush_waste ]
 
 (** Promote every writeback-pending byte captured in this shadow (or fork)
     to persisted. *)
-val fence : t -> unit
+val fence : t -> ev:int -> unit
 
 (** Mark a freshly (re-)allocated raw payload: bytes become
     unmodified/uninitialised regardless of their history. *)
-val mark_alloc_raw : t -> Xfd_mem.Addr.t -> int -> unit
+val mark_alloc_raw : t -> Xfd_mem.Addr.t -> int -> ev:int -> unit
 
 (** Number of tracked bytes in this layer (excluding the parent). *)
 val tracked_bytes : t -> int

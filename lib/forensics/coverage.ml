@@ -1,0 +1,97 @@
+module Obs = Xfd_obs.Obs
+
+type t = {
+  failure_points_fired : int;
+  failure_points_elided : int;
+  ordering_points : int;
+  trace_events : int;
+  replayed_events : int;
+  bytes_written : int;
+  bytes_checked : int;
+  races : int;
+  semantic_bugs : int;
+  performance_bugs : int;
+  post_failure_errors : int;
+}
+
+(* Counter names this report is derived from, in field order. *)
+let names =
+  [|
+    "engine.failure_points.fired";
+    "engine.failure_points.elided";
+    "sim.ordering_points";
+    "sim.trace_events";
+    "detector.replayed_events";
+    "detector.written_bytes";
+    "detector.checked_bytes";
+    "bugs.race";
+    "bugs.semantic";
+    "bugs.perf";
+    "bugs.post_failure_error";
+  |]
+
+let values () =
+  Array.map (fun n -> Option.value ~default:0 (Obs.counter_value n)) names
+
+type mark = int array
+
+let mark () = values ()
+
+let since m =
+  let now = values () in
+  let d i = now.(i) - m.(i) in
+  {
+    failure_points_fired = d 0;
+    failure_points_elided = d 1;
+    ordering_points = d 2;
+    trace_events = d 3;
+    replayed_events = d 4;
+    bytes_written = d 5;
+    bytes_checked = d 6;
+    races = d 7;
+    semantic_bugs = d 8;
+    performance_bugs = d 9;
+    post_failure_errors = d 10;
+  }
+
+let checked_ratio t =
+  if t.bytes_written <= 0 then 1.0
+  else
+    Float.min 1.0 (float_of_int t.bytes_checked /. float_of_int t.bytes_written)
+
+let pp ppf t =
+  Format.fprintf ppf "detection coverage:@.";
+  Format.fprintf ppf "  failure points     %d fired, %d elided (no PM update)@."
+    t.failure_points_fired t.failure_points_elided;
+  Format.fprintf ppf "  ordering points    %d@." t.ordering_points;
+  Format.fprintf ppf "  events             %d traced, %d replayed@." t.trace_events
+    t.replayed_events;
+  Format.fprintf ppf "  bytes              %d written, %d read-checked (%.0f%%)@."
+    t.bytes_written t.bytes_checked
+    (100.0 *. checked_ratio t);
+  Format.fprintf ppf
+    "  bug emissions      races=%d semantic=%d performance=%d post-failure-errors=%d@."
+    t.races t.semantic_bugs t.performance_bugs t.post_failure_errors
+
+let to_json t =
+  let open Xfd_util.Json in
+  Obj
+    [
+      ( "failure_points",
+        Obj [ ("fired", Int t.failure_points_fired); ("elided", Int t.failure_points_elided) ]
+      );
+      ("ordering_points", Int t.ordering_points);
+      ("trace_events", Int t.trace_events);
+      ("replayed_events", Int t.replayed_events);
+      ("bytes_written", Int t.bytes_written);
+      ("bytes_checked", Int t.bytes_checked);
+      ("checked_ratio", Float (checked_ratio t));
+      ( "bug_emissions",
+        Obj
+          [
+            ("races", Int t.races);
+            ("semantic_bugs", Int t.semantic_bugs);
+            ("performance_bugs", Int t.performance_bugs);
+            ("post_failure_errors", Int t.post_failure_errors);
+          ] );
+    ]

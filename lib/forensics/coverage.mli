@@ -1,0 +1,44 @@
+(** Run-level detection-coverage report.
+
+    Detection results only mean something relative to how much of the
+    region of interest the run actually exercised: how many failure points
+    fired versus were elided as redundant, how many ordering points the RoI
+    contained, and how many of the bytes the pre-failure stage wrote were
+    ever read back (and therefore checked) by a post-failure stage.  This
+    module derives that report from the [xfd_obs] counters the pipeline
+    already maintains — it adds no instrumentation of its own.
+
+    Counters are process-global and cumulative, so a report is always the
+    {e delta} against a {!mark} taken when the run of interest started. *)
+
+type t = {
+  failure_points_fired : int;
+  failure_points_elided : int;  (** no PM update since the previous point *)
+  ordering_points : int;  (** fences the frontend saw (RoI or not) *)
+  trace_events : int;  (** events the frontend recorded *)
+  replayed_events : int;  (** events the backend replayed (pre + post) *)
+  bytes_written : int;
+      (** bytes stored by pre-failure write events inside the RoI (the
+          population {!field:bytes_checked} draws from; post-failure and
+          out-of-RoI stores are not counted) *)
+  bytes_checked : int;  (** distinct bytes read-checked post-failure *)
+  races : int;
+  semantic_bugs : int;
+  performance_bugs : int;
+  post_failure_errors : int;
+}
+
+type mark
+
+val mark : unit -> mark
+
+(** Counter deltas since [mark]. *)
+val since : mark -> t
+
+(** Fraction of written bytes that some post-failure stage read back, in
+    [0, 1] ([1.0] when nothing was written — an empty RoI checks
+    vacuously). *)
+val checked_ratio : t -> float
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Xfd_util.Json.t

@@ -1,0 +1,44 @@
+let depth = 4
+
+type t = {
+  ring : int array; (* last [depth] write event indices; -1 = empty slot *)
+  mutable head : int; (* total writes recorded; ring slot = head mod depth *)
+  mutable flush : int;
+  mutable fence : int;
+  mutable alloc : int;
+}
+
+let create () = { ring = Array.make depth (-1); head = 0; flush = -1; fence = -1; alloc = -1 }
+
+let record_write t ~ev ~nt =
+  t.ring.(t.head mod depth) <- ev;
+  t.head <- t.head + 1;
+  (* A non-temporal store bypasses the cache: the store itself is the
+     writeback, and any earlier flush/fence evidence is superseded. *)
+  if nt then t.flush <- ev else t.flush <- -1;
+  t.fence <- -1
+
+let record_flush t ~ev = t.flush <- ev
+
+let record_fence t ~ev = t.fence <- ev
+
+let record_alloc t ~ev =
+  Array.fill t.ring 0 depth (-1);
+  t.head <- 0;
+  t.flush <- -1;
+  t.fence <- -1;
+  t.alloc <- ev
+
+let writes t =
+  let n = min t.head depth in
+  (* Oldest retained write lives at slot [head mod depth] once the ring has
+     wrapped, at slot 0 before that. *)
+  List.init n (fun i -> t.ring.((t.head - n + i) mod depth))
+
+let last_write t = if t.head = 0 then None else Some t.ring.((t.head - 1) mod depth)
+
+let opt v = if v < 0 then None else Some v
+
+let last_flush t = opt t.flush
+let last_fence t = opt t.fence
+let alloc_site t = opt t.alloc

@@ -1,0 +1,46 @@
+(** Bounded per-byte provenance history.
+
+    The shadow PM attaches one {!t} to every tracked cell when forensics is
+    enabled.  A history does not retain events — only {e indices} into the
+    retained pre-failure trace, so its footprint is a handful of ints per
+    byte no matter how long the run is: a small ring of the most recent
+    write events plus the single most recent writeback, fence and
+    allocation events.  The provenance chain a bug report carries is
+    materialised from these indices against the trace only when a bug
+    actually fires. *)
+
+type t
+
+(** Number of write events the ring retains (the paper's debugging
+    workflow only ever walks from the reading instruction to the last
+    writer; a few predecessors give context for overwrite patterns). *)
+val depth : int
+
+val create : unit -> t
+
+(** Record a store at trace index [ev].  [nt] marks a non-temporal store,
+    which is born writeback-pending (its own event doubles as the
+    writeback). *)
+val record_write : t -> ev:int -> nt:bool -> unit
+
+(** Record that a flush instruction at trace index [ev] captured this
+    byte (Modified -> Writeback_pending). *)
+val record_flush : t -> ev:int -> unit
+
+(** Record that the fence at trace index [ev] persisted this byte. *)
+val record_fence : t -> ev:int -> unit
+
+(** Record a raw (re-)allocation covering this byte; resets the write,
+    flush and fence history — the previous object's provenance does not
+    explain reads of the new one. *)
+val record_alloc : t -> ev:int -> unit
+
+(** Retained write event indices, oldest first. *)
+val writes : t -> int list
+
+(** Index of the most recent write, if any. *)
+val last_write : t -> int option
+
+val last_flush : t -> int option
+val last_fence : t -> int option
+val alloc_site : t -> int option

@@ -1,0 +1,226 @@
+module Event = Xfd_trace.Event
+module Trace = Xfd_trace.Trace
+module Loc = Xfd_util.Loc
+module Json = Xfd_util.Json
+
+type stage = Pre | Post
+
+type role =
+  | Alloc
+  | Write
+  | Writeback
+  | Fence
+  | Commit_prelast
+  | Commit_last
+  | Wasted_flush
+  | Read
+
+let stage_to_string = function Pre -> "pre" | Post -> "post"
+
+let role_to_string = function
+  | Alloc -> "alloc"
+  | Write -> "write"
+  | Writeback -> "writeback"
+  | Fence -> "fence"
+  | Commit_prelast -> "commit-window-open"
+  | Commit_last -> "commit-window-close"
+  | Wasted_flush -> "wasted-flush"
+  | Read -> "read"
+
+type entry = {
+  stage : stage;
+  index : int;
+  role : role;
+  event : string;
+  loc : Loc.t;
+}
+
+type t = {
+  addr : Xfd_mem.Addr.t;
+  size : int;
+  verdict : string;
+  persistence : string;
+  window : (int * int) option;
+  tlast : int option;
+  entries : entry list;
+  excerpts : (stage * Timeline.excerpt) list;
+}
+
+let build ~pre ?post ?window ?tlast ?(radius = Timeline.default_radius) ~addr ~size
+    ~verdict ~persistence spec =
+  let trace_of = function Pre -> Some pre | Post -> post in
+  let entries =
+    List.filter_map
+      (fun (stage, role, index) ->
+        match trace_of stage with
+        | Some tr when index >= 0 && index < Trace.length tr ->
+          let ev = Trace.get tr index in
+          Some
+            {
+              stage;
+              index;
+              role;
+              event = Format.asprintf "%a" Event.pp_kind ev.Event.kind;
+              loc = ev.Event.loc;
+            }
+        | Some _ | None -> None)
+      spec
+    |> List.stable_sort (fun a b ->
+           match (a.stage, b.stage) with
+           | Pre, Post -> -1
+           | Post, Pre -> 1
+           | (Pre | Post), _ -> compare a.index b.index)
+  in
+  let excerpts_for stage =
+    match trace_of stage with
+    | None -> []
+    | Some tr ->
+      let indices =
+        List.filter_map (fun e -> if e.stage = stage then Some e.index else None) entries
+      in
+      if indices = [] then []
+      else List.map (fun x -> (stage, x)) (Timeline.excerpts tr ~indices ~radius)
+  in
+  {
+    addr;
+    size;
+    verdict;
+    persistence;
+    window;
+    tlast;
+    entries;
+    excerpts = excerpts_for Pre @ excerpts_for Post;
+  }
+
+(* Last matching entry: several [Write]s can be retained, and the most
+   recent one is the implicated writer. *)
+let find_role t role =
+  List.fold_left (fun acc e -> if e.role = role then Some e else acc) None t.entries
+
+let at t role =
+  match find_role t role with
+  | Some e ->
+    Printf.sprintf "%s (%s event %d)" (Loc.to_string e.loc) (stage_to_string e.stage)
+      e.index
+  | None -> "<unknown>"
+
+let explain t =
+  let ts = match t.tlast with Some v -> Printf.sprintf " (t=%d)" v | None -> "" in
+  match t.verdict with
+  | "race-uninit" ->
+    Printf.sprintf
+      "allocated raw at %s but never initialised before the failure: the post-failure \
+       read at %s sees whatever the allocator left there"
+      (at t Alloc) (at t Read)
+  | "race" -> begin
+    match t.persistence with
+    | "modified" ->
+      Printf.sprintf
+        "written at %s but never written back: no CLWB/CLFLUSH captured the line \
+         before the failure point, so the post-failure read at %s races with the \
+         in-cache value"
+        (at t Write) (at t Read)
+    | "writeback-pending" ->
+      Printf.sprintf
+        "written at %s and written back at %s, but no SFENCE ordered the writeback \
+         before the failure point: the post-failure read at %s is not guaranteed to \
+         see it"
+        (at t Write) (at t Writeback) (at t Read)
+    | _ ->
+      Printf.sprintf "write at %s is not guaranteed persistent at the failure point (%s)"
+        (at t Write) t.persistence
+  end
+  | "semantic-uncommitted" -> begin
+    match t.window with
+    | None ->
+      Printf.sprintf
+        "write at %s%s persisted, but its governing commit variable was never \
+         committed: recovery at %s reads a value no commit covers"
+        (at t Write) ts (at t Read)
+    | Some (_, t_last) ->
+      Printf.sprintf
+        "persisted write at %s%s postdates the last commit at %s (t_last=%d): \
+         recovery at %s reads an uncommitted value"
+        (at t Write) ts (at t Commit_last) t_last (at t Read)
+  end
+  | "semantic-stale" ->
+    let w =
+      match t.window with
+      | Some (p, l) -> Printf.sprintf " [t_prelast=%d, t_last=%d]" p l
+      | None -> ""
+    in
+    Printf.sprintf
+      "persisted write at %s%s predates the commit window%s opened at %s: recovery \
+       at %s reads a stale value"
+      (at t Write) ts w (at t Commit_prelast) (at t Read)
+  | "perf-redundant-writeback" ->
+    Printf.sprintf
+      "flush at %s found every tracked byte of the line already writeback-pending \
+       (last captured at %s with no intervening store)"
+      (at t Wasted_flush) (at t Writeback)
+  | "perf-unnecessary-writeback" ->
+    Printf.sprintf
+      "flush at %s found the line already persisted (fence at %s, no store since)"
+      (at t Wasted_flush) (at t Fence)
+  | "perf-duplicate-tx-add" ->
+    Printf.sprintf "TX_ADD at %s covers a range already added in this transaction"
+      (at t Wasted_flush)
+  | v -> Printf.sprintf "%s involving the write at %s" v (at t Write)
+
+let pp ppf t =
+  Format.fprintf ppf "why: %s@." (explain t);
+  if t.entries <> [] then begin
+    Format.fprintf ppf "chain:@.";
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "  %-4s %-19s [%6d] %s @@ %a@." (stage_to_string e.stage)
+          (role_to_string e.role) e.index e.event Loc.pp e.loc)
+      t.entries
+  end;
+  List.iter
+    (fun (stage, (x : Timeline.excerpt)) ->
+      Format.fprintf ppf "timeline (%s events %d..%d):@." (stage_to_string stage) x.Timeline.from
+        (x.Timeline.upto - 1);
+      List.iter (fun l -> Format.fprintf ppf "  %s@." l) x.Timeline.lines)
+    t.excerpts
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("stage", Json.Str (stage_to_string e.stage));
+      ("index", Json.Int e.index);
+      ("role", Json.Str (role_to_string e.role));
+      ("event", Json.Str e.event);
+      ( "loc",
+        Json.Obj
+          [ ("file", Json.Str e.loc.Loc.file); ("line", Json.Int e.loc.Loc.line) ] );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("addr", Json.Str (Printf.sprintf "0x%x" t.addr));
+      ("size", Json.Int t.size);
+      ("verdict", Json.Str t.verdict);
+      ("persistence", Json.Str t.persistence);
+      ( "window",
+        match t.window with
+        | None -> Json.Null
+        | Some (p, l) ->
+          Json.Obj [ ("t_prelast", Json.Int p); ("t_last", Json.Int l) ] );
+      ("tlast", match t.tlast with None -> Json.Null | Some v -> Json.Int v);
+      ("explanation", Json.Str (explain t));
+      ("chain", Json.Arr (List.map entry_to_json t.entries));
+      ( "excerpts",
+        Json.Arr
+          (List.map
+             (fun (stage, (x : Timeline.excerpt)) ->
+               Json.Obj
+                 [
+                   ("stage", Json.Str (stage_to_string stage));
+                   ("from", Json.Int x.Timeline.from);
+                   ("upto", Json.Int x.Timeline.upto);
+                   ("lines", Json.Arr (List.map (fun l -> Json.Str l) x.Timeline.lines));
+                 ])
+             t.excerpts) );
+    ]

@@ -1,0 +1,76 @@
+(** Provenance chains: the ordered pre-failure events that explain a
+    cross-failure verdict.
+
+    XFDetector's reports name the reading instruction and the last writer;
+    the paper's debugging workflow then walks the trace between them.  A
+    chain packages that walk: the implicated events (allocation, writes,
+    writeback, fence, the commit-variable writes that framed the Eq. 3
+    window, and the post-failure read), each resolved against the retained
+    trace to its kind and source location, plus timeline excerpts around
+    the implicated indices.  Chains are built only when a bug fires; during
+    replay the detector keeps nothing beyond {!History} indices. *)
+
+(** Which trace an entry's index refers to: the shared pre-failure trace
+    or the failing run's post-failure trace. *)
+type stage = Pre | Post
+
+(** Why an event appears in the chain. *)
+type role =
+  | Alloc  (** raw allocation of the byte range (uninitialised reads) *)
+  | Write  (** a retained store to the range; the last one is the writer *)
+  | Writeback  (** the flush that captured the last store *)
+  | Fence  (** the fence that persisted the writeback *)
+  | Commit_prelast  (** commit write opening the Eq. 3 window *)
+  | Commit_last  (** commit write closing the Eq. 3 window *)
+  | Wasted_flush  (** the flush a performance bug reports *)
+  | Read  (** the post-failure read that tripped the check *)
+
+val role_to_string : role -> string
+
+(** One implicated event, resolved against its trace. *)
+type entry = {
+  stage : stage;
+  index : int;  (** event index within its stage's trace *)
+  role : role;
+  event : string;  (** rendered event kind, e.g. ["WRITE 0x10008 8"] *)
+  loc : Xfd_util.Loc.t;
+}
+
+type t = {
+  addr : Xfd_mem.Addr.t;
+  size : int;
+  verdict : string;  (** e.g. ["race"], ["race-uninit"], ["semantic-stale"] *)
+  persistence : string;  (** shadow persistence state at the failure *)
+  window : (int * int) option;  (** Eq. 3 commit window [(t_prelast, t_last)] *)
+  tlast : int option;  (** timestamp of the implicated write *)
+  entries : entry list;  (** chronological: pre entries by index, then post *)
+  excerpts : (stage * Timeline.excerpt) list;
+}
+
+(** [build ~pre ?post ... spec] resolves a chain from [(stage, role,
+    index)] triples.  Indices out of range of their trace are dropped;
+    entries are sorted pre-before-post, by index within a stage.  Timeline
+    excerpts ([radius] defaults to {!Timeline.default_radius}) cover every
+    implicated index of each stage. *)
+val build :
+  pre:Xfd_trace.Trace.t ->
+  ?post:Xfd_trace.Trace.t ->
+  ?window:int * int ->
+  ?tlast:int ->
+  ?radius:int ->
+  addr:Xfd_mem.Addr.t ->
+  size:int ->
+  verdict:string ->
+  persistence:string ->
+  (stage * role * int) list ->
+  t
+
+(** One-sentence diagnosis, e.g. ["written at a.ml:12 (pre event 5) and
+    written back at a.ml:13 (pre event 6), but no fence ordered the
+    writeback before the failure point"]. *)
+val explain : t -> string
+
+(** The chain and its excerpts, indented for embedding under a bug line. *)
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Xfd_util.Json.t

@@ -1,0 +1,39 @@
+module Event = Xfd_trace.Event
+module Trace = Xfd_trace.Trace
+
+let default_radius = 3
+
+let render_line ?(mark = false) (ev : Event.t) =
+  Format.asprintf "%s[%6d] %a @@ %a"
+    (if mark then ">" else " ")
+    ev.Event.seq Event.pp_kind ev.Event.kind Xfd_util.Loc.pp ev.Event.loc
+
+let range t ~from ~upto ~marks =
+  let from = max 0 from and upto = min upto (Trace.length t) in
+  if upto <= from then []
+  else
+    List.init (upto - from) (fun i ->
+        let idx = from + i in
+        render_line ~mark:(List.mem idx marks) (Trace.get t idx))
+
+type excerpt = { from : int; upto : int; lines : string list }
+
+let excerpts t ~indices ~radius =
+  let len = Trace.length t in
+  let indices =
+    List.sort_uniq compare (List.filter (fun i -> i >= 0 && i < len) indices)
+  in
+  (* Merge the per-index windows while they overlap or touch. *)
+  let windows =
+    List.fold_left
+      (fun acc i ->
+        let lo = max 0 (i - radius) and hi = min len (i + radius + 1) in
+        match acc with
+        | (lo', hi') :: rest when lo <= hi' -> (lo', max hi hi') :: rest
+        | _ -> (lo, hi) :: acc)
+      [] indices
+    |> List.rev
+  in
+  List.map
+    (fun (from, upto) -> { from; upto; lines = range t ~from ~upto ~marks:indices })
+    windows

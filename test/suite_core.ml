@@ -101,43 +101,43 @@ let shadow_tests =
   [
     Tu.case "write/flush/fence lifecycle" (fun () ->
         let s = Shadow.create () in
-        Shadow.write_byte s 100 ~ts:0 ~loc:l ~nt:false ~post:false;
+        Shadow.write_byte s 100 ~ts:0 ~ev:0 ~loc:l ~nt:false ~post:false;
         (match Shadow.find s 100 with
         | Some c -> Alcotest.(check string) "M" "M" (Pstate.to_string c.Shadow.pstate)
         | None -> Alcotest.fail "cell missing");
-        (match Shadow.flush_line s 64 with
+        (match Shadow.flush_line s 64 ~ev:0 with
         | `Had_modified -> ()
         | _ -> Alcotest.fail "expected useful flush");
-        Shadow.fence s;
+        Shadow.fence s ~ev:0;
         match Shadow.find s 100 with
         | Some c -> Alcotest.(check string) "P" "P" (Pstate.to_string c.Shadow.pstate)
         | None -> Alcotest.fail "cell missing");
     Tu.case "flush classification" (fun () ->
         let s = Shadow.create () in
-        Alcotest.(check bool) "untracked line is clean" true (Shadow.flush_line s 0 = `Clean);
-        Shadow.write_byte s 5 ~ts:0 ~loc:l ~nt:false ~post:false;
-        ignore (Shadow.flush_line s 0);
+        Alcotest.(check bool) "untracked line is clean" true (Shadow.flush_line s 0 ~ev:0 = `Clean);
+        Shadow.write_byte s 5 ~ts:0 ~ev:0 ~loc:l ~nt:false ~post:false;
+        ignore (Shadow.flush_line s 0 ~ev:0);
         Alcotest.(check bool) "second flush is double" true
-          (Shadow.flush_line s 0 = `Waste Pstate.Double_flush);
-        Shadow.fence s;
+          (Shadow.flush_line s 0 ~ev:0 = `Waste Pstate.Double_flush);
+        Shadow.fence s ~ev:0;
         Alcotest.(check bool) "flush of persisted is unnecessary" true
-          (Shadow.flush_line s 0 = `Waste Pstate.Unnecessary_flush));
+          (Shadow.flush_line s 0 ~ev:0 = `Waste Pstate.Unnecessary_flush));
     Tu.case "nt write goes straight to pending" (fun () ->
         let s = Shadow.create () in
-        Shadow.write_byte s 7 ~ts:0 ~loc:l ~nt:true ~post:false;
-        Shadow.fence s;
+        Shadow.write_byte s 7 ~ts:0 ~ev:0 ~loc:l ~nt:true ~post:false;
+        Shadow.fence s ~ev:0;
         match Shadow.find s 7 with
         | Some c -> Alcotest.(check string) "P" "P" (Pstate.to_string c.Shadow.pstate)
         | None -> Alcotest.fail "cell missing");
     Tu.case "overlay copy-on-write isolation" (fun () ->
         let base = Shadow.create () in
-        Shadow.write_byte base 10 ~ts:1 ~loc:l ~nt:false ~post:false;
+        Shadow.write_byte base 10 ~ts:1 ~ev:0 ~loc:l ~nt:false ~post:false;
         let fork = Shadow.overlay base in
         (* fork sees the parent cell *)
         (match Shadow.find fork 10 with
         | Some c -> Alcotest.(check int) "tlast" 1 c.Shadow.tlast
         | None -> Alcotest.fail "fork missed parent cell");
-        Shadow.write_byte fork 10 ~ts:5 ~loc:l2 ~nt:false ~post:true;
+        Shadow.write_byte fork 10 ~ts:5 ~ev:0 ~loc:l2 ~nt:false ~post:true;
         (* parent unchanged *)
         (match Shadow.find base 10 with
         | Some c ->
@@ -149,10 +149,10 @@ let shadow_tests =
         | None -> Alcotest.fail "fork lost cell");
     Tu.case "overlay fence does not leak to parent" (fun () ->
         let base = Shadow.create () in
-        Shadow.write_byte base 10 ~ts:1 ~loc:l ~nt:false ~post:false;
+        Shadow.write_byte base 10 ~ts:1 ~ev:0 ~loc:l ~nt:false ~post:false;
         let fork = Shadow.overlay base in
-        ignore (Shadow.flush_line fork 0);
-        Shadow.fence fork;
+        ignore (Shadow.flush_line fork 0 ~ev:0);
+        Shadow.fence fork ~ev:0;
         (match Shadow.find fork 10 with
         | Some c -> Alcotest.(check string) "fork P" "P" (Pstate.to_string c.Shadow.pstate)
         | None -> Alcotest.fail "missing");
@@ -161,14 +161,14 @@ let shadow_tests =
         | None -> Alcotest.fail "missing");
     Tu.case "mark_alloc_raw resets and flags bytes" (fun () ->
         let s = Shadow.create () in
-        Shadow.write_byte s 20 ~ts:3 ~loc:l ~nt:false ~post:false;
-        Shadow.mark_alloc_raw s 20 4;
+        Shadow.write_byte s 20 ~ts:3 ~ev:0 ~loc:l ~nt:false ~post:false;
+        Shadow.mark_alloc_raw s 20 4 ~ev:0;
         (match Shadow.find s 20 with
         | Some c ->
           Alcotest.(check bool) "uninit" true c.Shadow.uninit;
           Alcotest.(check string) "U" "U" (Pstate.to_string c.Shadow.pstate)
         | None -> Alcotest.fail "missing");
-        Shadow.write_byte s 20 ~ts:4 ~loc:l ~nt:false ~post:false;
+        Shadow.write_byte s 20 ~ts:4 ~ev:0 ~loc:l ~nt:false ~post:false;
         match Shadow.find s 20 with
         | Some c -> Alcotest.(check bool) "write clears uninit" false c.Shadow.uninit
         | None -> Alcotest.fail "missing");
@@ -185,16 +185,16 @@ let registry_tests =
         let r = Registry.create () in
         Registry.register_range r ~var:100 ~addr:200 ~size:8;
         Alcotest.(check bool) "never committed" true (Registry.window_for r 200 = Some None);
-        Registry.on_write r ~defer:false ~addr:100 ~size:8 ~ts:3;
+        Registry.on_write r ~defer:false ~addr:100 ~size:8 ~ts:3 ~ev:0;
         Alcotest.(check bool) "one commit" true (Registry.window_for r 200 = Some (Some (-1, 3)));
-        Registry.on_write r ~defer:false ~addr:100 ~size:8 ~ts:7;
+        Registry.on_write r ~defer:false ~addr:100 ~size:8 ~ts:7 ~ev:0;
         Alcotest.(check bool) "two commits" true (Registry.window_for r 200 = Some (Some (3, 7)));
         Alcotest.(check bool) "unrelated byte" true (Registry.window_for r 300 = None));
     Tu.case "partial overlap counts as commit write" (fun () ->
         let r = Registry.create () in
         Registry.register_var r ~var:100 ~size:8;
         Registry.register_range r ~var:100 ~addr:200 ~size:4;
-        Registry.on_write r ~defer:false ~addr:96 ~size:8 ~ts:1 (* spans 96..103 *);
+        Registry.on_write r ~defer:false ~addr:96 ~size:8 ~ts:1 ~ev:0 (* spans 96..103 *);
         Alcotest.(check bool) "committed" true (Registry.window_for r 200 = Some (Some (-1, 1))));
     Tu.case "eq.2 disjointness enforced" (fun () ->
         let r = Registry.create () in
@@ -211,9 +211,9 @@ let registry_tests =
     Tu.case "clone is independent" (fun () ->
         let r = Registry.create () in
         Registry.register_range r ~var:100 ~addr:200 ~size:8;
-        Registry.on_write r ~defer:false ~addr:100 ~size:8 ~ts:1;
+        Registry.on_write r ~defer:false ~addr:100 ~size:8 ~ts:1 ~ev:0;
         let c = Registry.clone r in
-        Registry.on_write c ~defer:false ~addr:100 ~size:8 ~ts:9;
+        Registry.on_write c ~defer:false ~addr:100 ~size:8 ~ts:9 ~ev:0;
         Alcotest.(check bool) "original window" true (Registry.window_for r 200 = Some (Some (-1, 1)));
         Alcotest.(check bool) "clone window" true (Registry.window_for c 200 = Some (Some (1, 9))));
   ]

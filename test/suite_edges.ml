@@ -93,22 +93,22 @@ let deferred_tests =
     Tu.case "deferred commits move the window only at a fence" (fun () ->
         let r = Registry.create () in
         Registry.register_range r ~var:100 ~addr:200 ~size:8;
-        Registry.on_write r ~defer:true ~addr:100 ~size:8 ~ts:3;
+        Registry.on_write r ~defer:true ~addr:100 ~size:8 ~ts:3 ~ev:0;
         Alcotest.(check bool) "still open" true (Registry.window_for r 200 = Some None);
         Registry.apply_pending r;
         Alcotest.(check bool) "applied" true (Registry.window_for r 200 = Some (Some (-1, 3))));
     Tu.case "drop_pending discards unpersisted commits" (fun () ->
         let r = Registry.create () in
         Registry.register_range r ~var:100 ~addr:200 ~size:8;
-        Registry.on_write r ~defer:true ~addr:100 ~size:8 ~ts:3;
+        Registry.on_write r ~defer:true ~addr:100 ~size:8 ~ts:3 ~ev:0;
         Registry.drop_pending r;
         Registry.apply_pending r;
         Alcotest.(check bool) "never committed" true (Registry.window_for r 200 = Some None));
     Tu.case "pending commits apply in order" (fun () ->
         let r = Registry.create () in
         Registry.register_range r ~var:100 ~addr:200 ~size:8;
-        Registry.on_write r ~defer:true ~addr:100 ~size:8 ~ts:1;
-        Registry.on_write r ~defer:true ~addr:100 ~size:8 ~ts:2;
+        Registry.on_write r ~defer:true ~addr:100 ~size:8 ~ts:1 ~ev:0;
+        Registry.on_write r ~defer:true ~addr:100 ~size:8 ~ts:2 ~ev:0;
         Registry.apply_pending r;
         Alcotest.(check bool) "window (1,2)" true (Registry.window_for r 200 = Some (Some (1, 2))));
     Tu.case "strict-mode detector defers; full-mode commits at write" (fun () ->

@@ -128,8 +128,8 @@ let report_tests =
     Tu.case "dedup keys distinguish bug kinds" (fun () ->
         let loc1 = Xfd_util.Loc.make ~file:"a.ml" ~line:1 in
         let loc2 = Xfd_util.Loc.make ~file:"a.ml" ~line:2 in
-        let race u = Report.Race { addr = 0; size = 8; read_loc = loc1; write_loc = loc2; uninit = u } in
-        let sem s = Report.Semantic { addr = 0; size = 8; read_loc = loc1; write_loc = loc2; status = s } in
+        let race u = Report.Race { addr = 0; size = 8; read_loc = loc1; write_loc = loc2; uninit = u; provenance = None } in
+        let sem s = Report.Semantic { addr = 0; size = 8; read_loc = loc1; write_loc = loc2; status = s; provenance = None } in
         let keys =
           List.map Report.dedup_key
             [
@@ -137,8 +137,8 @@ let report_tests =
               race true;
               sem Xfd.Cstate.Stale;
               sem Xfd.Cstate.Uncommitted;
-              Report.Perf { addr = 0; loc = loc1; waste = `Duplicate_tx_add };
-              Report.Perf { addr = 0; loc = loc1; waste = `Flush Xfd.Pstate.Double_flush };
+              Report.Perf { addr = 0; loc = loc1; waste = `Duplicate_tx_add; provenance = None };
+              Report.Perf { addr = 0; loc = loc1; waste = `Flush Xfd.Pstate.Double_flush; provenance = None };
               Report.Post_failure_error { exn = "x"; failure_point = 3 };
             ]
         in
@@ -147,12 +147,12 @@ let report_tests =
     Tu.case "same program points share a key across failure points" (fun () ->
         let loc1 = Xfd_util.Loc.make ~file:"a.ml" ~line:1 in
         let loc2 = Xfd_util.Loc.make ~file:"a.ml" ~line:2 in
-        let mk addr = Report.Race { addr; size = 8; read_loc = loc1; write_loc = loc2; uninit = false } in
+        let mk addr = Report.Race { addr; size = 8; read_loc = loc1; write_loc = loc2; uninit = false; provenance = None } in
         Alcotest.(check string) "key ignores address" (Report.dedup_key (mk 0))
           (Report.dedup_key (mk 4096)));
     Tu.case "classification predicates" (fun () ->
         let loc = Xfd_util.Loc.unknown in
-        let race = Report.Race { addr = 0; size = 1; read_loc = loc; write_loc = loc; uninit = false } in
+        let race = Report.Race { addr = 0; size = 1; read_loc = loc; write_loc = loc; uninit = false; provenance = None } in
         Alcotest.(check bool) "race" true (Report.is_race race);
         Alcotest.(check bool) "not semantic" false (Report.is_semantic race);
         let err = Report.Post_failure_error { exn = "e"; failure_point = 0 } in
@@ -164,9 +164,9 @@ let report_tests =
             let s = Format.asprintf "%a" Report.pp_bug b in
             Alcotest.(check bool) "non-empty" true (String.length s > 10))
           [
-            Report.Race { addr = 64; size = 8; read_loc = loc; write_loc = loc; uninit = true };
-            Report.Semantic { addr = 64; size = 8; read_loc = loc; write_loc = loc; status = Xfd.Cstate.Stale };
-            Report.Perf { addr = 64; loc; waste = `Flush Xfd.Pstate.Unnecessary_flush };
+            Report.Race { addr = 64; size = 8; read_loc = loc; write_loc = loc; uninit = true; provenance = None };
+            Report.Semantic { addr = 64; size = 8; read_loc = loc; write_loc = loc; status = Xfd.Cstate.Stale; provenance = None };
+            Report.Perf { addr = 64; loc; waste = `Flush Xfd.Pstate.Unnecessary_flush; provenance = None };
             Report.Post_failure_error { exn = "Boom"; failure_point = 7 };
           ]);
   ]

@@ -61,4 +61,72 @@ let outcome_tests =
         Alcotest.(check bool) "no bugs" true (contains "\"unique_bugs\":[]"));
   ]
 
-let suite = [ ("json.encoder", encoder_tests); ("json.outcome", outcome_tests) ]
+(* Encoder/parser round trips on strings that need escaping. *)
+let roundtrip_tests =
+  let rt s =
+    match Json.of_string (Json.to_string (Json.Str s)) with
+    | Ok (Json.Str s') -> s'
+    | Ok _ -> Alcotest.failf "round trip of %S produced a non-string" s
+    | Error e -> Alcotest.failf "round trip of %S failed: %s" s e
+  in
+  [
+    Tu.case "escaped strings round-trip" (fun () ->
+        List.iter
+          (fun s -> Alcotest.(check string) (Printf.sprintf "%S" s) s (rt s))
+          [
+            "";
+            "plain";
+            "quote \" inside";
+            "back\\slash";
+            "line\nbreak\r\ttab";
+            "nul \000 and bell \007";
+            "high byte \x7f";
+            "{\"looks\":\"like json\"}";
+          ]);
+    Tu.case "\\uXXXX escapes below 0x80 decode to bytes" (fun () ->
+        (match Json.of_string "\"A\\u000aZ\\u0000\"" with
+        | Ok (Json.Str s) -> Alcotest.(check string) "decoded" "A\nZ\000" s
+        | Ok _ | Error _ -> Alcotest.fail "expected a string");
+        (* Code points >= 0x80 are preserved as their literal escape text. *)
+        match Json.of_string "\"caf\\u00e9\"" with
+        | Ok (Json.Str s) -> Alcotest.(check string) "preserved" "caf\\u00e9" s
+        | Ok _ | Error _ -> Alcotest.fail "expected a string");
+    Tu.case "escape output re-parses to the original body" (fun () ->
+        List.iter
+          (fun s ->
+            let quoted = "\"" ^ Json.escape s ^ "\"" in
+            match Json.of_string quoted with
+            | Ok (Json.Str s') -> Alcotest.(check string) "body" s s'
+            | Ok _ | Error _ -> Alcotest.failf "escape of %S did not re-parse" s)
+          [ "\001\002\031"; "mixed \" and \\ and \n"; "trailing backslash \\" ]);
+  ]
+
+let roundtrip_props =
+  let ascii_string =
+    QCheck.make
+      ~print:(fun s -> Printf.sprintf "%S" s)
+      QCheck.Gen.(map (String.map (fun c -> Char.chr (Char.code c land 0x7f))) string)
+  in
+  [
+    QCheck.Test.make ~name:"to_string/of_string round-trips any 7-bit string" ~count:300
+      ascii_string
+      (fun s ->
+        match Json.of_string (Json.to_string (Json.Str s)) with
+        | Ok (Json.Str s') -> s' = s
+        | Ok _ | Error _ -> false);
+    QCheck.Test.make ~name:"nested values survive a round trip" ~count:100
+      (QCheck.pair QCheck.small_int ascii_string)
+      (fun (n, s) ->
+        let v =
+          Json.Obj
+            [ ("k", Json.Arr [ Json.Int n; Json.Str s; Json.Null ]); ("b", Json.Bool true) ]
+        in
+        Json.of_string (Json.to_string v) = Ok v);
+  ]
+
+let suite =
+  [
+    ("json.encoder", encoder_tests);
+    ("json.outcome", outcome_tests);
+    ("json.roundtrip", roundtrip_tests @ List.map QCheck_alcotest.to_alcotest roundtrip_props);
+  ]

@@ -1,0 +1,336 @@
+(* Tests for report deduplication and the forensics layer: provenance
+   chains, bounded histories, timeline rendering and coverage reports. *)
+
+module Report = Xfd.Report
+module Provenance = Xfd_forensics.Provenance
+module Timeline = Xfd_forensics.Timeline
+module History = Xfd_forensics.History
+module Coverage = Xfd_forensics.Coverage
+module Trace = Xfd_trace.Trace
+module Event = Xfd_trace.Event
+
+let mkloc file line = Xfd_util.Loc.make ~file ~line
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* A small pool of distinct source locations to draw bug fields from. *)
+let loc_gen =
+  QCheck.Gen.(
+    map2 (fun f l -> mkloc (Printf.sprintf "f%d.ml" f) l) (int_bound 3) (int_range 1 20))
+
+let status_gen = QCheck.Gen.oneofl [ Xfd.Cstate.Uncommitted; Xfd.Cstate.Stale ]
+
+let waste_gen =
+  QCheck.Gen.oneofl
+    [
+      `Flush Xfd.Pstate.Double_flush;
+      `Flush Xfd.Pstate.Unnecessary_flush;
+      `Duplicate_tx_add;
+    ]
+
+(* One random bug of each kind over shared random locations, plus random
+   address/size fields (which must NOT participate in the key). *)
+let bug_gen =
+  QCheck.Gen.(
+    loc_gen >>= fun l1 ->
+    loc_gen >>= fun l2 ->
+    int_bound 0xffff >>= fun addr ->
+    int_range 1 64 >>= fun size ->
+    oneof
+      [
+        map
+          (fun uninit ->
+            Report.Race
+              { addr; size; read_loc = l1; write_loc = l2; uninit; provenance = None })
+          bool;
+        map
+          (fun status ->
+            Report.Semantic
+              { addr; size; read_loc = l1; write_loc = l2; status; provenance = None })
+          status_gen;
+        map (fun waste -> Report.Perf { addr; loc = l1; waste; provenance = None }) waste_gen;
+      ])
+
+let bug_print b = Format.asprintf "%a" Report.pp_bug b
+let bug_arb = QCheck.make ~print:bug_print bug_gen
+
+(* The identity a dedup key must capture: kind, program points and the
+   kind-specific qualifier — and nothing else. *)
+let identity = function
+  | Report.Race { read_loc; write_loc; uninit; _ } ->
+    ("race", Xfd_util.Loc.to_string read_loc, Xfd_util.Loc.to_string write_loc,
+     string_of_bool uninit)
+  | Report.Semantic { read_loc; write_loc; status; _ } ->
+    ("semantic", Xfd_util.Loc.to_string read_loc, Xfd_util.Loc.to_string write_loc,
+     Xfd.Cstate.to_string status)
+  | Report.Perf { loc; waste; _ } ->
+    let w =
+      match waste with
+      | `Flush Xfd.Pstate.Double_flush -> "df"
+      | `Flush Xfd.Pstate.Unnecessary_flush -> "uf"
+      | `Duplicate_tx_add -> "dta"
+    in
+    ("perf", Xfd_util.Loc.to_string loc, "", w)
+  | Report.Post_failure_error { exn; _ } -> ("post", exn, "", "")
+
+let dedup_props =
+  [
+    QCheck.Test.make ~name:"dedup keys collide exactly on bug identity" ~count:300
+      (QCheck.pair bug_arb bug_arb)
+      (fun (b1, b2) ->
+        (Report.dedup_key b1 = Report.dedup_key b2) = (identity b1 = identity b2));
+    QCheck.Test.make ~name:"dedup key ignores addr/size (same bug, many failure points)"
+      ~count:200
+      (QCheck.quad bug_arb (QCheck.int_bound 0xffff) (QCheck.int_range 1 64)
+         (QCheck.int_bound 0xffff))
+      (fun (b, a1, sz, a2) ->
+        let relocate addr size = function
+          | Report.Race r -> Report.Race { r with addr; size }
+          | Report.Semantic s -> Report.Semantic { s with addr; size }
+          | Report.Perf p -> Report.Perf { p with addr }
+          | Report.Post_failure_error _ as e -> e
+        in
+        Report.dedup_key (relocate a1 sz b) = Report.dedup_key (relocate a2 sz b));
+  ]
+
+(* A hand-built trace exercising the timeline and chain machinery. *)
+let make_trace kinds =
+  let t = Trace.create () in
+  List.iteri (fun i k -> ignore (Trace.append t ~kind:k ~loc:(mkloc "t.ml" (i + 1)))) kinds;
+  t
+
+let sample_trace () =
+  make_trace
+    [
+      Event.Write { addr = 0x100; size = 8 };
+      Event.Clwb { addr = 0x100 };
+      Event.Sfence;
+      Event.Write { addr = 0x108; size = 8 };
+      Event.Clwb { addr = 0x100 };
+      Event.Write { addr = 0x110; size = 8 };
+      Event.Sfence;
+    ]
+
+let timeline_tests =
+  [
+    Tu.case "range is clamped and marks the right lines" (fun () ->
+        let t = sample_trace () in
+        let lines = Timeline.range t ~from:(-3) ~upto:100 ~marks:[ 1; 3 ] in
+        Alcotest.(check int) "all events rendered" (Trace.length t) (List.length lines);
+        List.iteri
+          (fun i l ->
+            let marked = String.length l > 0 && l.[0] = '>' in
+            Alcotest.(check bool) (Printf.sprintf "mark on line %d" i) (i = 1 || i = 3)
+              marked)
+          lines);
+    Tu.case "excerpts merge overlapping windows" (fun () ->
+        let t = sample_trace () in
+        (* Radius 2 around indices 1 and 3 overlaps into one excerpt. *)
+        (match Timeline.excerpts t ~indices:[ 3; 1 ] ~radius:2 with
+        | [ x ] ->
+          Alcotest.(check int) "from" 0 x.Timeline.from;
+          Alcotest.(check int) "upto" 6 x.Timeline.upto;
+          Alcotest.(check int) "lines" 6 (List.length x.Timeline.lines)
+        | xs -> Alcotest.failf "expected one merged excerpt, got %d" (List.length xs));
+        (* Radius 0 around distant indices stays separate. *)
+        match Timeline.excerpts t ~indices:[ 0; 6 ] ~radius:0 with
+        | [ a; b ] ->
+          Alcotest.(check int) "first" 0 a.Timeline.from;
+          Alcotest.(check int) "second" 6 b.Timeline.from
+        | xs -> Alcotest.failf "expected two excerpts, got %d" (List.length xs));
+    Tu.case "out-of-range indices are dropped" (fun () ->
+        let t = sample_trace () in
+        Alcotest.(check int) "empty" 0
+          (List.length (Timeline.excerpts t ~indices:[ -1; 99 ] ~radius:2)));
+  ]
+
+let history_tests =
+  [
+    Tu.case "ring keeps the most recent writes, oldest first" (fun () ->
+        let h = History.create () in
+        for ev = 1 to History.depth + 2 do
+          History.record_write h ~ev ~nt:false
+        done;
+        let expected = List.init History.depth (fun i -> 3 + i) in
+        Alcotest.(check (list int)) "retained" expected (History.writes h);
+        Alcotest.(check (option int)) "last" (Some (History.depth + 2))
+          (History.last_write h));
+    Tu.case "a new write invalidates the old flush/fence" (fun () ->
+        let h = History.create () in
+        History.record_write h ~ev:1 ~nt:false;
+        History.record_flush h ~ev:2;
+        History.record_fence h ~ev:3;
+        Alcotest.(check (option int)) "flush" (Some 2) (History.last_flush h);
+        History.record_write h ~ev:4 ~nt:false;
+        Alcotest.(check (option int)) "flush reset" None (History.last_flush h);
+        Alcotest.(check (option int)) "fence reset" None (History.last_fence h));
+    Tu.case "nt store is its own writeback" (fun () ->
+        let h = History.create () in
+        History.record_write h ~ev:7 ~nt:true;
+        Alcotest.(check (option int)) "flush = store" (Some 7) (History.last_flush h));
+    Tu.case "realloc clears everything" (fun () ->
+        let h = History.create () in
+        History.record_write h ~ev:1 ~nt:false;
+        History.record_flush h ~ev:2;
+        History.record_alloc h ~ev:5;
+        Alcotest.(check (list int)) "writes" [] (History.writes h);
+        Alcotest.(check (option int)) "alloc" (Some 5) (History.alloc_site h));
+  ]
+
+let provenance_tests =
+  [
+    Tu.case "build resolves, orders and excerpts the chain" (fun () ->
+        let pre = sample_trace () in
+        let p =
+          Provenance.build ~pre ~addr:0x100 ~size:8 ~verdict:"race"
+            ~persistence:"writeback-pending"
+            [
+              (Provenance.Pre, Provenance.Writeback, 4);
+              (Provenance.Pre, Provenance.Write, 0);
+              (Provenance.Pre, Provenance.Fence, 99) (* dropped: out of range *);
+            ]
+        in
+        (match p.Provenance.entries with
+        | [ w; wb ] ->
+          Alcotest.(check int) "write first" 0 w.Provenance.index;
+          Alcotest.(check bool) "roles" true
+            (w.Provenance.role = Provenance.Write && wb.Provenance.role = Provenance.Writeback);
+          Alcotest.(check string) "resolved event" "WRITE 0x100 8" w.Provenance.event;
+          Alcotest.(check int) "resolved loc" 1 w.Provenance.loc.Xfd_util.Loc.line
+        | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es));
+        let rendered = Format.asprintf "%a" Provenance.pp p in
+        Alcotest.(check bool) "has why" true
+          (contains rendered "why:");
+        Alcotest.(check bool) "has chain" true
+          (contains rendered "chain:"));
+    Tu.case "chain JSON carries verdict, roles and excerpt lines" (fun () ->
+        let pre = sample_trace () in
+        let p =
+          Provenance.build ~pre ~addr:0x108 ~size:8 ~verdict:"race"
+            ~persistence:"modified"
+            [ (Provenance.Pre, Provenance.Write, 3) ]
+        in
+        let j = Provenance.to_json p in
+        let str_member k =
+          match Xfd_util.Json.member k j with Some (Xfd_util.Json.Str s) -> s | _ -> "?"
+        in
+        Alcotest.(check string) "verdict" "race" (str_member "verdict");
+        Alcotest.(check string) "persistence" "modified" (str_member "persistence");
+        match Xfd_util.Json.member "chain" j with
+        | Some (Xfd_util.Json.Arr [ entry ]) ->
+          Alcotest.(check bool) "role" true
+            (Xfd_util.Json.member "role" entry = Some (Xfd_util.Json.Str "write"))
+        | _ -> Alcotest.fail "chain should have exactly one entry");
+  ]
+
+(* End-to-end: forensics through the whole engine. *)
+let roles_of p = List.map (fun e -> e.Provenance.role) p.Provenance.entries
+
+let e2e_tests =
+  [
+    Tu.case "bugs carry chains when forensics is on, none when off" (fun () ->
+        let program () = Xfd_workloads.Array_update.program ~size:1 () in
+        let plain = Tu.detect (program ()) in
+        List.iter
+          (fun b ->
+            Alcotest.(check bool) "no chain by default" true (Report.provenance b = None))
+          plain.Xfd.Engine.unique_bugs;
+        let config = { Xfd.Config.default with forensics = true } in
+        let rich = Tu.detect ~config (program ()) in
+        Alcotest.(check bool) "found bugs" true (rich.Xfd.Engine.unique_bugs <> []);
+        List.iter
+          (fun b ->
+            match (b, Report.provenance b) with
+            | Report.Post_failure_error _, _ -> ()
+            | _, None -> Alcotest.failf "bug without chain: %s" (bug_print b)
+            | _, Some p ->
+              let roles = roles_of p in
+              Alcotest.(check bool) "has a write" true (List.mem Provenance.Write roles);
+              Alcotest.(check bool) "has the read" true (List.mem Provenance.Read roles);
+              if Report.is_semantic b then
+                Alcotest.(check bool) "semantic chain names a commit write" true
+                  (List.mem Provenance.Commit_last roles
+                  || List.mem Provenance.Commit_prelast roles))
+          rich.Xfd.Engine.unique_bugs;
+        (* Provenance must not perturb deduplication. *)
+        let keys o =
+          List.map Report.dedup_key o.Xfd.Engine.unique_bugs |> List.sort compare
+        in
+        Alcotest.(check (list string)) "same dedup keys" (keys plain) (keys rich));
+    Tu.case "uninit race chain points at the allocation" (fun () ->
+        let config = { Xfd.Config.default with forensics = true } in
+        let o =
+          Tu.detect ~config
+            (Xfd_workloads.Hashmap_atomic.program ~size:1 ~variant:`Faithful ())
+        in
+        let uninit_chains =
+          List.filter_map
+            (function
+              | Report.Race { uninit = true; provenance; _ } -> provenance
+              | _ -> None)
+            o.Xfd.Engine.unique_bugs
+        in
+        Alcotest.(check bool) "found an uninit race" true (uninit_chains <> []);
+        List.iter
+          (fun p ->
+            Alcotest.(check string) "verdict" "race-uninit" p.Provenance.verdict;
+            Alcotest.(check bool) "chain has the alloc" true
+              (List.mem Provenance.Alloc (roles_of p)))
+          uninit_chains);
+    Tu.case "explained rendering embeds the chain under the bug line" (fun () ->
+        let config = { Xfd.Config.default with forensics = true } in
+        let o = Tu.detect ~config (Xfd_workloads.Array_update.program ~size:1 ()) in
+        let b = List.hd o.Xfd.Engine.unique_bugs in
+        let s = Format.asprintf "%a" Report.pp_bug_explained b in
+        Alcotest.(check bool) "bug line" true (contains s "CROSS-FAILURE");
+        Alcotest.(check bool) "why line" true (contains s "why:");
+        Alcotest.(check bool) "timeline" true (contains s "timeline"));
+  ]
+
+let coverage_tests =
+  [
+    Tu.case "coverage deltas reflect one detection run" (fun () ->
+        let o = Tu.detect (Xfd_workloads.Array_update.program ~size:1 ()) in
+        let c = o.Xfd.Engine.coverage in
+        Alcotest.(check int) "fired failure points" o.Xfd.Engine.failure_points
+          c.Coverage.failure_points_fired;
+        Alcotest.(check bool) "traced events" true (c.Coverage.trace_events > 0);
+        Alcotest.(check bool) "replayed events" true (c.Coverage.replayed_events > 0);
+        Alcotest.(check bool) "wrote bytes" true (c.Coverage.bytes_written > 0);
+        Alcotest.(check bool) "checked bytes" true (c.Coverage.bytes_checked > 0);
+        let r = Coverage.checked_ratio c in
+        Alcotest.(check bool) "ratio in range" true (r >= 0.0 && r <= 1.0);
+        Alcotest.(check bool) "races counted" true (c.Coverage.races >= 1));
+    Tu.case "coverage marks isolate consecutive runs" (fun () ->
+        let o1 = Tu.detect (Xfd_workloads.Array_update.program ~size:1 ()) in
+        let o2 = Tu.detect (Xfd_workloads.Array_update.program ~size:1 ~correct_valid:true ()) in
+        (* The clean run's delta must not inherit the buggy run's bugs. *)
+        Alcotest.(check int) "clean races" 0 o2.Xfd.Engine.coverage.Coverage.races;
+        Alcotest.(check bool) "buggy races" true (o1.Xfd.Engine.coverage.Coverage.races > 0));
+    Tu.case "coverage JSON and pp agree on the tallies" (fun () ->
+        let o = Tu.detect (Xfd_workloads.Array_update.program ~size:1 ()) in
+        let c = o.Xfd.Engine.coverage in
+        let j = Coverage.to_json c in
+        (match Xfd_util.Json.member "bytes_checked" j with
+        | Some (Xfd_util.Json.Int n) ->
+          Alcotest.(check int) "bytes_checked" c.Coverage.bytes_checked n
+        | _ -> Alcotest.fail "bytes_checked missing");
+        let s = Format.asprintf "%a" Coverage.pp c in
+        Alcotest.(check bool) "pp mentions failure points" true
+          (contains s "failure points"));
+  ]
+
+let to_alcotest = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ("report.dedup", to_alcotest dedup_props);
+    ("forensics.timeline", timeline_tests);
+    ("forensics.history", history_tests);
+    ("forensics.provenance", provenance_tests);
+    ("forensics.e2e", e2e_tests);
+    ("forensics.coverage", coverage_tests);
+  ]
