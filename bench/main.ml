@@ -44,6 +44,92 @@ let run_mechanisms () =
   E.Mechanisms_exp.print rows;
   Printf.printf "all mechanism verdicts as expected: %b\n" (E.Mechanisms_exp.all_ok rows)
 
+(* ---- deep-copy vs CoW snapshotting (the O(delta) representation) ----
+
+   Replicates the engine's snapshot pattern at growing image sizes: F
+   failure points, each preceded by a small persisted delta, every snapshot
+   held until the end (the legacy lifetime).  The deep baseline copies both
+   images eagerly per point — O(F x image) time and peak memory; CoW shares
+   chunks and copies only the cache-state delta, so both columns should
+   stay flat as the image grows.  Results go to BENCH_snapshots.json so
+   later changes have a perf trajectory to compare against. *)
+
+let snapshot_bench_out = "BENCH_snapshots.json"
+
+let run_snapshot_bench () =
+  let module Device = Xfd_mem.Pm_device in
+  let module Image = Xfd_mem.Image in
+  let base = Xfd_mem.Addr.pool_base in
+  let points = 32 in
+  let counter name = Option.value ~default:0 (Xfd_obs.Obs.counter_value name) in
+  let measure ~chunks ~snapf =
+    let dev = Device.create () in
+    for i = 0 to chunks - 1 do
+      Device.store_i64 dev (base + (i * Image.chunk_size)) (Int64.of_int i);
+      Device.clwb dev (base + (i * Image.chunk_size))
+    done;
+    Device.sfence dev;
+    Image.reset_peak ();
+    let live0 = Image.live_bytes () in
+    let copied0 = counter "pm.snapshot_bytes" in
+    let t0 = Unix.gettimeofday () in
+    let snaps = ref [] in
+    for p = 0 to points - 1 do
+      (* the delta an ordering point typically leaves: one persisted line *)
+      Device.store_i64 dev (base + (p * 64)) (Int64.of_int (p + 1));
+      Device.clwb dev (base + (p * 64));
+      Device.sfence dev;
+      snaps := snapf dev :: !snaps
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    let peak = Image.peak_bytes () - live0 in
+    let copied = counter "pm.snapshot_bytes" - copied0 in
+    List.iter Device.release !snaps;
+    Device.release dev;
+    (wall, peak, copied)
+  in
+  let sizes = [ 16; 64; 256; 1024 ] in
+  Printf.printf "\n== Snapshotting: deep-copy baseline vs CoW (%d failure points) ==\n" points;
+  Printf.printf "%-12s %28s   %28s\n" "" "deep copy" "copy-on-write";
+  Printf.printf "%-12s %9s %9s %8s   %9s %9s %8s\n" "image" "wall" "peak" "copied" "wall"
+    "peak" "copied";
+  let rows =
+    List.map
+      (fun chunks ->
+        let dw, dp, dc = measure ~chunks ~snapf:Device.deep_snapshot in
+        let cw, cp, cc = measure ~chunks ~snapf:Device.snapshot in
+        let kib b = Printf.sprintf "%dK" (b / 1024) in
+        Printf.printf "%-12s %8.2fms %9s %8s   %8.2fms %9s %8s\n"
+          (kib (chunks * Image.chunk_size))
+          (1000.0 *. dw) (kib dp) (kib dc) (1000.0 *. cw) (kib cp) (kib cc);
+        let open Xfd_util.Json in
+        Obj
+          [
+            ("image_bytes", Int (chunks * Image.chunk_size));
+            ( "deep",
+              Obj [ ("wall_s", Float dw); ("peak_bytes", Int dp); ("snapshot_bytes", Int dc) ]
+            );
+            ( "cow",
+              Obj [ ("wall_s", Float cw); ("peak_bytes", Int cp); ("snapshot_bytes", Int cc) ]
+            );
+          ])
+      sizes
+  in
+  let json =
+    Xfd_util.Json.Obj
+      [
+        ("type", Xfd_util.Json.Str "BENCH_snapshots");
+        ("schema_version", Xfd_util.Json.Int 1);
+        ("failure_points", Xfd_util.Json.Int points);
+        ("rows", Xfd_util.Json.Arr rows);
+      ]
+  in
+  let oc = open_out snapshot_bench_out in
+  output_string oc (Xfd_util.Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(written to %s)\n" snapshot_bench_out
+
 (* ---- bechamel microbenchmarks of the hot paths ---- *)
 
 let microbenches () =
@@ -100,8 +186,12 @@ let microbenches () =
              Xfd.Detector.replay det replay_trace ~from:0
                ~upto:(Xfd_trace.Trace.length replay_trace);
              ignore (Xfd.Detector.fork_for_post det)));
-      Test.make ~name:"frontend: device snapshot (8 KiB touched)"
-        (Staged.stage (fun () -> ignore (Xfd_mem.Pm_device.snapshot snapshot_dev)));
+      Test.make ~name:"frontend: CoW device snapshot (8 KiB touched)"
+        (Staged.stage (fun () ->
+             Xfd_mem.Pm_device.release (Xfd_mem.Pm_device.snapshot snapshot_dev)));
+      Test.make ~name:"frontend: deep device snapshot (8 KiB touched)"
+        (Staged.stage (fun () ->
+             Xfd_mem.Pm_device.release (Xfd_mem.Pm_device.deep_snapshot snapshot_dev)));
       Test.make ~name:"end-to-end: detect one btree insert"
         (Staged.stage (fun () ->
              ignore (Xfd.Engine.detect (Xfd_workloads.Btree.program ~init_size:1 ~size:1 ()))));
@@ -160,6 +250,7 @@ let () =
   | "mechanisms" -> run_mechanisms ()
   | "parallel" -> run_parallel ()
   | "mtsweep" -> run_mtsweep ()
+  | "snapshots" -> run_snapshot_bench ()
   | "micro" -> microbenches ()
   | "all" ->
     header ();
@@ -173,9 +264,10 @@ let () =
     run_ablation ();
     run_mtsweep ();
     run_parallel ();
+    run_snapshot_bench ();
     microbenches ()
   | other ->
     Printf.eprintf
-      "unknown experiment %S (expected fig12a|fig12b|fig13|table4|table5|newbugs|capability|ablation|mechanisms|mtsweep|parallel|micro|all)\n"
+      "unknown experiment %S (expected fig12a|fig12b|fig13|table4|table5|newbugs|capability|ablation|mechanisms|mtsweep|parallel|snapshots|micro|all)\n"
       other;
     exit 2

@@ -90,7 +90,8 @@ let run_cmd =
           ~doc:
             "Stream run telemetry as JSONL to $(docv): one record per pipeline span \
              plus a final summary record (counters, histograms, per-phase span \
-             durations).")
+             durations, and snapshot-footprint accounting: pm.snapshot_bytes, \
+             pm.snapshot_shared_bytes, pm.cow_faults, engine.peak_image_bytes).")
   in
   let quiet_metrics =
     Arg.(

@@ -32,9 +32,8 @@ type outcome = {
 
 type snapshot = { index : int; trace_pos : int; dev : Device.t }
 
-let now () = Unix.gettimeofday ()
-
 let c_runs = Obs.Counter.make "engine.runs"
+let g_peak_image = Obs.Gauge.make "engine.peak_image_bytes"
 let c_fp_fired = Obs.Counter.make "engine.failure_points.fired"
 let c_fp_elided = Obs.Counter.make "engine.failure_points.elided"
 let c_bug_post_error = Obs.Counter.make "bugs.post_failure_error"
@@ -88,6 +87,7 @@ let run_post ~config ~dev ~post =
 
 let detect ?(config = Config.default) program =
   Obs.Counter.incr c_runs;
+  Xfd_mem.Image.reset_peak ();
   let mark = Obs.Span.mark () in
   let cov_mark = Xfd_forensics.Coverage.mark () in
   let reports, unique_bugs, n_failure_points, pre_events, post_events =
@@ -98,22 +98,28 @@ let detect ?(config = Config.default) program =
         let trace = Trace.create () in
         let snapshots = ref [] and n_snapshots = ref 0 in
         let last_ops = ref 0 in
+        (* Lightweight CoW snapshot of the device at the current trace
+           position: O(delta since the previous failure point), the crash
+           image is materialised later inside the post run. *)
+        let record_snapshot () =
+          Obs.Span.with_ ~name:sp_snapshot (fun () ->
+              snapshots :=
+                {
+                  index = !n_snapshots;
+                  trace_pos = Trace.length trace;
+                  dev = Device.snapshot dev;
+                }
+                :: !snapshots;
+              incr n_snapshots);
+          Obs.Counter.incr c_fp_fired
+        in
         let take_snapshot ctx =
           if
             !n_snapshots < config.Config.max_failure_points
             && Ctx.update_ops ctx > !last_ops
           then begin
             last_ops := Ctx.update_ops ctx;
-            Obs.Span.with_ ~name:sp_snapshot (fun () ->
-                snapshots :=
-                  {
-                    index = !n_snapshots;
-                    trace_pos = Trace.length trace;
-                    dev = Device.snapshot dev;
-                  }
-                  :: !snapshots;
-                incr n_snapshots);
-            Obs.Counter.incr c_fp_fired
+            record_snapshot ()
           end
           else Obs.Counter.incr c_fp_elided
         in
@@ -128,18 +134,8 @@ let detect ?(config = Config.default) program =
             (match program.pre ctx with () -> () | exception Ctx.Detection_complete -> ());
             (* One terminal failure point: the state in which the pre-failure
                stage ran to completion must recover cleanly too. *)
-            if config.Config.inject_terminal_fp && Ctx.update_ops ctx > !last_ops then begin
-              Obs.Span.with_ ~name:sp_snapshot (fun () ->
-                  snapshots :=
-                    {
-                      index = !n_snapshots;
-                      trace_pos = Trace.length trace;
-                      dev = Device.snapshot dev;
-                    }
-                    :: !snapshots;
-                  incr n_snapshots);
-              Obs.Counter.incr c_fp_fired
-            end);
+            if config.Config.inject_terminal_fp && Ctx.update_ops ctx > !last_ops then
+              record_snapshot ());
         let snapshots = List.rev !snapshots in
         let commit_at =
           match config.Config.crash_mode with `Full -> `Write | `Strict -> `Persist
@@ -163,8 +159,18 @@ let detect ?(config = Config.default) program =
           Obs.Span.with_ ~name:sp_post_run
             ~meta:[ ("failure_point", Xfd_util.Json.Int s.index) ]
             (fun () ->
-              let post_dev = Device.boot (Device.crash s.dev crash_mode) in
-              run_post ~config ~dev:post_dev ~post:program.post)
+              (* Materialise this failure point's private crash image here,
+                 in the (possibly worker-domain) post run: shared chunks are
+                 immutable, so concurrent materialisation is race-free, and
+                 the snapshot's delta is dropped as soon as it has been
+                 consumed — peak memory stays O(live deltas). *)
+              let crash_img = Device.crash s.dev crash_mode in
+              let post_dev = Device.boot crash_img in
+              Xfd_mem.Image.release crash_img;
+              Device.release s.dev;
+              let r = run_post ~config ~dev:post_dev ~post:program.post in
+              Device.release post_dev;
+              r)
         in
         let post_runs =
           Obs.Span.with_ ~name:sp_post_exec (fun () ->
@@ -175,11 +181,17 @@ let detect ?(config = Config.default) program =
                 let input = Array.of_list snapshots in
                 let output = Array.make n None in
                 let next = Atomic.make 0 in
+                (* Workers never die mid-queue: each item's exception is
+                   captured in its slot and the first one (in failure-point
+                   order) re-raised after every domain has joined. *)
                 let worker () =
                   let rec go () =
                     let i = Atomic.fetch_and_add next 1 in
                     if i < n then begin
-                      output.(i) <- Some (run_one input.(i));
+                      output.(i) <-
+                        Some
+                          (try Ok (run_one input.(i))
+                           with e -> Error (e, Printexc.get_raw_backtrace ()));
                       go ()
                     end
                   in
@@ -188,7 +200,13 @@ let detect ?(config = Config.default) program =
                 let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
                 worker ();
                 List.iter Domain.join domains;
-                Array.to_list (Array.map Option.get output)
+                Array.iter
+                  (function
+                    | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+                    | Some (Ok _) | None -> ())
+                  output;
+                Array.to_list output
+                |> List.map (function Some (Ok r) -> r | Some (Error _) | None -> assert false)
               end)
         in
         let reports =
@@ -234,8 +252,10 @@ let detect ?(config = Config.default) program =
         in
         Obs.Counter.add c_unique_bugs (List.length unique_bugs);
         Obs.Histogram.observe h_pre_events (Trace.length trace);
+        Device.release dev;
         (reports, unique_bugs, List.length snapshots, Trace.length trace, !post_events))
   in
+  Obs.Gauge.set g_peak_image (float_of_int (Xfd_mem.Image.peak_bytes ()));
   let spans = Obs.Span.records_since mark in
   {
     program = program.name;
@@ -266,36 +286,45 @@ let tally o =
       else (r, s, p, e + 1))
     (0, 0, 0, 0) o.unique_bugs
 
+(* Wall-time [f] through the span machinery (the engine's only clock), so
+   the baselines need no timing path of their own. *)
+let timed_span name f =
+  let mark = Obs.Span.mark () in
+  Obs.Span.with_ ~name f;
+  List.fold_left
+    (fun acc (r : Obs.Span.record) ->
+      if String.equal r.Obs.Span.name name then acc +. r.Obs.Span.dur else acc)
+    0.0
+    (Obs.Span.records_since mark)
+
 let run_traced program =
   let dev = Device.create () in
   let trace = Trace.create () in
   let ctx = Ctx.create ~stage:Ctx.Pre_failure ~dev ~trace () in
-  let t0 = now () in
-  program.setup ctx;
-  (match program.pre ctx with () -> () | exception Ctx.Detection_complete -> ());
-  let post_dev = Device.boot (Device.crash dev Device.Full) in
-  let post_trace = Trace.create () in
-  let post_ctx = Ctx.create ~stage:Ctx.Post_failure ~dev:post_dev ~trace:post_trace () in
-  (match program.post post_ctx with
-  | () -> ()
-  | exception Ctx.Detection_complete -> ());
-  now () -. t0
+  timed_span "run_traced" (fun () ->
+      program.setup ctx;
+      (match program.pre ctx with () -> () | exception Ctx.Detection_complete -> ());
+      let post_dev = Device.boot (Device.crash dev Device.Full) in
+      let post_trace = Trace.create () in
+      let post_ctx = Ctx.create ~stage:Ctx.Post_failure ~dev:post_dev ~trace:post_trace () in
+      match program.post post_ctx with
+      | () -> ()
+      | exception Ctx.Detection_complete -> ())
 
 let run_original program =
   let dev = Device.create () in
   let trace = Trace.create () in
   let ctx = Ctx.create ~tracing:false ~stage:Ctx.Pre_failure ~dev ~trace () in
-  let t0 = now () in
-  program.setup ctx;
-  (match program.pre ctx with () -> () | exception Ctx.Detection_complete -> ());
-  let post_dev = Device.boot (Device.crash dev Device.Full) in
-  let post_ctx =
-    Ctx.create ~tracing:false ~stage:Ctx.Post_failure ~dev:post_dev ~trace ()
-  in
-  (match program.post post_ctx with
-  | () -> ()
-  | exception Ctx.Detection_complete -> ());
-  now () -. t0
+  timed_span "run_original" (fun () ->
+      program.setup ctx;
+      (match program.pre ctx with () -> () | exception Ctx.Detection_complete -> ());
+      let post_dev = Device.boot (Device.crash dev Device.Full) in
+      let post_ctx =
+        Ctx.create ~tracing:false ~stage:Ctx.Post_failure ~dev:post_dev ~trace ()
+      in
+      match program.post post_ctx with
+      | () -> ()
+      | exception Ctx.Detection_complete -> ())
 
 let pp_outcome ppf o =
   let races, semantics, perf, errors = tally o in

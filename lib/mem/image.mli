@@ -3,9 +3,22 @@
     The image is the value store; it knows nothing about caching or
     persistence (that is {!Pm_device}'s job).  Storage is chunked so that a
     pool mapped at [Addr.pool_base] costs memory proportional to the bytes
-    actually touched.  Unwritten bytes read as zero, like a fresh DAX file. *)
+    actually touched.  Unwritten bytes read as zero, like a fresh DAX file.
+
+    Chunks are structurally shared: {!snapshot} copies only the chunk table
+    and bumps per-chunk refcounts, so it is O(chunks touched), not O(bytes).
+    A chunk referenced by more than one image is immutable; the first write
+    through any of its owners takes a private copy (copy-on-write), so
+    mutations of either side stay invisible to the other, exactly as with a
+    deep copy.  Refcounts are atomic: images whose tables are private to one
+    domain may share chunks across domains (the engine's post-failure
+    worker pool relies on this). *)
 
 type t
+
+(** Chunk granularity of the store (4 KiB).  [snapshot] cost and
+    copy-on-write cost are multiples of this. *)
+val chunk_size : int
 
 val create : unit -> t
 
@@ -21,19 +34,54 @@ val write : t -> Addr.t -> bytes -> unit
 val read_i64 : t -> Addr.t -> int64
 val write_i64 : t -> Addr.t -> int64 -> unit
 
-(** Deep copy; mutations of either side are invisible to the other. *)
+(** O(chunk-table) copy-on-write snapshot; mutations of either side are
+    invisible to the other.  Byte copies are deferred to the first write of
+    each shared chunk. *)
 val snapshot : t -> t
+
+(** Eager deep copy: every chunk's bytes are duplicated up front.  This is
+    the legacy snapshot representation, kept as the baseline for the
+    snapshotting benchmarks and as the oracle for the CoW equivalence
+    tests. *)
+val deep_copy : t -> t
+
+(** Drop this image's references to its chunks (the image then reads as all
+    zeroes).  Releasing is optional — the GC reclaims unreachable images —
+    but it keeps the process-wide {!live_bytes} accounting exact and frees
+    shared chunks eagerly; the engine releases snapshots as soon as their
+    failure point has been processed. *)
+val release : t -> unit
+
+(** Bytes of this image's chunks currently shared with at least one other
+    image (i.e. not yet privately copied). *)
+val shared_bytes : t -> int
 
 (** [copy_range ~src ~dst addr size] copies a byte range between images. *)
 val copy_range : src:t -> dst:t -> Addr.t -> int -> unit
 
 (** Number of bytes ever written (an upper bound on live data; used by the
-    engine to size shadow structures and report image footprint). *)
+    engine to size shadow structures and report image footprint).  Shared
+    chunks count fully — this is the per-image logical footprint, not the
+    process-wide physical one (see {!live_bytes}). *)
 val footprint : t -> int
 
 (** [equal_range a b addr size] compares a byte range across two images. *)
 val equal_range : t -> t -> Addr.t -> int -> bool
 
 (** Iterate over every chunk that has been materialised, in address order.
-    [f base chunk] receives the base address and the chunk's bytes. *)
+    [f base chunk] receives the base address and the chunk's bytes.  The
+    bytes may be shared with other images: treat them as read-only. *)
 val iter_chunks : t -> (Addr.t -> bytes -> unit) -> unit
+
+(** {1 Process-wide chunk accounting}
+
+    Unique chunk payload bytes across every image in the process: a chunk
+    shared by ten snapshots counts once.  Mirrored in the
+    [pm.chunk_bytes_live] / [pm.chunk_bytes_peak] gauges. *)
+
+val live_bytes : unit -> int
+
+(** High-water mark of {!live_bytes} since the last {!reset_peak}. *)
+val peak_bytes : unit -> int
+
+val reset_peak : unit -> unit

@@ -59,16 +59,35 @@ val pending_bytes : t -> int
     byte is neither dirty nor pending). *)
 val is_persisted_range : t -> Addr.t -> int -> bool
 
-(** Build the PM image that a failure at this instant would leave behind. *)
+(** Build the PM image that a failure at this instant would leave behind.
+    The image shares chunks with the device copy-on-write, so this is
+    O(chunk-table + in-flight lines); actual byte copies are deferred to
+    whoever writes first. *)
 val crash : t -> crash_mode -> Image.t
 
 (** A fresh device booted from a crash image: empty caches, image and
-    persisted layers both equal to [img]. *)
+    persisted layers both equal to [img] (shared copy-on-write, so booting
+    is O(chunk-table)). *)
 val boot : Image.t -> t
 
-(** Deep copy of the whole device (image, persisted layer and cache state);
-    used by the failure-injection frontend to snapshot at failure points. *)
+(** Copy-on-write snapshot of the whole device, used by the
+    failure-injection frontend at failure points: the images are shared
+    structurally (O(chunk-table)) and only the cache-state delta — the
+    dirty and writeback-pending byte sets — is copied eagerly.  Mutations
+    of either side are invisible to the other, exactly as with
+    {!deep_snapshot}. *)
 val snapshot : t -> t
+
+(** The legacy eager snapshot: deep-copies both images up front.  Kept as
+    the baseline for the snapshotting benchmarks and as the oracle the CoW
+    equivalence tests compare against. *)
+val deep_snapshot : t -> t
+
+(** Drop the device's chunk references and cache state (see
+    {!Image.release}).  Optional — GC-safe without it — but keeps the
+    process-wide chunk accounting exact; the engine releases each snapshot
+    as soon as its failure point has been processed. *)
+val release : t -> unit
 
 (** Direct access to the architectural image (read-only uses only). *)
 val image : t -> Image.t
