@@ -242,7 +242,126 @@ let table5_cmd =
     (Cmd.info "table5" ~doc:"Run the synthetic-bug validation suite (Table 5)")
     Term.(const action $ workload)
 
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Base seed for the run.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 200
+      & info [ "budget" ] ~docv:"K" ~doc:"Number of programs to generate and check.")
+  in
+  let profile =
+    let profile_conv =
+      Arg.conv
+        ( (fun s ->
+            match Xfd_fuzz.Gen.profile_of_string s with
+            | Ok p -> Ok p
+            | Error e -> Error (`Msg e)),
+          fun ppf p -> Format.pp_print_string ppf (Xfd_fuzz.Gen.profile_to_string p) )
+    in
+    Arg.(
+      value
+      & opt profile_conv Xfd_fuzz.Gen.Buggy
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:
+            "Generator profile: $(b,correct) (clean protocols, zero findings expected), \
+             $(b,buggy) (seeded PM bugs; the default) or $(b,wild) (unconstrained op \
+             soup for differential testing).")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Corpus directory: its $(b,.xfdprog) files are replayed first as a \
+             regression gate, and shrunk repros from this run are saved into it.")
+  in
+  let max_repros =
+    Arg.(
+      value & opt int 5
+      & info [ "max-repros" ] ~docv:"N" ~doc:"Cap on harvested bug repros per run.")
+  in
+  let shrink_budget =
+    Arg.(
+      value & opt int 400
+      & info [ "shrink-budget" ] ~docv:"N"
+          ~doc:"Max predicate evaluations per shrink (each is one engine run).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay one $(b,.xfdprog) file against its $(b,expect) lines and exit; no \
+             fuzzing.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Print only the summary.") in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Stream run telemetry as JSONL to $(docv), including the fuzz.* counters \
+             (programs, divergences, meta_failures, shrink_evals, repros).")
+  in
+  let quiet_metrics =
+    Arg.(
+      value & flag
+      & info [ "quiet-metrics" ] ~doc:"Do not print the human-readable telemetry summary.")
+  in
+  let action seed budget profile corpus max_repros shrink_budget replay quiet metrics_out
+      quiet_metrics =
+    let sink = Option.map Xfd_obs.Obs.Sink.to_file metrics_out in
+    Option.iter Xfd_obs.Obs.Sink.install sink;
+    let finish ok =
+      Option.iter
+        (fun s ->
+          Xfd_obs.Obs.write_summary ();
+          Xfd_obs.Obs.Sink.uninstall s)
+        sink;
+      if not quiet_metrics then Format.eprintf "%a" Xfd_obs.Obs.pp_summary ();
+      if not ok then exit 1
+    in
+    match replay with
+    | Some file -> (
+      match Xfd_fuzz.Corpus.check file with
+      | Ok () ->
+        Printf.printf "%s: verdicts match\n" file;
+        finish true
+      | Error e ->
+        Printf.printf "%s\n" e;
+        finish false)
+    | None ->
+      let cfg =
+        {
+          Xfd_fuzz.Fuzz.seed;
+          budget;
+          profile;
+          corpus_dir = corpus;
+          max_repros;
+          shrink_budget;
+        }
+      in
+      let out = if quiet then None else Some Format.std_formatter in
+      let summary = Xfd_fuzz.Fuzz.run ?out cfg in
+      Format.printf "%a" Xfd_fuzz.Fuzz.pp_summary summary;
+      finish (Xfd_fuzz.Fuzz.clean summary)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential workload fuzzing: generated PM programs checked against a \
+          sequential reference oracle and metamorphic properties, with shrinking and a \
+          reproducible corpus")
+    Term.(
+      const action $ seed $ budget $ profile $ corpus $ max_repros $ shrink_budget $ replay
+      $ quiet $ metrics_out $ quiet_metrics)
+
 let () =
   let doc = "XFDetector (OCaml reproduction): cross-failure bug detection for PM programs" in
   let info = Cmd.info "xfd" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; newbugs_cmd; table5_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; newbugs_cmd; table5_cmd; fuzz_cmd ]))

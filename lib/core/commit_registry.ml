@@ -110,6 +110,17 @@ let apply_pending t =
 
 let drop_pending t = t.pending <- []
 
+let unregister_var t ~var =
+  match Hashtbl.find_opt t.vars var with
+  | None -> ()
+  | Some v ->
+    Addr.iter_bytes v.var_addr v.var_size (fun a -> Hashtbl.remove t.var_bytes a);
+    List.iter
+      (fun (a, n) -> Addr.iter_bytes a n (fun b -> Hashtbl.remove t.range_bytes b))
+      v.ranges;
+    t.pending <- List.filter (fun (w, _, _) -> w <> var) t.pending;
+    Hashtbl.remove t.vars var
+
 let is_commit_byte t addr = Hashtbl.mem t.var_bytes addr
 
 let window_for t addr =

@@ -39,6 +39,13 @@ val register_range :
 val on_write :
   t -> defer:bool -> addr:Xfd_mem.Addr.t -> size:int -> ts:int -> ev:int -> unit
 
+(** Remove a variable mid-run: its byte set, every associated range and any
+    deferred commit writes it owns are dropped, so its former range bytes
+    fall back to plain race-checked data.  No-op for an unknown variable;
+    the freed ranges may be re-associated with another variable
+    afterwards. *)
+val unregister_var : t -> var:Xfd_mem.Addr.t -> unit
+
 (** Apply deferred commit writes (called at each ordering point). *)
 val apply_pending : t -> unit
 

@@ -22,3 +22,13 @@ let default =
     post_jobs = 1;
     forensics = false;
   }
+
+let validate t =
+  if t.max_failure_points <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Config.max_failure_points must be positive (got %d): a non-positive cap would \
+          silently elide every failure point"
+         t.max_failure_points);
+  if t.post_jobs <= 0 then
+    invalid_arg (Printf.sprintf "Config.post_jobs must be positive (got %d)" t.post_jobs)

@@ -30,3 +30,9 @@ type t = {
 }
 
 val default : t
+
+(** Reject configurations the engine cannot honour meaningfully.  Raises
+    [Invalid_argument] when [max_failure_points <= 0] (which would silently
+    elide every failure point and report nothing) or [post_jobs <= 0].
+    {!Xfd.Engine.detect} validates its configuration on entry. *)
+val validate : t -> unit

@@ -71,6 +71,14 @@ let timings_of_spans spans =
     snapshotting;
   }
 
+(* Exceptions that indicate a broken harness or an exhausted runtime rather
+   than a finding about the program under test: these abort detection and
+   propagate (from worker domains too, via the capture-and-rejoin path)
+   instead of being recorded as [Post_failure_error]. *)
+let fatal = function
+  | Assert_failure _ | Out_of_memory | Stack_overflow -> true
+  | _ -> false
+
 let run_post ~config ~dev ~post =
   let trace = Trace.create () in
   let ctx =
@@ -81,11 +89,17 @@ let run_post ~config ~dev ~post =
     match post ctx with
     | () -> None
     | exception Ctx.Detection_complete -> None
-    | exception e -> Some (Printexc.to_string e)
+    | exception e when not (fatal e) -> Some (Printexc.to_string e)
   in
   (trace, exn)
 
-let detect ?(config = Config.default) program =
+(* The full Figure 7 pipeline.  With [only = Some k] every failure point is
+   numbered and elided exactly as in a full run, but only the point with
+   ordinal [k] is snapshotted and post-executed — the single-failure-point
+   oracle entry behind [detect_at], used by the fuzzer's shrinker and corpus
+   replay to re-check one verdict cheaply. *)
+let detect_gen ?only ?(config = Config.default) program =
+  Config.validate config;
   Obs.Counter.incr c_runs;
   Xfd_mem.Image.reset_peak ();
   let mark = Obs.Span.mark () in
@@ -96,26 +110,31 @@ let detect ?(config = Config.default) program =
       (fun () ->
         let dev = Device.create () in
         let trace = Trace.create () in
-        let snapshots = ref [] and n_snapshots = ref 0 in
+        let snapshots = ref [] and fired = ref 0 in
         let last_ops = ref 0 in
         (* Lightweight CoW snapshot of the device at the current trace
            position: O(delta since the previous failure point), the crash
-           image is materialised later inside the post run. *)
+           image is materialised later inside the post run.  [fired] counts
+           every failure point a full run would snapshot, so ordinals are
+           stable whether or not [only] filters the actual snapshots. *)
         let record_snapshot () =
-          Obs.Span.with_ ~name:sp_snapshot (fun () ->
-              snapshots :=
-                {
-                  index = !n_snapshots;
-                  trace_pos = Trace.length trace;
-                  dev = Device.snapshot dev;
-                }
-                :: !snapshots;
-              incr n_snapshots);
+          (match only with
+          | Some k when k <> !fired -> ()
+          | Some _ | None ->
+            Obs.Span.with_ ~name:sp_snapshot (fun () ->
+                snapshots :=
+                  {
+                    index = !fired;
+                    trace_pos = Trace.length trace;
+                    dev = Device.snapshot dev;
+                  }
+                  :: !snapshots));
+          incr fired;
           Obs.Counter.incr c_fp_fired
         in
         let take_snapshot ctx =
           if
-            !n_snapshots < config.Config.max_failure_points
+            !fired < config.Config.max_failure_points
             && Ctx.update_ops ctx > !last_ops
           then begin
             last_ops := Ctx.update_ops ctx;
@@ -268,6 +287,11 @@ let detect ?(config = Config.default) program =
     spans;
     coverage = Xfd_forensics.Coverage.since cov_mark;
   }
+
+let detect ?config program = detect_gen ?config program
+
+let detect_at ?config ~failure_point program =
+  detect_gen ~only:failure_point ?config program
 
 let wall_breakdown o =
   let t = o.timings in

@@ -50,7 +50,24 @@ type outcome = {
           bug counts — counter deltas over the run *)
 }
 
+(** Exceptions escaping the post-failure program are recorded as
+    [Post_failure_error] findings — except fatal runtime conditions
+    ([Assert_failure], [Out_of_memory], [Stack_overflow]), which indicate a
+    broken harness rather than a PM bug: those abort detection and re-raise
+    the original exception, including out of worker domains when
+    [config.post_jobs > 1] (workers capture per-item exceptions and the
+    first, in failure-point order, is re-raised after every domain has
+    joined). *)
 val detect : ?config:Config.t -> program -> outcome
+
+(** [detect_at ~failure_point program] is the single-failure-point oracle
+    entry: the pipeline runs exactly as {!detect} — failure points are
+    numbered, elided and capped identically — but only the point with the
+    given ordinal is snapshotted and post-executed, so the outcome carries
+    at most one failure report (none when the ordinal is out of range).
+    The fuzzer's shrinker and corpus replay use this to re-check one
+    verdict without paying for the full sweep. *)
+val detect_at : ?config:Config.t -> failure_point:int -> program -> outcome
 
 (** Aggregate a span tree into the Figure 12 timing struct: phase totals
     by span name, with snapshot time carved out of [pre_exec].  [detect]

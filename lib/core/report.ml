@@ -47,12 +47,16 @@ let provenance = function
     provenance
   | Post_failure_error _ -> None
 
-let dedup_key = function
+(* The fields that define a bug's *identity*: kind, program points and the
+   kind-specific qualifier.  Everything else — addr, size and in particular
+   the provenance chain — is deliberately never inspected here, so enabling
+   forensics (--explain) cannot perturb deduplication by construction: the
+   key is derived from this projection and nothing else. *)
+let identity = function
   | Race { read_loc; write_loc; uninit; _ } ->
-    Printf.sprintf "race:%s:%s:%b" (Loc.to_string read_loc) (Loc.to_string write_loc) uninit
+    (`Race, Loc.to_string read_loc, Loc.to_string write_loc, string_of_bool uninit)
   | Semantic { read_loc; write_loc; status; _ } ->
-    Printf.sprintf "semantic:%s:%s:%s" (Loc.to_string read_loc) (Loc.to_string write_loc)
-      (Cstate.to_string status)
+    (`Semantic, Loc.to_string read_loc, Loc.to_string write_loc, Cstate.to_string status)
   | Perf { loc; waste; _ } ->
     let w =
       match waste with
@@ -60,8 +64,15 @@ let dedup_key = function
       | `Flush Pstate.Unnecessary_flush -> "unnecessary-flush"
       | `Duplicate_tx_add -> "duplicate-tx-add"
     in
-    Printf.sprintf "perf:%s:%s" (Loc.to_string loc) w
-  | Post_failure_error { exn; _ } -> Printf.sprintf "post-error:%s" exn
+    (`Perf, Loc.to_string loc, "", w)
+  | Post_failure_error { exn; _ } -> (`Post_error, exn, "", "")
+
+let dedup_key bug =
+  match identity bug with
+  | `Race, r, w, uninit -> Printf.sprintf "race:%s:%s:%s" r w uninit
+  | `Semantic, r, w, status -> Printf.sprintf "semantic:%s:%s:%s" r w status
+  | `Perf, l, _, w -> Printf.sprintf "perf:%s:%s" l w
+  | `Post_error, exn, _, _ -> Printf.sprintf "post-error:%s" exn
 
 let pp_bug ppf = function
   | Race { addr; size; read_loc; write_loc; uninit; _ } ->

@@ -1,0 +1,26 @@
+(** Reproducible corpus of [.xfdprog] programs.
+
+    A corpus file is a serialised {!Prog.t} followed by [expect <dedup-key>]
+    lines recording the engine's deduplicated verdicts when the file was
+    written.  Replaying a file and comparing against its [expect] lines is
+    the fuzzer's regression check; a shrunk divergence or bug repro is saved
+    the same way, under a content-derived name ([fuzz-<digest>.xfdprog]), so
+    re-saving the same program is idempotent. *)
+
+(** Run a program through the full engine pipeline and return the sorted
+    unique dedup keys of its findings. *)
+val replay : ?config:Xfd.Config.t -> Prog.t -> string list
+
+(** Write [prog] and its expected keys under [dir] (created if missing).
+    Returns the file path. *)
+val save : dir:string -> keys:string list -> Prog.t -> string
+
+val load : string -> (Prog.t * string list, string) result
+
+(** The [.xfdprog] files directly under [dir], sorted by name; empty when
+    the directory does not exist. *)
+val files : dir:string -> string list
+
+(** Replay one corpus file against its [expect] lines.  [Error] describes
+    the mismatch (or a parse failure). *)
+val check : ?config:Xfd.Config.t -> string -> (unit, string) result

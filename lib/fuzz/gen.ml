@@ -1,0 +1,266 @@
+module Rng = Xfd_util.Rng
+
+type profile = Correct | Buggy | Wild
+
+let profile_to_string = function Correct -> "correct" | Buggy -> "buggy" | Wild -> "wild"
+
+let profile_of_string = function
+  | "correct" -> Ok Correct
+  | "buggy" -> Ok Buggy
+  | "wild" -> Ok Wild
+  | s -> Error (Printf.sprintf "unknown profile %S (want correct|buggy|wild)" s)
+
+(* Arena layout used by the structured profiles.  Commit ranges live in
+   line 0 (so two variables' ranges share a cache line, like the paper's
+   Figure 11), in-place data in line 1, scratch data in line 2, commit
+   variables in line 3.  Only in-place slots — the ones guarded recovery
+   rolls back — and commit variables are read unconditionally after a
+   failure; scratch slots are written but never post-read, which is what
+   keeps the [Correct] profile finding-free at intermediate points. *)
+let var_a = 24
+let var_b = 25
+let range_a = 0
+let range_b = 4
+let inplace = [ 8; 9; 10; 11; 12; 13; 14; 15 ]
+let scratch = [ 16; 17; 18; 19; 20; 21; 22; 23 ]
+
+let pick rng l = List.nth l (Rng.int rng (List.length l))
+let rand_v rng = Int64.of_int (2 + Rng.int rng 250)
+
+type builder = {
+  rng : Rng.t;
+  mutable ops_rev : Prog.op list;
+  mutable rolled : (int * int list) list; (* var slot -> in-place slots touched *)
+  mutable read_scratch : int list; (* scratch slots a bug phrase wants post-read *)
+  mutable read_ranges : (int * int) list; (* unguarded range reads to add *)
+}
+
+let emit b ops = b.ops_rev <- List.rev_append ops b.ops_rev
+
+let touch b var d =
+  let prev = try List.assoc var b.rolled with Not_found -> [] in
+  if not (List.mem d prev) then
+    b.rolled <- (var, d :: prev) :: List.remove_assoc var b.rolled
+
+let store ?(nt = false) b s = Prog.Store { slot = s; v = rand_v b.rng; nt }
+let persist s = [ Prog.Flush { slot = s; opt = false }; Prog.Fence ]
+
+let range_stores b (rs, rn) = List.init rn (fun i -> store b (rs + i))
+
+(* -- clean phrases -- *)
+
+let ph_plain b =
+  let d = pick b.rng scratch in
+  emit b ((store b d :: persist d))
+
+let ph_nt b =
+  let d = pick b.rng scratch in
+  emit b [ store ~nt:true b d; Prog.Fence ]
+
+let ph_guarded b (var, (rs, rn)) =
+  let d = pick b.rng inplace in
+  touch b var d;
+  emit b
+    (range_stores b (rs, rn)
+    @ persist rs
+    @ (Prog.Store { slot = var; v = 1L; nt = false } :: persist var)
+    @ (store b d :: persist d)
+    @ (Prog.Store { slot = var; v = 0L; nt = false } :: persist var))
+
+let ph_tx b =
+  let d1 = pick b.rng scratch in
+  let d2 = pick b.rng (List.filter (fun s -> s <> d1) scratch) in
+  emit b
+    [
+      Prog.Tx_begin;
+      Prog.Tx_add { slot = d1; n = 1 };
+      Prog.Tx_add { slot = d2; n = 1 };
+      Prog.Tx_commit;
+    ]
+
+let ph_read b =
+  let s = pick b.rng (inplace @ scratch) in
+  emit b [ Prog.Read { slot = s; n = 1 } ]
+
+(* -- seeded-bug phrases -- *)
+
+let ph_missing_flush b =
+  let d = pick b.rng scratch in
+  b.read_scratch <- d :: b.read_scratch;
+  emit b [ store b d; Prog.Fence ]
+
+let ph_missing_fence b =
+  let d = pick b.rng scratch in
+  b.read_scratch <- d :: b.read_scratch;
+  emit b [ store b d; Prog.Flush { slot = d; opt = Rng.bool b.rng } ]
+
+let ph_early_commit b (var, (rs, rn)) =
+  (* Commit before the data persists: guarded recovery reads dirty backup. *)
+  emit b
+    (range_stores b (rs, rn)
+    @ (Prog.Store { slot = var; v = 1L; nt = false } :: persist var))
+
+let ph_stale b (var, (rs, rn)) =
+  (* Full committed rewrite, then a partial one: the untouched range slots
+     fall outside the second commit window — stale under guarded reads. *)
+  emit b
+    (range_stores b (rs, rn)
+    @ persist rs
+    @ (Prog.Store { slot = var; v = 1L; nt = false } :: persist var)
+    @ (store b rs :: persist rs)
+    @ (Prog.Store { slot = var; v = 1L; nt = false } :: persist var))
+
+let ph_double_flush b =
+  let d = pick b.rng scratch in
+  emit b
+    [ store b d; Prog.Flush { slot = d; opt = false }; Prog.Flush { slot = d; opt = false }; Prog.Fence ]
+
+let ph_unnecessary_flush b =
+  let d = pick b.rng scratch in
+  emit b ((store b d :: persist d) @ [ Prog.Flush { slot = d; opt = Rng.bool b.rng } ])
+
+let ph_dup_tx b =
+  let d = pick b.rng [ 16; 17; 18; 19; 20; 21; 22 ] in
+  emit b
+    [
+      Prog.Tx_begin;
+      Prog.Tx_add { slot = d; n = 2 };
+      Prog.Tx_add { slot = d + 1; n = 1 };
+      Prog.Tx_commit;
+    ]
+
+let ph_unguarded_range_read b (_, (rs, rn)) =
+  b.read_ranges <- (rs + Rng.int b.rng rn, 1) :: b.read_ranges
+
+(* -- whole-program assembly for the structured profiles -- *)
+
+let structured profile rng =
+  let vars =
+    (var_a, (range_a, 1 + Rng.int rng 4))
+    :: (if Rng.int rng 3 = 0 then [ (var_b, (range_b, 1 + Rng.int rng 4)) ] else [])
+  in
+  let setup_slots = List.filter (fun _ -> Rng.int rng 3 = 0) (inplace @ scratch) in
+  let b = { rng; ops_rev = []; rolled = []; read_scratch = []; read_ranges = [] } in
+  let clean_phrase () =
+    match Rng.int rng 6 with
+    | 0 | 1 -> ph_plain b
+    | 2 -> ph_nt b
+    | 3 -> ph_guarded b (pick rng vars)
+    | 4 -> ph_tx b
+    | _ -> ph_read b
+  in
+  let bug_phrase () =
+    match Rng.int rng 8 with
+    | 0 -> ph_missing_flush b
+    | 1 -> ph_missing_fence b
+    | 2 -> ph_early_commit b (pick rng vars)
+    | 3 -> ph_stale b (pick rng vars)
+    | 4 -> ph_double_flush b
+    | 5 -> ph_unnecessary_flush b
+    | 6 -> ph_dup_tx b
+    | _ -> ph_unguarded_range_read b (pick rng vars)
+  in
+  let n_phrases = 2 + Rng.int rng 4 in
+  let bugged = ref false in
+  for _ = 1 to n_phrases do
+    match profile with
+    | Correct -> clean_phrase ()
+    | _ ->
+      if Rng.int rng 3 = 0 then begin
+        bugged := true;
+        bug_phrase ()
+      end
+      else clean_phrase ()
+  done;
+  if profile = Buggy && not !bugged then ph_missing_flush b;
+  let ops = List.rev b.ops_rev |> List.mapi (fun i op -> (i + 1, op)) in
+  let recovers =
+    List.mapi
+      (fun i (var, (rs, rn)) ->
+        {
+          Prog.rid = i + 1;
+          var;
+          backup = [ (rs, rn) ];
+          rollback = (try List.sort compare (List.assoc var b.rolled) with Not_found -> []);
+        })
+      vars
+  in
+  let post_targets =
+    List.sort_uniq compare
+      (List.map fst vars
+      @ List.filter (fun _ -> Rng.int rng 2 = 0) inplace
+      @ b.read_scratch)
+  in
+  let post_reads =
+    List.mapi (fun i s -> (i + 1, s, 1)) post_targets
+    @ List.mapi
+        (fun i (s, n) -> (100 + i, s, n))
+        (List.sort_uniq compare b.read_ranges)
+  in
+  { Prog.commit_vars = vars; setup_slots; ops; recovers; post_reads }
+
+(* -- unconstrained soup for differential testing -- *)
+
+let wild rng =
+  let vars =
+    List.concat
+      [
+        (if Rng.bool rng then [ (var_a, (range_a, Rng.int rng 5)) ] else []);
+        (if Rng.int rng 3 = 0 then [ (var_b, (range_b, Rng.int rng 5)) ] else []);
+      ]
+  in
+  let setup_slots =
+    List.filter (fun _ -> Rng.int rng 5 = 0) (List.init Prog.n_slots Fun.id)
+  in
+  let any_slot () = Rng.int rng Prog.n_slots in
+  let any_range () =
+    let s = Rng.int rng Prog.n_slots in
+    (s, 1 + Rng.int rng (min 3 (Prog.n_slots - s)))
+  in
+  let n_ops = 3 + Rng.int rng 15 in
+  let ops =
+    List.init n_ops (fun i ->
+        let op =
+          match Rng.int rng 9 with
+          | 0 | 1 ->
+            Prog.Store
+              { slot = any_slot (); v = Int64.of_int (Rng.int rng 3); nt = Rng.int rng 4 = 0 }
+          | 2 | 3 -> Prog.Flush { slot = any_slot (); opt = Rng.bool rng }
+          | 4 -> Prog.Fence
+          | 5 ->
+            let s, n = any_range () in
+            Prog.Read { slot = s; n }
+          | 6 -> Prog.Tx_begin
+          | 7 ->
+            let s, n = any_range () in
+            Prog.Tx_add { slot = s; n }
+          | _ -> Prog.Tx_commit
+        in
+        (i + 1, op))
+  in
+  let recovers =
+    if vars = [] then []
+    else
+      List.init (Rng.int rng 3) (fun i ->
+          {
+            Prog.rid = i + 1;
+            var = fst (pick rng vars);
+            backup = List.init (Rng.int rng 3) (fun _ -> any_range ());
+            rollback =
+              List.sort_uniq compare (List.init (Rng.int rng 4) (fun _ -> any_slot ()));
+          })
+  in
+  let post_reads =
+    List.init (Rng.int rng 5) (fun i ->
+        let s, n = any_range () in
+        (i + 1, s, n))
+  in
+  { Prog.commit_vars = vars; setup_slots; ops; recovers; post_reads }
+
+let generate profile rng =
+  let p =
+    match profile with Correct | Buggy -> structured profile rng | Wild -> wild rng
+  in
+  match Prog.check p with
+  | Ok () -> p
+  | Error e -> invalid_arg ("Gen.generate produced an invalid program: " ^ e)

@@ -1,0 +1,26 @@
+(** Random well-formed fuzz programs.
+
+    Programs are built from protocol phrases over the slot arena:
+
+    - [Correct] emits only clean phrases — persisted plain/NT writes, the
+      Figure-2-shaped guarded backup/commit protocol (write backup, persist,
+      set flag, persist, update in place, persist, clear flag, persist) with
+      a matching guarded recovery, disjoint TX adds, inert reads.  A correct
+      program must produce zero findings at every failure point.
+    - [Buggy] mixes those with seeded-bug phrases: missing flush, missing
+      fence, commit-before-persist, partial range rewrite before a commit
+      (stale data), double/unnecessary flush, duplicate TX add, and
+      unguarded reads of commit-governed ranges.
+    - [Wild] draws unconstrained op soup (any slot, unbalanced
+      transactions, random recoveries) — still structurally valid, used
+      purely for differential oracle agreement.
+
+    Generation is deterministic in the given {!Xfd_util.Rng.t}. *)
+
+type profile = Correct | Buggy | Wild
+
+val profile_to_string : profile -> string
+
+val profile_of_string : string -> (profile, string) result
+
+val generate : profile -> Xfd_util.Rng.t -> Prog.t

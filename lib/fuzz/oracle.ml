@@ -1,0 +1,360 @@
+module Addr = Xfd_mem.Addr
+module Loc = Xfd_util.Loc
+module Report = Xfd.Report
+module Cstate = Xfd.Cstate
+module Pstate = Xfd.Pstate
+
+(* The oracle's own four-state persistence machine (paper Figure 9). *)
+type ps = Clean | Dirty | Pending | Durable
+
+type byte = {
+  mutable ps : ps;
+  mutable tlast : int;
+  mutable writer : Loc.t;
+  mutable post_written : bool;
+}
+
+type vstate = { mutable t_prelast : int; mutable t_last : int; mutable commits : int }
+
+type st = {
+  bytes : (Addr.t, byte) Hashtbl.t;
+  pending : (Addr.t, unit) Hashtbl.t;
+      (* captured-awaiting-fence bytes of *this* layer: a fork starts with
+         an empty set, so pre-failure pending bytes stay pending across the
+         failure — exactly the shadow-overlay semantics. *)
+  dev_pending : (Addr.t, unit) Hashtbl.t;
+      (* the *device's* captured set, which a re-store does not evict (the
+         flush already captured the value, so the fence still writes it
+         back).  Fence promotion for failure-point elision is judged against
+         this set, not the shadow one. *)
+  values : (Addr.t, int64) Hashtbl.t; (* slot -> architectural value *)
+  vars : (Addr.t, vstate) Hashtbl.t;
+  var_bytes : (Addr.t, Addr.t) Hashtbl.t; (* immutable after registration *)
+  range_bytes : (Addr.t, Addr.t) Hashtbl.t;
+  mutable ts : int;
+  mutable update_ops : int;
+  mutable in_roi : bool;
+  mutable tx_active : bool;
+  mutable tx_added : (Addr.t * int) list;
+}
+
+let fresh () =
+  {
+    bytes = Hashtbl.create 256;
+    pending = Hashtbl.create 64;
+    dev_pending = Hashtbl.create 64;
+    values = Hashtbl.create 64;
+    vars = Hashtbl.create 8;
+    var_bytes = Hashtbl.create 32;
+    range_bytes = Hashtbl.create 64;
+    ts = 0;
+    update_ops = 0;
+    in_roi = false;
+    tx_active = false;
+    tx_added = [];
+  }
+
+let copy_byte b =
+  { ps = b.ps; tlast = b.tlast; writer = b.writer; post_written = b.post_written }
+
+(* A failure-point fork: deep state copy, but an empty pending set (see
+   above) and the registration maps shared — registration precedes the RoI,
+   so no fork can observe it changing. *)
+let fork st =
+  let bytes = Hashtbl.create (Hashtbl.length st.bytes) in
+  Hashtbl.iter (fun a b -> Hashtbl.replace bytes a (copy_byte b)) st.bytes;
+  let vars = Hashtbl.create (Hashtbl.length st.vars) in
+  Hashtbl.iter
+    (fun a v ->
+      Hashtbl.replace vars a
+        { t_prelast = v.t_prelast; t_last = v.t_last; commits = v.commits })
+    st.vars;
+  {
+    bytes;
+    pending = Hashtbl.create 16;
+    dev_pending = Hashtbl.create 16;
+    values = Hashtbl.copy st.values;
+    vars;
+    var_bytes = st.var_bytes;
+    range_bytes = st.range_bytes;
+    ts = st.ts;
+    update_ops = st.update_ops;
+    in_roi = true;
+    tx_active = false;
+    tx_added = [];
+  }
+
+let byte_of st a =
+  match Hashtbl.find_opt st.bytes a with
+  | Some b -> b
+  | None ->
+    let b = { ps = Clean; tlast = -1; writer = Loc.unknown; post_written = false } in
+    Hashtbl.replace st.bytes a b;
+    b
+
+(* An 8-byte aligned store: FSM transition per byte, commit every overlapped
+   variable once, refresh the architectural value. *)
+let do_write st ~loc ~post addr v ~nt =
+  let touched = ref [] in
+  Addr.iter_bytes addr Prog.slot_size (fun a ->
+      (match Hashtbl.find_opt st.var_bytes a with
+      | Some var when not (List.mem var !touched) -> touched := var :: !touched
+      | Some _ | None -> ());
+      let b = byte_of st a in
+      b.ps <- (if nt then Pending else Dirty);
+      b.tlast <- st.ts;
+      b.writer <- loc;
+      if post then b.post_written <- true;
+      if nt then begin
+        Hashtbl.replace st.pending a ();
+        Hashtbl.replace st.dev_pending a ()
+      end
+      else
+        (* The shadow byte goes back to dirty, but a value the device
+           already captured still reaches PM at the next fence. *)
+        Hashtbl.remove st.pending a);
+  List.iter
+    (fun var ->
+      let v = Hashtbl.find st.vars var in
+      v.t_prelast <- v.t_last;
+      v.t_last <- st.ts;
+      v.commits <- v.commits + 1)
+    (List.rev !touched);
+  Hashtbl.replace st.values addr v;
+  st.update_ops <- st.update_ops + 1
+
+(* Flush classification, mirroring [Shadow_pm.flush_line]: any dirty byte
+   makes the flush useful; otherwise pending beats persisted for the waste
+   verdict, and an untracked line is silent. *)
+let do_flush st ~check_perf ~loc ~add_key addr =
+  let line = Addr.line_of addr in
+  let dirty = ref false and pend = ref false and durable = ref false in
+  Addr.iter_bytes line Addr.line_size (fun a ->
+      match Hashtbl.find_opt st.bytes a with
+      | None -> ()
+      | Some b -> (
+        match b.ps with
+        | Dirty -> dirty := true
+        | Pending -> pend := true
+        | Durable -> durable := true
+        | Clean -> ()));
+  (if !dirty then
+     Addr.iter_bytes line Addr.line_size (fun a ->
+         match Hashtbl.find_opt st.bytes a with
+         | Some b when b.ps = Dirty ->
+           b.ps <- Pending;
+           Hashtbl.replace st.pending a ();
+           Hashtbl.replace st.dev_pending a ()
+         | Some _ | None -> ())
+   else
+     let waste =
+       if !pend then Some Pstate.Double_flush
+       else if !durable then Some Pstate.Unnecessary_flush
+       else None
+     in
+     match waste with
+     | Some w when check_perf && st.in_roi ->
+       add_key
+         (Report.dedup_key
+            (Report.Perf { addr = line; loc; waste = `Flush w; provenance = None }))
+     | Some _ | None -> ());
+  st.update_ops <- st.update_ops + 1
+
+(* A fence promotes this layer's captured bytes; it counts as a PM-status
+   change — for failure-point elision — only when it promoted something. *)
+let do_fence st =
+  let promotes = Hashtbl.length st.dev_pending > 0 in
+  Hashtbl.iter
+    (fun a () ->
+      let b = byte_of st a in
+      if b.ps = Pending then b.ps <- Durable)
+    st.pending;
+  Hashtbl.reset st.pending;
+  Hashtbl.reset st.dev_pending;
+  st.ts <- st.ts + 1;
+  if promotes then st.update_ops <- st.update_ops + 1
+
+let do_tx_add st ~check_perf ~loc ~add_key addr size =
+  if st.tx_active then begin
+    if
+      check_perf && st.in_roi
+      && List.exists (fun r -> Addr.overlap r (addr, size)) st.tx_added
+    then
+      add_key
+        (Report.dedup_key
+           (Report.Perf { addr; loc; waste = `Duplicate_tx_add; provenance = None }));
+    st.tx_added <- (addr, size) :: st.tx_added
+  end
+
+(* Verdict for one byte of a post-failure read, in the detector's exact
+   check order: first-read-only, commit bytes benign, untracked ok,
+   post-written ok, unpersisted races, persisted checks its Eq. 3 window. *)
+let check_byte fk ~checked ~add_key ~loc a =
+  if not (Hashtbl.mem checked a) then begin
+    Hashtbl.replace checked a ();
+    if not (Hashtbl.mem fk.var_bytes a) then
+      match Hashtbl.find_opt fk.bytes a with
+      | None -> ()
+      | Some b ->
+        if b.post_written then ()
+        else (
+          match b.ps with
+          | Dirty | Pending ->
+            add_key
+              (Report.dedup_key
+                 (Report.Race
+                    {
+                      addr = a;
+                      size = 1;
+                      read_loc = loc;
+                      write_loc = b.writer;
+                      uninit = false;
+                      provenance = None;
+                    }))
+          | Clean -> ()
+          | Durable -> (
+            let semantic status =
+              add_key
+                (Report.dedup_key
+                   (Report.Semantic
+                      {
+                        addr = a;
+                        size = 1;
+                        read_loc = loc;
+                        write_loc = b.writer;
+                        status;
+                        provenance = None;
+                      }))
+            in
+            match Hashtbl.find_opt fk.range_bytes a with
+            | None -> ()
+            | Some var ->
+              let v = Hashtbl.find fk.vars var in
+              if v.commits = 0 then semantic Cstate.not_committed
+              else
+                let t_prelast = if v.commits = 1 then -1 else v.t_prelast in
+                let s =
+                  Cstate.classify ~t_prelast ~t_last:v.t_last ~tlast:b.tlast
+                in
+                if not (Cstate.is_consistent s) then semantic s))
+  end
+
+(* Evaluate the whole post-failure stage against one failure-point fork:
+   the shared [Prog.run_post] drives recovery guards, with reads checking
+   bytes, writes marking them post-written (and committing variables at the
+   fork's own timestamps), flushes and fences running the same FSM. *)
+let run_post_on ~check_perf ~add_key prog fk =
+  let checked = Hashtbl.create 64 in
+  let backend =
+    {
+      Prog.read =
+        (fun ~loc addr n -> Addr.iter_bytes addr n (check_byte fk ~checked ~add_key ~loc));
+      read_i64 =
+        (fun ~loc addr ->
+          Addr.iter_bytes addr Prog.slot_size (check_byte fk ~checked ~add_key ~loc);
+          match Hashtbl.find_opt fk.values addr with Some v -> v | None -> 0L);
+      write = (fun ~loc addr v -> do_write fk ~loc ~post:true addr v ~nt:false);
+      flush = (fun ~loc addr -> do_flush fk ~check_perf ~loc ~add_key addr);
+      fence = (fun ~loc:_ -> do_fence fk);
+    }
+  in
+  Prog.run_post prog backend
+
+type result = { keys : string list; failure_points : int }
+
+let run ?(config = Xfd.Config.default) (p : Prog.t) =
+  (match config.Xfd.Config.crash_mode with
+  | `Full -> ()
+  | `Strict -> invalid_arg "Oracle.run: only the `Full crash mode is supported");
+  (match Prog.check p with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Oracle.run: invalid program: " ^ e));
+  let check_perf = config.Xfd.Config.check_perf in
+  let keys = Hashtbl.create 64 in
+  let add_key k = Hashtbl.replace keys k () in
+  let st = fresh () in
+  let snaps = ref [] and fired = ref 0 and last_ops = ref 0 in
+  let record () =
+    snaps := (!fired, fork st) :: !snaps;
+    incr fired
+  in
+  let fence_fp () =
+    (* Fired before the fence's own effects, like the frontend hook. *)
+    if
+      st.in_roi
+      && !fired < config.Xfd.Config.max_failure_points
+      && st.update_ops > !last_ops
+    then begin
+      last_ops := st.update_ops;
+      record ()
+    end
+  in
+  (* -- setup, outside the RoI (mirrors [Prog.to_program]) -- *)
+  List.iteri
+    (fun i s ->
+      do_write st
+        ~loc:(Loc.make ~file:"fuzz.setup" ~line:i)
+        ~post:false (Prog.slot_addr s)
+        (Int64.of_int (0x5e00 + s))
+        ~nt:false)
+    p.Prog.setup_slots;
+  (match p.Prog.setup_slots with
+  | [] -> ()
+  | ss ->
+    let lines =
+      List.fold_left
+        (fun acc s ->
+          let l = Addr.line_of (Prog.slot_addr s) in
+          if List.mem l acc then acc else l :: acc)
+        [] ss
+      |> List.rev
+    in
+    List.iter
+      (fun l ->
+        do_flush st ~check_perf ~loc:(Loc.make ~file:"fuzz.setup" ~line:99) ~add_key l)
+      lines;
+    do_fence st);
+  (* -- registration -- *)
+  List.iter
+    (fun (v, (s, n)) ->
+      let var = Prog.slot_addr v in
+      Hashtbl.replace st.vars var { t_prelast = -1; t_last = -1; commits = 0 };
+      Addr.iter_bytes var Prog.slot_size (fun a -> Hashtbl.replace st.var_bytes a var);
+      if n > 0 then
+        Addr.iter_bytes (Prog.slot_addr s) (n * Prog.slot_size) (fun a ->
+            Hashtbl.replace st.range_bytes a var))
+    p.Prog.commit_vars;
+  (* -- RoI body -- *)
+  st.in_roi <- true;
+  List.iter
+    (fun (id, op) ->
+      let loc = Prog.pre_loc id in
+      match op with
+      | Prog.Store { slot; v; nt } -> do_write st ~loc ~post:false (Prog.slot_addr slot) v ~nt
+      | Prog.Flush { slot; opt = _ } ->
+        do_flush st ~check_perf ~loc ~add_key (Prog.slot_addr slot)
+      | Prog.Fence ->
+        fence_fp ();
+        do_fence st
+      | Prog.Read _ -> ()
+      | Prog.Tx_begin ->
+        st.tx_active <- true;
+        st.tx_added <- []
+      | Prog.Tx_add { slot; n } ->
+        do_tx_add st ~check_perf ~loc ~add_key (Prog.slot_addr slot) (n * Prog.slot_size)
+      | Prog.Tx_commit ->
+        st.tx_active <- false;
+        st.tx_added <- [])
+    p.Prog.ops;
+  st.in_roi <- false;
+  (* -- terminal failure point: completion must also recover cleanly -- *)
+  if config.Xfd.Config.inject_terminal_fp && st.update_ops > !last_ops then record ();
+  (* -- post-failure stage, once per failure point -- *)
+  List.iter (fun (_, fk) -> run_post_on ~check_perf ~add_key p fk) (List.rev !snaps);
+  {
+    keys = List.sort_uniq String.compare (Hashtbl.fold (fun k () acc -> k :: acc) keys []);
+    failure_points = !fired;
+  }
+
+let keys_of_outcome (o : Xfd.Engine.outcome) =
+  List.sort_uniq String.compare (List.map Report.dedup_key o.Xfd.Engine.unique_bugs)

@@ -1,0 +1,30 @@
+(** Sequential reference oracle: ground-truth verdicts for a fuzz program.
+
+    [run] interprets a {!Prog.t} directly — no device, no traces, no
+    snapshots, no replay — maintaining one per-byte persistence state
+    machine, per-variable commit windows and a timestamp counter, and
+    evaluating every post-failure read at every failure point against a
+    deep copy of the pre-failure state taken at that point.  It implements
+    the paper's rules (Figure 9 persistence FSM, Eq. 3 consistency windows,
+    the flush/TX performance-bug conditions) from the program syntax, so a
+    mismatch with [Engine.detect]'s deduplicated bug set flags a defect in
+    the pipeline: tracing, snapshotting, replay, forking or deduplication.
+
+    Failure points are placed as the engine places them — before each RoI
+    fence and once terminally — including the elision rule (no PM-status
+    change since the last point fires no point) and the
+    [max_failure_points] cap, since both are verdict-relevant.
+
+    Only the default [`Full] crash mode is supported ([Invalid_argument]
+    otherwise): post-failure guards read architectural values. *)
+
+type result = {
+  keys : string list;  (** expected [Report.dedup_key]s, sorted, unique *)
+  failure_points : int;  (** how many points the engine should fire *)
+}
+
+val run : ?config:Xfd.Config.t -> Prog.t -> result
+
+(** Sorted unique dedup keys of an engine outcome, for comparison against
+    {!result}[.keys]. *)
+val keys_of_outcome : Xfd.Engine.outcome -> string list

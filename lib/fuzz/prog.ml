@@ -1,0 +1,322 @@
+module Addr = Xfd_mem.Addr
+module Loc = Xfd_util.Loc
+module Ctx = Xfd_sim.Ctx
+
+let slot_size = 8
+let n_slots = 32 (* 4 cache lines of 8 slots *)
+let slot_addr i = Addr.pool_base + (i * slot_size)
+
+type op =
+  | Store of { slot : int; v : int64; nt : bool }
+  | Flush of { slot : int; opt : bool }
+  | Fence
+  | Read of { slot : int; n : int }
+  | Tx_begin
+  | Tx_add of { slot : int; n : int }
+  | Tx_commit
+
+type recover = { rid : int; var : int; backup : (int * int) list; rollback : int list }
+
+type t = {
+  commit_vars : (int * (int * int)) list;
+  setup_slots : int list;
+  ops : (int * op) list;
+  recovers : recover list;
+  post_reads : (int * int * int) list;
+}
+
+let size t = List.length t.ops + List.length t.recovers + List.length t.post_reads
+let equal (a : t) b = a = b
+
+let check t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let ok_slot s = s >= 0 && s < n_slots in
+  let ok_range s n = n >= 1 && ok_slot s && s + n <= n_slots in
+  let rec go_vars covered = function
+    | [] -> Ok ()
+    | (v, (s, n)) :: rest ->
+      if not (ok_slot v) then err "commit var slot %d out of range" v
+      else if n < 0 || (n > 0 && not (ok_range s n)) then
+        err "commit range %d+%d out of range" s n
+      else if List.exists (fun (s', n') -> Addr.overlap (s, max n 1) (s', n')) covered
+      then err "overlapping commit ranges at slot %d" s
+      else go_vars (if n > 0 then (s, n) :: covered else covered) rest
+  in
+  let check_op (id, op) =
+    let bad fmt = Printf.ksprintf (fun s -> Some s) fmt in
+    match op with
+    | Store { slot; _ } | Flush { slot; _ } ->
+      if ok_slot slot then None else bad "op %d: slot %d out of range" id slot
+    | Read { slot; n } | Tx_add { slot; n } ->
+      if ok_range slot n then None else bad "op %d: range %d+%d out of range" id slot n
+    | Fence | Tx_begin | Tx_commit -> None
+  in
+  let check_recover r =
+    let bad fmt = Printf.ksprintf (fun s -> Some s) fmt in
+    if not (ok_slot r.var) then bad "recover %d: var slot %d out of range" r.rid r.var
+    else if not (List.mem_assoc r.var t.commit_vars) then
+      bad "recover %d: var slot %d is not a registered commit variable" r.rid r.var
+    else if List.exists (fun (s, n) -> not (ok_range s n)) r.backup then
+      bad "recover %d: backup range out of bounds" r.rid
+    else if List.exists (fun s -> not (ok_slot s)) r.rollback then
+      bad "recover %d: rollback slot out of bounds" r.rid
+    else None
+  in
+  match go_vars [] t.commit_vars with
+  | Error _ as e -> e
+  | Ok () -> (
+    match List.find_map (fun s -> if ok_slot s then None else Some s) t.setup_slots with
+    | Some s -> err "setup slot %d out of range" s
+    | None -> (
+      match List.find_map check_op t.ops with
+      | Some m -> Error m
+      | None -> (
+        match List.find_map check_recover t.recovers with
+        | Some m -> Error m
+        | None -> (
+          match
+            List.find_map
+              (fun (id, s, n) ->
+                if ok_range s n then None else Some (id, s, n))
+              t.post_reads
+          with
+          | Some (id, s, n) -> err "post read %d: range %d+%d out of range" id s n
+          | None -> Ok ()))))
+
+(* Locations: every op id is a line number in a synthetic file per stage.
+   Dedup keys are location strings, so stable ids mean stable keys. *)
+let pre_loc id = Loc.make ~file:"fuzz.pre" ~line:id
+let post_loc id = Loc.make ~file:"fuzz.post" ~line:id
+let rec_loc rid k = Loc.make ~file:"fuzz.rec" ~line:((rid * 100) + k)
+let setup_loc i = Loc.make ~file:"fuzz.setup" ~line:i
+let reg_loc v = Loc.make ~file:"fuzz.reg" ~line:v
+let frame_loc = Loc.make ~file:"fuzz.roi" ~line:0
+
+(* Distinct cache lines touched by a slot list, in first-touch order. *)
+let lines_of_slots slots =
+  List.fold_left
+    (fun acc s ->
+      let l = Addr.line_of (slot_addr s) in
+      if List.mem l acc then acc else l :: acc)
+    [] slots
+  |> List.rev
+
+type backend = {
+  read : loc:Loc.t -> Addr.t -> int -> unit;
+  read_i64 : loc:Loc.t -> Addr.t -> int64;
+  write : loc:Loc.t -> Addr.t -> int64 -> unit;
+  flush : loc:Loc.t -> Addr.t -> unit;
+  fence : loc:Loc.t -> unit;
+}
+
+(* The recovery control flow lives here, shared by the engine interpretation
+   and the reference oracle: the guard — recover only when the commit
+   variable's architectural value is 1 — is evaluated by whichever backend
+   runs it, against its own view of the crash image. *)
+let run_recover b r =
+  let v = b.read_i64 ~loc:(rec_loc r.rid 0) (slot_addr r.var) in
+  if Int64.equal v 1L then begin
+    List.iteri
+      (fun j (s, n) -> b.read ~loc:(rec_loc r.rid (1 + j)) (slot_addr s) (n * slot_size))
+      r.backup;
+    List.iteri
+      (fun i s -> b.write ~loc:(rec_loc r.rid (40 + i)) (slot_addr s) 0xF1DEL)
+      r.rollback;
+    if r.rollback <> [] then begin
+      List.iter (fun l -> b.flush ~loc:(rec_loc r.rid 80) l) (lines_of_slots r.rollback);
+      b.fence ~loc:(rec_loc r.rid 81)
+    end;
+    b.write ~loc:(rec_loc r.rid 90) (slot_addr r.var) 0L;
+    b.flush ~loc:(rec_loc r.rid 91) (slot_addr r.var);
+    b.fence ~loc:(rec_loc r.rid 92)
+  end
+
+let run_post t b =
+  List.iter (run_recover b) t.recovers;
+  List.iter
+    (fun (id, slot, n) -> b.read ~loc:(post_loc id) (slot_addr slot) (n * slot_size))
+    t.post_reads
+
+let ctx_backend ctx =
+  {
+    read = (fun ~loc addr n -> ignore (Ctx.read ctx ~loc addr n));
+    read_i64 = (fun ~loc addr -> Ctx.read_i64 ctx ~loc addr);
+    write = (fun ~loc addr v -> Ctx.write_i64 ctx ~loc addr v);
+    flush = (fun ~loc addr -> Ctx.clwb ctx ~loc addr);
+    fence = (fun ~loc -> Ctx.sfence ctx ~loc);
+  }
+
+let exec_op ctx (id, op) =
+  let loc = pre_loc id in
+  match op with
+  | Store { slot; v; nt } ->
+    if nt then Ctx.write_nt ctx ~loc (slot_addr slot) (Xfd_util.Bytesx.i64_to_bytes v)
+    else Ctx.write_i64 ctx ~loc (slot_addr slot) v
+  | Flush { slot; opt } ->
+    if opt then Ctx.clflush ctx ~loc (slot_addr slot)
+    else Ctx.clwb ctx ~loc (slot_addr slot)
+  | Fence -> Ctx.sfence ctx ~loc
+  | Read { slot; n } -> ignore (Ctx.read ctx ~loc (slot_addr slot) (n * slot_size))
+  | Tx_begin -> Ctx.emit ctx ~loc Xfd_trace.Event.Tx_begin
+  | Tx_add { slot; n } ->
+    Ctx.emit ctx ~loc
+      (Xfd_trace.Event.Tx_add { addr = slot_addr slot; size = n * slot_size })
+  | Tx_commit -> Ctx.emit ctx ~loc Xfd_trace.Event.Tx_commit
+
+let to_program ?(name = "fuzz") t =
+  let setup ctx =
+    List.iteri
+      (fun i s ->
+        Ctx.write_i64 ctx ~loc:(setup_loc i) (slot_addr s) (Int64.of_int (0x5e00 + s)))
+      t.setup_slots;
+    match lines_of_slots t.setup_slots with
+    | [] -> ()
+    | lines ->
+      List.iter (fun l -> Ctx.clwb ctx ~loc:(setup_loc 99) l) lines;
+      Ctx.sfence ctx ~loc:(setup_loc 99)
+  in
+  let pre ctx =
+    List.iter
+      (fun (v, (s, n)) ->
+        Ctx.add_commit_var ctx ~loc:(reg_loc v) (slot_addr v) slot_size;
+        if n > 0 then
+          Ctx.add_commit_range ctx ~loc:(reg_loc v) ~var:(slot_addr v) (slot_addr s)
+            (n * slot_size))
+      t.commit_vars;
+    Ctx.roi_begin ctx ~loc:frame_loc;
+    List.iter (exec_op ctx) t.ops;
+    Ctx.roi_end ctx ~loc:frame_loc
+  in
+  let post ctx =
+    Ctx.roi_begin ctx ~loc:frame_loc;
+    run_post t (ctx_backend ctx);
+    Ctx.roi_end ctx ~loc:frame_loc
+  in
+  { Xfd.Engine.name; setup; pre; post }
+
+(* ---- serialisation ---- *)
+
+let header = "xfdprog 1"
+
+let op_line (id, op) =
+  match op with
+  | Store { slot; v; nt } ->
+    Printf.sprintf "op %d %s %d %Ld" id (if nt then "ntstore" else "store") slot v
+  | Flush { slot; opt } ->
+    Printf.sprintf "op %d %s %d" id (if opt then "clflush" else "clwb") slot
+  | Fence -> Printf.sprintf "op %d fence" id
+  | Read { slot; n } -> Printf.sprintf "op %d read %d %d" id slot n
+  | Tx_begin -> Printf.sprintf "op %d txbegin" id
+  | Tx_add { slot; n } -> Printf.sprintf "op %d txadd %d %d" id slot n
+  | Tx_commit -> Printf.sprintf "op %d txcommit" id
+
+let recover_line r =
+  Printf.sprintf "recover %d %d backup%s rollback%s" r.rid r.var
+    (String.concat "" (List.map (fun (s, n) -> Printf.sprintf " %d:%d" s n) r.backup))
+    (String.concat "" (List.map (fun s -> Printf.sprintf " %d" s) r.rollback))
+
+let to_lines t =
+  header
+  :: List.map (fun (v, (s, n)) -> Printf.sprintf "var %d %d %d" v s n) t.commit_vars
+  @ (match t.setup_slots with
+    | [] -> []
+    | ss -> [ "setup " ^ String.concat " " (List.map string_of_int ss) ])
+  @ List.map op_line t.ops
+  @ List.map recover_line t.recovers
+  @ List.map (fun (id, s, n) -> Printf.sprintf "post %d read %d %d" id s n) t.post_reads
+
+let of_lines lines =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let int_of s = int_of_string_opt s in
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  let ints l ws = List.map (fun w -> match int_of w with Some i -> i | None -> fail "bad integer %S on line %d" w l) ws in
+  try
+    let vars = ref [] and setup = ref [] and ops = ref [] in
+    let recovers = ref [] and posts = ref [] and expects = ref [] in
+    let seen_header = ref false in
+    List.iteri
+      (fun i line ->
+        let l = i + 1 in
+        let line = String.trim line in
+        if line = "" || String.length line > 0 && line.[0] = '#' then ()
+        else
+          match String.split_on_char ' ' line |> List.filter (fun w -> w <> "") with
+          | [ "xfdprog"; "1" ] -> seen_header := true
+          | "xfdprog" :: v -> fail "unsupported xfdprog version %s" (String.concat " " v)
+          | [ "var"; v; s; n ] -> (
+            match ints l [ v; s; n ] with
+            | [ v; s; n ] -> vars := (v, (s, n)) :: !vars
+            | _ -> assert false)
+          | "setup" :: slots -> setup := !setup @ ints l slots
+          | "op" :: id :: rest -> (
+            let id = match int_of id with Some i -> i | None -> fail "bad op id on line %d" l in
+            let op =
+              match rest with
+              | [ "store"; s; v ] | [ "ntstore"; s; v ] ->
+                let nt = List.hd rest = "ntstore" in
+                let s = List.nth (ints l [ s ]) 0 in
+                let v =
+                  match Int64.of_string_opt v with
+                  | Some v -> v
+                  | None -> fail "bad store value on line %d" l
+                in
+                Store { slot = s; v; nt }
+              | [ "clwb"; s ] -> Flush { slot = List.nth (ints l [ s ]) 0; opt = false }
+              | [ "clflush"; s ] -> Flush { slot = List.nth (ints l [ s ]) 0; opt = true }
+              | [ "fence" ] -> Fence
+              | [ "read"; s; n ] -> (
+                match ints l [ s; n ] with
+                | [ s; n ] -> Read { slot = s; n }
+                | _ -> assert false)
+              | [ "txbegin" ] -> Tx_begin
+              | [ "txadd"; s; n ] -> (
+                match ints l [ s; n ] with
+                | [ s; n ] -> Tx_add { slot = s; n }
+                | _ -> assert false)
+              | [ "txcommit" ] -> Tx_commit
+              | _ -> fail "unknown op on line %d: %s" l line
+            in
+            ops := (id, op) :: !ops)
+          | "recover" :: rid :: var :: "backup" :: rest -> (
+            let rid, var =
+              match ints l [ rid; var ] with [ r; v ] -> (r, v) | _ -> assert false
+            in
+            let rec split_backup acc = function
+              | "rollback" :: rb -> (List.rev acc, ints l rb)
+              | w :: ws -> (
+                match String.split_on_char ':' w with
+                | [ s; n ] -> (
+                  match (int_of s, int_of n) with
+                  | Some s, Some n -> split_backup ((s, n) :: acc) ws
+                  | _ -> fail "bad backup range %S on line %d" w l)
+                | _ -> fail "bad backup range %S on line %d" w l)
+              | [] -> fail "recover without rollback section on line %d" l
+            in
+            let backup, rollback = split_backup [] rest in
+            recovers := { rid; var; backup; rollback } :: !recovers)
+          | [ "post"; id; "read"; s; n ] -> (
+            match ints l [ id; s; n ] with
+            | [ id; s; n ] -> posts := (id, s, n) :: !posts
+            | _ -> assert false)
+          | "expect" :: rest -> expects := String.concat " " rest :: !expects
+          | _ -> fail "unknown directive on line %d: %s" l line)
+      lines;
+    if not !seen_header then err "missing %S header" header
+    else
+      let t =
+        {
+          commit_vars = List.rev !vars;
+          setup_slots = !setup;
+          ops = List.rev !ops;
+          recovers = List.rev !recovers;
+          post_reads = List.rev !posts;
+        }
+      in
+      match check t with Ok () -> Ok (t, List.rev !expects) | Error e -> Error e
+  with Bad m -> Error m
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list Format.pp_print_string)
+    (to_lines t)

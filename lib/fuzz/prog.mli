@@ -1,0 +1,121 @@
+(** Typed PM programs for the fuzzer.
+
+    A fuzz program is a closed, data-independent description of one
+    detection run over a small slot arena: a list of pre-failure operations
+    (stores, NT stores, flushes, fences, transactions), commit-variable
+    registrations, and a post-failure stage made of guarded recovery blocks
+    and plain reads.  Being first-order data — rather than OCaml closures —
+    programs can be generated, transformed by the metamorphic oracles,
+    shrunk, serialised to [.xfdprog] repro files and interpreted twice: once
+    through {!to_program}/[Engine.detect] and once by the independent
+    reference {!Oracle}. *)
+
+(** {1 Arena}
+
+    The arena is [n_slots] aligned 8-byte slots spanning four cache lines
+    at [Addr.pool_base].  All addresses in a program are slot indices; this
+    keeps every generated access in-bounds by construction while still
+    exercising cache-line sharing (8 slots per 64-byte line). *)
+
+val slot_size : int
+val n_slots : int
+
+(** Byte address of a slot ([Addr.pool_base + slot * slot_size]). *)
+val slot_addr : int -> Xfd_mem.Addr.t
+
+(** {1 Syntax} *)
+
+type op =
+  | Store of { slot : int; v : int64; nt : bool }
+      (** 8-byte store of [v] to [slot]; non-temporal when [nt]. *)
+  | Flush of { slot : int; opt : bool }
+      (** CLWB ([opt = false]) or CLFLUSH of [slot]'s cache line. *)
+  | Fence  (** SFENCE — an ordering point, hence a failure-point site. *)
+  | Read of { slot : int; n : int }
+      (** Pre-failure read of [n] slots; inert for detection. *)
+  | Tx_begin
+  | Tx_add of { slot : int; n : int }
+  | Tx_commit
+
+(** A guarded recovery block, shaped like the paper's Figure 2 recovery:
+    read the commit variable [var]; when its architectural value is 1, read
+    the [backup] slot ranges, rewrite the [rollback] slots (persisting
+    them), then reset [var] to 0 and persist it.  [rid] is a stable
+    identifier from which the block's source locations are derived, so
+    verdicts survive shrinking of sibling blocks. *)
+type recover = { rid : int; var : int; backup : (int * int) list; rollback : int list }
+
+type t = {
+  commit_vars : (int * (int * int)) list;
+      (** [(var_slot, (first_range_slot, n_slots))]: registered before the
+          RoI; a zero-length range registers the variable alone. *)
+  setup_slots : int list;
+      (** Slots initialised (written, flushed, fenced) outside the RoI. *)
+  ops : (int * op) list;
+      (** RoI body; the [int] is a stable op identifier that becomes the
+          op's source line, so bug identities survive transformation. *)
+  recovers : recover list;
+  post_reads : (int * int * int) list;  (** [(id, slot, n)] plain reads. *)
+}
+
+(** Number of pre ops + recovery blocks + post reads — the size the
+    shrinker minimises and the repro acceptance bound counts. *)
+val size : t -> int
+
+(** Structural validity: every slot index, range and recovery reference in
+    bounds and commit ranges disjoint. Generated programs always pass;
+    parsed ones are checked on load. *)
+val check : t -> (unit, string) result
+
+val equal : t -> t -> bool
+
+(** {1 Source locations}
+
+    Every op owns a synthetic location ([fuzz.pre:<id>], [fuzz.post:<id>],
+    [fuzz.rec:<rid*100+step>], ...) — dedup keys are location-based, so
+    stable ids give stable verdicts. *)
+
+val pre_loc : int -> Xfd_util.Loc.t
+
+val post_loc : int -> Xfd_util.Loc.t
+
+(** Location of step [k] of recovery block [rid]. *)
+val rec_loc : int -> int -> Xfd_util.Loc.t
+
+(** {1 Interpretation} *)
+
+(** Compile to an engine program: [setup] writes and persists the setup
+    slots outside the RoI; [pre] registers the commit variables then runs
+    [ops] inside the RoI; [post] runs the recovery blocks and plain reads
+    inside its own RoI. *)
+val to_program : ?name:string -> t -> Xfd.Engine.program
+
+(** One step of the post-failure stage, abstracted over who executes it —
+    the simulated context or the reference oracle.  [read]/[read_i64] must
+    perform the read-checking side effect; [write] is an 8-byte store;
+    [flush]+[fence] persist.  {!run_post} drives the guards so the two
+    interpreters cannot disagree on recovery control flow. *)
+type backend = {
+  read : loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> int -> unit;
+  read_i64 : loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> int64;
+  write : loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> int64 -> unit;
+  flush : loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> unit;
+  fence : loc:Xfd_util.Loc.t -> unit;
+}
+
+(** Run the post-failure stage (recovery blocks then plain reads) against a
+    backend.  Does not bracket with RoI annotations — callers do. *)
+val run_post : t -> backend -> unit
+
+(** {1 Serialisation — the [.xfdprog] format}
+
+    Line-oriented text: a [xfdprog 1] header, then [var]/[setup]/[op]/
+    [recover]/[post] directives.  [of_lines] ignores blank lines and [#]
+    comments and rejects unknown directives; any [expect] lines are
+    returned separately for the corpus layer. *)
+
+val to_lines : t -> string list
+
+val of_lines : string list -> (t * string list, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+(* Remove [len] elements starting at [i]. *)
+let remove_range i len l =
+  List.filteri (fun j _ -> j < i || j >= i + len) l
+
+(* One ddmin-style sweep over a list component: try deleting windows of
+   [chunk] elements left to right, keep deletions the predicate accepts,
+   then halve the chunk.  [try_with] rebuilds the candidate program from a
+   reduced list and returns it when it still fails. *)
+let shrink_list ~try_with lst =
+  let rec sweep chunk lst =
+    if chunk < 1 then lst
+    else
+      let rec go i lst =
+        if i + chunk > List.length lst then lst
+        else
+          match try_with (remove_range i chunk lst) with
+          | Some lst' -> go i lst'
+          | None -> go (i + 1) lst
+      in
+      sweep (chunk / 2) (go 0 lst)
+  in
+  sweep (max 1 (List.length lst)) lst
+
+(* Recovery blocks referencing a removed commit variable would be invalid;
+   drop them so every candidate passes [Prog.check]. *)
+let restrict_recovers p =
+  {
+    p with
+    Prog.recovers =
+      List.filter
+        (fun r -> List.mem_assoc r.Prog.var p.Prog.commit_vars)
+        p.Prog.recovers;
+  }
+
+let minimize ?(max_evals = 2000) ~keep p =
+  if not (keep p) then invalid_arg "Shrink.minimize: predicate rejects the input program";
+  let evals = ref 0 in
+  let test q =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      match Prog.check q with Ok () -> keep q | Error _ -> false
+    end
+  in
+  let cur = ref p in
+  let changed = ref true in
+  while !changed do
+    let before = !cur in
+    let try_component get set lst =
+      shrink_list lst ~try_with:(fun lst' ->
+          let cand = restrict_recovers (set !cur lst') in
+          if test cand then begin
+            cur := cand;
+            Some (get !cur)
+          end
+          else None)
+    in
+    ignore
+      (try_component
+         (fun p -> p.Prog.ops)
+         (fun p ops -> { p with Prog.ops })
+         !cur.Prog.ops);
+    ignore
+      (try_component
+         (fun p -> p.Prog.post_reads)
+         (fun p post_reads -> { p with Prog.post_reads })
+         !cur.Prog.post_reads);
+    ignore
+      (try_component
+         (fun p -> p.Prog.recovers)
+         (fun p recovers -> { p with Prog.recovers })
+         !cur.Prog.recovers);
+    ignore
+      (try_component
+         (fun p -> p.Prog.setup_slots)
+         (fun p setup_slots -> { p with Prog.setup_slots })
+         !cur.Prog.setup_slots);
+    ignore
+      (try_component
+         (fun p -> p.Prog.commit_vars)
+         (fun p commit_vars -> { p with Prog.commit_vars })
+         !cur.Prog.commit_vars);
+    changed := not (Prog.equal before !cur) && !evals < max_evals
+  done;
+  (!cur, !evals)

@@ -1,0 +1,17 @@
+(** Delta-debugging shrinker for failing fuzz programs.
+
+    [minimize ~keep p] greedily removes chunks (halving chunk sizes down to
+    single elements, ddmin-style) from every component of the program — pre
+    ops, recovery blocks, plain post reads, setup slots, commit variables —
+    re-validating candidates and re-testing them with [keep], until a fixed
+    point or the evaluation budget is reached.  [keep] must hold for [p]
+    itself and for every intermediate result returned; removing a commit
+    variable drops the recovery blocks that reference it, keeping every
+    candidate well-formed.
+
+    Returns the minimized program and the number of [keep] evaluations
+    spent.  Deterministic: candidate order is a pure function of the input
+    program. *)
+
+val minimize :
+  ?max_evals:int -> keep:(Prog.t -> bool) -> Prog.t -> Prog.t * int

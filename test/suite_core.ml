@@ -216,6 +216,58 @@ let registry_tests =
         Registry.on_write c ~defer:false ~addr:100 ~size:8 ~ts:9 ~ev:0;
         Alcotest.(check bool) "original window" true (Registry.window_for r 200 = Some (Some (-1, 1)));
         Alcotest.(check bool) "clone window" true (Registry.window_for c 200 = Some (Some (1, 9))));
+    Tu.case "overlap with an existing range names both culprits" (fun () ->
+        let r = Registry.create () in
+        Registry.register_range r ~var:100 ~addr:200 ~size:16;
+        (* A one-byte graze at either edge is as illegal as full overlap. *)
+        (match Registry.register_range r ~var:300 ~addr:215 ~size:8 with
+        | () -> Alcotest.fail "tail graze accepted"
+        | exception Registry.Overlapping_commit_ranges (a, b) ->
+          Alcotest.(check (pair int int)) "tail culprits" (100, 300) (a, b));
+        match Registry.register_range r ~var:300 ~addr:192 ~size:9 with
+        | () -> Alcotest.fail "head graze accepted"
+        | exception Registry.Overlapping_commit_ranges (a, b) ->
+          Alcotest.(check (pair int int)) "head culprits" (100, 300) (a, b));
+    Tu.case "unregistering mid-run frees bytes and ranges" (fun () ->
+        let r = Registry.create () in
+        Registry.register_range r ~var:100 ~addr:200 ~size:16;
+        Registry.on_write r ~defer:false ~addr:100 ~size:8 ~ts:2 ~ev:0;
+        Registry.unregister_var r ~var:100;
+        Alcotest.(check int) "var gone" 0 (Registry.var_count r);
+        Alcotest.(check bool) "commit bytes freed" false (Registry.is_commit_byte r 100);
+        Alcotest.(check bool) "range bytes freed" true (Registry.window_for r 200 = None);
+        (* The freed range can now belong to someone else. *)
+        Registry.register_range r ~var:300 ~addr:200 ~size:16;
+        Alcotest.(check bool) "re-registered fresh" true
+          (Registry.window_for r 200 = Some None));
+    Tu.case "unregistering drops the variable's deferred commits" (fun () ->
+        let r = Registry.create () in
+        Registry.register_range r ~var:100 ~addr:200 ~size:8;
+        Registry.register_range r ~var:300 ~addr:300 ~size:8;
+        Registry.on_write r ~defer:true ~addr:100 ~size:8 ~ts:4 ~ev:0;
+        Registry.on_write r ~defer:true ~addr:300 ~size:8 ~ts:5 ~ev:0;
+        Registry.unregister_var r ~var:100;
+        Registry.apply_pending r;
+        Alcotest.(check bool) "survivor applied" true
+          (Registry.window_for r 300 = Some (Some (-1, 5)));
+        Alcotest.(check bool) "victim gone" true (Registry.window_for r 200 = None));
+    Tu.case "unknown variable unregisters as a no-op" (fun () ->
+        let r = Registry.create () in
+        Registry.register_var r ~var:100 ~size:8;
+        Registry.unregister_var r ~var:999;
+        Alcotest.(check int) "untouched" 1 (Registry.var_count r));
+    Tu.case "zero-length registrations are inert" (fun () ->
+        let r = Registry.create () in
+        Registry.register_var r ~var:100 ~size:0;
+        Alcotest.(check int) "variable exists" 1 (Registry.var_count r);
+        Alcotest.(check bool) "no commit bytes" false (Registry.is_commit_byte r 100);
+        Registry.register_range r ~var:100 ~addr:200 ~size:0;
+        Alcotest.(check bool) "no range bytes" true (Registry.window_for r 200 = None);
+        (* A zero-length range never conflicts, wherever it lands. *)
+        Registry.register_range r ~var:300 ~addr:200 ~size:8;
+        Registry.register_range r ~var:500 ~addr:204 ~size:0;
+        Alcotest.(check bool) "zero-length overlay accepted" true
+          (Registry.window_for r 204 = Some None));
   ]
 
 (* Build a trace programmatically and run the backend over it. *)

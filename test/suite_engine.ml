@@ -143,4 +143,114 @@ let tests =
         Alcotest.(check bool) "same bugs twice" true (run () = run ()));
   ]
 
-let suite = [ ("engine", tests) ]
+(* A post stage that dies with a harness-fatal exception: the engine must
+   re-raise it — unchanged — whatever the domain-pool size. *)
+let asserting_post_program () =
+  {
+    Engine.name = "asserting-post";
+    setup = (fun _ -> ());
+    pre =
+      (fun ctx ->
+        Ctx.roi_begin ctx ~loc:l;
+        for i = 0 to 3 do
+          Ctx.write_i64 ctx ~loc:l (base + (64 * i)) 1L;
+          Ctx.persist_barrier ctx ~loc:l (base + (64 * i)) 8
+        done;
+        Ctx.roi_end ctx ~loc:l);
+    post = (fun _ -> assert false);
+  }
+
+let config_tests =
+  [
+    Tu.case "validate rejects a non-positive failure-point cap" (fun () ->
+        List.iter
+          (fun cap ->
+            match Config.validate { Config.default with max_failure_points = cap } with
+            | () -> Alcotest.failf "cap %d accepted" cap
+            | exception Invalid_argument msg ->
+              Alcotest.(check bool)
+                (Printf.sprintf "cap %d message names the field" cap)
+                true
+                (String.length msg > 0
+                && String.sub msg 0 (String.length "Config.max_failure_points")
+                   = "Config.max_failure_points"))
+          [ 0; -1; min_int ]);
+    Tu.case "validate rejects a non-positive pool size" (fun () ->
+        match Config.validate { Config.default with post_jobs = 0 } with
+        | () -> Alcotest.fail "post_jobs 0 accepted"
+        | exception Invalid_argument _ -> ());
+    Tu.case "detect refuses an invalid configuration up front" (fun () ->
+        let config = { Config.default with max_failure_points = 0 } in
+        match Tu.detect ~config (counter_program ~n:2 ()) with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Tu.case "cap boundary: exact, one-less and default verdicts agree" (fun () ->
+        (* The terminal point deliberately bypasses the cap (tested below),
+           so boundary precision is asserted with it disabled. *)
+        let base_cfg = { Config.default with inject_terminal_fp = false } in
+        let keys config =
+          let o = Tu.detect ~config (counter_program ~n:4 ()) in
+          (o.Engine.failure_points, List.map Xfd.Report.dedup_key o.Engine.unique_bugs)
+        in
+        let fired, full_keys = keys base_cfg in
+        Alcotest.(check bool) "uncapped by default" true
+          (fired < base_cfg.Config.max_failure_points);
+        (* A cap equal to the natural count changes nothing... *)
+        let fired_eq, keys_eq = keys { base_cfg with max_failure_points = fired } in
+        Alcotest.(check int) "exact cap fires the same points" fired fired_eq;
+        Alcotest.(check (list string)) "exact cap same verdicts" full_keys keys_eq;
+        (* ...a cap of one less elides exactly the last point... *)
+        let fired_lt, _ = keys { base_cfg with max_failure_points = fired - 1 } in
+        Alcotest.(check int) "one-less cap" (fired - 1) fired_lt;
+        (* ...and cap 1 still runs one post stage on a clean program. *)
+        let fired_one, keys_one = keys { base_cfg with max_failure_points = 1 } in
+        Alcotest.(check int) "unit cap" 1 fired_one;
+        Alcotest.(check (list string)) "unit cap stays clean" [] keys_one);
+    Tu.case "terminal failure point bypasses the cap" (fun () ->
+        let config = { Config.default with max_failure_points = 2 } in
+        let o = Tu.detect ~config (counter_program ~n:10 ()) in
+        (* Two capped ordering points plus the terminal one. *)
+        Alcotest.(check int) "cap + terminal" 3 o.Engine.failure_points);
+  ]
+
+let worker_exception_tests =
+  [
+    Tu.case "worker exceptions surface at every pool size" (fun () ->
+        List.iter
+          (fun jobs ->
+            let config = { Config.default with post_jobs = jobs } in
+            match Tu.detect ~config (asserting_post_program ()) with
+            | _ -> Alcotest.failf "post_jobs=%d swallowed the assert" jobs
+            | exception Assert_failure _ -> ())
+          [ 1; 2; 4 ]);
+    Tu.case "non-fatal post exceptions stay bug reports at every pool size" (fun () ->
+        let failing_post_program () =
+          {
+            (asserting_post_program ()) with
+            Engine.name = "failing-post";
+            post = (fun _ -> failwith "recovery invariant violated");
+          }
+        in
+        let run jobs =
+          let config = { Config.default with post_jobs = jobs } in
+          let o = Tu.detect ~config (failing_post_program ()) in
+          List.sort_uniq String.compare
+            (List.map Xfd.Report.dedup_key o.Engine.unique_bugs)
+        in
+        let seq = run 1 in
+        Alcotest.(check bool) "reported as post-error" true
+          (List.exists (fun k -> String.length k >= 10 && String.sub k 0 10 = "post-error") seq);
+        List.iter
+          (fun jobs ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "post_jobs=%d matches sequential" jobs)
+              seq (run jobs))
+          [ 2; 4 ]);
+  ]
+
+let suite =
+  [
+    ("engine", tests);
+    ("engine.config", config_tests);
+    ("engine.workers", worker_exception_tests);
+  ]

@@ -180,6 +180,55 @@ let history_tests =
         Alcotest.(check (option int)) "alloc" (Some 5) (History.alloc_site h));
   ]
 
+(* Attaching or stripping a provenance chain must never move a bug between
+   dedup buckets: --explain is presentation, not identity. *)
+let provenance_key_props =
+  [
+    QCheck.Test.make ~count:200 ~name:"dedup key is provenance-blind" bug_arb
+      (fun b ->
+        let chain =
+          Provenance.build ~pre:(sample_trace ()) ~addr:0x100 ~size:8 ~verdict:"race"
+            ~persistence:"modified"
+            [ (Provenance.Pre, Provenance.Write, 0) ]
+        in
+        let with_chain = function
+          | Report.Race r -> Report.Race { r with provenance = Some chain }
+          | Report.Semantic s -> Report.Semantic { s with provenance = Some chain }
+          | Report.Perf p -> Report.Perf { p with provenance = Some chain }
+          | Report.Post_failure_error _ as e -> e
+        in
+        let without = function
+          | Report.Race r -> Report.Race { r with provenance = None }
+          | Report.Semantic s -> Report.Semantic { s with provenance = None }
+          | Report.Perf p -> Report.Perf { p with provenance = None }
+          | Report.Post_failure_error _ as e -> e
+        in
+        Report.dedup_key (with_chain b) = Report.dedup_key b
+        && Report.dedup_key (without b) = Report.dedup_key b);
+  ]
+
+let forensics_toggle_tests =
+  [
+    Tu.case "forensics on/off produces identical dedup key sets" (fun () ->
+        let keys forensics program =
+          let config = { Xfd.Config.default with forensics } in
+          let o = Tu.detect ~config program in
+          List.sort_uniq String.compare
+            (List.map Report.dedup_key o.Xfd.Engine.unique_bugs)
+        in
+        List.iter
+          (fun (name, make) ->
+            Alcotest.(check (list string))
+              name
+              (keys false (make ()))
+              (keys true (make ())))
+          [
+            ("array_update", fun () -> Xfd_workloads.Array_update.program ~size:1 ());
+            ("linkedlist", fun () -> Xfd_workloads.Linkedlist.program ~size:3 ());
+            ("btree", fun () -> Xfd_workloads.Btree.program ~init_size:2 ~size:2 ());
+          ]);
+  ]
+
 let provenance_tests =
   [
     Tu.case "build resolves, orders and excerpts the chain" (fun () ->
@@ -328,6 +377,7 @@ let to_alcotest = List.map QCheck_alcotest.to_alcotest
 let suite =
   [
     ("report.dedup", to_alcotest dedup_props);
+    ("report.dedup.provenance", to_alcotest provenance_key_props @ forensics_toggle_tests);
     ("forensics.timeline", timeline_tests);
     ("forensics.history", history_tests);
     ("forensics.provenance", provenance_tests);
