@@ -1,6 +1,7 @@
 (* The xfd command-line tool — the artifact's run.sh analogue.
 
      xfd run --workload btree --init 5 --test 5 [--patch skip-tx-add=0,2]
+     xfd lint --workload btree [--patch ...] [--triage]
      xfd list
      xfd newbugs
      xfd table5 [--workload btree]
@@ -131,8 +132,17 @@ let run_cmd =
             "With $(b,--fail-on-bug), do not fail on performance bugs alone (races, \
              semantic bugs and post-failure errors still fail).")
   in
+  let lint_guided =
+    Arg.(
+      value & flag
+      & info [ "lint-guided" ]
+          ~doc:
+            "Lint the pre-failure trace first and post-execute statically suspicious \
+             failure points before clean ones.  Scheduling only: the verdict set is \
+             identical to the default order.")
+  in
   let action workload init test patch naive untrusted quiet json metrics_out quiet_metrics
-      report_out explain fail_on_bug allow_perf =
+      report_out explain fail_on_bug allow_perf lint_guided =
     let entry = Xfd_experiments.Workload_set.find workload in
     let faults = match patch with Some s -> parse_patch s | None -> Xfd_sim.Faults.none in
     let config =
@@ -146,8 +156,14 @@ let run_cmd =
     in
     let sink = Option.map Xfd_obs.Obs.Sink.to_file metrics_out in
     Option.iter Xfd_obs.Obs.Sink.install sink;
+    let program = entry.Xfd_experiments.Workload_set.make ~init ~test in
     let outcome =
-      Xfd.Engine.detect ~config (entry.Xfd_experiments.Workload_set.make ~init ~test)
+      if lint_guided then begin
+        let lint, outcome = Xfd_lint.Lint.detect_guided ~config program in
+        if not (quiet || json) then Format.printf "%a@." Xfd_lint.Lint.pp_report lint;
+        outcome
+      end
+      else Xfd.Engine.detect ~config program
     in
     Option.iter
       (fun s ->
@@ -193,7 +209,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one workload under cross-failure detection")
     Term.(
       const action $ workload $ init $ test $ patch $ naive $ untrusted $ quiet $ json
-      $ metrics_out $ quiet_metrics $ report_out $ explain $ fail_on_bug $ allow_perf)
+      $ metrics_out $ quiet_metrics $ report_out $ explain $ fail_on_bug $ allow_perf
+      $ lint_guided)
 
 let list_cmd =
   let action () =
@@ -241,6 +258,127 @@ let table5_cmd =
   Cmd.v
     (Cmd.info "table5" ~doc:"Run the synthetic-bug validation suite (Table 5)")
     Term.(const action $ workload)
+
+let lint_cmd =
+  let workload =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME"
+          ~doc:(Printf.sprintf "Workload to lint (%s)." (String.concat ", " workload_names)))
+  in
+  let init =
+    Arg.(value & opt int 0 & info [ "init" ] ~docv:"N" ~doc:"Warm-up insertions before the RoI.")
+  in
+  let test =
+    Arg.(value & opt int 1 & info [ "test" ] ~docv:"N" ~doc:"Insertions/queries inside the RoI.")
+  in
+  let patch =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "patch" ] ~docv:"SPEC"
+          ~doc:"Seed mechanical bugs before linting (same syntax as $(b,run --patch)).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the lint report (and triage) as JSON.")
+  in
+  let triage =
+    Arg.(
+      value & flag
+      & info [ "triage" ]
+          ~doc:
+            "Also run full dynamic detection on the same configuration and cross-check: \
+             which dynamic verdicts the linter anticipated, which it missed, and which \
+             findings no dynamic verdict confirmed.")
+  in
+  let triage_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "triage-out" ] ~docv:"FILE"
+          ~doc:"Write the triage table as pretty JSON to $(docv) (implies $(b,--triage)).")
+  in
+  let expect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "expect" ] ~docv:"IDS"
+          ~doc:
+            "Comma-separated rule ids that must all fire; exit non-zero when any is \
+             missing — for CI gating of seeded-bug variants.")
+  in
+  let fail_on_finding =
+    Arg.(
+      value & flag
+      & info [ "fail-on-finding" ]
+          ~doc:"Exit non-zero unless the lint report is clean — for CI gating.")
+  in
+  let action workload init test patch json triage triage_out expect fail_on_finding =
+    let entry = Xfd_experiments.Workload_set.find workload in
+    let faults = match patch with Some s -> parse_patch s | None -> Xfd_sim.Faults.none in
+    let config = { Xfd.Config.default with faults } in
+    let program = entry.Xfd_experiments.Workload_set.make ~init ~test in
+    let expected =
+      match expect with
+      | None -> []
+      | Some s ->
+        String.split_on_char ',' s
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun id ->
+               match Xfd_lint.Lint.rule_of_id id with
+               | Some _ -> id
+               | None ->
+                 Printf.eprintf "unknown rule id %S\n" id;
+                 exit 2)
+    in
+    let do_triage = triage || triage_out <> None in
+    let report, tri =
+      if do_triage then
+        let t = Xfd_lint.Lint.triage ~config program in
+        (t.Xfd_lint.Lint.lint, Some t)
+      else (Xfd_lint.Lint.check_prog ~config program, None)
+    in
+    if json then
+      print_endline
+        (Xfd_util.Json.to_string_pretty
+           (match tri with
+           | Some t -> Xfd_lint.Lint.triage_to_json t
+           | None -> Xfd_lint.Lint.report_to_json report))
+    else begin
+      Format.printf "%a@." Xfd_lint.Lint.pp_report report;
+      Option.iter (fun t -> Format.printf "%a@." Xfd_lint.Lint.pp_triage t) tri
+    end;
+    Option.iter
+      (fun file ->
+        let t = Option.get tri in
+        let oc = open_out file in
+        output_string oc
+          (Xfd_util.Json.to_string_pretty (Xfd_lint.Lint.triage_to_json t));
+        output_char oc '\n';
+        close_out oc;
+        Format.eprintf "triage written to %s@." file)
+      triage_out;
+    let fired =
+      List.map
+        (fun f -> Xfd_lint.Lint.rule_id f.Xfd_lint.Lint.rule)
+        report.Xfd_lint.Lint.findings
+    in
+    let missing = List.filter (fun id -> not (List.mem id fired)) expected in
+    if missing <> [] then begin
+      Printf.eprintf "expected rule(s) did not fire: %s\n" (String.concat ", " missing);
+      exit 1
+    end;
+    if fail_on_finding && not (Xfd_lint.Lint.clean report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyse a workload's pre-failure trace for crash-consistency \
+          rule violations, optionally cross-checked against the dynamic detector")
+    Term.(
+      const action $ workload $ init $ test $ patch $ json $ triage $ triage_out $ expect
+      $ fail_on_finding)
 
 let fuzz_cmd =
   let seed =
@@ -364,4 +502,6 @@ let fuzz_cmd =
 let () =
   let doc = "XFDetector (OCaml reproduction): cross-failure bug detection for PM programs" in
   let info = Cmd.info "xfd" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; newbugs_cmd; table5_cmd; fuzz_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; list_cmd; newbugs_cmd; table5_cmd; lint_cmd; fuzz_cmd ]))

@@ -269,6 +269,31 @@ let explain_cmd =
           fence that (fail to) persist them")
     Term.(const action $ file $ at $ radius)
 
+let lint_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the lint report as one JSON object.")
+  in
+  let fail_on_finding =
+    Arg.(
+      value & flag
+      & info [ "fail-on-finding" ] ~doc:"Exit non-zero unless the report is clean.")
+  in
+  let action file json fail_on_finding =
+    let t = load_trace file in
+    let report = Xfd_lint.Lint.check_trace t in
+    if json then
+      print_endline (Xfd_util.Json.to_string (Xfd_lint.Lint.report_to_json report))
+    else Format.printf "%s: %a@." file Xfd_lint.Lint.pp_report report;
+    if fail_on_finding && not (Xfd_lint.Lint.clean report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyse a recorded pre-failure trace for crash-consistency rule \
+          violations — no execution, no replay")
+    Term.(const action $ file $ json $ fail_on_finding)
+
 let check_cmd =
   let pre = Arg.(required & opt (some string) None & info [ "pre" ] ~docv:"FILE") in
   let post = Arg.(required & opt (some string) None & info [ "post" ] ~docv:"FILE") in
@@ -302,4 +327,7 @@ let () =
     Cmd.info "xfd_trace" ~version:"1.0.0"
       ~doc:"Record, inspect and offline-check XFDetector PM-operation traces"
   in
-  exit (Cmd.eval (Cmd.group info [ record_cmd; stats_cmd; dump_cmd; explain_cmd; check_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ record_cmd; stats_cmd; dump_cmd; explain_cmd; lint_cmd; check_cmd ]))

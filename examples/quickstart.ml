@@ -60,6 +60,22 @@ let () =
     outcome.Xfd.Engine.unique_bugs;
   Format.printf "@.%a" Xfd_forensics.Coverage.pp outcome.Xfd.Engine.coverage;
 
+  (* 4b. Static analysis: the linter analyses one traced execution with
+         zero post-failure replays — eight rules over the per-byte
+         persistence lattice.  Figure 2 is the instructive case: the bug
+         writes the *wrong values* through a perfectly persisted flag
+         protocol, so the linter (like PMTest) finds nothing — which is
+         exactly why lint findings only prioritize failure points and
+         never prune them (DESIGN.md, decision 13). *)
+  print_endline "Static lint: the same program, zero replays";
+  print_endline "-------------------------------------------";
+  let lint = Xfd_lint.Lint.check_prog (Xfd_workloads.Array_update.program ~size:1 ()) in
+  Format.printf "%a@." Xfd_lint.Lint.pp_report lint;
+  if Xfd_lint.Lint.clean lint then
+    print_endline
+      "lint-clean, yet dynamically buggy: a semantic bug leaves no static \
+       ordering evidence.";
+
   (* Optional machine-readable report for CI artifacts. *)
   Option.iter
     (fun file ->

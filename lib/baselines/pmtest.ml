@@ -1,6 +1,6 @@
-module Event = Xfd_trace.Event
 module Trace = Xfd_trace.Trace
 module Addr = Xfd_mem.Addr
+module Track = Xfd_lint.Track
 
 type violation = {
   loc : Xfd_util.Loc.t;
@@ -11,111 +11,46 @@ type violation = {
 
 type result = { violations : violation list; events_checked : int }
 
-type state = {
-  mutable in_roi : bool;
-  mutable skip_depth : int;
-  mutable tx_depth : int;
-  mutable tx_ranges : (Addr.t * int) list; (* TX_ADD + TX_XADD + fresh allocs *)
-  (* Persistence tracking, byte granularity like the real tool. *)
-  dirty : (Addr.t, Xfd_util.Loc.t) Hashtbl.t; (* modified, not captured *)
-  pending : (Addr.t, Xfd_util.Loc.t) Hashtbl.t; (* captured, not fenced *)
-  mutable violations : violation list;
-  dedup : (string, unit) Hashtbl.t;
-  mutable events : int;
-}
-
-let record st loc addr size rule =
-  let key = Printf.sprintf "%s:%s" (Xfd_util.Loc.to_string loc) rule in
-  if not (Hashtbl.mem st.dedup key) then begin
-    Hashtbl.replace st.dedup key ();
-    st.violations <- { loc; addr; size; rule } :: st.violations
-  end
-
-let checking st = st.in_roi && st.skip_depth = 0
-
-let on_write st loc addr size =
-  if checking st && st.tx_depth > 0 then begin
-    let covered = List.exists (fun r -> Addr.overlap r (addr, size)) st.tx_ranges in
-    if not covered then
-      record st loc addr size "write inside transaction to object not added to it"
-  end;
-  Addr.iter_bytes addr size (fun a ->
-      Hashtbl.remove st.pending a;
-      Hashtbl.replace st.dirty a loc)
-
-let on_flush st loc addr =
-  let line = Addr.line_of addr in
-  let had_dirty = ref false and had_pending = ref false in
-  Addr.iter_bytes line Addr.line_size (fun a ->
-      if Hashtbl.mem st.dirty a then had_dirty := true
-      else if Hashtbl.mem st.pending a then had_pending := true);
-  if !had_dirty then
-    Addr.iter_bytes line Addr.line_size (fun a ->
-        match Hashtbl.find_opt st.dirty a with
-        | Some wloc ->
-          Hashtbl.remove st.dirty a;
-          Hashtbl.replace st.pending a wloc
-        | None -> ())
-  else if !had_pending && checking st then
-    record st loc line Addr.line_size "redundant writeback (line already pending)"
-
-let on_fence st = Hashtbl.reset st.pending
-
+(* The state machine (byte-granular persistence with line-granular flushes,
+   TX logging, RoI/skip scoping) lives in {!Xfd_lint.Track}, shared with the
+   linter so the two rule sets cannot drift; this module only maps the
+   tracker's hits onto PMTest's historical rule strings.  A flush of an
+   already-persisted line is not a PMTest rule (the original tool stops
+   tracking a byte once it is fenced), so [`Persisted] hits are dropped. *)
 let check trace =
-  let st =
-    {
-      in_roi = false;
-      skip_depth = 0;
-      tx_depth = 0;
-      tx_ranges = [];
-      dirty = Hashtbl.create 512;
-      pending = Hashtbl.create 512;
-      violations = [];
-      dedup = Hashtbl.create 32;
-      events = 0;
-    }
+  let violations = ref [] in
+  let dedup = Hashtbl.create 32 in
+  let record loc addr size rule =
+    let key = Printf.sprintf "%s:%s" (Xfd_util.Loc.to_string loc) rule in
+    if not (Hashtbl.mem dedup key) then begin
+      Hashtbl.replace dedup key ();
+      violations := { loc; addr; size; rule } :: !violations
+    end
   in
-  Trace.iter trace (fun ev ->
-      st.events <- st.events + 1;
-      let loc = ev.Event.loc in
-      match ev.Event.kind with
-      | Event.Write { addr; size } | Event.Nt_write { addr; size } ->
-        on_write st loc addr size
-      | Event.Clwb { addr } | Event.Clflush { addr } | Event.Clflushopt { addr } ->
-        on_flush st loc addr
-      | Event.Sfence | Event.Mfence -> on_fence st
-      | Event.Tx_begin ->
-        st.tx_depth <- st.tx_depth + 1;
-        if st.tx_depth = 1 then st.tx_ranges <- []
-      | Event.Tx_add { addr; size } | Event.Tx_xadd { addr; size } ->
-        if st.tx_depth > 0 then begin
-          if
-            checking st
-            && List.exists (fun r -> Addr.overlap r (addr, size)) st.tx_ranges
-            && (match ev.Event.kind with Event.Tx_add _ -> true | _ -> false)
-          then record st loc addr size "duplicated TX_ADD for the same object";
-          st.tx_ranges <- (addr, size) :: st.tx_ranges
-        end
-      | Event.Tx_alloc { addr; size; _ } ->
-        if st.tx_depth > 0 then st.tx_ranges <- (addr, size) :: st.tx_ranges
-      | Event.Tx_commit | Event.Tx_abort ->
-        st.tx_depth <- max 0 (st.tx_depth - 1);
-        if st.tx_depth = 0 then st.tx_ranges <- []
-      | Event.Tx_free _ -> ()
-      | Event.Roi_begin -> st.in_roi <- true
-      | Event.Roi_end -> st.in_roi <- false
-      | Event.Skip_detection_begin -> st.skip_depth <- st.skip_depth + 1
-      | Event.Skip_detection_end -> st.skip_depth <- max 0 (st.skip_depth - 1)
-      | Event.Read _ | Event.Commit_var _ | Event.Commit_range _ | Event.Marker _ -> ());
+  let tr =
+    Track.create
+      ~on_hit:(fun hit ->
+        match hit with
+        | Track.Tx_unlogged_write { loc; addr; size } ->
+          record loc addr size "write inside transaction to object not added to it"
+        | Track.Redundant_flush { loc; line; already = `Pending } ->
+          record loc line Addr.line_size "redundant writeback (line already pending)"
+        | Track.Redundant_flush { already = `Persisted; _ } -> ()
+        | Track.Duplicate_tx_add { loc; addr; size } ->
+          record loc addr size "duplicated TX_ADD for the same object")
+      ()
+  in
+  Trace.iter trace (Track.feed tr);
   (* End of execution: everything modified must have reached PM. *)
   let leftovers = Hashtbl.create 16 in
-  let note a wloc = Hashtbl.replace leftovers (Xfd_util.Loc.to_string wloc) (a, wloc) in
-  Hashtbl.iter (fun a wloc -> note a wloc) st.dirty;
-  Hashtbl.iter (fun a wloc -> note a wloc) st.pending;
+  List.iter
+    (fun (a, (i : Track.info)) ->
+      Hashtbl.replace leftovers (Xfd_util.Loc.to_string i.Track.writer) (a, i.Track.writer))
+    (Track.unpersisted tr);
   Hashtbl.iter
-    (fun _ (a, wloc) -> record st wloc a 1 "PM update not persisted by end of execution")
+    (fun _ (a, wloc) -> record wloc a 1 "PM update not persisted by end of execution")
     leftovers;
-  { violations = List.rev st.violations; events_checked = st.events }
+  { violations = List.rev !violations; events_checked = Track.events tr }
 
 let run program =
   let dev = Xfd_mem.Pm_device.create () in

@@ -98,7 +98,7 @@ let run_post ~config ~dev ~post =
    ordinal [k] is snapshotted and post-executed — the single-failure-point
    oracle entry behind [detect_at], used by the fuzzer's shrinker and corpus
    replay to re-check one verdict cheaply. *)
-let detect_gen ?only ?(config = Config.default) program =
+let detect_gen ?only ?priority ?(config = Config.default) program =
   Config.validate config;
   Obs.Counter.incr c_runs;
   Xfd_mem.Image.reset_peak ();
@@ -195,7 +195,28 @@ let detect_gen ?only ?(config = Config.default) program =
           Obs.Span.with_ ~name:sp_post_exec (fun () ->
               let n = List.length snapshots in
               let jobs = max 1 (min config.Config.post_jobs n) in
-              if jobs = 1 then List.map run_one snapshots
+              (* Execution order of the post-failure runs.  The runs are
+                 independent (each on its own image copy) and results are
+                 re-associated with their snapshot by slot below, while
+                 replay stays in trace order — so a [priority] hook reorders
+                 work (highest score first, ties keep failure-point order)
+                 without being able to change the verdict set.  A hook that
+                 raises or returns the wrong arity is ignored. *)
+              let perm =
+                let identity = Array.init n (fun i -> i) in
+                match priority with
+                | None -> identity
+                | Some f -> (
+                  match f (List.map (fun s -> (s.index, s.trace_pos)) snapshots) with
+                  | exception _ -> identity
+                  | scores when List.length scores = n ->
+                    let scores = Array.of_list scores in
+                    let order = Array.init n (fun i -> i) in
+                    Array.stable_sort (fun a b -> compare scores.(b) scores.(a)) order;
+                    order
+                  | _ -> identity)
+              in
+              if jobs = 1 && Option.is_none priority then List.map run_one snapshots
               else begin
                 let input = Array.of_list snapshots in
                 let output = Array.make n None in
@@ -205,8 +226,9 @@ let detect_gen ?only ?(config = Config.default) program =
                    order) re-raised after every domain has joined. *)
                 let worker () =
                   let rec go () =
-                    let i = Atomic.fetch_and_add next 1 in
-                    if i < n then begin
+                    let k = Atomic.fetch_and_add next 1 in
+                    if k < n then begin
+                      let i = perm.(k) in
                       output.(i) <-
                         Some
                           (try Ok (run_one input.(i))
@@ -288,7 +310,7 @@ let detect_gen ?only ?(config = Config.default) program =
     coverage = Xfd_forensics.Coverage.since cov_mark;
   }
 
-let detect ?config program = detect_gen ?config program
+let detect ?config ?priority program = detect_gen ?config ?priority program
 
 let detect_at ?config ~failure_point program =
   detect_gen ~only:failure_point ?config program

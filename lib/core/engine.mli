@@ -58,7 +58,18 @@ type outcome = {
     [config.post_jobs > 1] (workers capture per-item exceptions and the
     first, in failure-point order, is re-raised after every domain has
     joined). *)
-val detect : ?config:Config.t -> program -> outcome
+val detect :
+  ?config:Config.t -> ?priority:((int * int) list -> int list) -> program -> outcome
+
+(** When [priority] is given, it receives the fired failure points as
+    [(ordinal, trace position)] pairs in trace order and returns one score
+    per point; post-failure executions then run highest-score first (ties
+    keep failure-point order).  Scheduling only: every point still runs,
+    replay stays in trace order, reports keep failure-point order — the
+    outcome is identical to the default order (the post-failure runs are
+    independent, each on its own image copy).  A hook that raises or
+    returns a list of the wrong length is ignored.  {!Xfd_lint} uses this
+    to post-execute statically suspicious windows first. *)
 
 (** [detect_at ~failure_point program] is the single-failure-point oracle
     entry: the pipeline runs exactly as {!detect} — failure points are

@@ -8,6 +8,7 @@ let c_meta_failures = Obs.Counter.make "fuzz.meta_failures"
 let c_shrink_evals = Obs.Counter.make "fuzz.shrink_evals"
 let c_repros = Obs.Counter.make "fuzz.repros"
 let c_corpus_failures = Obs.Counter.make "fuzz.corpus_failures"
+let c_lint_misses = Obs.Counter.make "fuzz.lint_misses"
 
 type cfg = {
   seed : int;
@@ -38,6 +39,7 @@ type summary = {
   shrink_evals : int;
   corpus_checked : int;
   corpus_failures : int;
+  lint_misses : int;
 }
 
 let clean s = s.divergences = 0 && s.meta_failures = 0 && s.corpus_failures = 0
@@ -141,10 +143,24 @@ let subset a b = List.for_all (fun x -> List.mem x b) a
 
 let key_sig keys = String.concat "|" keys
 
+let lint_of q = Xfd_lint.Lint.check_prog (Prog.to_program q)
+
+(* Dynamically-confirmed races the linter did not anticipate.  Misses are
+   expected by design (a transient unfenced window leaves no end-of-trace
+   evidence) — the fuzzer records them as corpus repros so the static-miss
+   frontier stays visible, but they never fail a run. *)
+let missed_race_keys report (o : Xfd.Engine.outcome) =
+  let t = Xfd_lint.Lint.triage_of ~program:"fuzz" report o in
+  List.filter_map
+    (fun (k, b, ids) -> if ids = [] && Report.is_race b then Some k else None)
+    t.Xfd_lint.Lint.dynamic
+
 let run ?(out = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())) cfg =
   let divergences = ref 0 and meta_failures = ref 0 and buggy = ref 0 in
   let shrink_evals = ref 0 and repros = ref [] in
+  let lint_misses = ref 0 and lint_saved = ref 0 in
   let seen_sigs = Hashtbl.create 32 in
+  let seen_misses = Hashtbl.create 8 in
   let harvested = ref 0 in
   let save_repro keys p =
     match cfg.corpus_dir with
@@ -218,6 +234,22 @@ let run ?(out = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())) cfg =
           ~keep:(fun q -> fst (detect_keys q) <> [])
           p
       end;
+      (* M4: correct-profile programs must also lint clean — the static
+         analyzer may under-approximate the dynamic detector but must never
+         indict a well-formed persistence protocol. *)
+      (if cfg.profile = Gen.Correct then
+         let r = lint_of p in
+         if not (Xfd_lint.Lint.clean r) then begin
+           incr meta_failures;
+           Obs.Counter.incr c_meta_failures;
+           Format.fprintf out "metamorphic M4 violation at program %d: correct profile linted [%s]@."
+             i
+             (String.concat "; "
+                (List.map Xfd_lint.Lint.finding_key r.Xfd_lint.Lint.findings));
+           shrink_and_save ~what:"M4 violation"
+             ~keep:(fun q -> not (Xfd_lint.Lint.clean (lint_of q)))
+             p
+         end);
       (* M1: redundant flush insertion. *)
       (match transform_flush rng p with
       | None -> ()
@@ -269,6 +301,29 @@ let run ?(out = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())) cfg =
             p
         end
         else Hashtbl.replace seen_sigs s ()
+      end;
+      (* Static-miss harvest: a real race the linter did not anticipate is
+         exactly the evidence behind prioritize-not-prune — shrink and keep
+         it (small per-run cap; saving re-evaluates lint + detection). *)
+      if keys <> [] && List.exists Report.is_race o.Xfd.Engine.unique_bugs then begin
+        let missed = missed_race_keys (lint_of p) o in
+        if missed <> [] then begin
+          incr lint_misses;
+          Obs.Counter.incr c_lint_misses;
+          let s = key_sig missed in
+          if (not (Hashtbl.mem seen_misses s)) && !lint_saved < 3 then begin
+            Hashtbl.replace seen_misses s ();
+            incr lint_saved;
+            Format.fprintf out "lint static miss at program %d: [%s]@." i
+              (String.concat "; " missed);
+            shrink_and_save ~what:"lint static miss"
+              ~keep:(fun q ->
+                let _, o' = detect_keys q in
+                missed_race_keys (lint_of q) o' <> [])
+              p
+          end
+          else Hashtbl.replace seen_misses s ()
+        end
       end
     end
   done;
@@ -282,12 +337,14 @@ let run ?(out = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())) cfg =
     shrink_evals = !shrink_evals;
     corpus_checked = List.length corpus_files;
     corpus_failures = !corpus_failures;
+    lint_misses = !lint_misses;
   }
 
 let pp_summary ppf s =
   Format.fprintf ppf
     "fuzz: %d program(s), %d with findings, %d distinct verdict set(s)@.corpus: %d checked, \
-     %d failure(s)@.violations: %d divergence(s), %d metamorphic failure(s)@.shrinking: %d \
-     evaluation(s), %d repro(s) saved@."
+     %d failure(s)@.violations: %d divergence(s), %d metamorphic failure(s)@.lint: %d \
+     program(s) with a statically-missed race@.shrinking: %d evaluation(s), %d repro(s) \
+     saved@."
     s.programs s.buggy_programs s.unique_key_sets s.corpus_checked s.corpus_failures
-    s.divergences s.meta_failures s.shrink_evals (List.length s.repros)
+    s.divergences s.meta_failures s.lint_misses s.shrink_evals (List.length s.repros)

@@ -16,13 +16,23 @@
       preserves the exact key set.
     - {b Metamorphic M3}: replaying under [post_jobs = 3] yields the same
       keys as the sequential run (checked on a rotating subset).
+    - {b Metamorphic M4}: a [Correct]-profile program must be
+      {!Xfd_lint.Lint}-clean — the static analyzer never indicts a
+      well-formed persistence protocol.
     - {b Profile}: a [Correct]-profile program must produce zero findings.
 
     Any violation is shrunk with {!Shrink.minimize} (the shrink predicate
     re-checks the violated property) and saved as an [.xfdprog] repro in
     the corpus directory.  Buggy programs whose verdicts agree are also
     harvested: the first program exhibiting each new key set is shrunk and
-    saved, building a regression corpus that [run] replays first. *)
+    saved, building a regression corpus that [run] replays first.
+
+    Programs with a dynamically-confirmed race that no lint finding
+    anticipates (per {!Xfd_lint.Lint.triage_of}) are counted in
+    [lint_misses] and the first few distinct ones are shrunk into the
+    corpus too.  Such misses are by design — they are the evidence behind
+    lint-guided {e prioritization} (never pruning) of failure points — so
+    they do not fail the run. *)
 
 type cfg = {
   seed : int;
@@ -45,6 +55,9 @@ type summary = {
   shrink_evals : int;
   corpus_checked : int;
   corpus_failures : int;
+  lint_misses : int;
+      (** programs whose detected races no lint finding anticipated —
+          informational, never a failure *)
 }
 
 (** True when the run found no divergence, no metamorphic violation and no

@@ -1,0 +1,26 @@
+type t = Bot | Dirty | Pending | Persisted | Top
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Top, _ | _, Top -> Top
+  | x, y -> if x = y then x else Top
+
+let leq a b =
+  match (a, b) with Bot, _ | _, Top -> true | x, y -> x = y
+
+let equal (a : t) b = a = b
+
+let on_write _ = Dirty
+let on_nt_write _ = Pending
+let on_flush = function Dirty -> Pending | s -> s
+let on_fence = function Pending -> Persisted | s -> s
+
+let to_string = function
+  | Bot -> "unwritten"
+  | Dirty -> "dirty"
+  | Pending -> "flush-pending"
+  | Persisted -> "fenced-persistent"
+  | Top -> "unknown"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

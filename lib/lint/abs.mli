@@ -1,0 +1,37 @@
+(** Abstract persistence state: the lint lattice over the paper's Figure 9
+    FSM.
+
+    The concrete per-byte machine (see {!Xfd.Pstate}) moves
+    modified → writeback-pending → persisted.  The linter abstracts it into
+    a flat lattice: [Bot] (never written on this path), the three FSM
+    states, and [Top] (states disagree across joined paths).  Straight-line
+    traces never produce [Top]; it exists so per-line summaries — the join
+    of a line's byte states — and any future path-merging stay well
+    defined.  All transfer functions are monotone with respect to
+    {!leq}. *)
+
+type t = Bot | Dirty | Pending | Persisted | Top
+
+(** Least upper bound of the flat lattice ([Bot] identity, [Top]
+    absorbing, distinct middle elements join to [Top]). *)
+val join : t -> t -> t
+
+(** Partial order: [Bot] below everything, [Top] above everything, the
+    middle elements pairwise incomparable. *)
+val leq : t -> t -> bool
+
+val equal : t -> t -> bool
+
+(** Transfer functions, per byte.  Stores are strong updates (the outcome
+    does not depend on the incoming state): a store dirties, a non-temporal
+    store bypasses the cache straight to pending.  Flush and fence are weak:
+    a flush captures only dirty bytes, a fence orders only pending ones, and
+    both preserve [Top] (conservative). *)
+
+val on_write : t -> t
+
+val on_nt_write : t -> t
+val on_flush : t -> t
+val on_fence : t -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

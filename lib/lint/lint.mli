@@ -1,0 +1,146 @@
+(** Flow-sensitive static crash-consistency analysis over traces and
+    programs.
+
+    XFDetector finds cross-failure bugs dynamically, by injecting a failure
+    at every ordering point and re-executing recovery — thorough, but the
+    cost grows with failure points × replay cost (the paper's §7 names this
+    the scalability bottleneck).  Most real PM bugs, however, follow a small
+    set of statically recognizable ordering/durability patterns (WITCHER;
+    Hasan's PM bug study).  This module is the zero-execution complement: a
+    single abstract-interpretation pass over the trace IR tracking per-byte
+    {!Abs} persistence state (with line-granular flushes), fence epochs, TX
+    logging context and commit-variable protocol state, firing eight rules.
+
+    The linter is deliberately {e unsound as a filter} — a clean lint does
+    not prove the absence of cross-failure bugs (a fence skipped between two
+    later-refenced stores leaves no end-state evidence, yet opens a real
+    race window).  It is therefore used to {e prioritize} failure points,
+    never to prune them, and {!triage} quantifies exactly what it would have
+    missed by cross-checking against the dynamic detector. *)
+
+(** Everything the linter can complain about. *)
+type rule =
+  | Missing_flush_before_commit_store
+      (** commit-variable store while associated range bytes are not yet
+          fenced-persistent *)
+  | Flush_without_ordering_fence
+      (** writeback (or non-temporal store) never ordered by a fence *)
+  | Store_to_committed_in_epoch
+      (** store to committed data in the same fence epoch as the last
+          commit store — not ordered before the commit (Eq. 3) *)
+  | Write_not_tx_added  (** store inside a TX to a range never TX_ADDed *)
+  | Unflushed_at_trace_end  (** store never captured by any writeback *)
+  | Commit_var_never_persisted
+      (** commit variable stored but not durable at end of trace *)
+  | Redundant_flush  (** flush of a line with nothing dirty *)
+  | Duplicate_tx_add  (** TX_ADD of an already-logged range *)
+
+(** [Error]: a must-violation of a commit/logging protocol.  [Warning]: a
+    may-race — whether it bites depends on what recovery reads.  [Perf]:
+    wasted work, never a correctness issue. *)
+type severity = Error | Warning | Perf
+
+val all_rules : rule list
+
+(** Stable kebab-case identifier, e.g.
+    ["missing-flush-before-commit-store"]. *)
+val rule_id : rule -> string
+
+val rule_of_id : string -> rule option
+val severity_of : rule -> severity
+
+type finding = {
+  rule : rule;
+  severity : severity;
+  loc : Xfd_util.Loc.t;  (** the instruction the rule indicts *)
+  addr : Xfd_mem.Addr.t;
+  size : int;
+  index : int option;
+      (** trace index of the firing event; [None] for end-of-trace rules *)
+  related : (string * Xfd_util.Loc.t) list;
+      (** named co-implicated locations (["writer"], ["writeback"],
+          ["commit-store"], ...) — the static analogue of a provenance
+          chain, and what {!triage} matches dynamic verdicts against *)
+  hint : string;  (** one fix-hint sentence *)
+}
+
+type report = {
+  findings : finding list;  (** in firing order, deduplicated *)
+  events : int;  (** trace events analysed *)
+  errors : int;
+  warnings : int;
+  perf : int;
+}
+
+val clean : report -> bool
+
+(** Deduplication key of a finding (rule id + location), mirroring
+    {!Xfd.Report.dedup_key}'s role for dynamic bugs. *)
+val finding_key : finding -> string
+
+(** Analyse a recorded trace. *)
+val check_trace : Xfd_trace.Trace.t -> report
+
+(** Trace the program's [setup] and [pre] stages (honouring the
+    configuration's fault injection, library trust and strategy — but with
+    no failure injection and no detection) and analyse the trace.  This is
+    the zero-replay entry: one execution, no snapshots, no post-failure
+    runs. *)
+val check_prog : ?config:Xfd.Config.t -> Xfd.Engine.program -> report
+
+(** {1 Cross-checking against the dynamic detector} *)
+
+(** Rule ids of the findings that anticipate this dynamic verdict: a
+    race/semantic bug is anticipated by a correctness finding naming its
+    pre-failure writer (as [loc] or [related]); a performance bug by the
+    matching waste rule at the same instruction.  Post-failure errors are
+    never anticipated. *)
+val anticipates : report -> Xfd.Report.bug -> string list
+
+type triage = {
+  program : string;
+  lint : report;
+  outcome : Xfd.Engine.outcome;
+  dynamic : (string * Xfd.Report.bug * string list) list;
+      (** (dedup key, bug, anticipating rule ids) per unique dynamic
+          verdict, post-failure errors excluded *)
+  statics : (finding * string list) list;
+      (** (finding, confirming dynamic dedup keys) per lint finding *)
+  anticipated : int;  (** dynamic verdicts with ≥1 anticipating finding *)
+  static_misses : int;  (** dynamic verdicts no finding anticipated *)
+  confirmed : int;  (** findings confirmed by ≥1 dynamic verdict *)
+  static_only : int;  (** findings no dynamic verdict confirmed *)
+  post_errors : int;  (** dynamic post-failure errors (outside the table) *)
+}
+
+(** Classify a lint report against a detection outcome. *)
+val triage_of : program:string -> report -> Xfd.Engine.outcome -> triage
+
+(** Lint the program, run full dynamic detection on the same workload (same
+    configuration, faults re-armed), and classify both directions — the
+    static-vs-dynamic precision/recall table. *)
+val triage : ?config:Xfd.Config.t -> Xfd.Engine.program -> triage
+
+(** {1 Lint-guided failure-point scheduling} *)
+
+(** Priority function for {!Xfd.Engine.detect}'s [?priority] argument:
+    scores each failure point by the number of lint findings whose firing
+    event falls in the trace window since the previous failure point
+    (end-of-trace findings score the final point).  Points with findings in
+    their window are post-executed first; the verdict {e set} is unchanged
+    by construction — scheduling reorders work, it never skips any. *)
+val priority_of : report -> (int * int) list -> int list
+
+(** [check_prog] then [Xfd.Engine.detect ~priority:(priority_of report)]:
+    lint findings steer which failure points are post-executed first. *)
+val detect_guided :
+  ?config:Xfd.Config.t -> Xfd.Engine.program -> report * Xfd.Engine.outcome
+
+(** {1 Output} *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> report -> unit
+val pp_triage : Format.formatter -> triage -> unit
+val finding_to_json : finding -> Xfd_util.Json.t
+val report_to_json : report -> Xfd_util.Json.t
+val triage_to_json : triage -> Xfd_util.Json.t

@@ -1,0 +1,156 @@
+module Event = Xfd_trace.Event
+module Addr = Xfd_mem.Addr
+module Loc = Xfd_util.Loc
+
+type hit =
+  | Tx_unlogged_write of { loc : Loc.t; addr : Addr.t; size : int }
+  | Redundant_flush of {
+      loc : Loc.t;
+      line : Addr.t;
+      already : [ `Pending | `Persisted ];
+    }
+  | Duplicate_tx_add of { loc : Loc.t; addr : Addr.t; size : int }
+
+type info = {
+  state : Abs.t;
+  writer : Loc.t;
+  write_epoch : int;
+  flush : (Loc.t * int) option;
+}
+
+type byte = {
+  mutable state : Abs.t;
+  mutable writer : Loc.t;
+  mutable write_epoch : int;
+  mutable flush : (Loc.t * int) option;
+}
+
+type t = {
+  bytes : (Addr.t, byte) Hashtbl.t;
+  mutable epoch : int;
+  mutable in_roi : bool;
+  mutable skip_depth : int;
+  mutable tx_depth : int;
+  mutable tx_ranges : (Addr.t * int) list;
+  mutable events : int;
+  on_hit : hit -> unit;
+}
+
+let create ?(on_hit = fun _ -> ()) () =
+  {
+    bytes = Hashtbl.create 512;
+    epoch = 0;
+    in_roi = false;
+    skip_depth = 0;
+    tx_depth = 0;
+    tx_ranges = [];
+    events = 0;
+    on_hit;
+  }
+
+let checking t = t.in_roi && t.skip_depth = 0
+let epoch t = t.epoch
+let in_tx t = t.tx_depth > 0
+let events t = t.events
+
+let on_write t loc addr size ~nt =
+  if checking t && t.tx_depth > 0 then begin
+    let covered = List.exists (fun r -> Addr.overlap r (addr, size)) t.tx_ranges in
+    if not covered then t.on_hit (Tx_unlogged_write { loc; addr; size })
+  end;
+  Addr.iter_bytes addr size (fun a ->
+      let state = if nt then Abs.on_nt_write Abs.Bot else Abs.on_write Abs.Bot in
+      let flush = if nt then Some (loc, t.epoch) else None in
+      match Hashtbl.find_opt t.bytes a with
+      | Some b ->
+        b.state <- state;
+        b.writer <- loc;
+        b.write_epoch <- t.epoch;
+        b.flush <- flush
+      | None ->
+        Hashtbl.replace t.bytes a { state; writer = loc; write_epoch = t.epoch; flush })
+
+let on_flush t loc addr =
+  let line = Addr.line_of addr in
+  let dirty = ref false and pending = ref false and persisted = ref false in
+  Addr.iter_bytes line Addr.line_size (fun a ->
+      match Hashtbl.find_opt t.bytes a with
+      | None -> ()
+      | Some b -> (
+        match b.state with
+        | Abs.Dirty -> dirty := true
+        | Abs.Pending -> pending := true
+        | Abs.Persisted -> persisted := true
+        | Abs.Bot | Abs.Top -> ()));
+  if !dirty then
+    Addr.iter_bytes line Addr.line_size (fun a ->
+        match Hashtbl.find_opt t.bytes a with
+        | Some b when Abs.equal b.state Abs.Dirty ->
+          b.state <- Abs.on_flush b.state;
+          b.flush <- Some (loc, t.epoch)
+        | Some _ | None -> ())
+  else if (!pending || !persisted) && checking t then
+    t.on_hit
+      (Redundant_flush
+         { loc; line; already = (if !pending then `Pending else `Persisted) })
+
+let on_fence t =
+  Hashtbl.iter (fun _ b -> b.state <- Abs.on_fence b.state) t.bytes;
+  t.epoch <- t.epoch + 1
+
+let feed t ev =
+  t.events <- t.events + 1;
+  let loc = ev.Event.loc in
+  match ev.Event.kind with
+  | Event.Write { addr; size } -> on_write t loc addr size ~nt:false
+  | Event.Nt_write { addr; size } -> on_write t loc addr size ~nt:true
+  | Event.Clwb { addr } | Event.Clflush { addr } | Event.Clflushopt { addr } ->
+    on_flush t loc addr
+  | Event.Sfence | Event.Mfence -> on_fence t
+  | Event.Tx_begin ->
+    t.tx_depth <- t.tx_depth + 1;
+    if t.tx_depth = 1 then t.tx_ranges <- []
+  | Event.Tx_add { addr; size } | Event.Tx_xadd { addr; size } ->
+    if t.tx_depth > 0 then begin
+      if
+        checking t
+        && List.exists (fun r -> Addr.overlap r (addr, size)) t.tx_ranges
+        && (match ev.Event.kind with Event.Tx_add _ -> true | _ -> false)
+      then t.on_hit (Duplicate_tx_add { loc; addr; size });
+      t.tx_ranges <- (addr, size) :: t.tx_ranges
+    end
+  | Event.Tx_alloc { addr; size; _ } ->
+    if t.tx_depth > 0 then t.tx_ranges <- (addr, size) :: t.tx_ranges
+  | Event.Tx_commit | Event.Tx_abort ->
+    t.tx_depth <- max 0 (t.tx_depth - 1);
+    if t.tx_depth = 0 then t.tx_ranges <- []
+  | Event.Tx_free _ -> ()
+  | Event.Roi_begin -> t.in_roi <- true
+  | Event.Roi_end -> t.in_roi <- false
+  | Event.Skip_detection_begin -> t.skip_depth <- t.skip_depth + 1
+  | Event.Skip_detection_end -> t.skip_depth <- max 0 (t.skip_depth - 1)
+  | Event.Read _ | Event.Commit_var _ | Event.Commit_range _ | Event.Marker _ -> ()
+
+let info_of b : info =
+  { state = b.state; writer = b.writer; write_epoch = b.write_epoch; flush = b.flush }
+
+let info t a = Option.map info_of (Hashtbl.find_opt t.bytes a)
+
+let byte_state t a =
+  match Hashtbl.find_opt t.bytes a with Some b -> b.state | None -> Abs.Bot
+
+let line_state t addr =
+  let line = Addr.line_of addr in
+  let acc = ref Abs.Bot in
+  Addr.iter_bytes line Addr.line_size (fun a -> acc := Abs.join !acc (byte_state t a));
+  !acc
+
+let iter_tracked t f = Hashtbl.iter (fun a b -> f a (info_of b)) t.bytes
+
+let unpersisted t =
+  Hashtbl.fold
+    (fun a b acc ->
+      match b.state with
+      | Abs.Dirty | Abs.Pending -> (a, info_of b) :: acc
+      | Abs.Bot | Abs.Persisted | Abs.Top -> acc)
+    t.bytes []

@@ -1,0 +1,78 @@
+(** Shared per-line bookkeeping of the static analyses.
+
+    One pass over a trace maintaining, per byte, the abstract persistence
+    state ({!Abs.t}) with the locations that produced it, plus transaction
+    and detection-framing context (RoI, skip regions, TX depth and logged
+    ranges, fence-epoch counter).  The rules that {!Xfd_baselines.Pmtest}
+    and {!Lint} have in common — unlogged writes inside a transaction,
+    redundant writebacks, duplicated TX_ADDs — fire here, through the
+    [on_hit] callback, so the baseline and the linter cannot drift apart:
+    both consume the same transitions.
+
+    Semantics are byte-granular with line-granular flushes, exactly as the
+    dynamic detector models them: a flush captures every dirty byte of its
+    64-byte line; a fence orders every captured byte in the program and
+    opens a new epoch.  Hits fire only while {!checking} (inside the RoI
+    and outside skip regions), matching both consumers' reporting scope. *)
+
+(** The rules shared between the PMTest baseline and the linter. *)
+type hit =
+  | Tx_unlogged_write of { loc : Xfd_util.Loc.t; addr : Xfd_mem.Addr.t; size : int }
+      (** store inside a transaction to a range never TX_ADDed *)
+  | Redundant_flush of {
+      loc : Xfd_util.Loc.t;
+      line : Xfd_mem.Addr.t;
+      already : [ `Pending | `Persisted ];
+    }
+      (** flush of a line with no dirty byte: [`Pending] when the line is
+          captured and awaiting a fence (PMTest's "redundant writeback"),
+          [`Persisted] when it is already durable *)
+  | Duplicate_tx_add of { loc : Xfd_util.Loc.t; addr : Xfd_mem.Addr.t; size : int }
+      (** TX_ADD overlapping a range already logged in this transaction
+          (TX_XADD registrations never fire this, by design) *)
+
+(** What the tracker knows about one written byte. *)
+type info = {
+  state : Abs.t;  (** [Dirty], [Pending] or [Persisted]; never [Bot]/[Top] *)
+  writer : Xfd_util.Loc.t;  (** location of the last store *)
+  write_epoch : int;  (** fence epoch of the last store *)
+  flush : (Xfd_util.Loc.t * int) option;
+      (** capturing flush (location, epoch) when pending or persisted; for
+          non-temporal stores this is the store itself *)
+}
+
+type t
+
+val create : ?on_hit:(hit -> unit) -> unit -> t
+
+(** Feed one trace event through the state machine (and fire hits). *)
+val feed : t -> Xfd_trace.Event.t -> unit
+
+(** Inside the RoI and outside every skip region — the scope in which
+    shared rules report. *)
+val checking : t -> bool
+
+(** Fence epochs elapsed (a fence closes the current epoch). *)
+val epoch : t -> int
+
+val in_tx : t -> bool
+
+(** Events fed so far. *)
+val events : t -> int
+
+val info : t -> Xfd_mem.Addr.t -> info option
+
+(** State of one byte; [Abs.Bot] when never written. *)
+val byte_state : t -> Xfd_mem.Addr.t -> Abs.t
+
+(** Join of the byte states over the 64-byte line containing [addr]
+    ([Abs.Bot] for an untouched line). *)
+val line_state : t -> Xfd_mem.Addr.t -> Abs.t
+
+(** Iterate over every written byte, in unspecified order. *)
+val iter_tracked : t -> (Xfd_mem.Addr.t -> info -> unit) -> unit
+
+(** Bytes whose updates never reached PM: every byte still [Dirty] or
+    [Pending], in unspecified order.  PMTest's end-of-execution rule and
+    the linter's unflushed/unfenced rules are both projections of this. *)
+val unpersisted : t -> (Xfd_mem.Addr.t * info) list

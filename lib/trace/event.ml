@@ -66,14 +66,71 @@ let pp_kind ppf = function
 let pp ppf { seq; kind; loc } =
   Format.fprintf ppf "[%6d] %a @@ %a" seq pp_kind kind Xfd_util.Loc.pp loc
 
+(* Free-form text (marker bodies, file names) travels inside a line format
+   framed by '|' and, within the kind field, split on spaces — so those
+   characters (and the line terminator itself) are escaped on write and
+   restored on read.  Legacy traces contain no backslashes, so they decode
+   unchanged. *)
+let escape_field s =
+  if
+    String.for_all
+      (fun c -> c <> '\\' && c <> '|' && c <> ' ' && c <> '\n' && c <> '\r')
+      s
+  then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '|' -> Buffer.add_string b "\\p"
+        | ' ' -> Buffer.add_string b "\\s"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let unescape_field s =
+  if not (String.contains s '\\') then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] = '\\' && !i + 1 < n then begin
+         (match s.[!i + 1] with
+         | '\\' -> Buffer.add_char b '\\'
+         | 'p' -> Buffer.add_char b '|'
+         | 's' -> Buffer.add_char b ' '
+         | 'n' -> Buffer.add_char b '\n'
+         | 'r' -> Buffer.add_char b '\r'
+         | c ->
+           Buffer.add_char b '\\';
+           Buffer.add_char b c);
+         incr i
+       end
+       else Buffer.add_char b s.[!i]);
+      incr i
+    done;
+    Buffer.contents b
+  end
+
 let to_line { seq; kind; loc } =
-  Format.asprintf "%d|%a|%s|%d" seq pp_kind kind loc.Xfd_util.Loc.file
+  let kind_str =
+    match kind with
+    | Marker s -> "MARKER " ^ escape_field s
+    | kind -> Format.asprintf "%a" pp_kind kind
+  in
+  Format.sprintf "%d|%s|%s|%d" seq kind_str
+    (escape_field loc.Xfd_util.Loc.file)
     loc.Xfd_util.Loc.line
 
 let of_line line =
   match String.split_on_char '|' line with
   | [ seq; kind_str; file; lnum ] -> begin
-    let loc = Xfd_util.Loc.make ~file ~line:(int_of_string lnum) in
+    let loc = Xfd_util.Loc.make ~file:(unescape_field file) ~line:(int_of_string lnum) in
     let seq = int_of_string seq in
     let words = String.split_on_char ' ' kind_str in
     let addr s = int_of_string s in
@@ -103,7 +160,7 @@ let of_line line =
       | [ "ROI_END" ] -> Some Roi_end
       | [ "SKIP_DETECTION_BEGIN" ] -> Some Skip_detection_begin
       | [ "SKIP_DETECTION_END" ] -> Some Skip_detection_end
-      | "MARKER" :: rest -> Some (Marker (String.concat " " rest))
+      | "MARKER" :: rest -> Some (Marker (unescape_field (String.concat " " rest)))
       | _ -> None
     in
     Option.map (fun kind -> { seq; kind; loc }) kind

@@ -51,7 +51,10 @@ val is_fence : kind -> bool
 val pp_kind : Format.formatter -> kind -> unit
 val pp : Format.formatter -> t -> unit
 
-(** One-line machine-readable form, parseable by {!of_line}. *)
+(** One-line machine-readable form, parseable by {!of_line}.  Free-form
+    text (marker bodies, file names) is escaped so that field separators
+    ('|', spaces) and line terminators occurring in it round-trip; legacy
+    lines without escapes parse unchanged. *)
 val to_line : t -> string
 
 val of_line : string -> t option

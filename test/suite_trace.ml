@@ -32,6 +32,65 @@ let sample_kinds : Event.kind list =
     Event.Marker "hello world";
   ]
 
+(* Generator covering every kind constructor, with adversarial free-form
+   text (field separators, escapes, newlines, raw high bytes) in marker
+   bodies and file names — the payloads the escaping in to_line exists
+   for. *)
+let nasty_string_gen =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'z'; '0'; '|'; ' '; '\n'; '\r'; '\t'; '\\'; '"'; '\xc3'; '\x01' ])
+      (int_bound 16))
+
+let kind_gen =
+  QCheck.Gen.(
+    let addr = map (fun o -> 0x100 + o) (int_bound 4096) in
+    let size = int_range 1 128 in
+    oneof
+      [
+        map2 (fun addr size -> Event.Write { addr; size }) addr size;
+        map2 (fun addr size -> Event.Read { addr; size }) addr size;
+        map2 (fun addr size -> Event.Nt_write { addr; size }) addr size;
+        map (fun addr -> Event.Clwb { addr }) addr;
+        map (fun addr -> Event.Clflush { addr }) addr;
+        map (fun addr -> Event.Clflushopt { addr }) addr;
+        return Event.Sfence;
+        return Event.Mfence;
+        return Event.Tx_begin;
+        map2 (fun addr size -> Event.Tx_add { addr; size }) addr size;
+        map2 (fun addr size -> Event.Tx_xadd { addr; size }) addr size;
+        return Event.Tx_commit;
+        return Event.Tx_abort;
+        map3 (fun addr size zeroed -> Event.Tx_alloc { addr; size; zeroed }) addr size bool;
+        map (fun addr -> Event.Tx_free { addr }) addr;
+        map2 (fun addr size -> Event.Commit_var { addr; size }) addr size;
+        map3 (fun var addr size -> Event.Commit_range { var; addr; size }) addr addr size;
+        return Event.Roi_begin;
+        return Event.Roi_end;
+        return Event.Skip_detection_begin;
+        return Event.Skip_detection_end;
+        map (fun s -> Event.Marker s) nasty_string_gen;
+      ])
+
+let event_gen =
+  QCheck.Gen.(
+    map3
+      (fun seq kind (file, line) -> { Event.seq; kind; loc = Loc.make ~file ~line })
+      (int_bound 100000) kind_gen
+      (pair nasty_string_gen (int_bound 9999)))
+
+let event_arb =
+  QCheck.make ~print:(fun ev -> String.escaped (Event.to_line ev)) event_gen
+
+let event_props =
+  [
+    QCheck.Test.make ~count:500 ~name:"to_line/of_line round trips every kind" event_arb
+      (fun ev -> Event.of_line (Event.to_line ev) = Some ev);
+    QCheck.Test.make ~count:200 ~name:"to_line never emits a line terminator" event_arb
+      (fun ev ->
+        let line = Event.to_line ev in
+        not (String.contains line '\n') && not (String.contains line '\r'));
+  ]
+
 let event_tests =
   [
     Tu.case "line round trip for every kind" (fun () ->
@@ -153,4 +212,9 @@ let util_tests =
   ]
 
 let suite =
-  [ ("trace.event", event_tests); ("trace.buffer", trace_tests); ("util", util_tests) ]
+  [
+    ("trace.event", event_tests);
+    ("trace.event-props", List.map QCheck_alcotest.to_alcotest event_props);
+    ("trace.buffer", trace_tests);
+    ("util", util_tests);
+  ]
