@@ -1,0 +1,79 @@
+(* Compare two BENCH_*.json perf snapshots and gate on regressions.
+
+   Usage: bench_diff.exe BASELINE CURRENT [--tol-bytes F] [--tol-wall F]
+                                          [--tol-rate F] [--json]
+
+   Exit status: 0 when no metric regressed (improvements are fine),
+   1 when at least one gated metric regressed, 2 on a structural
+   mismatch (the files do not describe the same experiment) or usage
+   error.  Tolerances are fractions: "--tol-bytes 0.25" allows +25%.
+   Wall and rate metrics are reported but only gated when their
+   tolerance is given explicitly — wall time is machine-dependent, so a
+   committed baseline says nothing absolute about CI hardware. *)
+
+module Bdiff = Xfd_flight.Bdiff
+module Json = Xfd_util.Json
+
+let usage () =
+  prerr_endline
+    "usage: bench_diff.exe BASELINE CURRENT [--tol-bytes F] [--tol-wall F] [--tol-rate F] \
+     [--json]";
+  exit 2
+
+let read_json path =
+  match In_channel.with_open_bin path In_channel.input_all |> Json.of_string with
+  | Ok j -> j
+  | Error e ->
+    Printf.eprintf "bench_diff: %s: %s\n" path e;
+    exit 2
+  | exception Sys_error e ->
+    Printf.eprintf "bench_diff: %s\n" e;
+    exit 2
+
+let () =
+  let rec parse (files, tol, json_out) = function
+    | [] -> (List.rev files, tol, json_out)
+    | "--json" :: rest -> parse (files, tol, true) rest
+    | "--tol-bytes" :: v :: rest ->
+      parse (files, { tol with Bdiff.bytes = float_of_string v }, json_out) rest
+    | "--tol-wall" :: v :: rest ->
+      parse (files, { tol with Bdiff.wall = Some (float_of_string v) }, json_out) rest
+    | "--tol-rate" :: v :: rest ->
+      parse (files, { tol with Bdiff.rate = Some (float_of_string v) }, json_out) rest
+    | a :: rest when String.length a > 0 && a.[0] <> '-' -> parse (a :: files, tol, json_out) rest
+    | _ -> usage ()
+  in
+  let files, tol, json_out =
+    match
+      parse ([], Bdiff.default_tolerances, false) (List.tl (Array.to_list Sys.argv))
+    with
+    | v -> v
+    | exception Failure _ -> usage ()
+  in
+  let baseline_path, current_path =
+    match files with [ b; c ] -> (b, c) | _ -> usage ()
+  in
+  let baseline = read_json baseline_path and current = read_json current_path in
+  match Bdiff.diff ~tol ~baseline ~current () with
+  | Error why ->
+    Printf.eprintf "bench_diff: structural mismatch: %s\n" why;
+    exit 2
+  | Ok items ->
+    let regressed = Bdiff.regressions items in
+    if json_out then
+      print_endline
+        (Json.to_string_pretty
+           (Json.Obj
+              [
+                ("type", Json.Str "bench_diff");
+                ("baseline", Json.Str baseline_path);
+                ("current", Json.Str current_path);
+                ("regressions", Json.Int (List.length regressed));
+                ("items", Json.Arr (List.map Bdiff.item_to_json items));
+              ]))
+    else begin
+      Printf.printf "bench_diff: %s vs %s — %d metrics, %d regressed\n" baseline_path
+        current_path (List.length items) (List.length regressed);
+      List.iter (fun i -> Format.printf "%a@." Bdiff.pp_item i) items
+    end;
+    exit (if regressed = [] then 0 else 1)

@@ -3,11 +3,18 @@
    microbenchmarks of the detector's hot paths (experiment E8).
 
    Usage: main.exe [fig12a|fig12b|fig13|table4|table5|newbugs|capability|
-                    ablation|mechanisms|mtsweep|parallel|micro|all]
-                                               (default: all, fast sizes)
+                    ablation|mechanisms|mtsweep|parallel|snapshots|detect|
+                    micro|all]                 (default: all, fast sizes)
           main.exe --full        (paper-scale figure 13 sweep: 1..50 txns)
           main.exe EXPERIMENT --metrics-out telemetry.jsonl
-                                 (stream spans + a summary record as JSONL) *)
+                                 (stream spans + a summary record as JSONL)
+          main.exe EXPERIMENT --trace-out trace.json
+                                 (Chrome trace-event export of all spans;
+                                  open in ui.perfetto.dev)
+
+   "snapshots" and "detect" additionally write BENCH_snapshots.json /
+   BENCH_detect.json; bench_diff.exe compares them against the committed
+   baselines. *)
 
 module E = Xfd_experiments
 
@@ -130,6 +137,71 @@ let run_snapshot_bench () =
   close_out oc;
   Printf.printf "(written to %s)\n" snapshot_bench_out
 
+(* ---- end-to-end detection perf snapshot ----
+
+   Runs the full pipeline over the table-5 microbenchmark workloads at a
+   small fixed size (one warmup, one measured run each, sequential
+   post-failure stage for determinism) and writes BENCH_detect.json: the
+   behavioral fingerprint (failure points, event counts, unique bugs) and
+   the perf trajectory (wall, peak image bytes, points/s).  bench_diff.exe
+   compares two such files with per-class tolerances, so CI can gate on
+   the committed baseline. *)
+
+let detect_bench_out = "BENCH_detect.json"
+
+let run_detect_bench () =
+  let open Xfd_util.Json in
+  Printf.printf "\n== End-to-end detection: perf snapshot (init=2 test=3, post_jobs=1) ==\n";
+  Printf.printf "%-16s %8s %8s %8s %6s %10s %9s %12s\n" "workload" "points" "pre_ev"
+    "post_ev" "bugs" "peak" "wall" "points/s";
+  let rows =
+    List.map
+      (fun (e : E.Workload_set.entry) ->
+        let program = e.make ~init:2 ~test:3 in
+        ignore (Xfd.Engine.detect program);
+        (* measured run *)
+        Xfd_mem.Image.reset_peak ();
+        let t0 = Unix.gettimeofday () in
+        let outcome = Xfd.Engine.detect program in
+        let wall = Unix.gettimeofday () -. t0 in
+        let peak =
+          match Xfd_obs.Obs.gauge_value "engine.peak_image_bytes" with
+          | Some v -> int_of_float v
+          | None -> 0
+        in
+        let pps = if wall > 0.0 then float_of_int outcome.failure_points /. wall else 0.0 in
+        Printf.printf "%-16s %8d %8d %8d %6d %9dK %7.2fms %12.0f\n" e.name
+          outcome.failure_points outcome.pre_events outcome.post_events
+          (List.length outcome.unique_bugs) (peak / 1024) (1000.0 *. wall) pps;
+        Obj
+          [
+            ("workload", Str e.name);
+            ("failure_points", Int outcome.failure_points);
+            ("pre_events", Int outcome.pre_events);
+            ("post_events", Int outcome.post_events);
+            ("unique_bugs", Int (List.length outcome.unique_bugs));
+            ("peak_image_bytes", Int peak);
+            ("wall_s", Float wall);
+            ("points_per_sec", Float pps);
+          ])
+      E.Workload_set.micro
+  in
+  let json =
+    Obj
+      [
+        ("type", Str "BENCH_detect");
+        ("schema_version", Int 1);
+        ("init_size", Int 2);
+        ("test_size", Int 3);
+        ("rows", Arr rows);
+      ]
+  in
+  let oc = open_out detect_bench_out in
+  output_string oc (Xfd_util.Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(written to %s)\n" detect_bench_out
+
 (* ---- bechamel microbenchmarks of the hot paths ---- *)
 
 let microbenches () =
@@ -216,20 +288,29 @@ let microbenches () =
         (Test.elements test))
     tests
 
-(* Extract "--metrics-out FILE" from the argument list. *)
-let rec extract_metrics_out acc = function
+(* Extract "--FLAG FILE" from the argument list. *)
+let rec extract_flag flag acc = function
   | [] -> (None, List.rev acc)
-  | "--metrics-out" :: path :: rest -> (Some path, List.rev_append acc rest)
-  | a :: rest -> extract_metrics_out (a :: acc) rest
+  | f :: path :: rest when f = flag -> (Some path, List.rev_append acc rest)
+  | a :: rest -> extract_flag flag (a :: acc) rest
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let args = List.filter (fun a -> a <> "--full") args in
-  let metrics_out, args = extract_metrics_out [] args in
+  let metrics_out, args = extract_flag "--metrics-out" [] args in
+  let trace_out, args = extract_flag "--trace-out" [] args in
   let sink = Option.map Xfd_obs.Obs.Sink.to_file metrics_out in
   Option.iter Xfd_obs.Obs.Sink.install sink;
+  let collector =
+    Option.map (fun path -> (path, Xfd_flight.Perfetto.Collector.start ())) trace_out
+  in
   at_exit (fun () ->
+      Option.iter
+        (fun (path, c) ->
+          let n = Xfd_flight.Perfetto.Collector.stop_to_file c path in
+          Printf.printf "(trace: %d slices written to %s)\n" n path)
+        collector;
       Option.iter
         (fun s ->
           Xfd_obs.Obs.write_summary ();
@@ -251,6 +332,7 @@ let () =
   | "parallel" -> run_parallel ()
   | "mtsweep" -> run_mtsweep ()
   | "snapshots" -> run_snapshot_bench ()
+  | "detect" -> run_detect_bench ()
   | "micro" -> microbenches ()
   | "all" ->
     header ();
@@ -265,9 +347,10 @@ let () =
     run_mtsweep ();
     run_parallel ();
     run_snapshot_bench ();
+    run_detect_bench ();
     microbenches ()
   | other ->
     Printf.eprintf
-      "unknown experiment %S (expected fig12a|fig12b|fig13|table4|table5|newbugs|capability|ablation|mechanisms|mtsweep|parallel|snapshots|micro|all)\n"
+      "unknown experiment %S (expected fig12a|fig12b|fig13|table4|table5|newbugs|capability|ablation|mechanisms|mtsweep|parallel|snapshots|detect|micro|all)\n"
       other;
     exit 2

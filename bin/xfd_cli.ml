@@ -41,6 +41,35 @@ let workload_names =
     (fun e -> String.lowercase_ascii e.Xfd_experiments.Workload_set.name)
     Xfd_experiments.Workload_set.extended
 
+(* Live progress bar for the post-failure stage.  The engine may invoke
+   the callback from whichever worker domain finished a run, so renders
+   are serialized with a mutex and throttled; the final report always
+   renders and ends the line. *)
+let progress_renderer () =
+  let mu = Mutex.create () in
+  let t0 = Unix.gettimeofday () in
+  let last = ref 0.0 in
+  fun (p : Xfd.Engine.progress) ->
+    Mutex.protect mu (fun () ->
+        let now = Unix.gettimeofday () in
+        let final = p.completed >= p.total in
+        if final || now -. !last >= 0.05 then begin
+          last := now;
+          let elapsed = now -. t0 in
+          let rate = if elapsed > 0.0 then float_of_int p.completed /. elapsed else 0.0 in
+          let eta =
+            if rate > 0.0 then float_of_int (p.total - p.completed) /. rate else 0.0
+          in
+          let width = 24 in
+          let filled =
+            if p.total <= 0 then width else min width (width * p.completed / p.total)
+          in
+          let bar = String.make filled '#' ^ String.make (width - filled) '-' in
+          Printf.eprintf "\r[%s] %d/%d failure points  %4.0f fp/s  ETA %4.1fs%!" bar
+            p.completed p.total rate eta;
+          if final then prerr_newline ()
+        end)
+
 let run_cmd =
   let workload =
     Arg.(
@@ -141,8 +170,39 @@ let run_cmd =
              failure points before clean ones.  Scheduling only: the verdict set is \
              identical to the default order.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Export the run's span tree as Chrome trace-event JSON to $(docv) — open it \
+             in ui.perfetto.dev or chrome://tracing.  One track per domain, so with \
+             $(b,post_jobs > 1) the parallel post-failure stage shows as overlapping \
+             post_run slices.")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Render a live progress bar (failure points done/total, throughput, ETA) on \
+             stderr while the post-failure stage runs.  Observation-only: the verdict is \
+             byte-identical with or without it.")
+  in
+  let flight_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the flight-recorder run log as JSONL to $(docv): lifecycle events \
+             (run.begin, fp.scheduled/started/verdict, snapshot.recorded/dropped, \
+             worker.join, run.end) with per-run id and sampled GC gauges.  Enables \
+             debug-level recording for this run.")
+  in
   let action workload init test patch naive untrusted quiet json metrics_out quiet_metrics
-      report_out explain fail_on_bug allow_perf lint_guided =
+      report_out explain fail_on_bug allow_perf lint_guided trace_out progress flight_out =
     let entry = Xfd_experiments.Workload_set.find workload in
     let faults = match patch with Some s -> parse_patch s | None -> Xfd_sim.Faults.none in
     let config =
@@ -156,15 +216,29 @@ let run_cmd =
     in
     let sink = Option.map Xfd_obs.Obs.Sink.to_file metrics_out in
     Option.iter Xfd_obs.Obs.Sink.install sink;
+    if flight_out <> None then Xfd_flight.Flight.set_level Xfd_flight.Flight.Debug;
     let program = entry.Xfd_experiments.Workload_set.make ~init ~test in
+    let on_progress = if progress then Some (progress_renderer ()) else None in
     let outcome =
       if lint_guided then begin
-        let lint, outcome = Xfd_lint.Lint.detect_guided ~config program in
+        let lint, outcome = Xfd_lint.Lint.detect_guided ~config ?on_progress program in
         if not (quiet || json) then Format.printf "%a@." Xfd_lint.Lint.pp_report lint;
         outcome
       end
-      else Xfd.Engine.detect ~config program
+      else Xfd.Engine.detect ~config ?on_progress program
     in
+    Option.iter
+      (fun file ->
+        Xfd_flight.Perfetto.to_file ~process_name:outcome.Xfd.Engine.program file
+          outcome.Xfd.Engine.spans;
+        Format.eprintf "trace written to %s (%d spans)@." file
+          (List.length outcome.Xfd.Engine.spans))
+      trace_out;
+    Option.iter
+      (fun file ->
+        let n = Xfd_flight.Flight.write_jsonl file in
+        Format.eprintf "flight log written to %s (%d events)@." file n)
+      flight_out;
     Option.iter
       (fun s ->
         Xfd_obs.Obs.write_summary ();
@@ -210,7 +284,7 @@ let run_cmd =
     Term.(
       const action $ workload $ init $ test $ patch $ naive $ untrusted $ quiet $ json
       $ metrics_out $ quiet_metrics $ report_out $ explain $ fail_on_bug $ allow_perf
-      $ lint_guided)
+      $ lint_guided $ trace_out $ progress $ flight_out)
 
 let list_cmd =
   let action () =
@@ -451,11 +525,29 @@ let fuzz_cmd =
       value & flag
       & info [ "quiet-metrics" ] ~doc:"Do not print the human-readable telemetry summary.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Export every span of the whole fuzz sweep as Chrome trace-event JSON to \
+             $(docv) (collected from the telemetry stream — each engine run drains its \
+             own span buffer).")
+  in
   let action seed budget profile corpus max_repros shrink_budget replay quiet metrics_out
-      quiet_metrics =
+      quiet_metrics trace_out =
     let sink = Option.map Xfd_obs.Obs.Sink.to_file metrics_out in
     Option.iter Xfd_obs.Obs.Sink.install sink;
+    let collector =
+      Option.map (fun path -> (path, Xfd_flight.Perfetto.Collector.start ())) trace_out
+    in
     let finish ok =
+      Option.iter
+        (fun (path, c) ->
+          let n = Xfd_flight.Perfetto.Collector.stop_to_file c path in
+          Format.eprintf "trace written to %s (%d slices)@." path n)
+        collector;
       Option.iter
         (fun s ->
           Xfd_obs.Obs.write_summary ();
@@ -497,7 +589,7 @@ let fuzz_cmd =
           reproducible corpus")
     Term.(
       const action $ seed $ budget $ profile $ corpus $ max_repros $ shrink_budget $ replay
-      $ quiet $ metrics_out $ quiet_metrics)
+      $ quiet $ metrics_out $ quiet_metrics $ trace_out)
 
 let () =
   let doc = "XFDetector (OCaml reproduction): cross-failure bug detection for PM programs" in

@@ -77,7 +77,27 @@ let stats_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Print the summary as one JSON object.")
   in
-  let action file json =
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Keep running and re-render whenever $(i,FILE) changes (polled by \
+             mtime/size) — live view of a trace being recorded.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Poll interval for $(b,--watch).")
+  in
+  let watch_count =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "watch-count" ] ~docv:"N"
+          ~doc:"With $(b,--watch), exit after $(docv) renders (for scripting/tests).")
+  in
+  let render file json =
     let t = load_trace file in
     let c = Xfd_trace.Trace.counts t in
     (* Access-size distributions, through the same histogram machinery the
@@ -145,9 +165,36 @@ let stats_cmd =
       print_hist "read sizes" h_reads
     end
   in
+  let action file json watch interval watch_count =
+    if not watch then render file json
+    else begin
+      (* Poll mtime/size; re-render on change.  The access-size histograms
+         are process-global Obs metrics, so they are reset before every
+         render — otherwise each pass would accumulate on the last. *)
+      let renders = ref 0 in
+      let last = ref None in
+      let continue () = match watch_count with None -> true | Some k -> !renders < k in
+      while continue () do
+        (match Unix.stat file with
+        | exception Unix.Unix_error (e, _, _) ->
+          Printf.printf "%s: %s (waiting)\n%!" file (Unix.error_message e)
+        | st ->
+          let key = Some (st.Unix.st_mtime, st.Unix.st_size) in
+          if key <> !last then begin
+            last := key;
+            incr renders;
+            if not json then Printf.printf "\n-- render #%d --\n" !renders;
+            Xfd_obs.Obs.reset ();
+            (try render file json with Sys_error e -> Printf.printf "%s\n" e);
+            flush stdout
+          end);
+        if continue () then Unix.sleepf interval
+      done
+    end
+  in
   Cmd.v
     (Cmd.info "stats" ~doc:"Event counts and access-size histograms of a trace file")
-    Term.(const action $ file $ json)
+    Term.(const action $ file $ json $ watch $ interval $ watch_count)
 
 let dump_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in

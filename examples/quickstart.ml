@@ -9,7 +9,10 @@
    back from a stale backup (cross-failure semantic bug). *)
 
 (* Optional file outputs, so CI can archive what a run produced:
-     quickstart.exe [--metrics-out FILE.jsonl] [--report-out FILE.json] *)
+     quickstart.exe [--metrics-out FILE.jsonl] [--report-out FILE.json]
+                    [--trace-out FILE.json]
+   --trace-out exports every span of the session as Chrome trace-event
+   JSON — drop it on ui.perfetto.dev to see the pipeline timeline. *)
 let file_arg flag =
   let rec go = function
     | f :: v :: _ when f = flag -> Some v
@@ -24,6 +27,11 @@ let () =
 
   let sink = Option.map Xfd_obs.Obs.Sink.to_file (file_arg "--metrics-out") in
   Option.iter Xfd_obs.Obs.Sink.install sink;
+  let collector =
+    Option.map
+      (fun path -> (path, Xfd_flight.Perfetto.Collector.start ()))
+      (file_arg "--trace-out")
+  in
 
   (* 1. Build the program under test (buggy variant). *)
   let buggy = Xfd_workloads.Array_update.program ~size:1 () in
@@ -98,6 +106,11 @@ let () =
         taken, failure points fired vs elided, bugs by class, time per
         phase — was recorded by the observability layer as it went. *)
   Format.printf "@.%a@." Xfd_obs.Obs.pp_summary ();
+  Option.iter
+    (fun (path, c) ->
+      let n = Xfd_flight.Perfetto.Collector.stop_to_file c path in
+      Printf.printf "trace written to %s (%d slices)\n" path n)
+    collector;
   Option.iter
     (fun s ->
       Xfd_obs.Obs.write_summary ();

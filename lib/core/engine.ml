@@ -2,6 +2,7 @@ module Ctx = Xfd_sim.Ctx
 module Device = Xfd_mem.Pm_device
 module Trace = Xfd_trace.Trace
 module Obs = Xfd_obs.Obs
+module Flight = Xfd_flight.Flight
 
 type program = {
   name : string;
@@ -9,6 +10,8 @@ type program = {
   pre : Ctx.t -> unit;
   post : Ctx.t -> unit;
 }
+
+type progress = { completed : int; total : int }
 
 type timings = {
   pre_exec : float;
@@ -98,13 +101,24 @@ let run_post ~config ~dev ~post =
    ordinal [k] is snapshotted and post-executed — the single-failure-point
    oracle entry behind [detect_at], used by the fuzzer's shrinker and corpus
    replay to re-check one verdict cheaply. *)
-let detect_gen ?only ?priority ?(config = Config.default) program =
+let detect_gen ?only ?priority ?on_progress ?(config = Config.default) program =
   Config.validate config;
   Obs.Counter.incr c_runs;
   Xfd_mem.Image.reset_peak ();
+  let (_ : string) = Flight.begin_run ~program:program.name in
   let mark = Obs.Span.mark () in
   let cov_mark = Xfd_forensics.Coverage.mark () in
+  (* Progress is observation-only: the callback sees counts, never state,
+     and anything it raises is swallowed — it cannot perturb detection.
+     With [post_jobs > 1] it is invoked from whichever worker domain
+     finished the run, so callers must be domain-safe. *)
+  let notify_progress completed total =
+    match on_progress with
+    | None -> ()
+    | Some f -> ( try f { completed; total } with _ -> ())
+  in
   let reports, unique_bugs, n_failure_points, pre_events, post_events =
+    try
     Obs.Span.with_ ~name:sp_detect
       ~meta:[ ("program", Xfd_util.Json.Str program.name) ]
       (fun () ->
@@ -128,7 +142,14 @@ let detect_gen ?only ?priority ?(config = Config.default) program =
                     trace_pos = Trace.length trace;
                     dev = Device.snapshot dev;
                   }
-                  :: !snapshots));
+                  :: !snapshots);
+            Flight.record ~level:Flight.Debug "snapshot.recorded"
+              [
+                ("failure_point", Xfd_util.Json.Int !fired);
+                ("trace_pos", Xfd_util.Json.Int (Trace.length trace));
+              ]);
+          Flight.record ~level:Flight.Debug "fp.scheduled"
+            [ ("failure_point", Xfd_util.Json.Int !fired) ];
           incr fired;
           Obs.Counter.incr c_fp_fired
         in
@@ -140,7 +161,11 @@ let detect_gen ?only ?priority ?(config = Config.default) program =
             last_ops := Ctx.update_ops ctx;
             record_snapshot ()
           end
-          else Obs.Counter.incr c_fp_elided
+          else begin
+            Flight.record ~level:Flight.Debug "snapshot.dropped"
+              [ ("after_failure_point", Xfd_util.Json.Int (!fired - 1)) ];
+            Obs.Counter.incr c_fp_elided
+          end
         in
         Xfd_sim.Faults.reset config.Config.faults;
         let ctx =
@@ -175,6 +200,8 @@ let detect_gen ?only ?priority ?(config = Config.default) program =
            sequential: the backend's shadow forks off the incrementally-advanced
            pre-failure state. *)
         let run_one s =
+          Flight.record ~level:Flight.Debug "fp.started"
+            [ ("failure_point", Xfd_util.Json.Int s.index) ];
           Obs.Span.with_ ~name:sp_post_run
             ~meta:[ ("failure_point", Xfd_util.Json.Int s.index) ]
             (fun () ->
@@ -195,6 +222,13 @@ let detect_gen ?only ?priority ?(config = Config.default) program =
           Obs.Span.with_ ~name:sp_post_exec (fun () ->
               let n = List.length snapshots in
               let jobs = max 1 (min config.Config.post_jobs n) in
+              let progress_done = Atomic.make 0 in
+              let run_one s =
+                let r = run_one s in
+                notify_progress (1 + Atomic.fetch_and_add progress_done 1) n;
+                r
+              in
+              notify_progress 0 n;
               (* Execution order of the post-failure runs.  The runs are
                  independent (each on its own image copy) and results are
                  re-associated with their snapshot by slot below, while
@@ -241,6 +275,8 @@ let detect_gen ?only ?priority ?(config = Config.default) program =
                 let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
                 worker ();
                 List.iter Domain.join domains;
+                Flight.record ~level:Flight.Debug "worker.join"
+                  [ ("jobs", Xfd_util.Json.Int jobs); ("runs", Xfd_util.Json.Int n) ];
                 Array.iter
                   (function
                     | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
@@ -275,6 +311,11 @@ let detect_gen ?only ?priority ?(config = Config.default) program =
                   [ Report.Post_failure_error { exn; failure_point = s.index } ]
                 | None -> []
               in
+              Flight.record ~level:Flight.Info "fp.verdict"
+                [
+                  ("failure_point", Xfd_util.Json.Int s.index);
+                  ("bugs", Xfd_util.Json.Int (List.length bugs));
+                ];
               { Report.failure_point = s.index; trace_pos = s.trace_pos; bugs })
             snapshots post_runs
         in
@@ -295,9 +336,22 @@ let detect_gen ?only ?priority ?(config = Config.default) program =
         Obs.Histogram.observe h_pre_events (Trace.length trace);
         Device.release dev;
         (reports, unique_bugs, List.length snapshots, Trace.length trace, !post_events))
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Flight.record ~level:Flight.Warn "run.abort"
+        [ ("exn", Xfd_util.Json.Str (Printexc.to_string e)) ];
+      Printexc.raise_with_backtrace e bt
   in
   Obs.Gauge.set g_peak_image (float_of_int (Xfd_mem.Image.peak_bytes ()));
   let spans = Obs.Span.records_since mark in
+  Flight.end_run
+    [
+      ("program", Xfd_util.Json.Str program.name);
+      ("failure_points", Xfd_util.Json.Int n_failure_points);
+      ("unique_bugs", Xfd_util.Json.Int (List.length unique_bugs));
+      ("pre_events", Xfd_util.Json.Int pre_events);
+      ("post_events", Xfd_util.Json.Int post_events);
+    ];
   {
     program = program.name;
     failure_points = n_failure_points;
@@ -310,7 +364,8 @@ let detect_gen ?only ?priority ?(config = Config.default) program =
     coverage = Xfd_forensics.Coverage.since cov_mark;
   }
 
-let detect ?config ?priority program = detect_gen ?config ?priority program
+let detect ?config ?priority ?on_progress program =
+  detect_gen ?config ?priority ?on_progress program
 
 let detect_at ?config ~failure_point program =
   detect_gen ~only:failure_point ?config program

@@ -22,6 +22,12 @@ type program = {
   post : Ctx.t -> unit;
 }
 
+(** Live progress through the post-failure stage: [completed] of [total]
+    failure points post-executed so far.  Reported once with
+    [completed = 0] when the stage starts, then after every completed
+    post run. *)
+type progress = { completed : int; total : int }
+
 type timings = {
   pre_exec : float;  (** pre-failure execution + tracing *)
   post_exec : float;  (** all post-failure executions + tracing *)
@@ -59,7 +65,18 @@ type outcome = {
     first, in failure-point order, is re-raised after every domain has
     joined). *)
 val detect :
-  ?config:Config.t -> ?priority:((int * int) list -> int list) -> program -> outcome
+  ?config:Config.t ->
+  ?priority:((int * int) list -> int list) ->
+  ?on_progress:(progress -> unit) ->
+  program ->
+  outcome
+
+(** When [on_progress] is given, it is invoked with live {!progress}
+    counts as post-failure runs complete.  Observation-only and
+    verdict-neutral: the callback sees counts, never detection state, and
+    anything it raises is swallowed.  With [config.post_jobs > 1] it runs
+    on whichever worker domain finished the run, so it must be
+    domain-safe (the CLI's renderer serializes with a mutex). *)
 
 (** When [priority] is given, it receives the fired failure points as
     [(ordinal, trace position)] pairs in trace order and returns one score

@@ -1,0 +1,168 @@
+(* Perf-regression comparison of two BENCH_*.json snapshots.
+
+   The two documents are walked structurally in lockstep; every numeric
+   leaf is a metric identified by its JSON path, and the leaf's *name*
+   decides how it is judged:
+
+   - wall-clock metrics ("*_s"): wall time is machine-dependent, so a
+     committed baseline from one host says nothing absolute about CI's
+     hardware.  Not gated unless an explicit tolerance is given; always
+     reported.
+   - throughput metrics ("*_per_sec"): same, lower-is-worse when gated.
+   - byte metrics ("*_bytes"): allocation/footprint accounting is
+     near-deterministic, gated with a tolerance (default 25%) in the
+     regression direction only — using less memory is not a failure.
+   - everything else (event counts, failure points, bug tallies): exact.
+     These are behavioral fingerprints; ANY drift, either direction,
+     means the engine is doing different work and the baseline must be
+     re-justified, so both directions fail.
+
+   Strings and bools must match exactly (they key the rows: workload
+   names, schema type); a structural mismatch — different fields, row
+   counts, or kinds — is an error distinct from a regression, because it
+   means the two files do not describe the same experiment. *)
+
+module Json = Xfd_util.Json
+
+type cls = Exact | Bytes | Wall | Rate
+
+type tolerances = {
+  bytes : float;  (* fraction: 0.25 = +25% allowed *)
+  wall : float option;  (* None = report only, never gate *)
+  rate : float option;
+}
+
+let default_tolerances = { bytes = 0.25; wall = None; rate = None }
+
+type verdict = Ok_ | Improved | Regressed of string
+
+type item = {
+  path : string;
+  cls : cls;
+  baseline : float;
+  current : float;
+  verdict : verdict;
+}
+
+let cls_name = function Exact -> "exact" | Bytes -> "bytes" | Wall -> "wall" | Rate -> "rate"
+
+let ends_with suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let classify name =
+  if ends_with "_per_sec" name then Rate
+  else if ends_with "_s" name || name = "wall" then Wall
+  else if ends_with "_bytes" name then Bytes
+  else Exact
+
+let pct baseline current =
+  if baseline = 0.0 then if current = 0.0 then 0.0 else Float.infinity
+  else 100.0 *. ((current /. baseline) -. 1.0)
+
+let judge ~tol ~cls ~baseline ~current =
+  let over t = current > baseline *. (1.0 +. t) in
+  let under t = current < baseline *. (1.0 -. t) in
+  match cls with
+  | Exact ->
+    if baseline = current then Ok_
+    else
+      Regressed
+        (Printf.sprintf "exact metric drifted: %g -> %g (behavioral fingerprint)" baseline
+           current)
+  | Bytes ->
+    if over tol.bytes then
+      Regressed (Printf.sprintf "+%.1f%% exceeds +%.0f%% tolerance" (pct baseline current) (100.0 *. tol.bytes))
+    else if current < baseline then Improved
+    else Ok_
+  | Wall -> begin
+    match tol.wall with
+    | Some t when over t ->
+      Regressed (Printf.sprintf "+%.1f%% exceeds +%.0f%% tolerance" (pct baseline current) (100.0 *. t))
+    | _ -> if current < baseline then Improved else Ok_
+  end
+  | Rate -> begin
+    match tol.rate with
+    | Some t when under t ->
+      Regressed
+        (Printf.sprintf "%.1f%% below the -%.0f%% tolerance" (pct baseline current) (100.0 *. t))
+    | _ -> if current > baseline then Improved else Ok_
+  end
+
+let leaf_name path =
+  match String.rindex_opt path '.' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+(* Walk both documents; collect metric items or fail on the first
+   structural mismatch. *)
+let rec walk ~tol path (a : Json.t) (b : Json.t) acc =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match (a, b) with
+  | Json.Obj fa, Json.Obj fb ->
+    let ka = List.map fst fa and kb = List.map fst fb in
+    if ka <> kb then
+      fail "%s: field sets differ (baseline {%s} vs current {%s})" path (String.concat "," ka)
+        (String.concat "," kb)
+    else
+      List.fold_left2
+        (fun acc (k, va) (_, vb) ->
+          match acc with
+          | Error _ as e -> e
+          | Ok items -> walk ~tol (path ^ "." ^ k) va vb items)
+        (Ok acc) fa fb
+      |> Result.map Fun.id
+  | Json.Arr xa, Json.Arr xb ->
+    if List.length xa <> List.length xb then
+      fail "%s: row counts differ (%d vs %d)" path (List.length xa) (List.length xb)
+    else
+      List.fold_left2
+        (fun acc (i, va) vb ->
+          match acc with
+          | Error _ as e -> e
+          | Ok items -> walk ~tol (Printf.sprintf "%s[%d]" path i) va vb items)
+        (Ok acc)
+        (List.mapi (fun i v -> (i, v)) xa)
+        xb
+  | (Json.Int _ | Json.Float _), (Json.Int _ | Json.Float _) ->
+    let num = function Json.Int i -> float_of_int i | Json.Float f -> f | _ -> assert false in
+    let baseline = num a and current = num b in
+    let cls = classify (leaf_name path) in
+    Ok ({ path; cls; baseline; current; verdict = judge ~tol ~cls ~baseline ~current } :: acc)
+  | Json.Str sa, Json.Str sb ->
+    if sa = sb then Ok acc else fail "%s: %S vs %S (row keys must match)" path sa sb
+  | Json.Bool ba, Json.Bool bb ->
+    if ba = bb then Ok acc else fail "%s: %b vs %b" path ba bb
+  | Json.Null, Json.Null -> Ok acc
+  | _ -> fail "%s: value kinds differ" path
+
+let diff ?(tol = default_tolerances) ~baseline ~current () =
+  Result.map List.rev (walk ~tol "$" baseline current [])
+
+let regressions items =
+  List.filter (fun i -> match i.verdict with Regressed _ -> true | _ -> false) items
+
+let pp_item ppf i =
+  let status, detail =
+    match i.verdict with
+    | Ok_ -> ("ok", "")
+    | Improved -> ("improved", "")
+    | Regressed why -> ("REGRESSED", ": " ^ why)
+  in
+  Format.fprintf ppf "%-9s %-5s %-52s %14g -> %-14g %+.1f%%%s" status (cls_name i.cls) i.path
+    i.baseline i.current (pct i.baseline i.current) detail
+
+let item_to_json i =
+  Json.Obj
+    [
+      ("path", Json.Str i.path);
+      ("class", Json.Str (cls_name i.cls));
+      ("baseline", Json.Float i.baseline);
+      ("current", Json.Float i.current);
+      ( "verdict",
+        Json.Str
+          (match i.verdict with
+          | Ok_ -> "ok"
+          | Improved -> "improved"
+          | Regressed why -> "regressed: " ^ why) );
+    ]

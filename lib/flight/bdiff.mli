@@ -1,0 +1,47 @@
+(** Perf-regression comparison of two BENCH_*.json snapshots.
+
+    Walks baseline and current structurally in lockstep; every numeric
+    leaf is a metric identified by its JSON path, judged by a class
+    derived from its name: ["*_s"] wall clock (reported, gated only with
+    an explicit tolerance — wall time is machine-dependent),
+    ["*_per_sec"] throughput (lower-is-worse when gated), ["*_bytes"]
+    footprint (gated, default +25%, regression direction only), and
+    everything else exact in both directions (counts are behavioral
+    fingerprints).  Mismatched structure — different fields, row counts
+    or strings — is an [Error], not a regression: the files do not
+    describe the same experiment. *)
+
+type cls = Exact | Bytes | Wall | Rate
+
+type tolerances = {
+  bytes : float;  (** allowed fractional increase, default 0.25 *)
+  wall : float option;  (** [None] (default): report, never gate *)
+  rate : float option;  (** [None] (default): report, never gate *)
+}
+
+val default_tolerances : tolerances
+
+type verdict = Ok_ | Improved | Regressed of string
+
+type item = {
+  path : string;
+  cls : cls;
+  baseline : float;
+  current : float;
+  verdict : verdict;
+}
+
+val classify : string -> cls
+val cls_name : cls -> string
+
+(** All compared metrics in document order, or a structural mismatch. *)
+val diff :
+  ?tol:tolerances ->
+  baseline:Xfd_util.Json.t ->
+  current:Xfd_util.Json.t ->
+  unit ->
+  (item list, string) result
+
+val regressions : item list -> item list
+val pp_item : Format.formatter -> item -> unit
+val item_to_json : item -> Xfd_util.Json.t

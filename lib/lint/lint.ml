@@ -428,9 +428,9 @@ let priority_of report fps =
   in
   score 0 fps
 
-let detect_guided ?config p =
+let detect_guided ?config ?on_progress p =
   let report = check_prog ?config p in
-  let outcome = Engine.detect ?config ~priority:(priority_of report) p in
+  let outcome = Engine.detect ?config ?on_progress ~priority:(priority_of report) p in
   (report, outcome)
 
 let severity_string = function Error -> "error" | Warning -> "warning" | Perf -> "perf"

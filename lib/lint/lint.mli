@@ -134,7 +134,10 @@ val priority_of : report -> (int * int) list -> int list
 (** [check_prog] then [Xfd.Engine.detect ~priority:(priority_of report)]:
     lint findings steer which failure points are post-executed first. *)
 val detect_guided :
-  ?config:Xfd.Config.t -> Xfd.Engine.program -> report * Xfd.Engine.outcome
+  ?config:Xfd.Config.t ->
+  ?on_progress:(Xfd.Engine.progress -> unit) ->
+  Xfd.Engine.program ->
+  report * Xfd.Engine.outcome
 
 (** {1 Output} *)
 

@@ -121,12 +121,20 @@ module Histogram = struct
     let cur = Atomic.get cell in
     if v > cur && not (Atomic.compare_and_set cell cur v) then store_max cell v
 
+  (* Negative samples are rejected whole rather than partially recorded:
+     buckets have no negative range and a clamped sum would skew every
+     summary, so the sample is dropped and the drop is counted. *)
+  let observe_dropped = Counter.make "obs.observe_dropped"
+
   let observe t v =
     if Atomic.get enabled_flag then begin
-      ignore (Atomic.fetch_and_add t.h_counts.(bucket_of v) 1);
-      ignore (Atomic.fetch_and_add t.h_count 1);
-      ignore (Atomic.fetch_and_add t.h_sum (max 0 v));
-      store_max t.h_max v
+      if v < 0 then Counter.incr observe_dropped
+      else begin
+        ignore (Atomic.fetch_and_add t.h_counts.(bucket_of v) 1);
+        ignore (Atomic.fetch_and_add t.h_count 1);
+        ignore (Atomic.fetch_and_add t.h_sum v);
+        store_max t.h_max v
+      end
     end
 
   let count t = Atomic.get t.h_count
@@ -180,6 +188,10 @@ module Sink = struct
       close = (fun () -> close_out oc);
     }
 
+  (* A sink around arbitrary callbacks — e.g. an in-memory collector.
+     [write] calls are serialized by the dispatch lock in [emit]. *)
+  let of_fn ~write ~close = { id = Atomic.fetch_and_add next_id 1; write; close }
+
   let sinks : t list ref = ref []
   let sinks_mutex = Mutex.create ()
   let any_active = Atomic.make false
@@ -209,6 +221,7 @@ module Span = struct
     id : int;
     parent : int option;
     name : string;
+    tid : int; (* integer id of the domain the span ran on *)
     start : float;
     dur : float;
     meta : (string * Json.t) list;
@@ -216,12 +229,38 @@ module Span = struct
 
   let next_id = Atomic.make 0
 
-  (* Finished spans, newest first, with a monotone completion index so
-     callers can collect exactly the spans finished inside a region. *)
-  let finished : record list ref = ref []
-  let finished_count = ref 0
+  (* Finished spans live in a bounded ring with a monotone completion index,
+     so callers can collect exactly the spans finished inside a region.  The
+     bound matters: long fuzz sweeps finish millions of spans that nobody
+     may ever drain, so beyond [capacity] the oldest records are dropped
+     (and counted) instead of retained. *)
+  let default_capacity = 65_536
+  let spans_dropped = Counter.make "obs.spans_dropped"
+
+  let buf : record option array ref = ref (Array.make default_capacity None)
+  let head = ref 0 (* next write position; live records end just before it *)
+  let len = ref 0 (* live records in the ring, at [head - len, head) *)
+  let finished_count = ref 0 (* logical completion cursor, never bounded *)
   let agg : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 32
   let span_mutex = Mutex.create ()
+
+  let capacity () = with_lock span_mutex (fun () -> Array.length !buf)
+
+  let set_capacity n =
+    if n <= 0 then invalid_arg "Obs.Span.set_capacity: capacity must be positive";
+    with_lock span_mutex (fun () ->
+        let old = !buf in
+        let old_cap = Array.length old in
+        let keep = min !len n in
+        let dropped = !len - keep in
+        let fresh = Array.make n None in
+        for i = 0 to keep - 1 do
+          fresh.(i) <- old.((!head - keep + i + (2 * old_cap)) mod old_cap)
+        done;
+        buf := fresh;
+        head := keep mod n;
+        len := keep;
+        if dropped > 0 then Counter.add spans_dropped dropped)
 
   (* Per-domain stack of open span ids, for parent linkage. *)
   let stack_key = Domain.DLS.new_key (fun () -> ref [])
@@ -233,6 +272,7 @@ module Span = struct
          ("id", Json.Int r.id);
          ("parent", match r.parent with Some p -> Json.Int p | None -> Json.Null);
          ("name", Json.Str r.name);
+         ("tid", Json.Int r.tid);
          ("start_s", Json.Float r.start);
          ("dur_s", Json.Float r.dur);
        ]
@@ -240,7 +280,11 @@ module Span = struct
 
   let finish r =
     with_lock span_mutex (fun () ->
-        finished := r :: !finished;
+        let cap = Array.length !buf in
+        if !len = cap then Counter.incr spans_dropped (* oldest is overwritten *)
+        else incr len;
+        !buf.(!head) <- Some r;
+        head := (!head + 1) mod cap;
         incr finished_count;
         let c, s =
           match Hashtbl.find_opt agg r.name with
@@ -259,10 +303,11 @@ module Span = struct
     let id = Atomic.fetch_and_add next_id 1 in
     let parent = match !stack with [] -> None | p :: _ -> Some p in
     stack := id :: !stack;
+    let tid = (Domain.self () :> int) in
     let start = now () in
     let exit () =
       (match !stack with _ :: rest -> stack := rest | [] -> ());
-      finish { id; parent; name; start; dur = now () -. start; meta }
+      finish { id; parent; name; tid; start; dur = now () -. start; meta }
     in
     match f () with
     | v ->
@@ -275,21 +320,29 @@ module Span = struct
   type mark = int
 
   let mark () = with_lock span_mutex (fun () -> !finished_count)
+  let genesis = 0
 
   let records_since m =
     with_lock span_mutex (fun () ->
+        let cap = Array.length !buf in
         let n = max 0 (!finished_count - m) in
-        let rec split acc k rest =
-          if k = 0 then (acc, rest)
-          else
-            match rest with
-            | [] -> (acc, [])
-            | r :: tl -> split (r :: acc) (k - 1) tl
-        in
-        let since, before = split [] n !finished in
-        finished := before;
-        finished_count := m;
-        since)
+        (* Records older than the ring's reach were dropped at finish time;
+           the caller gets whatever the bound retained. *)
+        let k = min n !len in
+        let acc = ref [] in
+        for i = 1 to k do
+          match !buf.((!head - i + (2 * cap)) mod cap) with
+          | Some r -> acc := r :: !acc
+          | None -> assert false
+        done;
+        head := (!head - k + cap) mod cap;
+        len := !len - k;
+        if !finished_count > m then finished_count := m;
+        !acc)
+
+  (* The drain API under its export name: collect (and consume) every span
+     finished since [mark]. *)
+  let drain_spans = records_since
 
   let aggregate records =
     let t = Hashtbl.create 16 in
@@ -316,7 +369,9 @@ module Span = struct
 
   let reset () =
     with_lock span_mutex (fun () ->
-        finished := [];
+        Array.fill !buf 0 (Array.length !buf) None;
+        head := 0;
+        len := 0;
         finished_count := 0;
         Hashtbl.reset agg)
 end

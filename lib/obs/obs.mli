@@ -59,8 +59,11 @@ module Gauge : sig
 end
 
 (** Log-scale (base-2) histograms of non-negative integer samples: bucket
-    0 holds samples [<= 0], bucket [i >= 1] holds samples in
-    [[2^(i-1), 2^i - 1]]. *)
+    0 holds samples [= 0], bucket [i >= 1] holds samples in
+    [[2^(i-1), 2^i - 1]].  Negative samples are rejected whole — nothing
+    is recorded, and the drop is counted in the ["obs.observe_dropped"]
+    counter — so [count]/[sum]/[max]/buckets always describe the same
+    sample set. *)
 module Histogram : sig
   type t
 
@@ -87,11 +90,14 @@ module Span : sig
   (** A finished span.  [start] is an absolute Unix timestamp in seconds,
       [dur] the wall-clock duration.  [parent] is the id of the enclosing
       span on the same domain, if any: spans started on worker domains of
-      the engine's post-execution pool are roots of their own subtree. *)
+      the engine's post-execution pool are roots of their own subtree.
+      [tid] is the integer id of the domain the span ran on — the track
+      key for trace export, one track per domain-pool worker. *)
   type record = {
     id : int;
     parent : int option;
     name : string;
+    tid : int;
     start : float;
     dur : float;
     meta : (string * Xfd_util.Json.t) list;
@@ -107,11 +113,27 @@ module Span : sig
 
   val mark : unit -> mark
 
-  (** All spans finished since [mark], in completion order, removed from
-      the buffer (spans finished before the mark are untouched).  The
-      engine uses this to attach exactly its own span tree to an
-      outcome while keeping the process-global buffer bounded. *)
+  (** A mark preceding every span: draining from it empties the buffer. *)
+  val genesis : mark
+
+  (** All spans finished since [mark] that the bounded buffer retained, in
+      completion order, removed from the buffer (spans finished before the
+      mark are untouched).  The engine uses this to attach exactly its own
+      span tree to an outcome while keeping the process-global buffer
+      bounded. *)
   val records_since : mark -> record list
+
+  (** Alias of {!records_since}: drain the spans finished since [mark]. *)
+  val drain_spans : mark -> record list
+
+  (** The finished-span buffer is a bounded ring (default 65536 records):
+      beyond the capacity the oldest records are dropped and counted in
+      the ["obs.spans_dropped"] counter, so unbounded span production
+      (long fuzz sweeps) cannot leak memory.  [set_capacity] reallocates
+      the ring, keeping the newest records. *)
+  val capacity : unit -> int
+
+  val set_capacity : int -> unit
 
   (** Aggregate a span list by name: [(name, (count, total seconds))]. *)
   val aggregate : record list -> (string * (int * float)) list
@@ -135,6 +157,10 @@ module Sink : sig
   (** Like {!to_channel} for a freshly created file; {!uninstall} closes
       it. *)
   val to_file : string -> t
+
+  (** A sink around arbitrary callbacks — e.g. an in-memory collector.
+      [write] calls are serialized by the dispatch lock. *)
+  val of_fn : write:(Xfd_util.Json.t -> unit) -> close:(unit -> unit) -> t
 
   (** Install globally.  Multiple sinks receive every record. *)
   val install : t -> unit

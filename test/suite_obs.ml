@@ -247,10 +247,115 @@ let engine_tests =
           (race_emissions >= races && races >= 1));
   ]
 
+let cval name = Option.value ~default:0 (Obs.counter_value name)
+
+let bound_tests =
+  [
+    Tu.case "negative samples are rejected and counted, not clamped" (fun () ->
+        let h = Obs.Histogram.make "test.obs.neg_hist" in
+        Obs.Histogram.observe h 5;
+        let n0 = Obs.Histogram.count h and s0 = Obs.Histogram.sum h in
+        let d0 = cval "obs.observe_dropped" in
+        Obs.Histogram.observe h (-3);
+        Alcotest.(check int) "count unchanged" n0 (Obs.Histogram.count h);
+        Alcotest.(check int) "sum unchanged (no zero-clamp skew)" s0 (Obs.Histogram.sum h);
+        Alcotest.(check (list (pair int int)))
+          "buckets unchanged" [ (7, 1) ] (Obs.Histogram.buckets h);
+        Alcotest.(check int) "drop counted" (d0 + 1) (cval "obs.observe_dropped"));
+    Tu.case "finished-span ring keeps the newest spans and counts drops" (fun () ->
+        ignore (Obs.Span.drain_spans Obs.Span.genesis);
+        let cap0 = Obs.Span.capacity () in
+        Fun.protect
+          ~finally:(fun () ->
+            ignore (Obs.Span.drain_spans Obs.Span.genesis);
+            Obs.Span.set_capacity cap0)
+          (fun () ->
+            Obs.Span.set_capacity 8;
+            Alcotest.(check int) "capacity applied" 8 (Obs.Span.capacity ());
+            let d0 = cval "obs.spans_dropped" in
+            let mark = Obs.Span.mark () in
+            for i = 1 to 20 do
+              Obs.Span.with_ ~name:(Printf.sprintf "test.ring.%d" i) (fun () -> ())
+            done;
+            let records = Obs.Span.drain_spans mark in
+            Alcotest.(check (list string))
+              "the 8 newest survive, oldest-first"
+              (List.init 8 (fun i -> Printf.sprintf "test.ring.%d" (13 + i)))
+              (List.map (fun r -> r.Obs.Span.name) records);
+            Alcotest.(check int) "the 12 oldest were dropped and counted" (d0 + 12)
+              (cval "obs.spans_dropped");
+            (* Shrinking below the live count also drops-and-counts. *)
+            for i = 1 to 6 do
+              Obs.Span.with_ ~name:(Printf.sprintf "test.shrink.%d" i) (fun () -> ())
+            done;
+            let d1 = cval "obs.spans_dropped" in
+            Obs.Span.set_capacity 2;
+            Alcotest.(check int) "shrink drops the overflow" (d1 + 4)
+              (cval "obs.spans_dropped");
+            let kept = Obs.Span.drain_spans Obs.Span.genesis in
+            Alcotest.(check (list string))
+              "shrink keeps the newest" [ "test.shrink.5"; "test.shrink.6" ]
+              (List.map (fun r -> r.Obs.Span.name) kept)));
+  ]
+
+let mt_tests =
+  [
+    Tu.case "metrics sum exactly under 4-domain hammering" (fun () ->
+        let c = Obs.Counter.make "test.obs.mt_counter" in
+        let h = Obs.Histogram.make "test.obs.mt_hist" in
+        let v0 = Obs.Counter.value c in
+        let n0 = Obs.Histogram.count h and s0 = Obs.Histogram.sum h in
+        let per = 10_000 in
+        let work () =
+          for i = 1 to per do
+            Obs.Counter.incr c;
+            Obs.Histogram.observe h (i land 7)
+          done
+        in
+        let domains = List.init 4 (fun _ -> Domain.spawn work) in
+        List.iter Domain.join domains;
+        Alcotest.(check int) "counter exact" (v0 + (4 * per)) (Obs.Counter.value c);
+        Alcotest.(check int) "histogram count exact" (n0 + (4 * per)) (Obs.Histogram.count h);
+        (* i land 7 cycles 1..7,0: each period of 8 sums to 28. *)
+        Alcotest.(check int) "histogram sum exact"
+          (s0 + (4 * (per / 8 * 28)))
+          (Obs.Histogram.sum h));
+    Tu.case "concurrent drain_spans neither loses nor duplicates a span" (fun () ->
+        let program () = Xfd_workloads.Array_update.program ~size:2 () in
+        ignore (Obs.Span.drain_spans Obs.Span.genesis);
+        let solo = Tu.detect (program ()) in
+        let expected = List.length solo.Engine.spans in
+        ignore (Obs.Span.drain_spans Obs.Span.genesis);
+        (* Steal from the shared buffer for the whole duration of a detect
+           running on another domain; every span must end up in exactly one
+           of: the outcome, a steal, or the final sweep. *)
+        let finished = Atomic.make false in
+        let d =
+          Domain.spawn (fun () ->
+              let o = Tu.detect (program ()) in
+              Atomic.set finished true;
+              o)
+        in
+        let stolen = ref [] in
+        while not (Atomic.get finished) do
+          (match Obs.Span.drain_spans Obs.Span.genesis with [] -> () | rs -> stolen := rs :: !stolen);
+          Domain.cpu_relax ()
+        done;
+        let o = Domain.join d in
+        let leftover = Obs.Span.drain_spans Obs.Span.genesis in
+        let all = o.Engine.spans @ leftover @ List.concat !stolen in
+        Alcotest.(check int) "span count conserved" expected (List.length all);
+        let ids = List.map (fun r -> r.Obs.Span.id) all in
+        Alcotest.(check int) "no span delivered twice" (List.length ids)
+          (List.length (List.sort_uniq compare ids)));
+  ]
+
 let suite =
   [
     ("obs.metrics", counter_tests);
     ("obs.spans", span_tests);
+    ("obs.bounds", bound_tests);
+    ("obs.mt", mt_tests);
     ("obs.jsonl", jsonl_tests);
     ("obs.engine", engine_tests);
   ]

@@ -17,6 +17,11 @@ let make_ctx ?faults ?strategy ?trust_library ?on_failure_point ?(stage = Ctx.Pr
 
 let i64 = Alcotest.testable (fun ppf v -> Format.fprintf ppf "%Ld" v) Int64.equal
 
+let json_t =
+  Alcotest.testable
+    (fun ppf j -> Format.pp_print_string ppf (Xfd_util.Json.to_string j))
+    ( = )
+
 let detect ?config program = Xfd.Engine.detect ?config program
 
 let tally_of ?config program =
