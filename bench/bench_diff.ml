@@ -6,7 +6,9 @@
    Exit status: 0 when no metric regressed (improvements are fine),
    1 when at least one gated metric regressed, 2 on a structural
    mismatch (the files do not describe the same experiment) or usage
-   error.  Tolerances are fractions: "--tol-bytes 0.25" allows +25%.
+   error, 3 when an input file is missing or not JSON — distinct so CI
+   can tell "the baseline was never produced" from "the files disagree".
+   Tolerances are fractions: "--tol-bytes 0.25" allows +25%.
    Wall and rate metrics are reported but only gated when their
    tolerance is given explicitly — wall time is machine-dependent, so a
    committed baseline says nothing absolute about CI hardware. *)
@@ -20,15 +22,18 @@ let usage () =
      [--json]";
   exit 2
 
+(* Exit 3, not 2: a missing or unparseable snapshot usually means the
+   producing bench step never ran (or died mid-write), which wants a
+   different remedy than two well-formed files that disagree. *)
 let read_json path =
   match In_channel.with_open_bin path In_channel.input_all |> Json.of_string with
   | Ok j -> j
   | Error e ->
-    Printf.eprintf "bench_diff: %s: %s\n" path e;
-    exit 2
+    Printf.eprintf "bench_diff: cannot read baseline/current: %s is not JSON: %s\n" path e;
+    exit 3
   | exception Sys_error e ->
-    Printf.eprintf "bench_diff: %s\n" e;
-    exit 2
+    Printf.eprintf "bench_diff: cannot read baseline/current: %s\n" e;
+    exit 3
 
 let () =
   let rec parse (files, tol, json_out) = function

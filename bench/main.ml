@@ -14,7 +14,12 @@
 
    "snapshots" and "detect" additionally write BENCH_snapshots.json /
    BENCH_detect.json; bench_diff.exe compares them against the committed
-   baselines. *)
+   baselines.
+
+   --pulse-port PORT [--pulse-interval S] serves the live pulse endpoint
+   (/metrics, /health, /series, ...) for the duration of the run, with a
+   background sampler feeding the time-series window — long sweeps like
+   "all --full" can be watched with `xfd_cli top --connect`. *)
 
 module E = Xfd_experiments
 
@@ -300,12 +305,46 @@ let () =
   let args = List.filter (fun a -> a <> "--full") args in
   let metrics_out, args = extract_flag "--metrics-out" [] args in
   let trace_out, args = extract_flag "--trace-out" [] args in
+  let pulse_port, args = extract_flag "--pulse-port" [] args in
+  let pulse_interval, args = extract_flag "--pulse-interval" [] args in
+  let pulse =
+    Option.map
+      (fun port ->
+        let port =
+          match int_of_string_opt port with
+          | Some p when p >= 0 && p <= 65535 -> p
+          | _ ->
+            prerr_endline "bench: --pulse-port wants a port number";
+            exit 2
+        in
+        let interval =
+          match Option.map float_of_string_opt pulse_interval with
+          | None -> 0.25
+          | Some (Some s) when s > 0.0 -> s
+          | Some _ ->
+            prerr_endline "bench: --pulse-interval wants seconds > 0";
+            exit 2
+        in
+        let tsdb = Xfd_pulse.Tsdb.create () in
+        Xfd_pulse.Tsdb.start tsdb ~interval;
+        let srv = Xfd_pulse.Pulse.start ~port ~tsdb () in
+        Printf.printf "(pulse: serving http://127.0.0.1:%d/ every %gs)\n%!"
+          (Xfd_pulse.Pulse.port srv) interval;
+        (tsdb, srv))
+      pulse_port
+  in
   let sink = Option.map Xfd_obs.Obs.Sink.to_file metrics_out in
   Option.iter Xfd_obs.Obs.Sink.install sink;
   let collector =
     Option.map (fun path -> (path, Xfd_flight.Perfetto.Collector.start ())) trace_out
   in
   at_exit (fun () ->
+      Option.iter
+        (fun (tsdb, srv) ->
+          Xfd_pulse.Tsdb.sample tsdb;
+          Xfd_pulse.Tsdb.stop tsdb;
+          Xfd_pulse.Pulse.stop srv)
+        pulse;
       Option.iter
         (fun (path, c) ->
           let n = Xfd_flight.Perfetto.Collector.stop_to_file c path in

@@ -70,6 +70,144 @@ let progress_renderer () =
           if final then prerr_newline ()
         end)
 
+(* ---- pulse: live exposition, time-series recording, dashboard ----
+
+   One option bundle shared by [run] and [fuzz].  Any of the flags
+   switches the pulse machinery on: a Tsdb sampler thread over the Obs
+   registry, optionally an HTTP exposition server (--pulse-port), an
+   in-process dashboard on stderr (--pulse, TTY only), and an end-of-run
+   JSONL dump of the sampled series (--pulse-out).  All of it is
+   observation-only: the verdict is byte-identical with or without. *)
+
+type pulse_opts = {
+  pulse_live : bool;
+  pulse_port : int option;
+  pulse_interval : float;
+  pulse_linger : float;
+  pulse_out : string option;
+}
+
+let pulse_term =
+  let live =
+    Arg.(
+      value & flag
+      & info [ "pulse" ]
+          ~doc:
+            "Render a live terminal dashboard (progress, bug tallies, PM traffic, \
+             throughput sparkline) on stderr while the command runs.  Implies the \
+             time-series sampler.  Observation-only.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pulse-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve live metrics over HTTP on 127.0.0.1:$(docv) while the command runs: \
+             $(b,/metrics) (OpenMetrics), $(b,/health), $(b,/ready), $(b,/series), \
+             $(b,/flight), $(b,/summary).  Port 0 picks an ephemeral port (printed on \
+             stderr).  Implies the time-series sampler.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 0.25
+      & info [ "pulse-interval" ] ~docv:"SECS"
+          ~doc:"Sampling interval for the time-series recorder (default 0.25s).")
+  in
+  let linger =
+    Arg.(
+      value & opt float 0.0
+      & info [ "pulse-linger" ] ~docv:"SECS"
+          ~doc:
+            "Keep the pulse server and sampler alive $(docv) seconds after the command \
+             finishes, so a scraper can observe the final (done) state.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pulse-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the sampled time series as JSONL to $(docv) at the end of the run \
+             (one line per series).  Implies the time-series sampler.")
+  in
+  Term.(
+    const (fun pulse_live pulse_port pulse_interval pulse_linger pulse_out ->
+        { pulse_live; pulse_port; pulse_interval; pulse_linger; pulse_out })
+    $ live $ port $ interval $ linger $ out)
+
+(* Redraw-in-place renderer: moves the cursor back up over the previous
+   frame.  Only used when stderr is a TTY. *)
+let dash_local_renderer tsdb =
+  let prev_lines = ref 0 in
+  fun () ->
+    let s = Xfd_pulse.Dash.render (Xfd_pulse.Dash.snap_local tsdb) in
+    let lines = String.split_on_char '\n' s in
+    let lines = match List.rev lines with "" :: rest -> List.rev rest | _ -> lines in
+    let b = Buffer.create 256 in
+    if !prev_lines > 0 then Buffer.add_string b (Printf.sprintf "\x1b[%dA" !prev_lines);
+    List.iter
+      (fun l ->
+        Buffer.add_string b l;
+        Buffer.add_string b "\x1b[K\n")
+      lines;
+    prev_lines := List.length lines;
+    prerr_string (Buffer.contents b);
+    flush stderr
+
+(* [with_pulse opts f] runs [f] with the pulse machinery (if any flag
+   asked for it) started before and torn down after — including on
+   exceptions.  [f] receives a progress callback to merge into the
+   engine's [on_progress], and must return rather than [exit] so the
+   teardown (pulse-out dump, server stop) always runs. *)
+let with_pulse opts f =
+  let enabled = opts.pulse_live || opts.pulse_port <> None || opts.pulse_out <> None in
+  if not enabled then f ~pulse_progress:None
+  else begin
+    let tsdb = Xfd_pulse.Tsdb.create () in
+    Xfd_pulse.Tsdb.start tsdb ~interval:opts.pulse_interval;
+    let server =
+      Option.map
+        (fun port ->
+          let s = Xfd_pulse.Pulse.start ~port ~tsdb () in
+          Format.eprintf "pulse: serving http://127.0.0.1:%d/ (try /metrics, /health)@."
+            (Xfd_pulse.Pulse.port s);
+          s)
+        opts.pulse_port
+    in
+    let live = opts.pulse_live && Unix.isatty Unix.stderr in
+    let render = dash_local_renderer tsdb in
+    let dash =
+      if live then
+        Some (Xfd_pulse.Ticker.start ~interval:(Float.max 0.2 opts.pulse_interval) render)
+      else None
+    in
+    let pulse_progress (p : Xfd.Engine.progress) =
+      Xfd_pulse.Pulse.note_progress ~completed:p.completed ~total:p.total
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter Xfd_pulse.Ticker.stop dash;
+        Xfd_pulse.Tsdb.sample tsdb;
+        (* end-state sample *)
+        if live then render ();
+        if opts.pulse_linger > 0.0 then Unix.sleepf opts.pulse_linger;
+        Xfd_pulse.Tsdb.stop tsdb;
+        Option.iter Xfd_pulse.Pulse.stop server;
+        Option.iter
+          (fun file ->
+            let n = Xfd_pulse.Tsdb.write_jsonl tsdb file in
+            Format.eprintf "pulse series written to %s (%d series)@." file n)
+          opts.pulse_out)
+      (fun () -> f ~pulse_progress:(Some pulse_progress))
+  end
+
+(* Merge independent progress observers into one callback. *)
+let merge_progress observers =
+  match List.filter_map Fun.id observers with
+  | [] -> None
+  | fs -> Some (fun p -> List.iter (fun f -> f p) fs)
+
 let run_cmd =
   let workload =
     Arg.(
@@ -202,7 +340,8 @@ let run_cmd =
              debug-level recording for this run.")
   in
   let action workload init test patch naive untrusted quiet json metrics_out quiet_metrics
-      report_out explain fail_on_bug allow_perf lint_guided trace_out progress flight_out =
+      report_out explain fail_on_bug allow_perf lint_guided trace_out progress flight_out
+      pulse_opts =
     let entry = Xfd_experiments.Workload_set.find workload in
     let faults = match patch with Some s -> parse_patch s | None -> Xfd_sim.Faults.none in
     let config =
@@ -218,7 +357,12 @@ let run_cmd =
     Option.iter Xfd_obs.Obs.Sink.install sink;
     if flight_out <> None then Xfd_flight.Flight.set_level Xfd_flight.Flight.Debug;
     let program = entry.Xfd_experiments.Workload_set.make ~init ~test in
-    let on_progress = if progress then Some (progress_renderer ()) else None in
+    let code =
+      with_pulse pulse_opts (fun ~pulse_progress ->
+    let on_progress =
+      merge_progress
+        [ (if progress then Some (progress_renderer ()) else None); pulse_progress ]
+    in
     let outcome =
       if lint_guided then begin
         let lint, outcome = Xfd_lint.Lint.detect_guided ~config ?on_progress program in
@@ -277,14 +421,16 @@ let run_cmd =
       report_out;
     if not quiet_metrics then Format.eprintf "%a" Xfd_obs.Obs.pp_summary ();
     let failing = if allow_perf then r + s + e else r + s + p + e in
-    if fail_on_bug && failing > 0 then exit 1
+    if fail_on_bug && failing > 0 then 1 else 0)
+    in
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under cross-failure detection")
     Term.(
       const action $ workload $ init $ test $ patch $ naive $ untrusted $ quiet $ json
       $ metrics_out $ quiet_metrics $ report_out $ explain $ fail_on_bug $ allow_perf
-      $ lint_guided $ trace_out $ progress $ flight_out)
+      $ lint_guided $ trace_out $ progress $ flight_out $ pulse_term)
 
 let list_cmd =
   let action () =
@@ -536,50 +682,57 @@ let fuzz_cmd =
              own span buffer).")
   in
   let action seed budget profile corpus max_repros shrink_budget replay quiet metrics_out
-      quiet_metrics trace_out =
-    let sink = Option.map Xfd_obs.Obs.Sink.to_file metrics_out in
-    Option.iter Xfd_obs.Obs.Sink.install sink;
-    let collector =
-      Option.map (fun path -> (path, Xfd_flight.Perfetto.Collector.start ())) trace_out
+      quiet_metrics trace_out pulse_opts =
+    let ok =
+      with_pulse pulse_opts (fun ~pulse_progress ->
+          (* A fuzz sweep has no single-run progress; the pulse sampler
+             still captures the fuzz.* counters as they advance. *)
+          ignore pulse_progress;
+          let sink = Option.map Xfd_obs.Obs.Sink.to_file metrics_out in
+          Option.iter Xfd_obs.Obs.Sink.install sink;
+          let collector =
+            Option.map (fun path -> (path, Xfd_flight.Perfetto.Collector.start ())) trace_out
+          in
+          let finish ok =
+            Option.iter
+              (fun (path, c) ->
+                let n = Xfd_flight.Perfetto.Collector.stop_to_file c path in
+                Format.eprintf "trace written to %s (%d slices)@." path n)
+              collector;
+            Option.iter
+              (fun s ->
+                Xfd_obs.Obs.write_summary ();
+                Xfd_obs.Obs.Sink.uninstall s)
+              sink;
+            if not quiet_metrics then Format.eprintf "%a" Xfd_obs.Obs.pp_summary ();
+            ok
+          in
+          match replay with
+          | Some file -> (
+            match Xfd_fuzz.Corpus.check file with
+            | Ok () ->
+              Printf.printf "%s: verdicts match\n" file;
+              finish true
+            | Error e ->
+              Printf.printf "%s\n" e;
+              finish false)
+          | None ->
+            let cfg =
+              {
+                Xfd_fuzz.Fuzz.seed;
+                budget;
+                profile;
+                corpus_dir = corpus;
+                max_repros;
+                shrink_budget;
+              }
+            in
+            let out = if quiet then None else Some Format.std_formatter in
+            let summary = Xfd_fuzz.Fuzz.run ?out cfg in
+            Format.printf "%a" Xfd_fuzz.Fuzz.pp_summary summary;
+            finish (Xfd_fuzz.Fuzz.clean summary))
     in
-    let finish ok =
-      Option.iter
-        (fun (path, c) ->
-          let n = Xfd_flight.Perfetto.Collector.stop_to_file c path in
-          Format.eprintf "trace written to %s (%d slices)@." path n)
-        collector;
-      Option.iter
-        (fun s ->
-          Xfd_obs.Obs.write_summary ();
-          Xfd_obs.Obs.Sink.uninstall s)
-        sink;
-      if not quiet_metrics then Format.eprintf "%a" Xfd_obs.Obs.pp_summary ();
-      if not ok then exit 1
-    in
-    match replay with
-    | Some file -> (
-      match Xfd_fuzz.Corpus.check file with
-      | Ok () ->
-        Printf.printf "%s: verdicts match\n" file;
-        finish true
-      | Error e ->
-        Printf.printf "%s\n" e;
-        finish false)
-    | None ->
-      let cfg =
-        {
-          Xfd_fuzz.Fuzz.seed;
-          budget;
-          profile;
-          corpus_dir = corpus;
-          max_repros;
-          shrink_budget;
-        }
-      in
-      let out = if quiet then None else Some Format.std_formatter in
-      let summary = Xfd_fuzz.Fuzz.run ?out cfg in
-      Format.printf "%a" Xfd_fuzz.Fuzz.pp_summary summary;
-      finish (Xfd_fuzz.Fuzz.clean summary)
+    if not ok then exit 1
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -589,11 +742,83 @@ let fuzz_cmd =
           reproducible corpus")
     Term.(
       const action $ seed $ budget $ profile $ corpus $ max_repros $ shrink_budget $ replay
-      $ quiet $ metrics_out $ quiet_metrics $ trace_out)
+      $ quiet $ metrics_out $ quiet_metrics $ trace_out $ pulse_term)
+
+let top_cmd =
+  let connect =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Pulse endpoint of a running detection (started with $(b,run --pulse-port)). \
+             A bare port means 127.0.0.1.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Refresh interval (default 1s).")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Stop after $(docv) refreshes (0 = until interrupted or the run is done).")
+  in
+  let once = Arg.(value & flag & info [ "once" ] ~doc:"Print one snapshot and exit.") in
+  let action connect interval count once =
+    match Xfd_pulse.Httpc.parse_endpoint connect with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok (host, port) ->
+      let count = if once then 1 else count in
+      let tty = Unix.isatty Unix.stdout in
+      let prev_lines = ref 0 in
+      let show s =
+        let lines = String.split_on_char '\n' s in
+        let lines = match List.rev lines with "" :: r -> List.rev r | _ -> lines in
+        let b = Buffer.create 256 in
+        if tty && !prev_lines > 0 then
+          Buffer.add_string b (Printf.sprintf "\x1b[%dA" !prev_lines);
+        List.iter
+          (fun l ->
+            Buffer.add_string b l;
+            if tty then Buffer.add_string b "\x1b[K";
+            Buffer.add_char b '\n')
+          lines;
+        prev_lines := List.length lines;
+        print_string (Buffer.contents b);
+        flush stdout
+      in
+      let failed = ref false in
+      ignore
+        (Xfd_pulse.Ticker.loop ~interval (fun tick ->
+             match Xfd_pulse.Dash.snap_remote ~host ~port with
+             | Error e ->
+               Printf.eprintf "top: %s\n%!" e;
+               failed := true;
+               `Stop
+             | Ok snap ->
+               show (Xfd_pulse.Dash.render snap);
+               let last = count > 0 && tick >= count - 1 in
+               (* A finished run stops the watch on its own once we have
+                  shown the done state. *)
+               if last || (count = 0 && snap.Xfd_pulse.Dash.status = "done") then `Stop
+               else `Continue));
+      if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard for a running detection: polls a pulse endpoint and renders \
+          progress, bug tallies, PM traffic and a throughput sparkline")
+    Term.(const action $ connect $ interval $ count $ once)
 
 let () =
   let doc = "XFDetector (OCaml reproduction): cross-failure bug detection for PM programs" in
   let info = Cmd.info "xfd" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; list_cmd; newbugs_cmd; table5_cmd; lint_cmd; fuzz_cmd ]))
+       (Cmd.group info
+          [ run_cmd; list_cmd; newbugs_cmd; table5_cmd; lint_cmd; fuzz_cmd; top_cmd ]))

@@ -168,28 +168,30 @@ let stats_cmd =
   let action file json watch interval watch_count =
     if not watch then render file json
     else begin
-      (* Poll mtime/size; re-render on change.  The access-size histograms
-         are process-global Obs metrics, so they are reset before every
-         render — otherwise each pass would accumulate on the last. *)
+      (* Poll mtime/size on the pulse layer's shared ticker; re-render on
+         change.  The access-size histograms are process-global Obs
+         metrics, so they are reset before every render — otherwise each
+         pass would accumulate on the last. *)
       let renders = ref 0 in
       let last = ref None in
-      let continue () = match watch_count with None -> true | Some k -> !renders < k in
-      while continue () do
-        (match Unix.stat file with
-        | exception Unix.Unix_error (e, _, _) ->
-          Printf.printf "%s: %s (waiting)\n%!" file (Unix.error_message e)
-        | st ->
-          let key = Some (st.Unix.st_mtime, st.Unix.st_size) in
-          if key <> !last then begin
-            last := key;
-            incr renders;
-            if not json then Printf.printf "\n-- render #%d --\n" !renders;
-            Xfd_obs.Obs.reset ();
-            (try render file json with Sys_error e -> Printf.printf "%s\n" e);
-            flush stdout
-          end);
-        if continue () then Unix.sleepf interval
-      done
+      ignore
+        (Xfd_pulse.Ticker.loop ~interval (fun _tick ->
+             (match Unix.stat file with
+             | exception Unix.Unix_error (e, _, _) ->
+               Printf.printf "%s: %s (waiting)\n%!" file (Unix.error_message e)
+             | st ->
+               let key = Some (st.Unix.st_mtime, st.Unix.st_size) in
+               if key <> !last then begin
+                 last := key;
+                 incr renders;
+                 if not json then Printf.printf "\n-- render #%d --\n" !renders;
+                 Xfd_obs.Obs.reset ();
+                 (try render file json with Sys_error e -> Printf.printf "%s\n" e);
+                 flush stdout
+               end);
+             match watch_count with
+             | Some k when !renders >= k -> `Stop
+             | _ -> `Continue))
     end
   in
   Cmd.v

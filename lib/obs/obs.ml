@@ -142,6 +142,39 @@ module Histogram = struct
   let max_value t = Atomic.get t.h_max
 
   let upper_bound i = if i = 0 then 0 else (1 lsl i) - 1
+  let lower_bound i = if i = 0 then 0 else 1 lsl (i - 1)
+
+  (* Quantile estimate from the log-scale buckets: find the bucket holding
+     the target rank and interpolate linearly inside its value range.  The
+     result is clamped to the observed maximum, so a quantile can never
+     exceed any real sample.  Under concurrent observes the per-bucket
+     reads are not one atomic snapshot — the estimate may mix in a sample
+     or two from a racing writer, which is within the resolution the
+     buckets already give up. *)
+  let quantile t q =
+    let n = Atomic.get t.h_count in
+    if n = 0 then 0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let rank = max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n)))) in
+      let rec go i cum =
+        if i >= hist_buckets then Atomic.get t.h_max
+        else begin
+          let c = Atomic.get t.h_counts.(i) in
+          if c > 0 && cum + c >= rank then begin
+            let lo = lower_bound i and hi = upper_bound i in
+            let frac = float_of_int (rank - cum) /. float_of_int c in
+            let est = float_of_int lo +. (frac *. float_of_int (hi - lo)) in
+            min (Atomic.get t.h_max) (int_of_float (Float.round est))
+          end
+          else go (i + 1) (cum + c)
+        end
+      in
+      go 0 0
+    end
+
+  let default_quantiles = [ 0.50; 0.95; 0.99 ]
+  let quantiles t = List.map (fun q -> (q, quantile t q)) default_quantiles
 
   let buckets t =
     let acc = ref [] in
@@ -416,6 +449,9 @@ let summary_json () =
         ("count", Json.Int (Histogram.count h));
         ("sum", Json.Int (Histogram.sum h));
         ("max", Json.Int (Histogram.max_value h));
+        ("p50", Json.Int (Histogram.quantile h 0.50));
+        ("p95", Json.Int (Histogram.quantile h 0.95));
+        ("p99", Json.Int (Histogram.quantile h 0.99));
         ( "buckets",
           Json.Arr
             (List.map
@@ -450,8 +486,10 @@ let pp_summary ppf () =
   List.iter
     (fun (n, h) ->
       if Histogram.count h > 0 then begin
-        Format.fprintf ppf "  %-34s count=%d sum=%d max=%d@." n (Histogram.count h)
-          (Histogram.sum h) (Histogram.max_value h);
+        Format.fprintf ppf "  %-34s count=%d sum=%d max=%d p50=%d p95=%d p99=%d@." n
+          (Histogram.count h) (Histogram.sum h) (Histogram.max_value h)
+          (Histogram.quantile h 0.50) (Histogram.quantile h 0.95)
+          (Histogram.quantile h 0.99);
         List.iter
           (fun (le, c) -> Format.fprintf ppf "    le %-10d %d@." le c)
           (Histogram.buckets h)

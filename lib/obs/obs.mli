@@ -74,6 +74,17 @@ module Histogram : sig
   val sum : t -> int
   val max_value : t -> int
 
+  (** [quantile t q] estimates the [q]-quantile ([q] clamped to [0,1]) by
+      finding the bucket holding the target rank and interpolating
+      linearly inside its value range, clamped to {!max_value} so the
+      estimate never exceeds a real sample.  Empty histograms estimate 0.
+      Resolution is the bucket width (a factor of 2), which is exactly
+      the precision the log-scale buckets retain. *)
+  val quantile : t -> float -> int
+
+  (** [(q, quantile t q)] for the conventional p50/p95/p99. *)
+  val quantiles : t -> (float * int) list
+
   (** Non-empty buckets as [(inclusive upper bound, count)], ascending. *)
   val buckets : t -> (int * int) list
 end
@@ -83,6 +94,14 @@ end
 val counter_value : string -> int option
 
 val gauge_value : string -> float option
+
+(** Every registered metric, sorted by name within each kind:
+    [(counters, gauges, histograms)].  Counter and gauge values are read
+    at call time; histogram handles are live (read them promptly).  This
+    is the feed for pollers — the pulse layer's time-series sampler and
+    OpenMetrics encoder. *)
+val metrics_snapshot :
+  unit -> (string * int) list * (string * float) list * (string * Histogram.t) list
 
 (** {1 Spans} *)
 
@@ -180,7 +199,8 @@ end
 (** One record describing the current state of every registered metric
     plus the process-lifetime span aggregates:
     [{"type":"summary","counters":{..},"gauges":{..},
-      "histograms":{name:{"count","sum","max","buckets":[{"le","count"}..]}},
+      "histograms":{name:{"count","sum","max","p50","p95","p99",
+                          "buckets":[{"le","count"}..]}},
       "spans":{name:{"count","total_s"}}}]. *)
 val summary_json : unit -> Xfd_util.Json.t
 

@@ -1,0 +1,83 @@
+(* A minimal blocking HTTP/1.1 GET client, the consumer half of [Httpd].
+
+   Just enough to let `xfd_cli top --connect` and the test suite poll a
+   pulse endpoint without any dependency beyond stdlib [Unix]: connect,
+   send one GET with [Connection: close], read to EOF, split status from
+   body.  Timeouts guard every blocking call so a dead server shows up
+   as an [Error], not a hang. *)
+
+let default_timeout_s = 5.0
+
+let parse_response raw =
+  match String.index_opt raw '\n' with
+  | None -> Error "malformed response: no status line"
+  | Some _ -> (
+    let status =
+      match String.split_on_char ' ' raw with
+      | _http :: code :: _ -> int_of_string_opt code
+      | _ -> None
+    in
+    match status with
+    | None -> Error "malformed response: no status code"
+    | Some status ->
+      (* Body starts after the first blank line. *)
+      let n = String.length raw in
+      let rec find i =
+        if i + 3 >= n then None
+        else if raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r' && raw.[i + 3] = '\n'
+        then Some (i + 4)
+        else find (i + 1)
+      in
+      let body = match find 0 with Some i -> String.sub raw i (n - i) | None -> "" in
+      Ok (status, body))
+
+let get ?(timeout = default_timeout_s) ~host ~port path =
+  match Unix.inet_addr_of_string host with
+  | exception Failure _ -> Error (Printf.sprintf "bad host %S (use a dotted IPv4 address)" host)
+  | addr -> (
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        try
+          (try
+             Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+             Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+           with Unix.Unix_error _ | Invalid_argument _ -> ());
+          Unix.connect fd (Unix.ADDR_INET (addr, port));
+          let req =
+            Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n\r\n" path
+              host port
+          in
+          let b = Bytes.of_string req in
+          let len = Bytes.length b in
+          let rec send off = if off < len then send (off + Unix.write fd b off (len - off)) in
+          send 0;
+          let buf = Buffer.create 1024 in
+          let chunk = Bytes.create 4096 in
+          let rec recv () =
+            let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+            if k > 0 then begin
+              Buffer.add_subbytes buf chunk 0 k;
+              recv ()
+            end
+          in
+          recv ();
+          parse_response (Buffer.contents buf)
+        with Unix.Unix_error (e, fn, _) ->
+          Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))))
+
+(* "host:port" as accepted by `top --connect`; host defaults to loopback
+   when the argument is just a port. *)
+let parse_endpoint s =
+  let fail () = Error (Printf.sprintf "bad endpoint %S (expected HOST:PORT or PORT)" s) in
+  match String.rindex_opt s ':' with
+  | None -> ( match int_of_string_opt s with
+    | Some p when p > 0 && p < 65536 -> Ok ("127.0.0.1", p)
+    | _ -> fail ())
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
+    | _ -> fail ())

@@ -1,0 +1,12 @@
+(** A minimal blocking HTTP GET client for polling a pulse endpoint
+    (`xfd_cli top --connect`, tests).  Stdlib [Unix] only. *)
+
+val default_timeout_s : float
+
+(** [get ~host ~port path] sends one GET and reads the whole response;
+    returns [(status, body)].  [host] must be a dotted IPv4 address.
+    Timeouts (default 5 s) turn a dead peer into [Error]. *)
+val get : ?timeout:float -> host:string -> port:int -> string -> (int * string, string) result
+
+(** Parse ["HOST:PORT"] or bare ["PORT"] (host defaults to 127.0.0.1). *)
+val parse_endpoint : string -> (string * int, string) result

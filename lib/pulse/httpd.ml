@@ -1,0 +1,233 @@
+(* A minimal HTTP/1.1 exposition server on stdlib Unix sockets + threads.
+
+   This is deliberately not a web framework: the pulse surface serves a
+   handful of small read-only GET endpoints to curl, Prometheus and
+   `xfd_cli top --connect`, and the container policy is stdlib-only.  So:
+   one accept-loop thread multiplexing the listen socket against a
+   self-pipe (stop never waits on a slow accept), one short-lived thread
+   per connection, [Connection: close] on every response, GET/HEAD only,
+   a receive timeout and an 8 KiB header cap so a stuck or hostile client
+   cannot pin a thread.  Handler exceptions become plain 500s — the
+   server must never take the detection run down with it.
+
+   Binding port 0 picks an ephemeral port (reported by {!port}), which is
+   how the tests avoid address collisions. *)
+
+module Obs = Xfd_obs.Obs
+
+type request = { meth : string; path : string; query : (string * string) list }
+type response = { status : int; content_type : string; body : string }
+
+type t = {
+  listen_fd : Unix.file_descr;
+  port : int;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  stopped : bool Atomic.t;
+  accept_thread : Thread.t;
+  conns : Thread.t list ref;
+  conns_mutex : Mutex.t;
+}
+
+let c_requests = Obs.Counter.make "pulse.http.requests"
+let c_errors = Obs.Counter.make "pulse.http.errors"
+
+let max_head_bytes = 8192
+let recv_timeout_s = 5.0
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let response ?(content_type = "text/plain; charset=utf-8") status body =
+  { status; content_type; body }
+
+let text status body = response status body
+let not_found = text 404 "not found\n"
+
+let percent_decode s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '%' when i + 2 < n -> (
+        match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+        | Some c when c >= 0 && c < 256 ->
+          Buffer.add_char b (Char.chr c);
+          go (i + 3)
+        | _ ->
+          Buffer.add_char b '%';
+          go (i + 1))
+      | '+' ->
+        Buffer.add_char b ' ';
+        go (i + 1)
+      | c ->
+        Buffer.add_char b c;
+        go (i + 1)
+  in
+  go 0;
+  Buffer.contents b
+
+let parse_query s =
+  String.split_on_char '&' s
+  |> List.filter_map (fun kv ->
+         if kv = "" then None
+         else
+           match String.index_opt kv '=' with
+           | None -> Some (percent_decode kv, "")
+           | Some i ->
+             Some
+               ( percent_decode (String.sub kv 0 i),
+                 percent_decode (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+
+let parse_target target =
+  match String.index_opt target '?' with
+  | None -> (percent_decode target, [])
+  | Some i ->
+    ( percent_decode (String.sub target 0 i),
+      parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+
+(* First line of the head, e.g. "GET /series?name=x HTTP/1.1". *)
+let parse_request_line head =
+  let line =
+    match String.index_opt head '\r' with
+    | Some i -> String.sub head 0 i
+    | None -> ( match String.index_opt head '\n' with
+      | Some i -> String.sub head 0 i
+      | None -> head)
+  in
+  match String.split_on_char ' ' line with
+  | meth :: target :: _ when meth <> "" && target <> "" ->
+    let path, query = parse_target target in
+    Some { meth; path; query }
+  | _ -> None
+
+let contains_terminator s =
+  let n = String.length s in
+  let rec go i =
+    if i + 3 >= n then false
+    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then true
+    else go (i + 1)
+  in
+  go 0
+
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > max_head_bytes then None
+    else
+      let k = Unix.recv fd chunk 0 (Bytes.length chunk) [] in
+      if k = 0 then None
+      else begin
+        Buffer.add_subbytes buf chunk 0 k;
+        if contains_terminator (Buffer.contents buf) then Some (Buffer.contents buf) else go ()
+      end
+  in
+  try go () with Unix.Unix_error _ -> None
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  try go 0 with Unix.Unix_error _ -> ()
+
+let send_response fd ~head_only { status; content_type; body } =
+  let headers =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status (reason_phrase status) content_type (String.length body)
+  in
+  write_all fd (if head_only then headers else headers ^ body)
+
+let handle_conn handler fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO recv_timeout_s
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
+      match read_head fd with
+      | None -> ()
+      | Some head -> (
+        Obs.Counter.incr c_requests;
+        match parse_request_line head with
+        | None ->
+          Obs.Counter.incr c_errors;
+          send_response fd ~head_only:false (text 400 "bad request\n")
+        | Some req ->
+          let head_only = req.meth = "HEAD" in
+          if req.meth <> "GET" && not head_only then begin
+            Obs.Counter.incr c_errors;
+            send_response fd ~head_only:false (text 405 "method not allowed\n")
+          end
+          else
+            let resp =
+              try handler req
+              with _ ->
+                Obs.Counter.incr c_errors;
+                text 500 "internal error\n"
+            in
+            send_response fd ~head_only resp))
+
+let start ?(host = "127.0.0.1") ~port handler =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd addr;
+     Unix.listen listen_fd 16
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  let stopped = Atomic.make false in
+  let conns = ref [] in
+  let conns_mutex = Mutex.create () in
+  let rec accept_loop () =
+    if not (Atomic.get stopped) then begin
+      (match Unix.select [ listen_fd; stop_r ] [] [] (-1.0) with
+      | ready, _, _ when List.mem listen_fd ready && not (Atomic.get stopped) -> (
+        match Unix.accept ~cloexec:true listen_fd with
+        | fd, _ ->
+          let th = Thread.create (handle_conn handler) fd in
+          Mutex.lock conns_mutex;
+          conns := th :: !conns;
+          Mutex.unlock conns_mutex
+        | exception Unix.Unix_error _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  let accept_thread = Thread.create accept_loop () in
+  { listen_fd; port; stop_r; stop_w; stopped; accept_thread; conns; conns_mutex }
+
+let port t = t.port
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    (try ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1) with Unix.Unix_error _ -> ());
+    Thread.join t.accept_thread;
+    (* In-flight responses finish before the listener's fds go away;
+       connection threads are short-lived by construction (recv timeout,
+       header cap, Connection: close). *)
+    Mutex.lock t.conns_mutex;
+    let cs = !(t.conns) in
+    t.conns := [];
+    Mutex.unlock t.conns_mutex;
+    List.iter Thread.join cs;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ t.listen_fd; t.stop_r; t.stop_w ]
+  end

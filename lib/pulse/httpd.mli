@@ -1,0 +1,38 @@
+(** A minimal HTTP/1.1 server for the pulse exposition surface.
+
+    Stdlib [Unix] sockets and threads only: one accept-loop thread, one
+    short-lived thread per connection, [Connection: close] on every
+    response.  GET and HEAD only (anything else is 405); handler
+    exceptions become 500s; a receive timeout and an 8 KiB header cap
+    bound what a stuck client can hold.  Serving is read-only over
+    observability state, so it is verdict-neutral by construction. *)
+
+type request = {
+  meth : string;
+  path : string;  (** percent-decoded, query stripped *)
+  query : (string * string) list;  (** percent-decoded key/value pairs *)
+}
+
+type response = { status : int; content_type : string; body : string }
+
+(** [response ?content_type status body] (default content type
+    [text/plain; charset=utf-8]). *)
+val response : ?content_type:string -> int -> string -> response
+
+(** A plain-text response. *)
+val text : int -> string -> response
+
+val not_found : response
+
+type t
+
+(** [start ?host ~port handler] binds (default host [127.0.0.1]; port 0
+    picks an ephemeral port — read it back with {!port}) and serves until
+    {!stop}.  Raises [Unix.Unix_error] if the bind fails. *)
+val start : ?host:string -> port:int -> (request -> response) -> t
+
+val port : t -> int
+
+(** Stop accepting, join the accept loop and in-flight connection
+    threads, close the socket.  Idempotent. *)
+val stop : t -> unit

@@ -1,0 +1,83 @@
+(* OpenMetrics text exposition of the Obs registry.
+
+   One render walks [Obs.metrics_snapshot] and produces the standard
+   text format: counters become [name_total] samples of TYPE counter,
+   gauges TYPE gauge, histograms TYPE histogram with cumulative
+   [le]-labelled buckets, [+Inf], [_sum] and [_count], plus one gauge
+   family per estimated quantile ([_p50]/[_p95]/[_p99] — OpenMetrics
+   reserves inline quantile labels for summaries, and a family cannot be
+   both histogram and summary).  Dotted registry names are sanitised to
+   the metric-name alphabet and namespaced under [xfd_], so
+   ["engine.failure_points.fired"] scrapes as
+   [xfd_engine_failure_points_fired_total].
+
+   The exposition ends with [# EOF] as the spec requires; scrapers use
+   its absence to detect truncated bodies. *)
+
+module Obs = Xfd_obs.Obs
+
+let content_type = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+let default_prefix = "xfd_"
+
+(* Metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; anything else maps to '_'. *)
+let sanitize name =
+  let b = Buffer.create (String.length name) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char b c
+      | '0' .. '9' when i > 0 -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  if Buffer.length b = 0 then "_" else Buffer.contents b
+
+let metric_name ~prefix name = prefix ^ sanitize name
+
+let add_family b ~name ~typ ~samples =
+  Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ);
+  List.iter (fun line -> Buffer.add_string b line) samples
+
+let render ?(prefix = default_prefix) () =
+  let counters, gauges, hists = Obs.metrics_snapshot () in
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (n, v) ->
+      let n = metric_name ~prefix n in
+      add_family b ~name:n ~typ:"counter"
+        ~samples:[ Printf.sprintf "%s_total %d\n" n v ])
+    counters;
+  List.iter
+    (fun (n, v) ->
+      let n = metric_name ~prefix n in
+      add_family b ~name:n ~typ:"gauge" ~samples:[ Printf.sprintf "%s %.17g\n" n v ])
+    gauges;
+  List.iter
+    (fun (n, h) ->
+      let base = metric_name ~prefix n in
+      let count = Obs.Histogram.count h in
+      let buckets =
+        (* Obs buckets are per-bucket counts with inclusive upper bounds;
+           OpenMetrics wants cumulative counts per [le]. *)
+        let cum = ref 0 in
+        List.map
+          (fun (le, c) ->
+            cum := !cum + c;
+            Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" base le !cum)
+          (Obs.Histogram.buckets h)
+      in
+      add_family b ~name:base ~typ:"histogram"
+        ~samples:
+          (buckets
+          @ [
+              Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" base count;
+              Printf.sprintf "%s_sum %d\n" base (Obs.Histogram.sum h);
+              Printf.sprintf "%s_count %d\n" base count;
+            ]);
+      List.iter
+        (fun (q, v) ->
+          let qn = Printf.sprintf "%s_p%02d" base (int_of_float (Float.round (q *. 100.))) in
+          add_family b ~name:qn ~typ:"gauge" ~samples:[ Printf.sprintf "%s %d\n" qn v ])
+        (Obs.Histogram.quantiles h))
+    hists;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b

@@ -1,0 +1,22 @@
+(** OpenMetrics text exposition of the [Obs] registry.
+
+    {!render} encodes every registered metric in the OpenMetrics text
+    format: counters as [name_total] (TYPE counter), gauges as-is,
+    histograms as cumulative [le]-labelled buckets with [+Inf], [_sum]
+    and [_count] plus [_p50]/[_p95]/[_p99] quantile-estimate gauges.
+    Dotted registry names are sanitised to the metric-name alphabet and
+    namespaced under the prefix (default ["xfd_"]).  The exposition
+    always ends with [# EOF]. *)
+
+(** The HTTP [Content-Type] for this exposition format. *)
+val content_type : string
+
+val default_prefix : string
+
+(** Map a dotted registry name to its exposed metric name (sanitised,
+    prefixed) — e.g. [metric_name ~prefix:"xfd_" "pm.flushes" =
+    "xfd_pm_flushes"]. *)
+val metric_name : prefix:string -> string -> string
+
+(** Render the current registry state. *)
+val render : ?prefix:string -> unit -> string

@@ -1,0 +1,146 @@
+(* The pulse exposition surface: live run state over HTTP.
+
+   This glues the pieces together — the [Obs] registry rendered by
+   [Openmetrics], the [Tsdb] rolling window, the [Flight] ring — behind
+   a handful of read-only GET routes, and derives run lifecycle
+   ("running" vs "done") from the flight recorder's run.begin / run.end
+   events rather than from any engine hook: pulse deliberately does not
+   depend on the core library, so serving can never reach into detection
+   state.  Progress (completed / total failure points) flows in through
+   {!note_progress}, which the CLI wires to [Engine.detect]'s
+   [on_progress] callback; it lands in two gauges so the Tsdb window and
+   the dashboard sparkline see it like any other metric.
+
+   This is the first network-facing subsystem of the reproduction and
+   the skeleton for the roadmap's xfd_serve: everything here is
+   observation-only and verdict-neutral. *)
+
+module Obs = Xfd_obs.Obs
+module Flight = Xfd_flight.Flight
+module Json = Xfd_util.Json
+
+type status = Idle | Running | Done
+
+let status_to_string = function Idle -> "idle" | Running -> "running" | Done -> "done"
+
+let g_completed = Obs.Gauge.make "pulse.progress.completed"
+let g_total = Obs.Gauge.make "pulse.progress.total"
+let started_at : float option Atomic.t = Atomic.make None
+
+let note_progress ~completed ~total =
+  Obs.Gauge.set g_completed (float_of_int completed);
+  Obs.Gauge.set g_total (float_of_int total)
+
+(* Lifecycle from the flight ring: the newest run.begin / run.end event
+   wins.  A ring that has wrapped past its run.begin still reports
+   correctly as long as the run.end has not been dropped too, and both
+   are Info-level singletons per run — far too rare to be evicted in
+   practice. *)
+let status () =
+  let last =
+    List.fold_left
+      (fun acc (e : Flight.event) ->
+        match e.name with "run.begin" | "run.end" -> Some e.name | _ -> acc)
+      None (Flight.events ())
+  in
+  match last with None -> Idle | Some "run.begin" -> Running | Some _ -> Done
+
+let health_json () =
+  let uptime =
+    match Atomic.get started_at with
+    | None -> Json.Null
+    | Some t0 -> Json.Float (Unix.gettimeofday () -. t0)
+  in
+  Json.Obj
+    [
+      ("type", Json.Str "health");
+      ("status", Json.Str (status_to_string (status ())));
+      ("run", Json.Str (Flight.run_id ()));
+      ("completed", Json.Int (int_of_float (Obs.Gauge.value g_completed)));
+      ("total", Json.Int (int_of_float (Obs.Gauge.value g_total)));
+      ("uptime_s", uptime);
+    ]
+
+(* ---- routes ---- *)
+
+let json_response status j =
+  Httpd.response ~content_type:"application/json; charset=utf-8" status (Json.to_string j)
+
+let metrics_response () =
+  Httpd.response ~content_type:Openmetrics.content_type 200 (Openmetrics.render ())
+
+let ready_response () =
+  match status () with
+  | Idle -> Httpd.text 503 "idle\n"
+  | s -> Httpd.text 200 (status_to_string s ^ "\n")
+
+let query_int q key =
+  match List.assoc_opt key q with None -> None | Some v -> int_of_string_opt v
+
+let series_response tsdb (req : Httpd.request) =
+  match List.assoc_opt "name" req.query with
+  | None | Some "" ->
+    json_response 200
+      (Json.Obj
+         [
+           ("type", Json.Str "tsdb.index");
+           ("series", Json.Arr (List.map (fun n -> Json.Str n) (Tsdb.names tsdb)));
+         ])
+  | Some name -> (
+    let last = query_int req.query "last" in
+    match Tsdb.series_json tsdb ?last name with
+    | Some j -> json_response 200 j
+    | None ->
+      json_response 404
+        (Json.Obj [ ("type", Json.Str "error"); ("error", Json.Str ("unknown series " ^ name)) ]))
+
+let flight_response (req : Httpd.request) =
+  let last = match query_int req.query "last" with Some n when n >= 0 -> n | _ -> 100 in
+  let events = Flight.events () in
+  let skip = max 0 (List.length events - last) in
+  let b = Buffer.create 1024 in
+  List.iteri
+    (fun i e ->
+      if i >= skip then begin
+        Buffer.add_string b (Json.to_string (Flight.event_to_json e));
+        Buffer.add_char b '\n'
+      end)
+    events;
+  Httpd.response ~content_type:"application/x-ndjson" 200 (Buffer.contents b)
+
+let index_body =
+  String.concat "\n"
+    [
+      "xfd pulse";
+      "";
+      "GET /metrics        OpenMetrics exposition of every counter/gauge/histogram";
+      "GET /health         run lifecycle as JSON (status, run id, progress, uptime)";
+      "GET /ready          200 once a run has begun, 503 while idle";
+      "GET /series         time-series index; ?name=SERIES[&last=N] for one window";
+      "GET /flight         flight-recorder tail as JSONL (?last=N, default 100)";
+      "GET /summary        Obs summary record as JSON";
+      "";
+    ]
+
+let handler tsdb (req : Httpd.request) =
+  match req.path with
+  | "/" | "/index" -> Httpd.text 200 index_body
+  | "/metrics" -> metrics_response ()
+  | "/health" -> json_response 200 (health_json ())
+  | "/ready" -> ready_response ()
+  | "/series" -> series_response tsdb req
+  | "/flight" -> flight_response req
+  | "/summary" -> json_response 200 (Obs.summary_json ())
+  | _ -> Httpd.not_found
+
+(* ---- server lifecycle ---- *)
+
+type t = { httpd : Httpd.t; tsdb : Tsdb.t }
+
+let start ?host ?(port = 0) ~tsdb () =
+  if Atomic.get started_at = None then Atomic.set started_at (Some (Unix.gettimeofday ()));
+  { httpd = Httpd.start ?host ~port (handler tsdb); tsdb }
+
+let port t = Httpd.port t.httpd
+let tsdb t = t.tsdb
+let stop t = Httpd.stop t.httpd

@@ -1,0 +1,48 @@
+(** The pulse exposition surface: live run state over HTTP.
+
+    Serves the [Obs] registry (OpenMetrics), the {!Tsdb} rolling window,
+    and the [Flight] ring behind read-only GET routes:
+
+    - [/metrics] — OpenMetrics text exposition;
+    - [/health] — run lifecycle as JSON (status, run id, progress, uptime);
+    - [/ready] — 200 once a run has begun, 503 while idle;
+    - [/series?name=..&last=..] — one Tsdb window as JSON (index without [name]);
+    - [/flight?last=..] — flight-recorder tail as JSONL;
+    - [/summary] — the Obs summary record as JSON.
+
+    Lifecycle is derived from the flight recorder's [run.begin] /
+    [run.end] events; pulse has no dependency on the core engine, so
+    serving is observation-only and verdict-neutral. *)
+
+type status = Idle | Running | Done
+
+val status_to_string : status -> string
+
+(** Current lifecycle, from the newest [run.begin] / [run.end] flight
+    event ([Idle] when neither is retained). *)
+val status : unit -> status
+
+(** Record detection progress (wired from [Engine.detect]'s
+    [on_progress] by the CLI).  Lands in the
+    ["pulse.progress.completed"] / ["pulse.progress.total"] gauges so
+    the Tsdb and dashboard see it as ordinary metrics. *)
+val note_progress : completed:int -> total:int -> unit
+
+(** The [/health] payload. *)
+val health_json : unit -> Xfd_util.Json.t
+
+(** The route table over a given time-series recorder — exposed so tests
+    can drive routes without a socket. *)
+val handler : Tsdb.t -> Httpd.request -> Httpd.response
+
+type t
+
+(** [start ?host ?port ~tsdb ()] serves the routes (default port 0 =
+    ephemeral; read back with {!port}). *)
+val start : ?host:string -> ?port:int -> tsdb:Tsdb.t -> unit -> t
+
+val port : t -> int
+val tsdb : t -> Tsdb.t
+
+(** Stop serving.  Idempotent.  The Tsdb is left to its owner. *)
+val stop : t -> unit

@@ -1,0 +1,21 @@
+(** Periodic execution for the pulse layer's polling surfaces.
+
+    {!start} runs a callback every [interval] seconds on a background
+    thread (exceptions swallowed) until {!stop}, which wakes the waiter
+    immediately via a self-pipe — shutdown never blocks for a full
+    interval.  {!loop} is the foreground variant: it calls the function
+    with an incrementing tick count on the calling thread, sleeping
+    [interval] between ticks, until the callback answers [`Stop].
+    Intervals are clamped to at least 1 ms. *)
+
+type t
+
+(** Spawn the background ticker.  The first tick fires immediately. *)
+val start : interval:float -> (unit -> unit) -> t
+
+(** Request stop, wake the waiter and join the thread.  Idempotent. *)
+val stop : t -> unit
+
+(** Foreground loop: tick 0 fires immediately; returns the number of
+    ticks executed once the callback answers [`Stop]. *)
+val loop : interval:float -> (int -> [ `Continue | `Stop ]) -> int

@@ -1,0 +1,60 @@
+(** A bounded in-process time-series recorder over the [Obs] registry.
+
+    Each {!sample} snapshots every registered counter and gauge, plus six
+    derived series per histogram ([.count], [.sum], [.max], [.p50],
+    [.p95], [.p99]), into a fixed-capacity ring per series — the rolling
+    window behind [/series], the terminal dashboard's sparklines and the
+    end-of-run JSONL/CSV artifacts.  {!start} runs the sampler on a
+    background thread at a fixed interval; sampling only reads metric
+    state, so it is verdict-neutral by construction.
+
+    Overwritten points are counted in the ["pulse.points_dropped"]
+    counter; the number of completed sweeps in ["pulse.samples"]. *)
+
+type t
+
+type point = { at : float;  (** Unix timestamp, seconds *) value : float }
+
+(** [create ?capacity ()] — ring capacity in points per series (default
+    512).  Raises [Invalid_argument] if [capacity <= 0]. *)
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** Record one sweep over the current registry. *)
+val sample : t -> unit
+
+(** Start (or restart) the background sampler.  The first sample is taken
+    immediately. *)
+val start : t -> interval:float -> unit
+
+(** Stop the background sampler and join its thread.  Idempotent. *)
+val stop : t -> unit
+
+val running : t -> bool
+
+(** The most recent background sampling interval ([None] before the
+    first {!start}); kept after {!stop} as export metadata. *)
+val interval : t -> float option
+
+(** Completed sweeps (background and manual). *)
+val samples : t -> int
+
+(** Known series names, sorted. *)
+val names : t -> string list
+
+(** The retained window of one series, oldest first; [last] keeps only
+    the newest [n] points.  [None] if the series is unknown. *)
+val window : t -> ?last:int -> string -> point list option
+
+(** One series as
+    [{"type":"tsdb","name":..,"interval_s":..,"points":[[t,v],..]}]. *)
+val series_json : t -> ?last:int -> string -> Xfd_util.Json.t option
+
+(** Write every series as one {!series_json} line per series; returns the
+    number of series written. *)
+val write_jsonl : t -> string -> int
+
+(** Write [series,unix_s,value] rows (with header); returns the number of
+    data rows. *)
+val write_csv : t -> string -> int

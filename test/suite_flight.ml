@@ -236,6 +236,77 @@ let perfetto_tests =
         Alcotest.(check int) "both runs' spans collected"
           (List.length o1.Engine.spans + List.length o2.Engine.spans)
           (List.length (span_names trace)));
+    Tu.case "an empty span set exports a loadable trace" (fun () ->
+        let trace = Perfetto.of_spans ~process_name:"empty" [] in
+        let reparsed =
+          match Json.of_string (Json.to_string trace) with
+          | Ok j -> j
+          | Error e -> Alcotest.failf "empty trace does not round-trip: %s" e
+        in
+        Alcotest.(check (list string)) "no slices" [] (span_names reparsed);
+        Alcotest.(check (option Tu.json_t)) "displayTimeUnit still present"
+          (Some (Json.Str "ms"))
+          (Json.member "displayTimeUnit" reparsed));
+    Tu.case "adversarial and unicode span names survive export" (fun () ->
+        (* Quotes, backslashes, control characters, multi-byte UTF-8 —
+           everything the JSON escaper has to get right for Perfetto to
+           load the file at all. *)
+        let names =
+          [
+            "quote\"backslash\\slash/";
+            "newline\ntab\tcr\r";
+            "ctrl\x01\x1f";
+            "sn\xc3\xa5pshot \xe2\x9c\x93 \xf0\x9f\x94\xa5";
+            "le=\"+Inf\"},{\"fake\":1";
+          ]
+        in
+        let spans =
+          List.mapi
+            (fun i name ->
+              {
+                Obs.Span.id = i;
+                parent = None;
+                name;
+                tid = 0;
+                start = 1000.0 +. float_of_int i;
+                dur = 0.5;
+                meta = [];
+              })
+            names
+        in
+        let trace = Perfetto.of_spans ~process_name:"adversarial" spans in
+        let reparsed =
+          match Json.of_string (Json.to_string trace) with
+          | Ok j -> j
+          | Error e -> Alcotest.failf "adversarial trace does not round-trip: %s" e
+        in
+        let slices = span_names reparsed in
+        Alcotest.(check int) "one slice per span" (List.length names) (List.length slices);
+        List.iter
+          (fun n ->
+            Alcotest.(check bool)
+              (Printf.sprintf "name %S survives" n)
+              true (List.mem n slices))
+          names);
+    Tu.case "over a thousand spans round-trip through the collector" (fun () ->
+        let n = 1200 in
+        let c = Perfetto.Collector.start () in
+        for i = 0 to n - 1 do
+          Obs.Span.with_ ~name:(Printf.sprintf "bulk_%04d" i) (fun () -> ())
+        done;
+        let trace = Perfetto.Collector.stop c in
+        (* Leave the global finished-span ring clean for later suites. *)
+        ignore (Obs.Span.drain_spans Obs.Span.genesis);
+        Alcotest.(check int) "nothing dropped" 0 (Perfetto.Collector.dropped c);
+        let reparsed =
+          match Json.of_string (Json.to_string trace) with
+          | Ok j -> j
+          | Error e -> Alcotest.failf "bulk trace does not round-trip: %s" e
+        in
+        let slices = List.filter (fun s -> String.length s >= 5 && String.sub s 0 5 = "bulk_") (span_names reparsed) in
+        Alcotest.(check int) "all slices present" n (List.length slices);
+        Alcotest.(check int) "no duplicates" n
+          (List.length (List.sort_uniq compare slices)));
   ]
 
 let progress_tests =
@@ -395,6 +466,30 @@ let bdiff_tests =
               Alcotest.(check bool) (file ^ " has metrics") true (items <> []);
               Alcotest.(check int) (file ^ " self-clean") 0 (regressed items))
           [ "BENCH_detect.json"; "BENCH_snapshots.json" ]);
+    Tu.case "bench_diff.exe exits 3 on missing or unparseable input" (fun () ->
+        (* Exit codes are the comparator's CI contract: 0 clean, 1
+           regression, 2 structural/usage, 3 unreadable input.  A missing
+           baseline (bench step never ran) must be distinguishable from
+           two well-formed files that disagree. *)
+        let exe = Filename.concat ".." "bench/bench_diff.exe" in
+        let run args = Sys.command (Filename.quote_command exe args ^ " >/dev/null 2>&1") in
+        Alcotest.(check int) "missing baseline exits 3" 3
+          (run [ "/nonexistent-xfd-baseline.json"; Filename.concat ".." "BENCH_detect.json" ]);
+        let bad = Filename.temp_file "xfd_badbench" ".json" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove bad)
+          (fun () ->
+            Out_channel.with_open_text bad (fun oc -> output_string oc "not json {\n");
+            Alcotest.(check int) "unparseable baseline exits 3" 3
+              (run [ bad; Filename.concat ".." "BENCH_detect.json" ]));
+        Alcotest.(check int) "structural mismatch still exits 2" 2
+          (run
+             [ Filename.concat ".." "BENCH_detect.json";
+               Filename.concat ".." "BENCH_snapshots.json" ]);
+        Alcotest.(check int) "self-comparison still exits 0" 0
+          (run
+             [ Filename.concat ".." "BENCH_detect.json";
+               Filename.concat ".." "BENCH_detect.json" ]));
   ]
 
 let suite =

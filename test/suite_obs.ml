@@ -43,6 +43,60 @@ let counter_tests =
           "buckets"
           [ (0, 1); (1, 2); (3, 1); (7, 2); (15, 1); (1023, 1) ]
           (Obs.Histogram.buckets h));
+    Tu.case "quantile estimates interpolate within log-scale buckets" (fun () ->
+        let h = Obs.Histogram.make "test.obs.quant" in
+        Alcotest.(check int) "empty histogram estimates 0" 0 (Obs.Histogram.quantile h 0.5);
+        for v = 1 to 100 do
+          Obs.Histogram.observe h v
+        done;
+        (* rank 50 lands in bucket [32,63]: 32 + (50-31)/32 * 31 = 50.4. *)
+        Alcotest.(check int) "p50 of 1..100" 50 (Obs.Histogram.quantile h 0.50);
+        (* The tail buckets interpolate past the observed maximum; the
+           estimate is clamped so it never exceeds a real sample. *)
+        Alcotest.(check int) "p95 clamps to the observed max" 100
+          (Obs.Histogram.quantile h 0.95);
+        Alcotest.(check int) "p99 clamps to the observed max" 100
+          (Obs.Histogram.quantile h 0.99);
+        Alcotest.(check int) "q<=0 is the first sample's bucket" 1
+          (Obs.Histogram.quantile h (-1.0));
+        Alcotest.(check int) "q>=1 is the max" 100 (Obs.Histogram.quantile h 2.0));
+    Tu.case "quantiles are monotone in q and cover p50/p95/p99" (fun () ->
+        let h = Obs.Histogram.make "test.obs.quant_mono" in
+        (* Heavily skewed: many small, few huge. *)
+        for _ = 1 to 90 do
+          Obs.Histogram.observe h 2
+        done;
+        for _ = 1 to 9 do
+          Obs.Histogram.observe h 1000
+        done;
+        Obs.Histogram.observe h 100000;
+        let q50 = Obs.Histogram.quantile h 0.50 in
+        let q95 = Obs.Histogram.quantile h 0.95 in
+        let q99 = Obs.Histogram.quantile h 0.99 in
+        Alcotest.(check bool) "p50 <= p95 <= p99" true (q50 <= q95 && q95 <= q99);
+        Alcotest.(check bool) "p50 sits in the dominant bucket [2,3]" true
+          (q50 >= 2 && q50 <= 3);
+        Alcotest.(check bool) "p95 reaches the heavy tail" true (q95 >= 512 && q95 <= 1023);
+        Alcotest.(check (list (pair (float 0.0) int)))
+          "quantiles returns the conventional three"
+          [ (0.50, q50); (0.95, q95); (0.99, q99) ]
+          (Obs.Histogram.quantiles h));
+    Tu.case "summary_json carries the quantile estimates" (fun () ->
+        let h = Obs.Histogram.make "test.obs.quant_sum" in
+        List.iter (Obs.Histogram.observe h) [ 1; 2; 3; 4 ];
+        let j = Obs.summary_json () in
+        match
+          Option.bind (Json.member "histograms" j) (Json.member "test.obs.quant_sum")
+        with
+        | None -> Alcotest.fail "histogram missing from summary"
+        | Some hj ->
+          List.iter
+            (fun key ->
+              match Json.member key hj with
+              | Some (Json.Int v) ->
+                Alcotest.(check bool) (key ^ " sane") true (v >= 1 && v <= 4)
+              | _ -> Alcotest.failf "summary histogram lacks %s" key)
+            [ "p50"; "p95"; "p99" ]);
     Tu.case "disabled mode records nothing" (fun () ->
         let c = Obs.Counter.make "test.obs.noop_counter" in
         let h = Obs.Histogram.make "test.obs.noop_hist" in
