@@ -142,70 +142,154 @@ let run_snapshot_bench () =
   close_out oc;
   Printf.printf "(written to %s)\n" snapshot_bench_out
 
-(* ---- end-to-end detection perf snapshot ----
+(* ---- end-to-end detection perf snapshot: incremental vs fresh ----
 
    Runs the full pipeline over the table-5 microbenchmark workloads at a
-   small fixed size (one warmup, one measured run each, sequential
-   post-failure stage for determinism) and writes BENCH_detect.json: the
-   behavioral fingerprint (failure points, event counts, unique bugs) and
-   the perf trajectory (wall, peak image bytes, points/s).  bench_diff.exe
-   compares two such files with per-class tolerances, so CI can gate on
-   the committed baseline. *)
+   small fixed size plus one Fig. 12-style multi-failure-point row, once
+   per engine (the incremental prefix-sharing scheduler and the
+   fresh-replay oracle), and writes BENCH_detect.json: the behavioral
+   fingerprint (failure points, event counts, unique bugs, pre-failure
+   events replayed — all deterministic) and the perf trajectory per
+   engine (wall, peak image bytes, points/s).  The engines must agree on
+   the fingerprint; the bench aborts if they diverge, so the baseline
+   doubles as an equivalence check.  bench_diff.exe compares two such
+   files with per-class tolerances; CI additionally gates the
+   incremental/fresh wall-clock speedup and replay fraction computed
+   from the engine sub-objects — both engines run on the same host, so
+   those ratios are machine-independent.
+
+   "detect --engine incremental|fresh" measures one engine only (table
+   output, no JSON: the baseline schema wants both sub-objects). *)
 
 let detect_bench_out = "BENCH_detect.json"
 
-let run_detect_bench () =
+let detect_workloads () =
+  List.map (fun (e : E.Workload_set.entry) -> (e.name, e, 2, 3)) E.Workload_set.micro
+  @ [
+      (* Fig. 12-style row: a long pre-failure trace with many failure
+         points, where O(F x prefix) fresh replay dominates and prefix
+         sharing pays off.  CI's speedup gate reads this row. *)
+      ("Hashmap-Atomic-fig12", E.Workload_set.find "Hashmap-Atomic", 4, 16);
+    ]
+
+let engine_name = function `Incremental -> "incremental" | `Fresh -> "fresh"
+
+let run_detect_bench ?engine_filter () =
   let open Xfd_util.Json in
-  Printf.printf "\n== End-to-end detection: perf snapshot (init=2 test=3, post_jobs=1) ==\n";
-  Printf.printf "%-16s %8s %8s %8s %6s %10s %9s %12s\n" "workload" "points" "pre_ev"
-    "post_ev" "bugs" "peak" "wall" "points/s";
+  let counter name = Option.value ~default:0 (Xfd_obs.Obs.counter_value name) in
+  let engines =
+    match engine_filter with Some e -> [ e ] | None -> [ `Incremental; `Fresh ]
+  in
+  let measure engine program =
+    let config = { Xfd.Config.default with Xfd.Config.engine } in
+    ignore (Xfd.Engine.detect ~config program);
+    (* measured run *)
+    Xfd_mem.Image.reset_peak ();
+    let replayed0 = counter "engine.pre_replay_events" in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Xfd.Engine.detect ~config program in
+    let wall = Unix.gettimeofday () -. t0 in
+    let replayed = counter "engine.pre_replay_events" - replayed0 in
+    let peak =
+      match Xfd_obs.Obs.gauge_value "engine.peak_image_bytes" with
+      | Some v -> int_of_float v
+      | None -> 0
+    in
+    (outcome, wall, peak, replayed)
+  in
+  let fingerprint (o : Xfd.Engine.outcome) =
+    ( o.failure_points,
+      o.pre_events,
+      o.post_events,
+      List.sort compare (List.map Xfd.Report.dedup_key o.unique_bugs) )
+  in
+  Printf.printf "\n== End-to-end detection: incremental vs fresh-replay engine ==\n";
+  Printf.printf "%-18s %-11s %7s %7s %8s %5s %9s %10s %9s %11s %8s\n" "workload" "engine"
+    "points" "pre_ev" "post_ev" "bugs" "replayed" "peak" "wall" "points/s" "speedup";
   let rows =
     List.map
-      (fun (e : E.Workload_set.entry) ->
-        let program = e.make ~init:2 ~test:3 in
-        ignore (Xfd.Engine.detect program);
-        (* measured run *)
-        Xfd_mem.Image.reset_peak ();
-        let t0 = Unix.gettimeofday () in
-        let outcome = Xfd.Engine.detect program in
-        let wall = Unix.gettimeofday () -. t0 in
-        let peak =
-          match Xfd_obs.Obs.gauge_value "engine.peak_image_bytes" with
-          | Some v -> int_of_float v
-          | None -> 0
+      (fun (name, (e : E.Workload_set.entry), init, test) ->
+        let program = e.make ~init ~test in
+        let runs = List.map (fun eng -> (eng, measure eng program)) engines in
+        (match runs with
+        | (_, (a, _, _, _)) :: rest ->
+          List.iter
+            (fun (eng, ((b : Xfd.Engine.outcome), _, _, _)) ->
+              if fingerprint a <> fingerprint b then begin
+                Printf.eprintf
+                  "bench: engine verdicts diverge on %s (%s vs %s) — refusing to write a \
+                   baseline\n"
+                  name
+                  (engine_name (fst (List.hd runs)))
+                  (engine_name eng);
+                exit 1
+              end)
+            rest
+        | [] -> ());
+        let fresh_wall =
+          List.assoc_opt `Fresh runs |> Option.map (fun (_, w, _, _) -> w)
         in
-        let pps = if wall > 0.0 then float_of_int outcome.failure_points /. wall else 0.0 in
-        Printf.printf "%-16s %8d %8d %8d %6d %9dK %7.2fms %12.0f\n" e.name
-          outcome.failure_points outcome.pre_events outcome.post_events
-          (List.length outcome.unique_bugs) (peak / 1024) (1000.0 *. wall) pps;
+        List.iter
+          (fun (eng, ((o : Xfd.Engine.outcome), wall, peak, replayed)) ->
+            let pps = if wall > 0.0 then float_of_int o.failure_points /. wall else 0.0 in
+            let speedup =
+              match (eng, fresh_wall) with
+              | `Incremental, Some fw when wall > 0.0 ->
+                Printf.sprintf "%6.1fx" (fw /. wall)
+              | _ -> ""
+            in
+            Printf.printf "%-18s %-11s %7d %7d %8d %5d %9d %9dK %7.2fms %11.0f %8s\n" name
+              (engine_name eng) o.failure_points o.pre_events o.post_events
+              (List.length o.unique_bugs) replayed (peak / 1024) (1000.0 *. wall) pps
+              speedup)
+          runs;
+        let engine_obj (_, wall, peak, replayed) pps =
+          Obj
+            [
+              ("pre_replay_events", Int replayed);
+              ("peak_image_bytes", Int peak);
+              ("wall_s", Float wall);
+              ("points_per_sec", Float pps);
+            ]
+        in
+        let (o : Xfd.Engine.outcome), _, _, _ = snd (List.hd runs) in
         Obj
-          [
-            ("workload", Str e.name);
-            ("failure_points", Int outcome.failure_points);
-            ("pre_events", Int outcome.pre_events);
-            ("post_events", Int outcome.post_events);
-            ("unique_bugs", Int (List.length outcome.unique_bugs));
-            ("peak_image_bytes", Int peak);
-            ("wall_s", Float wall);
-            ("points_per_sec", Float pps);
-          ])
-      E.Workload_set.micro
+          ([
+             ("workload", Str name);
+             ("init_size", Int init);
+             ("test_size", Int test);
+             ("failure_points", Int o.failure_points);
+             ("pre_events", Int o.pre_events);
+             ("post_events", Int o.post_events);
+             ("unique_bugs", Int (List.length o.unique_bugs));
+           ]
+          @ List.map
+              (fun (eng, ((o : Xfd.Engine.outcome), wall, _, _ as m)) ->
+                let pps =
+                  if wall > 0.0 then float_of_int o.failure_points /. wall else 0.0
+                in
+                (engine_name eng, engine_obj m pps))
+              runs))
+      (detect_workloads ())
   in
-  let json =
-    Obj
-      [
-        ("type", Str "BENCH_detect");
-        ("schema_version", Int 1);
-        ("init_size", Int 2);
-        ("test_size", Int 3);
-        ("rows", Arr rows);
-      ]
-  in
-  let oc = open_out detect_bench_out in
-  output_string oc (Xfd_util.Json.to_string_pretty json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "(written to %s)\n" detect_bench_out
+  match engine_filter with
+  | Some e ->
+    Printf.printf "(single-engine run: %s; baseline %s not written)\n" (engine_name e)
+      detect_bench_out
+  | None ->
+    let json =
+      Obj
+        [
+          ("type", Str "BENCH_detect");
+          ("schema_version", Int 2);
+          ("rows", Arr rows);
+        ]
+    in
+    let oc = open_out detect_bench_out in
+    output_string oc (Xfd_util.Json.to_string_pretty json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(written to %s)\n" detect_bench_out
 
 (* ---- bechamel microbenchmarks of the hot paths ---- *)
 
@@ -303,6 +387,17 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let args = List.filter (fun a -> a <> "--full") args in
+  let engine_arg, args = extract_flag "--engine" [] args in
+  let engine_filter =
+    Option.map
+      (function
+        | "incremental" -> `Incremental
+        | "fresh" -> `Fresh
+        | other ->
+          Printf.eprintf "bench: --engine wants incremental|fresh (got %S)\n" other;
+          exit 2)
+      engine_arg
+  in
   let metrics_out, args = extract_flag "--metrics-out" [] args in
   let trace_out, args = extract_flag "--trace-out" [] args in
   let pulse_port, args = extract_flag "--pulse-port" [] args in
@@ -371,7 +466,7 @@ let () =
   | "parallel" -> run_parallel ()
   | "mtsweep" -> run_mtsweep ()
   | "snapshots" -> run_snapshot_bench ()
-  | "detect" -> run_detect_bench ()
+  | "detect" -> run_detect_bench ?engine_filter ()
   | "micro" -> microbenches ()
   | "all" ->
     header ();

@@ -246,6 +246,16 @@ let run_cmd =
       & info [ "test-library" ]
           ~doc:"Instrument PM-library internals too (trust_library = false).")
   in
+  let oracle =
+    Arg.(
+      value & flag
+      & info [ "oracle" ]
+          ~doc:
+            "Use the fresh-replay oracle engine: rebuild the per-byte shadow state from \
+             event 0 at every failure point instead of advancing one canonical prefix \
+             incrementally.  Quadratic in the pre-failure trace — kept for \
+             cross-checking; the verdict set is byte-identical to the default engine.")
+  in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Print only the summary line.") in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Print the full outcome as JSON.")
@@ -339,9 +349,9 @@ let run_cmd =
              worker.join, run.end) with per-run id and sampled GC gauges.  Enables \
              debug-level recording for this run.")
   in
-  let action workload init test patch naive untrusted quiet json metrics_out quiet_metrics
-      report_out explain fail_on_bug allow_perf lint_guided trace_out progress flight_out
-      pulse_opts =
+  let action workload init test patch naive untrusted oracle quiet json metrics_out
+      quiet_metrics report_out explain fail_on_bug allow_perf lint_guided trace_out progress
+      flight_out pulse_opts =
     let entry = Xfd_experiments.Workload_set.find workload in
     let faults = match patch with Some s -> parse_patch s | None -> Xfd_sim.Faults.none in
     let config =
@@ -351,6 +361,7 @@ let run_cmd =
         strategy = (if naive then Xfd_sim.Ctx.Every_update else Xfd_sim.Ctx.Ordering_points);
         trust_library = not untrusted;
         forensics = explain || report_out <> None;
+        engine = (if oracle then `Fresh else `Incremental);
       }
     in
     let sink = Option.map Xfd_obs.Obs.Sink.to_file metrics_out in
@@ -428,8 +439,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under cross-failure detection")
     Term.(
-      const action $ workload $ init $ test $ patch $ naive $ untrusted $ quiet $ json
-      $ metrics_out $ quiet_metrics $ report_out $ explain $ fail_on_bug $ allow_perf
+      const action $ workload $ init $ test $ patch $ naive $ untrusted $ oracle $ quiet
+      $ json $ metrics_out $ quiet_metrics $ report_out $ explain $ fail_on_bug $ allow_perf
       $ lint_guided $ trace_out $ progress $ flight_out $ pulse_term)
 
 let list_cmd =

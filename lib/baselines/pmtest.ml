@@ -50,7 +50,9 @@ let check trace =
   Hashtbl.iter
     (fun _ (a, wloc) -> record wloc a 1 "PM update not persisted by end of execution")
     leftovers;
-  { violations = List.rev !violations; events_checked = Track.events tr }
+  let events_checked = Track.events tr in
+  Track.release tr;
+  { violations = List.rev !violations; events_checked }
 
 let run program =
   let dev = Xfd_mem.Pm_device.create () in

@@ -8,6 +8,7 @@ type t = {
   crash_mode : [ `Full | `Strict ];
   post_jobs : int;
   forensics : bool;
+  engine : [ `Incremental | `Fresh ];
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     crash_mode = `Full;
     post_jobs = 1;
     forensics = false;
+    engine = `Incremental;
   }
 
 let validate t =

@@ -27,6 +27,13 @@ type t = {
           provenance chain plus trace-timeline excerpts to every reported
           bug; off by default — the history ring costs a little memory and
           time per tracked byte *)
+  engine : [ `Incremental | `Fresh ];
+      (** pre-failure replay scheduling.  [`Incremental] (the default)
+          advances one canonical shadow state across failure points and
+          journals each post-failure divergence — O(delta) per point.
+          [`Fresh] rebuilds the shadow from event 0 at every failure point:
+          quadratic, but trivially correct, kept as the oracle the
+          equivalence tests and [xfd_cli run --oracle] compare against *)
 }
 
 val default : t

@@ -92,6 +92,9 @@ let bugs t = List.rev t.bugs_rev
 let timestamp t = t.ts
 let probe t addr = Shadow_pm.find t.shadow addr
 let registry t = t.registry
+let shadow t = t.shadow
+let rewind t = Shadow_pm.rewind t.shadow
+let release t = Shadow_pm.release t.shadow
 
 let record t bug =
   let key = Report.dedup_key bug in
@@ -353,8 +356,6 @@ let replay t trace ~from ~upto =
     if not t.post then t.pre_trace <- Some trace;
     t.cur_trace <- Some trace
   end;
-  let last = min upto (Trace.length trace) - 1 in
-  Obs.Counter.add c_replayed (max 0 (last - from + 1));
-  for i = from to last do
-    replay_event t (Trace.get trace i)
-  done
+  let upto = min upto (Trace.length trace) in
+  Obs.Counter.add c_replayed (max 0 (upto - from));
+  Trace.iter_range trace ~from ~upto (replay_event t)

@@ -40,8 +40,21 @@ val create :
 (** [replay t trace ~from ~upto] replays events [from .. upto-1]. *)
 val replay : t -> Xfd_trace.Trace.t -> from:int -> upto:int -> unit
 
-(** Fork for one failure point's post-failure replay. *)
+(** Fork for one failure point's post-failure replay.  The fork is a
+    journaled divergence of the base shadow: at most one fork is live at a
+    time, and advancing the base (or forking again) unwinds the previous
+    fork's journal first — recorded bugs stay valid, but the fork must not
+    replay further events after that. *)
 val fork_for_post : t -> t
+
+(** Unwind this fork's divergence journal now (no-op on a base detector):
+    the base shadow is restored byte-for-byte to the fork point. *)
+val rewind : t -> unit
+
+(** Release the underlying shadow pages (idempotent; call on detectors
+    whose run is abandoned or complete so [shadow.page_bytes_live] returns
+    to zero). *)
+val release : t -> unit
 
 (** Bugs recorded by this detector (or fork), oldest first. *)
 val bugs : t -> Report.bug list
@@ -54,3 +67,6 @@ val probe : t -> Xfd_mem.Addr.t -> Shadow_pm.cell option
 
 (** The commit-variable registry (for tests). *)
 val registry : t -> Commit_registry.t
+
+(** The underlying shadow store (for the equivalence oracle in tests). *)
+val shadow : t -> Shadow_pm.t

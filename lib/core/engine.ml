@@ -33,10 +33,24 @@ type outcome = {
   coverage : Xfd_forensics.Coverage.t;
 }
 
-type snapshot = { index : int; trace_pos : int; dev : Device.t }
+(* A failure point is just (arena index, delta journal): [trace_pos] names
+   the prefix of the flat event arena, and the per-point shadow divergence
+   is journaled inside the detector.  [dev_id] is the snapshot device's
+   slot in the run's cleanup registry (released exactly once, even when
+   the run aborts before consuming it). *)
+type snapshot = { index : int; trace_pos : int; dev : Device.t; dev_id : int }
 
 let c_runs = Obs.Counter.make "engine.runs"
 let g_peak_image = Obs.Gauge.make "engine.peak_image_bytes"
+
+(* Prefix sharing accounting.  [engine.pre_replay_events] counts pre-failure
+   events actually replayed into a shadow; [engine.prefix_reuse_events]
+   counts the events each failure point inherited from the canonical prefix
+   instead of re-replaying (what `Fresh` mode would have replayed again).
+   The CI perf gate checks incremental pre-replay stays a small fraction of
+   fresh mode's. *)
+let c_pre_replay = Obs.Counter.make "engine.pre_replay_events"
+let c_prefix_reuse = Obs.Counter.make "engine.prefix_reuse_events"
 let c_fp_fired = Obs.Counter.make "engine.failure_points.fired"
 let c_fp_elided = Obs.Counter.make "engine.failure_points.elided"
 let c_bug_post_error = Obs.Counter.make "bugs.post_failure_error"
@@ -117,12 +131,54 @@ let detect_gen ?only ?priority ?on_progress ?(config = Config.default) program =
     | None -> ()
     | Some f -> ( try f { completed; total } with _ -> ())
   in
+  (* Cleanup registry: every resource the pipeline owns (devices, snapshot
+     deltas, detector shadow pages) is registered here and disposed exactly
+     once — on the normal path at its usual point, or by [dispose_all] when
+     the run aborts.  Worker domains release through the same registry, so
+     the mutex also orders racing disposals. *)
+  let cleanup_mu = Mutex.create () in
+  let cleanups : (int, unit -> unit) Hashtbl.t = Hashtbl.create 32 in
+  let cleanup_next = ref 0 in
+  let locked f =
+    Mutex.lock cleanup_mu;
+    let r = try f () with e -> Mutex.unlock cleanup_mu; raise e in
+    Mutex.unlock cleanup_mu;
+    r
+  in
+  let track release =
+    locked (fun () ->
+        incr cleanup_next;
+        let id = !cleanup_next in
+        Hashtbl.replace cleanups id release;
+        id)
+  in
+  let dispose id =
+    match
+      locked (fun () ->
+          match Hashtbl.find_opt cleanups id with
+          | Some f ->
+            Hashtbl.remove cleanups id;
+            Some f
+          | None -> None)
+    with
+    | Some f -> f ()
+    | None -> ()
+  in
+  let dispose_all () =
+    let fs = locked (fun () ->
+        let fs = Hashtbl.fold (fun _ f acc -> f :: acc) cleanups [] in
+        Hashtbl.reset cleanups;
+        fs)
+    in
+    List.iter (fun f -> try f () with _ -> ()) fs
+  in
   let reports, unique_bugs, n_failure_points, pre_events, post_events =
     try
     Obs.Span.with_ ~name:sp_detect
       ~meta:[ ("program", Xfd_util.Json.Str program.name) ]
       (fun () ->
         let dev = Device.create () in
+        let dev_cleanup = track (fun () -> Device.release dev) in
         let trace = Trace.create () in
         let snapshots = ref [] and fired = ref 0 in
         let last_ops = ref 0 in
@@ -136,11 +192,13 @@ let detect_gen ?only ?priority ?on_progress ?(config = Config.default) program =
           | Some k when k <> !fired -> ()
           | Some _ | None ->
             Obs.Span.with_ ~name:sp_snapshot (fun () ->
+                let snap = Device.snapshot dev in
                 snapshots :=
                   {
                     index = !fired;
                     trace_pos = Trace.length trace;
-                    dev = Device.snapshot dev;
+                    dev = snap;
+                    dev_id = track (fun () -> Device.release snap);
                   }
                   :: !snapshots);
             Flight.record ~level:Flight.Debug "snapshot.recorded"
@@ -184,10 +242,14 @@ let detect_gen ?only ?priority ?on_progress ?(config = Config.default) program =
         let commit_at =
           match config.Config.crash_mode with `Full -> `Write | `Strict -> `Persist
         in
-        let detector =
-          Detector.create ~check_perf:config.Config.check_perf ~commit_at
-            ~forensics:config.Config.forensics ()
+        let make_detector () =
+          let d =
+            Detector.create ~check_perf:config.Config.check_perf ~commit_at
+              ~forensics:config.Config.forensics ()
+          in
+          (d, track (fun () -> Detector.release d))
         in
+        let detector, detector_cleanup = make_detector () in
         let pre_pos = ref 0 in
         let post_events = ref 0 in
         let crash_mode =
@@ -213,10 +275,13 @@ let detect_gen ?only ?priority ?on_progress ?(config = Config.default) program =
               let crash_img = Device.crash s.dev crash_mode in
               let post_dev = Device.boot crash_img in
               Xfd_mem.Image.release crash_img;
-              Device.release s.dev;
-              let r = run_post ~config ~dev:post_dev ~post:program.post in
-              Device.release post_dev;
-              r)
+              dispose s.dev_id;
+              let post_id = track (fun () -> Device.release post_dev) in
+              (* A fatal post-failure exception propagates out of the
+                 worker; the registry still frees this run's device. *)
+              Fun.protect
+                ~finally:(fun () -> dispose post_id)
+                (fun () -> run_post ~config ~dev:post_dev ~post:program.post))
         in
         let post_runs =
           Obs.Span.with_ ~name:sp_post_exec (fun () ->
@@ -286,22 +351,46 @@ let detect_gen ?only ?priority ?on_progress ?(config = Config.default) program =
                 |> List.map (function Some (Ok r) -> r | Some (Error _) | None -> assert false)
               end)
         in
+        (* The prefix-sharing scheduler.  `Incremental advances the single
+           canonical shadow to each failure point's arena index — O(delta)
+           per point — and forks a journaled divergence for the post
+           replay.  `Fresh is the quadratic oracle: a brand-new detector
+           replays events [0 .. pos) at every point, so verdicts can be
+           compared against recomputed-from-scratch state. *)
+        let pre_replay_for s =
+          let fp_meta = [ ("failure_point", Xfd_util.Json.Int s.index) ] in
+          match config.Config.engine with
+          | `Incremental ->
+            Obs.Span.with_ ~name:sp_pre_replay ~meta:fp_meta (fun () ->
+                Obs.Counter.add c_prefix_reuse !pre_pos;
+                Obs.Counter.add c_pre_replay (max 0 (s.trace_pos - !pre_pos));
+                Detector.replay detector trace ~from:!pre_pos ~upto:s.trace_pos;
+                pre_pos := s.trace_pos);
+            (detector, None)
+          | `Fresh ->
+            let det, cleanup = make_detector () in
+            Obs.Span.with_ ~name:sp_pre_replay ~meta:fp_meta (fun () ->
+                Obs.Counter.add c_pre_replay s.trace_pos;
+                Detector.replay det trace ~from:0 ~upto:s.trace_pos);
+            (det, Some cleanup)
+        in
         let reports =
           List.map2
             (fun s (post_trace, post_exn) ->
               let fp_meta = [ ("failure_point", Xfd_util.Json.Int s.index) ] in
-              Obs.Span.with_ ~name:sp_pre_replay ~meta:fp_meta (fun () ->
-                  Detector.replay detector trace ~from:!pre_pos ~upto:s.trace_pos;
-                  pre_pos := s.trace_pos);
+              let det, det_cleanup = pre_replay_for s in
               post_events := !post_events + Trace.length post_trace;
               Obs.Histogram.observe h_post_events (Trace.length post_trace);
               let fork_bugs =
                 Obs.Span.with_ ~name:sp_post_replay ~meta:fp_meta (fun () ->
-                    let fork = Detector.fork_for_post detector in
+                    let fork = Detector.fork_for_post det in
                     Detector.replay fork post_trace ~from:0
                       ~upto:(Trace.length post_trace);
-                    Detector.bugs fork)
+                    let bugs = Detector.bugs fork in
+                    Detector.rewind fork;
+                    bugs)
               in
+              Option.iter dispose det_cleanup;
               let bugs =
                 fork_bugs
                 @
@@ -319,11 +408,29 @@ let detect_gen ?only ?priority ?on_progress ?(config = Config.default) program =
               { Report.failure_point = s.index; trace_pos = s.trace_pos; bugs })
             snapshots post_runs
         in
-        Obs.Span.with_ ~name:sp_pre_replay (fun () ->
-            Detector.replay detector trace ~from:!pre_pos ~upto:(Trace.length trace));
+        (* Pre-failure bugs (performance findings fire during pre replay):
+           finish the canonical prefix, or rebuild it whole in oracle
+           mode. *)
+        let base_bugs =
+          match config.Config.engine with
+          | `Incremental ->
+            Obs.Span.with_ ~name:sp_pre_replay (fun () ->
+                Obs.Counter.add c_prefix_reuse !pre_pos;
+                Obs.Counter.add c_pre_replay (max 0 (Trace.length trace - !pre_pos));
+                Detector.replay detector trace ~from:!pre_pos ~upto:(Trace.length trace));
+            Detector.bugs detector
+          | `Fresh ->
+            let det, cleanup = make_detector () in
+            Obs.Span.with_ ~name:sp_pre_replay (fun () ->
+                Obs.Counter.add c_pre_replay (Trace.length trace);
+                Detector.replay det trace ~from:0 ~upto:(Trace.length trace));
+            let bugs = Detector.bugs det in
+            dispose cleanup;
+            bugs
+        in
         let dedup = Hashtbl.create 64 in
         let unique_bugs =
-          List.concat_map (fun r -> r.Report.bugs) reports @ Detector.bugs detector
+          List.concat_map (fun r -> r.Report.bugs) reports @ base_bugs
           |> List.filter (fun b ->
                  let key = Report.dedup_key b in
                  if Hashtbl.mem dedup key then false
@@ -334,10 +441,16 @@ let detect_gen ?only ?priority ?on_progress ?(config = Config.default) program =
         in
         Obs.Counter.add c_unique_bugs (List.length unique_bugs);
         Obs.Histogram.observe h_pre_events (Trace.length trace);
-        Device.release dev;
+        dispose dev_cleanup;
+        dispose detector_cleanup;
         (reports, unique_bugs, List.length snapshots, Trace.length trace, !post_events))
     with e ->
       let bt = Printexc.get_raw_backtrace () in
+      (* Every still-registered resource — the live device, unconsumed
+         snapshot deltas, worker post-devices, detector shadow pages — is
+         released before the abort propagates, so an aborted run leaks no
+         chunk or page bytes. *)
+      dispose_all ();
       Flight.record ~level:Flight.Warn "run.abort"
         [ ("exn", Xfd_util.Json.Str (Printexc.to_string e)) ];
       Printexc.raise_with_backtrace e bt

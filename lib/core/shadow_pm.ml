@@ -1,6 +1,8 @@
 module Addr = Xfd_mem.Addr
+module Pages = Xfd_mem.Shadow_pages
 module Obs = Xfd_obs.Obs
 module History = Xfd_forensics.History
+module Loc = Xfd_util.Loc
 
 (* Per-byte FSM transition tallies (paper Figure 8): one increment per byte
    entering the named state during replay. *)
@@ -9,152 +11,402 @@ let c_to_writeback = Obs.Counter.make "shadow.fsm.to_writeback_pending"
 let c_to_persisted = Obs.Counter.make "shadow.fsm.to_persisted"
 let c_to_unmodified = Obs.Counter.make "shadow.fsm.to_unmodified"
 
+(* Divergence journal unwinds: one per failure point the engine retires
+   (plus the implicit unwind when the base layer resumes mutating). *)
+let c_rewinds = Obs.Counter.make "shadow.divergence_rewinds"
+
 type cell = {
-  mutable pstate : Pstate.t;
-  mutable tlast : int;
-  mutable writer : Xfd_util.Loc.t;
-  mutable uninit : bool;
-  mutable post_written : bool;
+  pstate : Pstate.t;
+  tlast : int;
+  writer : Loc.t;
+  uninit : bool;
+  post_written : bool;
   hist : History.t option;
 }
 
-type t = {
-  cells : (Addr.t, cell) Hashtbl.t;
-  pending : (Addr.t, unit) Hashtbl.t; (* writeback-pending bytes of this layer *)
-  parent : t option;
-  (* Whether this layer records provenance history.  Only the base
-     pre-failure layer does: post-failure overlays read the shared history
-     but never write it, so forks at different failure points cannot
-     pollute each other's chains. *)
-  record_hist : bool;
+(* Packed-byte layout on top of {!Xfd_mem.Shadow_pages}: bits 0-2 the
+   Fig. 9 persistence state, [bit_tracked] for every byte the shadow has
+   touched, [bit_pending] mirrors the old writeback-pending set (and the
+   per-page bitmap the fence iterates), [bit_flag_a] =
+   allocated-uninitialised, [bit_flag_b] = post-written, [bit_flag_c] =
+   captured by the active divergence journal. *)
+let st_unmodified = 0
+let st_modified = 1
+let st_writeback = 2
+let st_persisted = 3
+
+let encode_pstate = function
+  | Pstate.Unmodified -> st_unmodified
+  | Pstate.Modified -> st_modified
+  | Pstate.Writeback_pending -> st_writeback
+  | Pstate.Persisted -> st_persisted
+
+let decode_pstate s =
+  if s = st_modified then Pstate.Modified
+  else if s = st_writeback then Pstate.Writeback_pending
+  else if s = st_persisted then Pstate.Persisted
+  else Pstate.Unmodified
+
+let bit_uninit = Pages.bit_flag_a
+let bit_post = Pages.bit_flag_b
+let bit_journaled = Pages.bit_flag_c
+
+(* Cold per-byte fields, one parallel page of them per touched 4 KiB page.
+   [hist] rows exist only on forensic base layers. *)
+type meta = {
+  tlast : int array;
+  writer : Loc.t array;
+  hist : History.t option array option;
 }
+
+(* The delta journal of one post-failure divergence: for every byte the
+   post-failure replay touches, the pre-divergence packed byte and cold
+   fields, captured once ([bit_journaled] dedups).  [index] lets base
+   reads resolve journaled bytes to their pre-divergence value while the
+   divergence is live.  [pending_post] lists the bytes the divergence
+   itself made writeback-pending — the only bytes its fences may promote
+   (base-pending bytes belong to the canonical prefix). *)
+type div = {
+  mutable n : int;
+  mutable j_addr : int array;
+  mutable j_packed : int array;
+  mutable j_tlast : int array;
+  mutable j_writer : Loc.t array;
+  index : (int, int) Hashtbl.t;
+  mutable pending_post : int list;
+}
+
+type store = {
+  pages : Pages.t;
+  meta : (int, meta) Hashtbl.t;
+  mutable last_meta : (int * meta) option;
+  record_hist : bool;
+  mutable active : div option;
+}
+
+type t = { store : store; div : div option }
 
 let create ?(forensics = false) () =
   {
-    cells = Hashtbl.create 1024;
-    pending = Hashtbl.create 64;
-    parent = None;
-    record_hist = forensics;
-  }
-
-let overlay t =
-  { cells = Hashtbl.create 256; pending = Hashtbl.create 32; parent = Some t; record_hist = false }
-
-let rec find t addr =
-  match Hashtbl.find_opt t.cells addr with
-  | Some _ as c -> c
-  | None -> (match t.parent with Some p -> find p addr | None -> None)
-
-let copy_cell c =
-  {
-    pstate = c.pstate;
-    tlast = c.tlast;
-    writer = c.writer;
-    uninit = c.uninit;
-    post_written = c.post_written;
-    (* The history is shared with the parent cell by reference: overlays
-       never record into it, so sharing is safe and keeps forks cheap. *)
-    hist = c.hist;
-  }
-
-(* A cell owned by this layer, copied up from the parent if needed. *)
-let own_cell t addr =
-  match Hashtbl.find_opt t.cells addr with
-  | Some c -> Some c
-  | None -> begin
-    match t.parent with
-    | None -> None
-    | Some p -> begin
-      match find p addr with
-      | None -> None
-      | Some c ->
-        let c' = copy_cell c in
-        Hashtbl.replace t.cells addr c';
-        Some c'
-    end
-  end
-
-let create_or_own t addr =
-  match own_cell t addr with
-  | Some c -> c
-  | None ->
-    let c =
+    store =
       {
-        pstate = Pstate.Unmodified;
-        tlast = -1;
-        writer = Xfd_util.Loc.unknown;
-        uninit = false;
-        post_written = false;
-        hist = (if t.record_hist then Some (History.create ()) else None);
+        pages = Pages.create ();
+        meta = Hashtbl.create 16;
+        last_meta = None;
+        record_hist = forensics;
+        active = None;
+      };
+    div = None;
+  }
+
+let release t =
+  Pages.release t.store.pages;
+  Hashtbl.reset t.store.meta;
+  t.store.last_meta <- None;
+  t.store.active <- None
+
+let is_active store d = match store.active with Some d' -> d' == d | None -> false
+
+let page_index addr = addr lsr 12
+let page_offset addr = addr land 4095
+
+let meta_for store addr =
+  let idx = page_index addr in
+  match store.last_meta with
+  | Some (i, m) when i = idx -> Some m
+  | _ -> (
+    match Hashtbl.find_opt store.meta idx with
+    | Some m ->
+      store.last_meta <- Some (idx, m);
+      Some m
+    | None -> None)
+
+let own_meta store addr =
+  match meta_for store addr with
+  | Some m -> m
+  | None ->
+    let m =
+      {
+        tlast = Array.make Pages.page_size (-1);
+        writer = Array.make Pages.page_size Loc.unknown;
+        hist = (if store.record_hist then Some (Array.make Pages.page_size None) else None);
       }
     in
-    Hashtbl.replace t.cells addr c;
-    c
+    let idx = page_index addr in
+    Hashtbl.replace store.meta idx m;
+    store.last_meta <- Some (idx, m);
+    m
 
-let record t c f = if t.record_hist then match c.hist with Some h -> f h | None -> ()
+let tlast_of store addr =
+  match meta_for store addr with None -> -1 | Some m -> m.tlast.(page_offset addr)
+
+let writer_of store addr =
+  match meta_for store addr with
+  | None -> Loc.unknown
+  | Some m -> m.writer.(page_offset addr)
+
+let hist_of store addr =
+  match meta_for store addr with
+  | Some { hist = Some rows; _ } -> rows.(page_offset addr)
+  | Some _ | None -> None
+
+(* The provenance history of [addr], created on first use.  Only base
+   mutations record history; divergences read it by reference, exactly as
+   the old overlay cells shared their parent's [hist]. *)
+let own_hist store addr =
+  if not store.record_hist then None
+  else
+    let m = own_meta store addr in
+    match m.hist with
+    | None -> None
+    | Some rows -> (
+      let off = page_offset addr in
+      match rows.(off) with
+      | Some _ as h -> h
+      | None ->
+        let h = History.create () in
+        rows.(off) <- Some h;
+        Some h)
+
+(* ------------------------------------------------------------------ *)
+(* Divergence journal *)
+
+let rewind_div store d =
+  Obs.Counter.incr c_rewinds;
+  for i = d.n - 1 downto 0 do
+    let addr = d.j_addr.(i) in
+    (* The captured byte predates the divergence, so it never carries
+       [bit_journaled]; restoring it also heals the bitmaps and counts. *)
+    Pages.set store.pages addr d.j_packed.(i);
+    match meta_for store addr with
+    | Some m ->
+      let off = page_offset addr in
+      m.tlast.(off) <- d.j_tlast.(i);
+      m.writer.(off) <- d.j_writer.(i)
+    | None -> ()
+  done;
+  d.n <- 0;
+  Hashtbl.reset d.index;
+  d.pending_post <- [];
+  store.active <- None
+
+(* Any base-layer mutation invalidates the outstanding divergence: the
+   canonical prefix is moving on, so the journal is unwound first.  Base
+   *reads* do not unwind — they resolve through the journal instead. *)
+let ensure_base store =
+  match store.active with Some d -> rewind_div store d | None -> ()
+
+let grow_journal d =
+  let cap = Array.length d.j_addr in
+  if d.n = cap then begin
+    let g a fill = Array.append a (Array.make cap fill) in
+    d.j_addr <- g d.j_addr 0;
+    d.j_packed <- g d.j_packed 0;
+    d.j_tlast <- g d.j_tlast (-1);
+    d.j_writer <- g d.j_writer Loc.unknown
+  end
+
+(* Capture [addr]'s pre-divergence value, once. *)
+let journal d store addr packed =
+  if not (Pages.has packed bit_journaled) then begin
+    grow_journal d;
+    d.j_addr.(d.n) <- addr;
+    d.j_packed.(d.n) <- packed;
+    d.j_tlast.(d.n) <- tlast_of store addr;
+    d.j_writer.(d.n) <- writer_of store addr;
+    Hashtbl.replace d.index addr d.n;
+    d.n <- d.n + 1
+  end
+
+let overlay t =
+  let store = t.store in
+  ensure_base store;
+  let d =
+    {
+      n = 0;
+      j_addr = Array.make 64 0;
+      j_packed = Array.make 64 0;
+      j_tlast = Array.make 64 (-1);
+      j_writer = Array.make 64 Loc.unknown;
+      index = Hashtbl.create 64;
+      pending_post = [];
+    }
+  in
+  store.active <- Some d;
+  { store; div = Some d }
+
+let rewind t =
+  match t.div with
+  | None -> ()
+  | Some d -> if is_active t.store d then rewind_div t.store d
+
+(* Which journal should a mutation through this handle write to?  A base
+   handle first unwinds any live divergence; an overlay handle must still
+   own the store's single divergence slot. *)
+let writing_div t =
+  match t.div with
+  | None ->
+    ensure_base t.store;
+    None
+  | Some d ->
+    if not (is_active t.store d) then
+      invalid_arg "Shadow_pm: overlay used after its divergence was rewound";
+    Some d
+
+(* ------------------------------------------------------------------ *)
+(* Reads *)
+
+let cell_of store addr packed =
+  {
+    pstate = decode_pstate (Pages.state_of packed);
+    tlast = tlast_of store addr;
+    writer = writer_of store addr;
+    uninit = Pages.has packed bit_uninit;
+    post_written = Pages.has packed bit_post;
+    hist = hist_of store addr;
+  }
+
+let find t addr =
+  let store = t.store in
+  let packed = Pages.get store.pages addr in
+  match t.div with
+  | Some _ ->
+    (* Overlay reads see the divergence: its bytes were written in place. *)
+    if packed = 0 then None else Some (cell_of store addr packed)
+  | None -> (
+    match store.active with
+    | Some d when Pages.has packed bit_journaled -> (
+      match Hashtbl.find_opt d.index addr with
+      | Some i ->
+        let old = d.j_packed.(i) in
+        if old = 0 then None
+        else
+          Some
+            {
+              pstate = decode_pstate (Pages.state_of old);
+              tlast = d.j_tlast.(i);
+              writer = d.j_writer.(i);
+              uninit = Pages.has old bit_uninit;
+              post_written = Pages.has old bit_post;
+              hist = hist_of store addr;
+            }
+      | None -> if packed = 0 then None else Some (cell_of store addr packed))
+    | Some _ | None -> if packed = 0 then None else Some (cell_of store addr packed))
+
+(* ------------------------------------------------------------------ *)
+(* Writes *)
+
+(* Store a packed byte, journaling the pre-image when a divergence owns
+   the handle.  Divergence-written bytes carry [bit_journaled] so capture
+   and base-read resolution stay O(1). *)
+let put div store addr ~old packed =
+  match div with
+  | None -> Pages.set store.pages addr (packed land lnot bit_journaled)
+  | Some d ->
+    journal d store addr old;
+    Pages.set store.pages addr (packed lor bit_journaled)
+
+let record_hist div store addr f =
+  match div with
+  | Some _ -> ()
+  | None -> ( match own_hist store addr with Some h -> f h | None -> ())
 
 let write_byte t addr ~ts ~ev ~loc ~nt ~post =
-  let c = create_or_own t addr in
+  let store = t.store in
+  let div = writing_div t in
+  let old = Pages.get store.pages addr in
   Obs.Counter.incr (if nt then c_to_writeback else c_to_modified);
-  c.pstate <- (if nt then Pstate.on_nt_write c.pstate else Pstate.on_write c.pstate);
-  c.tlast <- ts;
-  c.writer <- loc;
-  c.uninit <- false;
-  if post then c.post_written <- true;
-  record t c (fun h -> History.record_write h ~ev ~nt);
-  if nt then Hashtbl.replace t.pending addr () else Hashtbl.remove t.pending addr
+  let pst = decode_pstate (Pages.state_of old) in
+  let pst' = if nt then Pstate.on_nt_write pst else Pstate.on_write pst in
+  let packed =
+    encode_pstate pst' lor Pages.bit_tracked
+    lor (if nt then Pages.bit_pending else 0)
+    lor (if post then bit_post else old land bit_post)
+  in
+  (match div with
+  | Some d when nt && not (Pages.has old Pages.bit_pending) ->
+    d.pending_post <- addr :: d.pending_post
+  | _ -> ());
+  put div store addr ~old packed;
+  let m = own_meta store addr in
+  let off = page_offset addr in
+  m.tlast.(off) <- ts;
+  m.writer.(off) <- loc;
+  record_hist div store addr (fun h -> History.record_write h ~ev ~nt)
 
 let flush_line t line ~ev =
+  let store = t.store in
+  let div = writing_div t in
   let had_modified = ref false and had_pending = ref false and had_persisted = ref false in
-  (* First pass: only observe, so a wasted flush copies no cells up. *)
-  Addr.iter_bytes line Addr.line_size (fun a ->
-      match find t a with
-      | None -> ()
-      | Some c -> begin
-        match c.pstate with
-        | Pstate.Modified -> had_modified := true
-        | Pstate.Writeback_pending -> had_pending := true
-        | Pstate.Persisted -> had_persisted := true
-        | Pstate.Unmodified -> ()
-      end);
+  (* First pass: only observe, so a wasted flush journals nothing. *)
+  Pages.iter_line store.pages line Addr.line_size (fun _ packed ->
+      if packed <> 0 then
+        let s = Pages.state_of packed in
+        if s = st_modified then had_modified := true
+        else if s = st_writeback then had_pending := true
+        else if s = st_persisted then had_persisted := true);
   if !had_modified then begin
     Addr.iter_bytes line Addr.line_size (fun a ->
-        match find t a with
-        | Some c when Pstate.equal c.pstate Pstate.Modified ->
-          let c = create_or_own t a in
+        let old = Pages.get store.pages a in
+        if old <> 0 && Pages.state_of old = st_modified then begin
           Obs.Counter.incr c_to_writeback;
-          c.pstate <- Pstate.on_flush c.pstate;
-          record t c (fun h -> History.record_flush h ~ev);
-          Hashtbl.replace t.pending a ()
-        | Some _ | None -> ());
+          let packed = Pages.with_state old st_writeback lor Pages.bit_pending in
+          (match div with
+          | Some d when not (Pages.has old Pages.bit_pending) ->
+            d.pending_post <- a :: d.pending_post
+          | _ -> ());
+          put div store a ~old packed;
+          record_hist div store a (fun h -> History.record_flush h ~ev)
+        end);
     `Had_modified
   end
   else if !had_pending then `Waste Pstate.Double_flush
   else if !had_persisted then `Waste Pstate.Unnecessary_flush
   else `Clean
 
+(* Promote one writeback-pending byte at an ordering point. *)
+let promote_byte div store addr ~ev =
+  let old = Pages.get store.pages addr in
+  if Pages.has old Pages.bit_pending then begin
+    if Pages.state_of old = st_writeback then begin
+      Obs.Counter.incr c_to_persisted;
+      record_hist div store addr (fun h -> History.record_fence h ~ev)
+    end;
+    let pst' = Pstate.on_fence (decode_pstate (Pages.state_of old)) in
+    let packed = Pages.with_state old (encode_pstate pst') land lnot Pages.bit_pending in
+    put div store addr ~old packed
+  end
+
 let fence t ~ev =
-  Hashtbl.iter
-    (fun a () ->
-      match own_cell t a with
-      | Some c ->
-        if Pstate.equal c.pstate Pstate.Writeback_pending then begin
-          Obs.Counter.incr c_to_persisted;
-          record t c (fun h -> History.record_fence h ~ev)
-        end;
-        c.pstate <- Pstate.on_fence c.pstate
-      | None -> ())
-    t.pending;
-  Hashtbl.reset t.pending
+  let store = t.store in
+  match writing_div t with
+  | None ->
+    (* The base fence walks the per-page pending bitmaps: exactly the old
+       pending set, without touching any other byte. *)
+    List.iter (fun a -> promote_byte None store a ~ev) (Pages.pending_addrs store.pages)
+  | Some d ->
+    (* A divergence fence promotes only bytes it made pending itself;
+       entries whose pending bit was since cleared by an overwrite are
+       skipped, mirroring removal from the old per-layer pending set. *)
+    let mine = List.rev d.pending_post in
+    d.pending_post <- [];
+    List.iter (fun a -> promote_byte (Some d) store a ~ev) mine
 
 let mark_alloc_raw t addr size ~ev =
+  let store = t.store in
+  let div = writing_div t in
   Addr.iter_bytes addr size (fun a ->
-      let c = create_or_own t a in
+      let old = Pages.get store.pages a in
       Obs.Counter.incr c_to_unmodified;
-      c.pstate <- Pstate.Unmodified;
-      c.uninit <- true;
-      c.post_written <- false;
-      record t c (fun h -> History.record_alloc h ~ev);
-      Hashtbl.remove t.pending a)
+      let packed = st_unmodified lor Pages.bit_tracked lor bit_uninit in
+      put div store a ~old packed;
+      record_hist div store a (fun h -> History.record_alloc h ~ev))
 
-let tracked_bytes t = Hashtbl.length t.cells
+let tracked_bytes t =
+  match t.div with
+  | None -> Pages.tracked_bytes t.store.pages
+  | Some d -> if is_active t.store d then d.n else 0
+
+let iter_tracked t f =
+  Pages.iter_tracked t.store.pages (fun addr _packed ->
+      match find t addr with Some c -> f addr c | None -> ())

@@ -6,34 +6,57 @@
     bug reports), whether the byte is allocated-but-uninitialised, and
     whether the post-failure stage has already overwritten it.
 
-    [overlay] creates a copy-on-write fork: the backend replays the
-    pre-failure trace into one base shadow and forks a cheap overlay for
-    each failure point's post-failure replay, mirroring the paper's
-    incremental tracing (the base is never polluted by post-failure state,
-    and nothing is re-replayed). *)
+    State lives in flat {!Xfd_mem.Shadow_pages} (one packed byte per
+    tracked PM byte plus per-page pending bitmaps), not in a hash map, so
+    replay is cache-friendly and the fence hot loop touches only pending
+    bytes.
+
+    [overlay] creates the store's single rewindable divergence: the
+    backend advances one canonical pre-failure shadow event-by-event and
+    forks a journaled view for each failure point's post-failure replay.
+    Post-failure mutations are captured in an O(delta) undo journal;
+    unwinding it restores the canonical prefix exactly, so nothing is ever
+    re-replayed and the base is never polluted by post-failure state.  The
+    journal unwinds explicitly via {!rewind}, or automatically as soon as
+    the base layer mutates again or a new overlay is created; mutating a
+    rewound overlay raises [Invalid_argument].  While a divergence is
+    live, reads through the base handle resolve journaled bytes to their
+    pre-divergence values. *)
 
 type cell = {
-  mutable pstate : Pstate.t;
-  mutable tlast : int;
-  mutable writer : Xfd_util.Loc.t;
-  mutable uninit : bool;  (** allocated raw, never written since *)
-  mutable post_written : bool;
+  pstate : Pstate.t;
+  tlast : int;
+  writer : Xfd_util.Loc.t;
+  uninit : bool;  (** allocated raw, never written since *)
+  post_written : bool;
   hist : Xfd_forensics.History.t option;
       (** bounded provenance history (trace indices of the last writes,
           writeback, fence and allocation); [Some] only when the shadow was
           created with [~forensics:true].  Shared by reference with overlay
-          copies — overlays never record into it. *)
+          views — overlays never record into it. *)
 }
+(** An immutable snapshot of one byte's state at lookup time. *)
 
 type t
 
 (** [create ~forensics:true] attaches a {!Xfd_forensics.History.t} to every
-    cell this (base) layer creates and records write/flush/fence/alloc
+    byte this (base) layer touches and records write/flush/fence/alloc
     trace indices into it during replay. *)
 val create : ?forensics:bool -> unit -> t
 
-(** Copy-on-write fork reading through to [t]. *)
+(** Journaled copy-on-write fork reading through to [t].  Creating a new
+    overlay (or mutating through the base handle) rewinds any previous
+    live overlay first: at most one divergence is live per store. *)
 val overlay : t -> t
+
+(** Unwind this overlay's divergence journal, restoring the canonical
+    pre-failure state byte-for-byte.  No-op on a base handle or an
+    already-rewound overlay. *)
+val rewind : t -> unit
+
+(** Drop the store's pages and return their bytes to the global
+    [shadow.page_bytes_live] accounting.  Idempotent. *)
+val release : t -> unit
 
 (** Read-only lookup (never copies).  [None] means the byte was never
     touched: reading it cannot be a cross-failure bug. *)
@@ -65,12 +88,19 @@ val flush_line :
   [ `Had_modified | `Clean | `Waste of Pstate.flush_waste ]
 
 (** Promote every writeback-pending byte captured in this shadow (or fork)
-    to persisted. *)
+    to persisted.  A fork's fence promotes only bytes the fork itself made
+    pending: base-pending bytes stay pending for the canonical prefix. *)
 val fence : t -> ev:int -> unit
 
 (** Mark a freshly (re-)allocated raw payload: bytes become
     unmodified/uninitialised regardless of their history. *)
 val mark_alloc_raw : t -> Xfd_mem.Addr.t -> int -> ev:int -> unit
 
-(** Number of tracked bytes in this layer (excluding the parent). *)
+(** Number of tracked bytes in this layer: all touched bytes for a base
+    handle, the journal's byte count for a live overlay (0 once
+    rewound). *)
 val tracked_bytes : t -> int
+
+(** [iter_tracked t f] calls [f addr cell] for every tracked byte in
+    increasing address order, through this handle's view. *)
+val iter_tracked : t -> (Xfd_mem.Addr.t -> cell -> unit) -> unit

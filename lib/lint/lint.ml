@@ -315,6 +315,7 @@ let check_trace trace =
   let findings = List.rev !findings in
   let count s = List.length (List.filter (fun f -> f.severity = s) findings) in
   let events = Track.events track in
+  Track.release track;
   Obs.Counter.add c_events events;
   Obs.Counter.add c_findings (List.length findings);
   List.iter (fun f -> Obs.Counter.incr (List.assoc f.rule c_fire)) findings;

@@ -1,6 +1,7 @@
 module Event = Xfd_trace.Event
 module Addr = Xfd_mem.Addr
 module Loc = Xfd_util.Loc
+module Pages = Xfd_mem.Shadow_pages
 
 type hit =
   | Tx_unlogged_write of { loc : Loc.t; addr : Addr.t; size : int }
@@ -18,15 +19,45 @@ type info = {
   flush : (Loc.t * int) option;
 }
 
-type byte = {
-  mutable state : Abs.t;
-  mutable writer : Loc.t;
-  mutable write_epoch : int;
-  mutable flush : (Loc.t * int) option;
+(* Per-byte state lives in flat {!Xfd_mem.Shadow_pages}: the packed byte
+   carries the {!Abs.t} lattice point (bits 0-2) and the tracked/pending
+   flags, the pending bit set exactly when the state is [Abs.Pending] —
+   so the fence promotion walks the per-page pending bitmap instead of
+   every written byte ([Abs.on_fence] is the identity elsewhere).  Cold
+   provenance fields sit in parallel per-page arrays. *)
+let st_dirty = 1
+let st_pending = 2
+let st_persisted = 3
+let st_top = 4
+
+let encode_abs = function
+  | Abs.Bot -> 0
+  | Abs.Dirty -> st_dirty
+  | Abs.Pending -> st_pending
+  | Abs.Persisted -> st_persisted
+  | Abs.Top -> st_top
+
+let decode_abs s =
+  if s = st_dirty then Abs.Dirty
+  else if s = st_pending then Abs.Pending
+  else if s = st_persisted then Abs.Persisted
+  else if s = st_top then Abs.Top
+  else Abs.Bot
+
+let packed_of_abs s =
+  encode_abs s lor Pages.bit_tracked
+  lor (if Abs.equal s Abs.Pending then Pages.bit_pending else 0)
+
+type meta = {
+  writer : Loc.t array;
+  write_epoch : int array;
+  flush : (Loc.t * int) option array;
 }
 
 type t = {
-  bytes : (Addr.t, byte) Hashtbl.t;
+  pages : Pages.t;
+  meta : (int, meta) Hashtbl.t;
+  mutable last_meta : (int * meta) option;
   mutable epoch : int;
   mutable in_roi : bool;
   mutable skip_depth : int;
@@ -38,7 +69,9 @@ type t = {
 
 let create ?(on_hit = fun _ -> ()) () =
   {
-    bytes = Hashtbl.create 512;
+    pages = Pages.create ();
+    meta = Hashtbl.create 16;
+    last_meta = None;
     epoch = 0;
     in_roi = false;
     skip_depth = 0;
@@ -47,6 +80,41 @@ let create ?(on_hit = fun _ -> ()) () =
     events = 0;
     on_hit;
   }
+
+let release t =
+  Pages.release t.pages;
+  Hashtbl.reset t.meta;
+  t.last_meta <- None
+
+let page_index addr = addr lsr 12
+let page_offset addr = addr land 4095
+
+let meta_for t addr =
+  let idx = page_index addr in
+  match t.last_meta with
+  | Some (i, m) when i = idx -> Some m
+  | _ -> (
+    match Hashtbl.find_opt t.meta idx with
+    | Some m ->
+      t.last_meta <- Some (idx, m);
+      Some m
+    | None -> None)
+
+let own_meta t addr =
+  match meta_for t addr with
+  | Some m -> m
+  | None ->
+    let m =
+      {
+        writer = Array.make Pages.page_size Loc.unknown;
+        write_epoch = Array.make Pages.page_size (-1);
+        flush = Array.make Pages.page_size None;
+      }
+    in
+    let idx = page_index addr in
+    Hashtbl.replace t.meta idx m;
+    t.last_meta <- Some (idx, m);
+    m
 
 let checking t = t.in_roi && t.skip_depth = 0
 let epoch t = t.epoch
@@ -58,44 +126,44 @@ let on_write t loc addr size ~nt =
     let covered = List.exists (fun r -> Addr.overlap r (addr, size)) t.tx_ranges in
     if not covered then t.on_hit (Tx_unlogged_write { loc; addr; size })
   end;
+  let state = if nt then Abs.on_nt_write Abs.Bot else Abs.on_write Abs.Bot in
+  let packed = packed_of_abs state in
   Addr.iter_bytes addr size (fun a ->
-      let state = if nt then Abs.on_nt_write Abs.Bot else Abs.on_write Abs.Bot in
-      let flush = if nt then Some (loc, t.epoch) else None in
-      match Hashtbl.find_opt t.bytes a with
-      | Some b ->
-        b.state <- state;
-        b.writer <- loc;
-        b.write_epoch <- t.epoch;
-        b.flush <- flush
-      | None ->
-        Hashtbl.replace t.bytes a { state; writer = loc; write_epoch = t.epoch; flush })
+      Pages.set t.pages a packed;
+      let m = own_meta t a in
+      let off = page_offset a in
+      m.writer.(off) <- loc;
+      m.write_epoch.(off) <- t.epoch;
+      m.flush.(off) <- (if nt then Some (loc, t.epoch) else None))
 
 let on_flush t loc addr =
   let line = Addr.line_of addr in
   let dirty = ref false and pending = ref false and persisted = ref false in
-  Addr.iter_bytes line Addr.line_size (fun a ->
-      match Hashtbl.find_opt t.bytes a with
-      | None -> ()
-      | Some b -> (
-        match b.state with
-        | Abs.Dirty -> dirty := true
-        | Abs.Pending -> pending := true
-        | Abs.Persisted -> persisted := true
-        | Abs.Bot | Abs.Top -> ()));
+  Pages.iter_line t.pages line Addr.line_size (fun _ packed ->
+      if packed <> 0 then
+        let s = Pages.state_of packed in
+        if s = st_dirty then dirty := true
+        else if s = st_pending then pending := true
+        else if s = st_persisted then persisted := true);
   if !dirty then
     Addr.iter_bytes line Addr.line_size (fun a ->
-        match Hashtbl.find_opt t.bytes a with
-        | Some b when Abs.equal b.state Abs.Dirty ->
-          b.state <- Abs.on_flush b.state;
-          b.flush <- Some (loc, t.epoch)
-        | Some _ | None -> ())
+        let packed = Pages.get t.pages a in
+        if packed <> 0 && Pages.state_of packed = st_dirty then begin
+          Pages.set t.pages a (packed_of_abs (Abs.on_flush Abs.Dirty));
+          (own_meta t a).flush.(page_offset a) <- Some (loc, t.epoch)
+        end)
   else if (!pending || !persisted) && checking t then
     t.on_hit
       (Redundant_flush
          { loc; line; already = (if !pending then `Pending else `Persisted) })
 
 let on_fence t =
-  Hashtbl.iter (fun _ b -> b.state <- Abs.on_fence b.state) t.bytes;
+  (* [Abs.on_fence] only moves [Pending] (tracked in the pending bitmap);
+     every other byte is a fixpoint, so the old whole-table sweep reduces
+     to the pending bytes. *)
+  List.iter
+    (fun a -> Pages.set t.pages a (packed_of_abs Abs.Persisted))
+    (Pages.pending_addrs t.pages);
   t.epoch <- t.epoch + 1
 
 let feed t ev =
@@ -131,26 +199,37 @@ let feed t ev =
   | Event.Skip_detection_end -> t.skip_depth <- max 0 (t.skip_depth - 1)
   | Event.Read _ | Event.Commit_var _ | Event.Commit_range _ | Event.Marker _ -> ()
 
-let info_of b : info =
-  { state = b.state; writer = b.writer; write_epoch = b.write_epoch; flush = b.flush }
+let info_of t a packed : info =
+  let m = meta_for t a in
+  let off = page_offset a in
+  {
+    state = decode_abs (Pages.state_of packed);
+    writer = (match m with Some m -> m.writer.(off) | None -> Loc.unknown);
+    write_epoch = (match m with Some m -> m.write_epoch.(off) | None -> -1);
+    flush = (match m with Some m -> m.flush.(off) | None -> None);
+  }
 
-let info t a = Option.map info_of (Hashtbl.find_opt t.bytes a)
+let info t a =
+  let packed = Pages.get t.pages a in
+  if packed = 0 then None else Some (info_of t a packed)
 
 let byte_state t a =
-  match Hashtbl.find_opt t.bytes a with Some b -> b.state | None -> Abs.Bot
+  let packed = Pages.get t.pages a in
+  if packed = 0 then Abs.Bot else decode_abs (Pages.state_of packed)
 
 let line_state t addr =
   let line = Addr.line_of addr in
   let acc = ref Abs.Bot in
-  Addr.iter_bytes line Addr.line_size (fun a -> acc := Abs.join !acc (byte_state t a));
+  Pages.iter_line t.pages line Addr.line_size (fun _ packed ->
+      if packed <> 0 then acc := Abs.join !acc (decode_abs (Pages.state_of packed)));
   !acc
 
-let iter_tracked t f = Hashtbl.iter (fun a b -> f a (info_of b)) t.bytes
+let iter_tracked t f =
+  Pages.iter_tracked t.pages (fun a packed -> f a (info_of t a packed))
 
 let unpersisted t =
-  Hashtbl.fold
-    (fun a b acc ->
-      match b.state with
-      | Abs.Dirty | Abs.Pending -> (a, info_of b) :: acc
-      | Abs.Bot | Abs.Persisted | Abs.Top -> acc)
-    t.bytes []
+  let acc = ref [] in
+  Pages.iter_tracked t.pages (fun a packed ->
+      let s = Pages.state_of packed in
+      if s = st_dirty || s = st_pending then acc := (a, info_of t a packed) :: !acc);
+  !acc

@@ -45,6 +45,11 @@ type t
 
 val create : ?on_hit:(hit -> unit) -> unit -> t
 
+(** Return the tracker's flat shadow pages to the global
+    [shadow.page_bytes_live] accounting.  Idempotent; call when the
+    analysis is done with the tracker. *)
+val release : t -> unit
+
 (** Feed one trace event through the state machine (and fire hits). *)
 val feed : t -> Xfd_trace.Event.t -> unit
 

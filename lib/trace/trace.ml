@@ -1,37 +1,23 @@
-type t = { mutable events : Event.t array; mutable len : int }
+type t = { arena : Arena.t }
 
-let create () = { events = Array.make 256 { Event.seq = 0; kind = Event.Sfence; loc = Xfd_util.Loc.unknown }; len = 0 }
-
-let grow t =
-  let bigger = Array.make (2 * Array.length t.events) t.events.(0) in
-  Array.blit t.events 0 bigger 0 t.len;
-  t.events <- bigger
+let create () = { arena = Arena.create () }
+let arena t = t.arena
 
 let append t ~kind ~loc =
-  if t.len = Array.length t.events then grow t;
-  let ev = { Event.seq = t.len; kind; loc } in
-  t.events.(t.len) <- ev;
-  t.len <- t.len + 1;
+  let ev = { Event.seq = Arena.length t.arena; kind; loc } in
+  ignore (Arena.append t.arena ev);
   ev
 
-let length t = t.len
-
-let get t i =
-  if i < 0 || i >= t.len then invalid_arg "Trace.get: out of bounds";
-  t.events.(i)
-
-let iter_prefix t n f =
-  let n = min n t.len in
-  for i = 0 to n - 1 do
-    f t.events.(i)
-  done
-
-let iter t f = iter_prefix t t.len f
+let length t = Arena.length t.arena
+let get t i = try Arena.get t.arena i with Invalid_argument _ -> invalid_arg "Trace.get: out of bounds"
+let iter_range t ~from ~upto f = Arena.iter_range t.arena ~from ~upto f
+let iter_prefix t n f = iter_range t ~from:0 ~upto:n f
+let iter t f = iter_prefix t (length t) f
 
 let to_list t =
   let acc = ref [] in
-  for i = t.len - 1 downto 0 do
-    acc := t.events.(i) :: !acc
+  for i = length t - 1 downto 0 do
+    acc := Arena.get t.arena i :: !acc
   done;
   !acc
 
