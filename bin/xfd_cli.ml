@@ -5,36 +5,21 @@
      xfd list
      xfd newbugs
      xfd table5 [--workload btree]
+     xfd serve --port 8080 --workers 4 [--quota 2 --corpus corpus/]
+     xfd submit --connect 8080 -w btree --patch skip-tx-add=0 --await
+     xfd await --connect 8080 --job j1 --report-out report.json
 
    [run] executes one workload under full cross-failure detection and
    prints the report; [--patch] seeds mechanical bugs like the artifact's
-   patch files. *)
+   patch files.  [serve] keeps the same pipeline resident behind an HTTP
+   job protocol; [submit]/[await] are its client. *)
 
 open Cmdliner
 
+(* "skip-tx-add=0,2;dup-flush=1" — one parser shared with the detection
+   service, so a patch that works locally works over the wire too. *)
 let parse_patch spec =
-  (* "skip-tx-add=0,2;dup-flush=1" *)
-  let parse_is s = List.map int_of_string (String.split_on_char ',' s) in
-  let parts = String.split_on_char ';' spec |> List.filter (fun s -> s <> "") in
-  let skip_flush = ref [] and skip_fence = ref [] and skip_tx_add = ref [] in
-  let dup_flush = ref [] and dup_tx_add = ref [] in
-  List.iter
-    (fun part ->
-      match String.split_on_char '=' part with
-      | [ key; is ] -> begin
-        let is = parse_is is in
-        match key with
-        | "skip-flush" -> skip_flush := is
-        | "skip-fence" -> skip_fence := is
-        | "skip-tx-add" -> skip_tx_add := is
-        | "dup-flush" -> dup_flush := is
-        | "dup-tx-add" -> dup_tx_add := is
-        | _ -> failwith (Printf.sprintf "unknown patch kind %S" key)
-      end
-      | _ -> failwith (Printf.sprintf "bad patch component %S (want kind=i,j,...)" part))
-    parts;
-  Xfd_sim.Faults.make ~skip_flush:!skip_flush ~skip_fence:!skip_fence
-    ~skip_tx_add:!skip_tx_add ~dup_flush:!dup_flush ~dup_tx_add:!dup_tx_add ()
+  match Xfd_serve.Job.faults_of_spec spec with Ok f -> f | Error e -> failwith e
 
 let workload_names =
   List.map
@@ -826,10 +811,376 @@ let top_cmd =
           progress, bug tallies, PM traffic and a throughput sparkline")
     Term.(const action $ connect $ interval $ count $ once)
 
+(* ---- the detection service: serve / submit / await ---- *)
+
+let connect_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Endpoint of a running detection service (started with $(b,xfd serve)).  A \
+           bare port means 127.0.0.1.")
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "Port to listen on (default 0 picks an ephemeral port; the bound port is \
+             printed on stderr and written to $(b,--port-file)).")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Bind address.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Detection worker threads (default 2).")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Bound on queued (not yet running) jobs; a full queue answers 429 with \
+             $(b,Retry-After) (default 64).")
+  in
+  let quota =
+    Arg.(
+      value & opt float 0.0
+      & info [ "quota" ] ~docv:"RATE"
+          ~doc:
+            "Per-client submission quota in jobs/second (token bucket; see \
+             $(b,--quota-burst)).  Over-quota submissions answer 429 with \
+             $(b,Retry-After).  0 disables (the default).")
+  in
+  let quota_burst =
+    Arg.(
+      value & opt int 8
+      & info [ "quota-burst" ] ~docv:"N" ~doc:"Token-bucket burst per client (default 8).")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Serve the $(b,.xfdprog) files under $(docv) at $(b,/v1/corpus).")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound port to $(docv) once listening — the race-free way for \
+             scripts to find an ephemeral port.")
+  in
+  let retain =
+    Arg.(
+      value & opt int 4096
+      & info [ "retain" ] ~docv:"N"
+          ~doc:"Finished jobs kept queryable over $(b,/v1/jobs) (default 4096).")
+  in
+  let action port host workers queue_cap quota quota_burst corpus port_file retain =
+    let config =
+      {
+        Xfd_serve.Serve.default_config with
+        port;
+        host;
+        workers;
+        queue_cap;
+        quota_rate = quota;
+        quota_burst;
+        corpus_dir = corpus;
+        retain;
+      }
+    in
+    let t = Xfd_serve.Serve.start config in
+    let bound = Xfd_serve.Serve.port t in
+    Format.eprintf "serve: listening on http://%s:%d/ (POST /v1/jobs; %d workers)@." host
+      bound workers;
+    Option.iter
+      (fun file ->
+        let oc = open_out file in
+        output_string oc (string_of_int bound);
+        output_char oc '\n';
+        close_out oc)
+      port_file;
+    let stop_requested = Atomic.make false in
+    let on_signal _ = Atomic.set stop_requested true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    while not (Atomic.get stop_requested) do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Format.eprintf "serve: draining (completing accepted jobs)...@.";
+    Xfd_serve.Serve.stop ~drain:true t;
+    Format.eprintf "serve: stopped@."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the always-on detection service: submit jobs with $(b,xfd submit), poll \
+          with $(b,xfd await) or plain HTTP.  SIGTERM/SIGINT drain gracefully: every \
+          accepted job completes before exit.")
+    Term.(
+      const action $ port $ host $ workers $ queue_cap $ quota $ quota_burst $ corpus
+      $ port_file $ retain)
+
+let jstr_of key j =
+  match Xfd_util.Json.member key j with Some (Xfd_util.Json.Str s) -> Some s | _ -> None
+
+let fetch_report ~host ~port ~id file =
+  match Xfd_pulse.Httpc.get ~host ~port ("/v1/jobs/" ^ id ^ "/report") with
+  | Ok (200, body) ->
+    let oc = open_out file in
+    output_string oc body;
+    close_out oc;
+    Format.eprintf "report written to %s@." file;
+    true
+  | Ok (status, _) ->
+    Printf.eprintf "report fetch failed: HTTP %d\n" status;
+    false
+  | Error e ->
+    Printf.eprintf "report fetch failed: %s\n" e;
+    false
+
+(* Poll one job to completion.  Exit codes: 0 done, 1 failed, 2 transport
+   error or timeout. *)
+let await_job ~host ~port ~id ~timeout ~interval ~json ~report_out =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec poll () =
+    match Xfd_pulse.Httpc.get ~host ~port ("/v1/jobs/" ^ id) with
+    | Error e ->
+      Printf.eprintf "await: %s\n" e;
+      2
+    | Ok (200, body) -> (
+      match Xfd_util.Json.of_string body with
+      | Error e ->
+        Printf.eprintf "await: bad status JSON: %s\n" e;
+        2
+      | Ok j -> (
+        match jstr_of "state" j with
+        | Some (("done" | "failed") as state) ->
+          if json then print_endline (Xfd_util.Json.to_string_pretty j)
+          else begin
+            match state with
+            | "done" ->
+              let result = Xfd_util.Json.member "result" j in
+              let fp =
+                Option.bind result (jstr_of "fingerprint")
+                |> Option.value ~default:"?"
+              in
+              let bugs =
+                match Option.bind result (Xfd_util.Json.member "unique_bugs") with
+                | Some (Xfd_util.Json.Arr l) -> List.length l
+                | _ -> 0
+              in
+              Printf.printf "%s done  bugs=%d  fingerprint=%s\n" id bugs fp
+            | _ ->
+              Printf.printf "%s failed: %s\n" id
+                (Option.value (jstr_of "error" j) ~default:"unknown error")
+          end;
+          let report_ok =
+            match report_out with
+            | Some file when state = "done" -> fetch_report ~host ~port ~id file
+            | _ -> true
+          in
+          if state = "done" then if report_ok then 0 else 2 else 1
+        | _ ->
+          if Unix.gettimeofday () > deadline then begin
+            Printf.eprintf "await: timed out after %.1fs (job %s still %s)\n" timeout id
+              (Option.value (jstr_of "state" j) ~default:"unknown");
+            2
+          end
+          else begin
+            Unix.sleepf interval;
+            poll ()
+          end))
+    | Ok (status, body) ->
+      Printf.eprintf "await: HTTP %d: %s\n" status (String.trim body);
+      2
+  in
+  poll ()
+
+let await_flags =
+  let timeout =
+    Arg.(
+      value & opt float 300.0
+      & info [ "timeout" ] ~docv:"SECS" ~doc:"Give up waiting after $(docv) (default 300).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 0.1
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Polling interval (default 0.1).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the final job status as JSON.")
+  in
+  let report_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report-out" ] ~docv:"FILE"
+          ~doc:"Fetch the forensics report once done and write it to $(docv).")
+  in
+  Term.(
+    const (fun timeout interval json report_out -> (timeout, interval, json, report_out))
+    $ timeout $ interval $ json $ report_out)
+
+let submit_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME"
+          ~doc:(Printf.sprintf "Workload to submit (%s)." (String.concat ", " workload_names)))
+  in
+  let init =
+    Arg.(value & opt int 0 & info [ "init" ] ~docv:"N" ~doc:"Warm-up insertions before the RoI.")
+  in
+  let test =
+    Arg.(value & opt int 1 & info [ "test" ] ~docv:"N" ~doc:"Insertions/queries inside the RoI.")
+  in
+  let patch =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "patch" ] ~docv:"SPEC" ~doc:"Seed mechanical bugs (same syntax as $(b,run --patch)).")
+  in
+  let program_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "program" ] ~docv:"FILE"
+          ~doc:"Submit a $(b,.xfdprog) program file instead of a named workload.")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("incremental", "incremental"); ("fresh", "fresh") ]) "incremental"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Detection engine for this job: $(b,incremental) (prefix-sharing, the \
+             default) or $(b,fresh) (from-zero replay oracle).  Verdicts are \
+             byte-identical either way.")
+  in
+  let client =
+    Arg.(
+      value & opt string ""
+      & info [ "client" ] ~docv:"NAME"
+          ~doc:"Client identity for quota accounting (sent as $(b,x-client)).")
+  in
+  let await = Arg.(value & flag & info [ "await" ] ~doc:"Wait for the verdict.") in
+  let action connect workload init test patch program_file engine client await
+      (timeout, interval, json, report_out) =
+    match Xfd_pulse.Httpc.parse_endpoint connect with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok (host, port) ->
+      let fields =
+        match (workload, program_file) with
+        | Some w, None ->
+          [
+            ("kind", Xfd_util.Json.Str "workload");
+            ("workload", Xfd_util.Json.Str w);
+            ("init", Xfd_util.Json.Int init);
+            ("test", Xfd_util.Json.Int test);
+          ]
+          @ (match patch with Some p -> [ ("patch", Xfd_util.Json.Str p) ] | None -> [])
+        | None, Some file ->
+          let ic = open_in_bin file in
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          [ ("kind", Xfd_util.Json.Str "xfdprog"); ("program", Xfd_util.Json.Str text) ]
+        | _ ->
+          prerr_endline "submit: need exactly one of --workload or --program";
+          exit 2
+      in
+      let body =
+        Xfd_util.Json.to_string
+          (Xfd_util.Json.Obj (fields @ [ ("engine", Xfd_util.Json.Str engine) ]))
+      in
+      let headers = if client = "" then [] else [ ("x-client", client) ] in
+      let code =
+        match Xfd_pulse.Httpc.post ~headers ~body ~host ~port "/v1/jobs" with
+        | Error e ->
+          Printf.eprintf "submit: %s\n" e;
+          2
+        | Ok (202, _, resp) -> (
+          match Result.bind (Xfd_util.Json.of_string resp) (fun j ->
+                    Option.to_result ~none:"no id in response" (jstr_of "id" j))
+          with
+          | Error e ->
+            Printf.eprintf "submit: bad response: %s\n" e;
+            2
+          | Ok id ->
+            if await || report_out <> None then
+              await_job ~host ~port ~id ~timeout ~interval ~json ~report_out
+            else begin
+              Printf.printf "%s accepted (poll with: xfd await --connect %s --job %s)\n" id
+                connect id;
+              0
+            end)
+        | Ok (status, headers, resp) ->
+          let retry =
+            match List.assoc_opt "retry-after" headers with
+            | Some s -> Printf.sprintf " (retry after %ss)" s
+            | None -> ""
+          in
+          Printf.eprintf "submit: HTTP %d%s: %s\n" status retry (String.trim resp);
+          1
+      in
+      if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit one detection job to a running $(b,xfd serve); optionally wait for the \
+          verdict and fetch the forensics report.")
+    Term.(
+      const action $ connect_arg $ workload $ init $ test $ patch $ program_file $ engine
+      $ client $ await $ await_flags)
+
+let await_cmd =
+  let job =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "job" ] ~docv:"ID" ~doc:"Job id returned by $(b,xfd submit).")
+  in
+  let action connect job (timeout, interval, json, report_out) =
+    match Xfd_pulse.Httpc.parse_endpoint connect with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok (host, port) ->
+      let code = await_job ~host ~port ~id:job ~timeout ~interval ~json ~report_out in
+      if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "await"
+       ~doc:"Wait for a submitted job to finish and print (or fetch) its verdict.")
+    Term.(const action $ connect_arg $ job $ await_flags)
+
 let () =
   let doc = "XFDetector (OCaml reproduction): cross-failure bug detection for PM programs" in
   let info = Cmd.info "xfd" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; list_cmd; newbugs_cmd; table5_cmd; lint_cmd; fuzz_cmd; top_cmd ]))
+          [
+            run_cmd;
+            list_cmd;
+            newbugs_cmd;
+            table5_cmd;
+            lint_cmd;
+            fuzz_cmd;
+            top_cmd;
+            serve_cmd;
+            submit_cmd;
+            await_cmd;
+          ]))

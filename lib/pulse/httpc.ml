@@ -1,8 +1,9 @@
-(* A minimal blocking HTTP/1.1 GET client, the consumer half of [Httpd].
+(* A minimal blocking HTTP/1.1 client, the consumer half of [Httpd].
 
-   Just enough to let `xfd_cli top --connect` and the test suite poll a
-   pulse endpoint without any dependency beyond stdlib [Unix]: connect,
-   send one GET with [Connection: close], read to EOF, split status from
+   Just enough to let `xfd_cli top --connect`, `xfd_cli submit/await`
+   and the test suites poll a pulse or serve endpoint without any
+   dependency beyond stdlib [Unix]: connect, send one request with
+   [Connection: close], read to EOF, split status and headers from the
    body.  Timeouts guard every blocking call so a dead server shows up
    as an [Error], not a hang. *)
 
@@ -28,10 +29,31 @@ let parse_response raw =
         then Some (i + 4)
         else find (i + 1)
       in
-      let body = match find 0 with Some i -> String.sub raw i (n - i) | None -> "" in
-      Ok (status, body))
+      let head_end, body =
+        match find 0 with
+        | Some i -> (i, String.sub raw i (n - i))
+        | None -> (n, "")
+      in
+      let headers =
+        String.sub raw 0 head_end |> String.split_on_char '\n'
+        |> List.filter_map (fun line ->
+               let line =
+                 if line <> "" && line.[String.length line - 1] = '\r' then
+                   String.sub line 0 (String.length line - 1)
+                 else line
+               in
+               match String.index_opt line ':' with
+               | None -> None
+               | Some i ->
+                 let name = String.lowercase_ascii (String.sub line 0 i) in
+                 let value =
+                   String.trim (String.sub line (i + 1) (String.length line - i - 1))
+                 in
+                 if name = "" then None else Some (name, value))
+      in
+      Ok (status, headers, body))
 
-let get ?(timeout = default_timeout_s) ~host ~port path =
+let request ?(timeout = default_timeout_s) ?(headers = []) ?body ~meth ~host ~port path =
   match Unix.inet_addr_of_string host with
   | exception Failure _ -> Error (Printf.sprintf "bad host %S (use a dotted IPv4 address)" host)
   | addr -> (
@@ -45,10 +67,18 @@ let get ?(timeout = default_timeout_s) ~host ~port path =
              Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
            with Unix.Unix_error _ | Invalid_argument _ -> ());
           Unix.connect fd (Unix.ADDR_INET (addr, port));
-          let req =
-            Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n\r\n" path
-              host port
-          in
+          let b = Buffer.create 256 in
+          Buffer.add_string b (Printf.sprintf "%s %s HTTP/1.1\r\nHost: %s:%d\r\n" meth path host port);
+          List.iter
+            (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+            headers;
+          (match body with
+          | Some body ->
+            Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n" (String.length body))
+          | None -> ());
+          Buffer.add_string b "Connection: close\r\n\r\n";
+          Option.iter (Buffer.add_string b) body;
+          let req = Buffer.contents b in
           let b = Bytes.of_string req in
           let len = Bytes.length b in
           let rec send off = if off < len then send (off + Unix.write fd b off (len - off)) in
@@ -66,6 +96,14 @@ let get ?(timeout = default_timeout_s) ~host ~port path =
           parse_response (Buffer.contents buf)
         with Unix.Unix_error (e, fn, _) ->
           Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))))
+
+let get ?timeout ?headers ~host ~port path =
+  match request ?timeout ?headers ~meth:"GET" ~host ~port path with
+  | Ok (status, _headers, body) -> Ok (status, body)
+  | Error e -> Error e
+
+let post ?timeout ?headers ~body ~host ~port path =
+  request ?timeout ?headers ~body ~meth:"POST" ~host ~port path
 
 (* "host:port" as accepted by `top --connect`; host defaults to loopback
    when the argument is just a port. *)

@@ -1,12 +1,44 @@
-(** A minimal blocking HTTP GET client for polling a pulse endpoint
-    (`xfd_cli top --connect`, tests).  Stdlib [Unix] only. *)
+(** A minimal blocking HTTP client for polling a pulse or serve endpoint
+    (`xfd_cli top --connect`, `xfd_cli submit/await`, tests).  Stdlib
+    [Unix] only. *)
 
 val default_timeout_s : float
 
-(** [get ~host ~port path] sends one GET and reads the whole response;
-    returns [(status, body)].  [host] must be a dotted IPv4 address.
-    Timeouts (default 5 s) turn a dead peer into [Error]. *)
-val get : ?timeout:float -> host:string -> port:int -> string -> (int * string, string) result
+(** [request ~meth ~host ~port path] sends one request with
+    [Connection: close] and reads the whole response; returns
+    [(status, headers, body)] with header names lowercased.  When [body]
+    is given, a matching [Content-Length] is sent.  [host] must be a
+    dotted IPv4 address.  Timeouts (default 5 s) turn a dead peer into
+    [Error]. *)
+val request :
+  ?timeout:float ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  meth:string ->
+  host:string ->
+  port:int ->
+  string ->
+  (int * (string * string) list * string, string) result
+
+(** [get ~host ~port path] sends one GET and returns [(status, body)]. *)
+val get :
+  ?timeout:float ->
+  ?headers:(string * string) list ->
+  host:string ->
+  port:int ->
+  string ->
+  (int * string, string) result
+
+(** [post ~body ~host ~port path] sends one POST and returns
+    [(status, headers, body)]. *)
+val post :
+  ?timeout:float ->
+  ?headers:(string * string) list ->
+  body:string ->
+  host:string ->
+  port:int ->
+  string ->
+  (int * (string * string) list * string, string) result
 
 (** Parse ["HOST:PORT"] or bare ["PORT"] (host defaults to 127.0.0.1). *)
 val parse_endpoint : string -> (string * int, string) result

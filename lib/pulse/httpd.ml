@@ -1,22 +1,37 @@
-(* A minimal HTTP/1.1 exposition server on stdlib Unix sockets + threads.
+(* A minimal HTTP/1.1 server on stdlib Unix sockets + threads.
 
    This is deliberately not a web framework: the pulse surface serves a
    handful of small read-only GET endpoints to curl, Prometheus and
-   `xfd_cli top --connect`, and the container policy is stdlib-only.  So:
-   one accept-loop thread multiplexing the listen socket against a
+   `xfd_cli top --connect`, the serve surface adds a JSON job protocol
+   over POST, and the container policy is stdlib-only.  So: one
+   accept-loop thread multiplexing the listen socket against a
    self-pipe (stop never waits on a slow accept), one short-lived thread
-   per connection, [Connection: close] on every response, GET/HEAD only,
-   a receive timeout and an 8 KiB header cap so a stuck or hostile client
-   cannot pin a thread.  Handler exceptions become plain 500s — the
-   server must never take the detection run down with it.
+   per connection, [Connection: close] on every response, a configurable
+   method allowlist (anything else is 405 with an [Allow] header), a
+   receive timeout, an 8 KiB header cap (431) and a configurable body
+   cap (413) so a stuck or hostile client cannot pin a thread or balloon
+   the heap.  Handler exceptions become plain 500s — the server must
+   never take the detection run down with it.
 
    Binding port 0 picks an ephemeral port (reported by {!port}), which is
    how the tests avoid address collisions. *)
 
 module Obs = Xfd_obs.Obs
 
-type request = { meth : string; path : string; query : (string * string) list }
-type response = { status : int; content_type : string; body : string }
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  content_type : string;
+  headers : (string * string) list;
+  body : string;
+}
 
 type t = {
   listen_fd : Unix.file_descr;
@@ -33,22 +48,32 @@ let c_requests = Obs.Counter.make "pulse.http.requests"
 let c_errors = Obs.Counter.make "pulse.http.errors"
 
 let max_head_bytes = 8192
+let default_max_body_bytes = 1 lsl 20
 let recv_timeout_s = 5.0
 
 let reason_phrase = function
   | 200 -> "OK"
+  | 202 -> "Accepted"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 411 -> "Length Required"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
+  | 431 -> "Request Header Fields Too Large"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | _ -> "Status"
 
-let response ?(content_type = "text/plain; charset=utf-8") status body =
-  { status; content_type; body }
+let response ?(content_type = "text/plain; charset=utf-8") ?(headers = []) status body =
+  { status; content_type; headers; body }
 
-let text status body = response status body
+let text ?headers status body = response ?headers status body
 let not_found = text 404 "not found\n"
+
+let header (req : request) name =
+  List.assoc_opt (String.lowercase_ascii name) req.headers
 
 let percent_decode s =
   let n = String.length s in
@@ -105,29 +130,75 @@ let parse_request_line head =
   match String.split_on_char ' ' line with
   | meth :: target :: _ when meth <> "" && target <> "" ->
     let path, query = parse_target target in
-    Some { meth; path; query }
+    Some (meth, path, query)
   | _ -> None
 
-let contains_terminator s =
+(* Header lines between the request line and the blank line, with names
+   lowercased; malformed lines are skipped rather than fatal. *)
+let parse_headers head =
+  match String.split_on_char '\n' head with
+  | [] -> []
+  | _request_line :: rest ->
+    List.filter_map
+      (fun line ->
+        let line =
+          if line <> "" && line.[String.length line - 1] = '\r' then
+            String.sub line 0 (String.length line - 1)
+          else line
+        in
+        match String.index_opt line ':' with
+        | None -> None
+        | Some i ->
+          let name = String.lowercase_ascii (String.sub line 0 i) in
+          let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+          if name = "" then None else Some (name, value))
+      rest
+
+let terminator_index s =
   let n = String.length s in
   let rec go i =
-    if i + 3 >= n then false
-    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then true
+    if i + 3 >= n then None
+    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then
+      Some i
     else go (i + 1)
   in
   go 0
 
+(* Read up to and including the head terminator.  Returns the head and
+   whatever body bytes arrived with it. *)
 let read_head fd =
   let buf = Buffer.create 512 in
   let chunk = Bytes.create 512 in
   let rec go () =
-    if Buffer.length buf > max_head_bytes then None
+    if Buffer.length buf > max_head_bytes then `Too_large
+    else
+      let k = Unix.recv fd chunk 0 (Bytes.length chunk) [] in
+      if k = 0 then `Closed
+      else begin
+        Buffer.add_subbytes buf chunk 0 k;
+        let s = Buffer.contents buf in
+        match terminator_index s with
+        | Some i ->
+          `Head (String.sub s 0 (i + 4), String.sub s (i + 4) (String.length s - i - 4))
+        | None -> go ()
+      end
+  in
+  try go () with Unix.Unix_error _ -> `Closed
+
+(* Read the remaining [content_length - leftover] body bytes. *)
+let read_body fd ~leftover ~content_length =
+  let buf = Buffer.create content_length in
+  Buffer.add_string buf leftover;
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    if Buffer.length buf >= content_length then
+      Some (String.sub (Buffer.contents buf) 0 content_length)
     else
       let k = Unix.recv fd chunk 0 (Bytes.length chunk) [] in
       if k = 0 then None
       else begin
         Buffer.add_subbytes buf chunk 0 k;
-        if contains_terminator (Buffer.contents buf) then Some (Buffer.contents buf) else go ()
+        go ()
       end
   in
   try go () with Unix.Unix_error _ -> None
@@ -138,44 +209,99 @@ let write_all fd s =
   let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
   try go 0 with Unix.Unix_error _ -> ()
 
-let send_response fd ~head_only { status; content_type; body } =
-  let headers =
-    Printf.sprintf
-      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
-      status (reason_phrase status) content_type (String.length body)
-  in
-  write_all fd (if head_only then headers else headers ^ body)
+let send_response fd ~head_only { status; content_type; headers; body } =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n" status
+       (reason_phrase status) content_type (String.length body));
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) headers;
+  Buffer.add_string b "Connection: close\r\n\r\n";
+  if not head_only then Buffer.add_string b body;
+  write_all fd (Buffer.contents b)
 
-let handle_conn handler fd =
+(* Lingering close.  Early rejections (431/411/413/405) answer before the
+   request body has been read; closing with unread input pending makes
+   the kernel send RST, which can destroy the in-flight response before
+   the client has read it.  Half-close our side and drain the remainder
+   (briefly, bounded by the receive timeout) so the response survives. *)
+let drain_and_close fd =
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0;
+     let chunk = Bytes.create 4096 in
+     let deadline = Unix.gettimeofday () +. 1.0 in
+     while Unix.recv fd chunk 0 4096 [] > 0 && Unix.gettimeofday () < deadline do
+       ()
+     done
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let handle_conn ~allowed_methods ~max_body_bytes handler fd =
   Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    ~finally:(fun () -> drain_and_close fd)
     (fun () ->
       (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO recv_timeout_s
        with Unix.Unix_error _ | Invalid_argument _ -> ());
+      let error status body =
+        Obs.Counter.incr c_errors;
+        send_response fd ~head_only:false (text status body)
+      in
       match read_head fd with
-      | None -> ()
-      | Some head -> (
+      | `Closed -> ()
+      | `Too_large ->
+        Obs.Counter.incr c_requests;
+        error 431 "request header fields too large\n"
+      | `Head (head, leftover) -> (
         Obs.Counter.incr c_requests;
         match parse_request_line head with
-        | None ->
-          Obs.Counter.incr c_errors;
-          send_response fd ~head_only:false (text 400 "bad request\n")
-        | Some req ->
-          let head_only = req.meth = "HEAD" in
-          if req.meth <> "GET" && not head_only then begin
+        | None -> error 400 "bad request\n"
+        | Some (meth, path, query) ->
+          let headers = parse_headers head in
+          let head_only = meth = "HEAD" in
+          if not (List.mem meth allowed_methods) then begin
             Obs.Counter.incr c_errors;
-            send_response fd ~head_only:false (text 405 "method not allowed\n")
+            send_response fd ~head_only:false
+              (text 405 "method not allowed\n"
+                 ~headers:[ ("Allow", String.concat ", " allowed_methods) ])
           end
-          else
-            let resp =
-              try handler req
-              with _ ->
-                Obs.Counter.incr c_errors;
-                text 500 "internal error\n"
+          else begin
+            let content_length =
+              match List.assoc_opt "content-length" headers with
+              | None -> if meth = "POST" then `Missing else `None
+              | Some v -> (
+                match int_of_string_opt (String.trim v) with
+                | Some n when n >= 0 -> `Len n
+                | _ -> `Bad)
             in
-            send_response fd ~head_only resp))
+            let body =
+              match content_length with
+              | `None -> `Body ""
+              | `Missing -> `Error (411, "length required\n")
+              | `Bad -> `Error (400, "bad content-length\n")
+              | `Len n when n > max_body_bytes ->
+                `Error
+                  ( 413,
+                    Printf.sprintf "content too large (limit %d bytes)\n" max_body_bytes )
+              | `Len n -> (
+                match read_body fd ~leftover ~content_length:n with
+                | Some body -> `Body body
+                | None -> `Error (400, "truncated body\n"))
+            in
+            match body with
+            | `Error (status, msg) -> error status msg
+            | `Body body ->
+              let req = { meth; path; query; headers; body } in
+              let resp =
+                try handler req
+                with _ ->
+                  Obs.Counter.incr c_errors;
+                  text 500 "internal error\n"
+              in
+              send_response fd ~head_only resp
+          end))
 
-let start ?(host = "127.0.0.1") ~port handler =
+let start ?(host = "127.0.0.1") ?(allowed_methods = [ "GET"; "HEAD" ])
+    ?(max_body_bytes = default_max_body_bytes) ~port handler =
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
@@ -200,7 +326,9 @@ let start ?(host = "127.0.0.1") ~port handler =
       | ready, _, _ when List.mem listen_fd ready && not (Atomic.get stopped) -> (
         match Unix.accept ~cloexec:true listen_fd with
         | fd, _ ->
-          let th = Thread.create (handle_conn handler) fd in
+          let th =
+            Thread.create (handle_conn ~allowed_methods ~max_body_bytes handler) fd
+          in
           Mutex.lock conns_mutex;
           conns := th :: !conns;
           Mutex.unlock conns_mutex
@@ -221,7 +349,7 @@ let stop t =
     Thread.join t.accept_thread;
     (* In-flight responses finish before the listener's fds go away;
        connection threads are short-lived by construction (recv timeout,
-       header cap, Connection: close). *)
+       header cap, body cap, Connection: close). *)
     Mutex.lock t.conns_mutex;
     let cs = !(t.conns) in
     t.conns := [];

@@ -1,35 +1,57 @@
-(** A minimal HTTP/1.1 server for the pulse exposition surface.
+(** A minimal HTTP/1.1 server for the pulse and serve surfaces.
 
     Stdlib [Unix] sockets and threads only: one accept-loop thread, one
     short-lived thread per connection, [Connection: close] on every
-    response.  GET and HEAD only (anything else is 405); handler
-    exceptions become 500s; a receive timeout and an 8 KiB header cap
-    bound what a stuck client can hold.  Serving is read-only over
-    observability state, so it is verdict-neutral by construction. *)
+    response.  The method allowlist defaults to GET/HEAD (the pulse
+    exposition surface); the serve surface opens POST.  Anything outside
+    the allowlist is 405 with an [Allow] header; handler exceptions
+    become 500s; a receive timeout, an 8 KiB header cap (431) and a
+    configurable body cap (413, POST without [Content-Length] is 411)
+    bound what a stuck or hostile client can hold. *)
 
 type request = {
   meth : string;
   path : string;  (** percent-decoded, query stripped *)
   query : (string * string) list;  (** percent-decoded key/value pairs *)
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;  (** request body, ["" ] unless a [Content-Length] was sent *)
 }
 
-type response = { status : int; content_type : string; body : string }
+type response = {
+  status : int;
+  content_type : string;
+  headers : (string * string) list;  (** extra headers, e.g. [Retry-After] *)
+  body : string;
+}
 
-(** [response ?content_type status body] (default content type
-    [text/plain; charset=utf-8]). *)
-val response : ?content_type:string -> int -> string -> response
+(** [response ?content_type ?headers status body] (default content type
+    [text/plain; charset=utf-8], no extra headers). *)
+val response : ?content_type:string -> ?headers:(string * string) list -> int -> string -> response
 
 (** A plain-text response. *)
-val text : int -> string -> response
+val text : ?headers:(string * string) list -> int -> string -> response
 
 val not_found : response
 
+(** Case-insensitive request-header lookup. *)
+val header : request -> string -> string option
+
+(** The default request-body cap (1 MiB). *)
+val default_max_body_bytes : int
+
 type t
 
-(** [start ?host ~port handler] binds (default host [127.0.0.1]; port 0
-    picks an ephemeral port — read it back with {!port}) and serves until
-    {!stop}.  Raises [Unix.Unix_error] if the bind fails. *)
-val start : ?host:string -> port:int -> (request -> response) -> t
+(** [start ?host ?allowed_methods ?max_body_bytes ~port handler] binds
+    (default host [127.0.0.1]; port 0 picks an ephemeral port — read it
+    back with {!port}) and serves until {!stop}.  Raises
+    [Unix.Unix_error] if the bind fails. *)
+val start :
+  ?host:string ->
+  ?allowed_methods:string list ->
+  ?max_body_bytes:int ->
+  port:int ->
+  (request -> response) ->
+  t
 
 val port : t -> int
 

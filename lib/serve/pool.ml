@@ -1,0 +1,119 @@
+(* A persistent worker pool over a bounded job queue.
+
+   N system threads block on one condition variable; [submit] either
+   enqueues (when the queue has room and the pool is accepting) or
+   reports why not — the caller turns [`Queue_full] into backpressure
+   (429) and [`Draining] into 503.  [stop ~drain:true] is the graceful
+   path: no new work is accepted, every item already accepted runs to
+   completion, workers are joined.  [stop ~drain:false] discards the
+   unstarted queue (returned so the caller can mark those jobs
+   cancelled) but still lets in-flight items finish — a worker is never
+   killed mid-job.
+
+   The runner must not raise; a raising runner would kill its worker
+   thread, so exceptions are swallowed here as a last line of defence
+   (the serve layer's runner catches and records per-job errors long
+   before this). *)
+
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+  cap : int;
+  workers : int;
+  runner : 'a -> unit;
+  mutable threads : Thread.t list;
+  mutable draining : bool;
+  mutable stopped : bool;
+  mutable running : int;
+  mutable completed : int;
+}
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.queue && not t.draining do
+      Condition.wait t.nonempty t.mu
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mu (* draining and dry: exit *)
+    else begin
+      let item = Queue.pop t.queue in
+      t.running <- t.running + 1;
+      Mutex.unlock t.mu;
+      (try t.runner item with _ -> ());
+      Mutex.lock t.mu;
+      t.running <- t.running - 1;
+      t.completed <- t.completed + 1;
+      Mutex.unlock t.mu;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers ~queue_cap runner =
+  if workers <= 0 then invalid_arg "Pool.create: workers must be positive";
+  if queue_cap <= 0 then invalid_arg "Pool.create: queue_cap must be positive";
+  let t =
+    {
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      cap = queue_cap;
+      workers;
+      runner;
+      threads = [];
+      draining = false;
+      stopped = false;
+      running = 0;
+      completed = 0;
+    }
+  in
+  t.threads <- List.init workers (fun _ -> Thread.create (worker t) ());
+  t
+
+let submit t x =
+  Mutex.protect t.mu (fun () ->
+      if t.draining then `Draining
+      else if Queue.length t.queue >= t.cap then `Queue_full
+      else begin
+        Queue.push x t.queue;
+        Condition.signal t.nonempty;
+        `Accepted
+      end)
+
+let stats t =
+  Mutex.protect t.mu (fun () ->
+      (Queue.length t.queue, t.running, t.completed))
+
+let queue_cap t = t.cap
+let workers t = t.workers
+let draining t = Mutex.protect t.mu (fun () -> t.draining)
+
+let stop ?(drain = true) t =
+  let discarded =
+    Mutex.protect t.mu (fun () ->
+        if t.stopped then []
+        else begin
+          t.draining <- true;
+          let d =
+            if drain then []
+            else begin
+              let d = List.of_seq (Queue.to_seq t.queue) in
+              Queue.clear t.queue;
+              d
+            end
+          in
+          Condition.broadcast t.nonempty;
+          d
+        end)
+  in
+  let threads =
+    Mutex.protect t.mu (fun () ->
+        if t.stopped then []
+        else begin
+          t.stopped <- true;
+          t.threads
+        end)
+  in
+  List.iter Thread.join threads;
+  discarded

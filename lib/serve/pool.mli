@@ -1,0 +1,31 @@
+(** A persistent worker pool over a bounded job queue.
+
+    [workers] system threads run items through one runner function;
+    [submit] never blocks — a full queue or a draining pool is reported
+    to the caller, which maps them to protocol backpressure.  Stopping
+    with [~drain:true] (the default) completes every accepted item
+    before returning, so an accepted job is never lost. *)
+
+type 'a t
+
+(** [create ~workers ~queue_cap runner] starts the worker threads.
+    Raises [Invalid_argument] when either bound is non-positive.  The
+    runner is expected not to raise; anything it does raise is swallowed
+    so a bad job can never kill a worker. *)
+val create : workers:int -> queue_cap:int -> ('a -> unit) -> 'a t
+
+(** Enqueue one item, or say why not.  Never blocks. *)
+val submit : 'a t -> 'a -> [ `Accepted | `Queue_full | `Draining ]
+
+(** [(queued, running, completed)] under the pool lock. *)
+val stats : 'a t -> int * int * int
+
+val queue_cap : 'a t -> int
+val workers : 'a t -> int
+val draining : 'a t -> bool
+
+(** Stop the pool and join every worker.  With [~drain:true] (default)
+    all queued items run first; with [~drain:false] the unstarted queue
+    is discarded and returned (in-flight items still finish — a worker
+    is never killed mid-job).  Idempotent; the second call returns []. *)
+val stop : ?drain:bool -> 'a t -> 'a list

@@ -1,0 +1,53 @@
+(* Per-client token buckets for the submission quota.
+
+   One bucket per client key, refilled continuously at [rate] tokens per
+   second up to [burst]; a submission takes one token.  Time is an
+   explicit argument so the arithmetic is deterministic under test — the
+   server passes [Unix.gettimeofday].  A non-positive rate disables the
+   quota entirely (every take succeeds), which is the CLI default. *)
+
+type bucket = { mutable tokens : float; mutable last : float }
+
+type t = {
+  rate : float;
+  burst : float;
+  mu : Mutex.t;
+  buckets : (string, bucket) Hashtbl.t;
+}
+
+let create ~rate ~burst =
+  {
+    rate;
+    burst = float_of_int (max 1 burst);
+    mu = Mutex.create ();
+    buckets = Hashtbl.create 16;
+  }
+
+let enabled t = t.rate > 0.0
+
+let try_take t ~client ~now =
+  if not (enabled t) then `Ok
+  else
+    Mutex.protect t.mu (fun () ->
+        let b =
+          match Hashtbl.find_opt t.buckets client with
+          | Some b -> b
+          | None ->
+            let b = { tokens = t.burst; last = now } in
+            Hashtbl.add t.buckets client b;
+            b
+        in
+        (* A clock that goes backwards must not mint tokens. *)
+        let elapsed = Float.max 0.0 (now -. b.last) in
+        let tokens = Float.min t.burst (b.tokens +. (elapsed *. t.rate)) in
+        b.last <- now;
+        if tokens >= 1.0 then begin
+          b.tokens <- tokens -. 1.0;
+          `Ok
+        end
+        else begin
+          b.tokens <- tokens;
+          `Retry_after ((1.0 -. tokens) /. t.rate)
+        end)
+
+let clients t = Mutex.protect t.mu (fun () -> Hashtbl.length t.buckets)

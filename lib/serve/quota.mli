@@ -1,0 +1,21 @@
+(** Per-client token-bucket submission quotas.
+
+    Each client key owns a bucket of [burst] tokens refilled at [rate]
+    tokens per second; a submission takes one.  Time is an explicit
+    argument ({!try_take} [~now]) so behaviour is deterministic under
+    test.  A non-positive [rate] disables the quota. *)
+
+type t
+
+val create : rate:float -> burst:int -> t
+
+(** Whether the quota is active ([rate > 0]). *)
+val enabled : t -> bool
+
+(** Take one token for [client] at time [now] (seconds, any monotone
+    base).  [`Retry_after s] says the next token is [s] seconds away —
+    the serve layer turns it into a 429 with a [Retry-After] header. *)
+val try_take : t -> client:string -> now:float -> [ `Ok | `Retry_after of float ]
+
+(** Number of distinct clients seen (for /health). *)
+val clients : t -> int

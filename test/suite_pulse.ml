@@ -275,8 +275,10 @@ let openmetrics_tests =
         has "# TYPE xfd_test_pulse_om_h_p99 gauge");
   ]
 
-(* Raw request helper for methods Httpc does not speak. *)
-let raw_request ~port req =
+(* Raw request helper for wire shapes Httpc does not speak.  [shutdown]
+   half-closes the write side after sending — how a client that died
+   mid-body looks to the server. *)
+let raw_request ?(shutdown = false) ~port req =
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
@@ -284,14 +286,18 @@ let raw_request ~port req =
       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
       let b = Bytes.of_string req in
       ignore (Unix.write fd b 0 (Bytes.length b));
+      if shutdown then Unix.shutdown fd Unix.SHUTDOWN_SEND;
       let buf = Buffer.create 256 in
       let chunk = Bytes.create 1024 in
+      (* A server that rejects early (e.g. 431) closes with our request
+         partly unread; the resulting RST after the response is fine. *)
       let rec go () =
-        let k = Unix.read fd chunk 0 1024 in
-        if k > 0 then begin
+        match Unix.read fd chunk 0 1024 with
+        | 0 -> ()
+        | k ->
           Buffer.add_subbytes buf chunk 0 k;
           go ()
-        end
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
       in
       go ();
       Buffer.contents buf)
@@ -329,12 +335,66 @@ let httpd_tests =
             let resp = raw_request ~port "POST /echo HTTP/1.1\r\nHost: x\r\n\r\n" in
             Alcotest.(check bool) "POST is 405" true
               (String.length resp >= 12 && String.sub resp 9 3 = "405");
+            let has_allow =
+              let s = "Allow: GET, HEAD" in
+              let n = String.length s and m = String.length resp in
+              let rec go i = i + n <= m && (String.sub resp i n = s || go (i + 1)) in
+              go 0
+            in
+            Alcotest.(check bool) "405 carries Allow: GET, HEAD" true has_allow;
             let resp = raw_request ~port "HEAD /echo HTTP/1.1\r\nHost: x\r\n\r\n" in
             Alcotest.(check bool) "HEAD has no body" true
               (String.sub resp 9 3 = "200"
               &&
               let n = String.length resp in
               String.sub resp (n - 4) 4 = "\r\n\r\n")));
+    Tu.case "POST bodies: echo within cap, 411/413/431/400 outside it" (fun () ->
+        let srv =
+          Httpd.start ~port:0
+            ~allowed_methods:[ "GET"; "HEAD"; "POST" ]
+            ~max_body_bytes:64
+            (fun req ->
+              if req.Httpd.path = "/echo" then Httpd.text 200 req.Httpd.body
+              else Httpd.not_found)
+        in
+        Fun.protect
+          ~finally:(fun () -> Httpd.stop srv)
+          (fun () ->
+            let port = Httpd.port srv in
+            let status_of resp = String.sub resp 9 3 in
+            let resp =
+              raw_request ~port
+                "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello"
+            in
+            Alcotest.(check string) "within cap is 200" "200" (status_of resp);
+            let n = String.length resp in
+            Alcotest.(check string) "body echoed back" "hello" (String.sub resp (n - 5) 5);
+            let resp = raw_request ~port "POST /echo HTTP/1.1\r\nHost: x\r\n\r\n" in
+            Alcotest.(check string) "POST without Content-Length is 411" "411"
+              (status_of resp);
+            let resp =
+              raw_request ~port
+                "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 65\r\n\r\n"
+            in
+            Alcotest.(check string) "body over cap is 413" "413" (status_of resp);
+            let resp =
+              raw_request ~port
+                "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: nope\r\n\r\n"
+            in
+            Alcotest.(check string) "bad Content-Length is 400" "400" (status_of resp);
+            let resp =
+              raw_request ~shutdown:true ~port
+                "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 10\r\n\r\nhi"
+            in
+            Alcotest.(check string) "truncated body is 400" "400" (status_of resp);
+            let resp =
+              raw_request ~port
+                (Printf.sprintf "GET /echo HTTP/1.1\r\nHost: x\r\nX-Pad: %s\r\n\r\n"
+                   (String.make 9000 'a'))
+            in
+            Alcotest.(check string) "oversized head is 431" "431" (status_of resp);
+            let resp = raw_request ~port "DELETE /echo HTTP/1.1\r\nHost: x\r\n\r\n" in
+            Alcotest.(check string) "DELETE is still 405" "405" (status_of resp)));
     Tu.case "stop closes the listener" (fun () ->
         let srv = Httpd.start ~port:0 (fun _ -> Httpd.text 200 "up") in
         let port = Httpd.port srv in
@@ -378,7 +438,7 @@ let route_tests =
         let tsdb = Tsdb.create () in
         Tsdb.sample tsdb;
         let handle path =
-          Pulse.handler tsdb { Httpd.meth = "GET"; path; query = [] }
+          Pulse.handler tsdb { Httpd.meth = "GET"; path; query = []; headers = []; body = "" }
         in
         let metrics = handle "/metrics" in
         Alcotest.(check int) "/metrics 200" 200 metrics.Httpd.status;
@@ -401,13 +461,21 @@ let route_tests =
               Httpd.meth = "GET";
               path = "/series";
               query = [ ("name", "pulse.samples"); ("last", "1") ];
+              headers = [];
+              body = "";
             }
         in
         let oj = parse_json one.Httpd.body in
         Alcotest.(check string) "series name echoes" "pulse.samples" (jstr "name" oj);
         let missing =
           Pulse.handler tsdb
-            { Httpd.meth = "GET"; path = "/series"; query = [ ("name", "nope") ] }
+            {
+              Httpd.meth = "GET";
+              path = "/series";
+              query = [ ("name", "nope") ];
+              headers = [];
+              body = "";
+            }
         in
         Alcotest.(check int) "unknown series 404" 404 missing.Httpd.status;
         let flight = handle "/flight" in
@@ -419,7 +487,7 @@ let route_tests =
         with_flight (fun () ->
             let tsdb = Tsdb.create () in
             let handle path =
-              Pulse.handler tsdb { Httpd.meth = "GET"; path; query = [] }
+              Pulse.handler tsdb { Httpd.meth = "GET"; path; query = []; headers = []; body = "" }
             in
             Alcotest.(check int) "idle is 503" 503 (handle "/ready").Httpd.status;
             Alcotest.(check bool) "status idle" true (Pulse.status () = Pulse.Idle);

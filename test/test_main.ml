@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "xfdetector"
-    (Suite_mem.suite @ Suite_trace.suite @ Suite_sim.suite @ Suite_core.suite @ Suite_pmdk.suite @ Suite_workloads.suite @ Suite_detection.suite @ Suite_servers.suite @ Suite_baselines.suite @ Suite_engine.suite @ Suite_props.suite @ Suite_mechanisms.suite @ Suite_mt.suite @ Suite_extras.suite @ Suite_report.suite @ Suite_pools.suite @ Suite_json.suite @ Suite_obs.suite @ Suite_cow.suite @ Suite_edges.suite @ Suite_stress.suite @ Suite_fuzz.suite @ Suite_incremental.suite @ Suite_lint.suite @ Suite_flight.suite @ Suite_pulse.suite)
+    (Suite_mem.suite @ Suite_trace.suite @ Suite_sim.suite @ Suite_core.suite @ Suite_pmdk.suite @ Suite_workloads.suite @ Suite_detection.suite @ Suite_servers.suite @ Suite_baselines.suite @ Suite_engine.suite @ Suite_props.suite @ Suite_mechanisms.suite @ Suite_mt.suite @ Suite_extras.suite @ Suite_report.suite @ Suite_pools.suite @ Suite_json.suite @ Suite_obs.suite @ Suite_cow.suite @ Suite_edges.suite @ Suite_stress.suite @ Suite_fuzz.suite @ Suite_incremental.suite @ Suite_lint.suite @ Suite_flight.suite @ Suite_pulse.suite @ Suite_serve.suite)
