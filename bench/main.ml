@@ -174,6 +174,55 @@ let detect_workloads () =
 
 let engine_name = function `Incremental -> "incremental" | `Fresh -> "fresh"
 
+(* ---- static lint throughput, per persistence-domain model ----
+
+   One row per workload x domain model: trace the workload once per
+   model (Lint.check_prog) and report analysed events, findings by
+   severity and events/s.  The finding counts are deterministic and
+   Exact-gated by bench_diff; wall and rate carry the report-only
+   "_s"/"_per_sec" suffix classes. *)
+
+let lint_bench_rows () =
+  let open Xfd_util.Json in
+  let models = Xfd_trace.Domain_model.all in
+  Printf.printf "\n== Static lint throughput per persistence-domain model ==\n";
+  Printf.printf "%-18s %-8s %8s %6s %5s %5s %5s %9s %12s\n" "workload" "domain" "events"
+    "finds" "err" "warn" "perf" "wall" "events/s";
+  List.concat_map
+    (fun (name, (e : E.Workload_set.entry), init, test) ->
+      let program = e.make ~init ~test in
+      List.map
+        (fun domain ->
+          let config = { Xfd.Config.default with Xfd.Config.domain } in
+          ignore (Xfd_lint.Lint.check_prog ~config program);
+          (* measured run *)
+          let t0 = Unix.gettimeofday () in
+          let r = Xfd_lint.Lint.check_prog ~config program in
+          let wall = Unix.gettimeofday () -. t0 in
+          let eps = if wall > 0.0 then float_of_int r.Xfd_lint.Lint.events /. wall else 0.0 in
+          Printf.printf "%-18s %-8s %8d %6d %5d %5d %5d %7.2fms %12.0f\n" name
+            (Xfd_trace.Domain_model.to_string domain)
+            r.Xfd_lint.Lint.events
+            (List.length r.Xfd_lint.Lint.findings)
+            r.Xfd_lint.Lint.errors r.Xfd_lint.Lint.warnings r.Xfd_lint.Lint.perf
+            (1000.0 *. wall) eps;
+          Obj
+            [
+              ("workload", Str name);
+              ("domain", Str (Xfd_trace.Domain_model.to_string domain));
+              ("events", Int r.Xfd_lint.Lint.events);
+              ("findings", Int (List.length r.Xfd_lint.Lint.findings));
+              ("errors", Int r.Xfd_lint.Lint.errors);
+              ("warnings", Int r.Xfd_lint.Lint.warnings);
+              ("perf", Int r.Xfd_lint.Lint.perf);
+              ("wall_s", Float wall);
+              ("events_per_sec", Float eps);
+            ])
+        models)
+    (detect_workloads ())
+
+let run_lint_bench () = ignore (lint_bench_rows ())
+
 let run_detect_bench ?engine_filter () =
   let open Xfd_util.Json in
   let counter name = Option.value ~default:0 (Xfd_obs.Obs.counter_value name) in
@@ -281,8 +330,9 @@ let run_detect_bench ?engine_filter () =
       Obj
         [
           ("type", Str "BENCH_detect");
-          ("schema_version", Int 2);
+          ("schema_version", Int 3);
           ("rows", Arr rows);
+          ("lint", Arr (lint_bench_rows ()));
         ]
     in
     let oc = open_out detect_bench_out in
@@ -467,6 +517,7 @@ let () =
   | "mtsweep" -> run_mtsweep ()
   | "snapshots" -> run_snapshot_bench ()
   | "detect" -> run_detect_bench ?engine_filter ()
+  | "lint" -> run_lint_bench ()
   | "micro" -> microbenches ()
   | "all" ->
     header ();
@@ -485,6 +536,6 @@ let () =
     microbenches ()
   | other ->
     Printf.eprintf
-      "unknown experiment %S (expected fig12a|fig12b|fig13|table4|table5|newbugs|capability|ablation|mechanisms|mtsweep|parallel|snapshots|detect|micro|all)\n"
+      "unknown experiment %S (expected fig12a|fig12b|fig13|table4|table5|newbugs|capability|ablation|mechanisms|mtsweep|parallel|snapshots|detect|lint|micro|all)\n"
       other;
     exit 2

@@ -326,22 +326,66 @@ let lint_cmd =
   let fail_on_finding =
     Arg.(
       value & flag
-      & info [ "fail-on-finding" ] ~doc:"Exit non-zero unless the report is clean.")
+      & info [ "fail-on-finding" ]
+          ~doc:
+            "Deprecated: findings exit 1 by default now; the flag is accepted and \
+             ignored.")
   in
-  let action file json fail_on_finding =
-    let t = load_trace file in
-    let report = Xfd_lint.Lint.check_trace t in
-    if json then
-      print_endline (Xfd_util.Json.to_string (Xfd_lint.Lint.report_to_json report))
-    else Format.printf "%s: %a@." file Xfd_lint.Lint.pp_report report;
-    if fail_on_finding && not (Xfd_lint.Lint.clean report) then exit 1
+  let domain =
+    Arg.(
+      value & opt string "adr"
+      & info [ "domain" ] ~docv:"MODEL"
+          ~doc:
+            "Persistence-domain model to lint under: $(b,adr) (default), $(b,eadr) or \
+             $(b,cxl-gpf).")
+  in
+  let diff_domains =
+    Arg.(
+      value & flag
+      & info [ "diff-domains" ]
+          ~doc:
+            "Lint the trace under every domain model and classify each finding key as \
+             stable / appears / disappears relative to the $(b,--domain) baseline.")
+  in
+  let action file json _fail_on_finding domain diff_domains =
+    let domain =
+      match Xfd_trace.Domain_model.of_string domain with
+      | Some d -> d
+      | None ->
+        Printf.eprintf "unknown persistence-domain model %S (want adr|eadr|cxl-gpf)\n"
+          domain;
+        exit 2
+    in
+    let t =
+      try load_trace file
+      with Sys_error e ->
+        Printf.eprintf "cannot read trace: %s\n" e;
+        exit 2
+    in
+    (* Exit contract (shared with xfd_cli lint): 0 = clean, 1 = findings,
+       2 = usage/IO error. *)
+    if diff_domains then begin
+      let d = Xfd_lint.Lint.diff_domains ~baseline:domain t in
+      if json then
+        print_endline (Xfd_util.Json.to_string (Xfd_lint.Lint.diff_to_json d))
+      else Format.printf "%s: %a@." file Xfd_lint.Lint.pp_diff d;
+      if not (Xfd_lint.Lint.diff_clean d) then exit 1
+    end
+    else begin
+      let report = Xfd_lint.Lint.check_trace ~domain t in
+      if json then
+        print_endline (Xfd_util.Json.to_string (Xfd_lint.Lint.report_to_json report))
+      else Format.printf "%s: %a@." file Xfd_lint.Lint.pp_report report;
+      if not (Xfd_lint.Lint.clean report) then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically analyse a recorded pre-failure trace for crash-consistency rule \
-          violations — no execution, no replay")
-    Term.(const action $ file $ json $ fail_on_finding)
+          violations — no execution, no replay. Exits 0 when clean, 1 on findings, 2 \
+          on usage or IO errors.")
+    Term.(const action $ file $ json $ fail_on_finding $ domain $ diff_domains)
 
 let check_cmd =
   let pre = Arg.(required & opt (some string) None & info [ "pre" ] ~docv:"FILE") in

@@ -9,6 +9,7 @@ type t = {
   post_jobs : int;
   forensics : bool;
   engine : [ `Incremental | `Fresh ];
+  domain : Xfd_trace.Domain_model.t;
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     post_jobs = 1;
     forensics = false;
     engine = `Incremental;
+    domain = Xfd_trace.Domain_model.Adr;
   }
 
 let validate t =

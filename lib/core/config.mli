@@ -34,6 +34,12 @@ type t = {
           [`Fresh] rebuilds the shadow from event 0 at every failure point:
           quadratic, but trivially correct, kept as the oracle the
           equivalence tests and [xfd_cli run --oracle] compare against *)
+  domain : Xfd_trace.Domain_model.t;
+      (** persistence-domain model the shadow FSM interprets events under.
+          [Adr] (the default) is the paper's flush+fence contract and is
+          byte-identical to the pre-parametric detector; [Eadr] makes
+          stores durable at store; [Cxl_gpf] makes flushes durable on
+          arrival and honours the GPF barrier event *)
 }
 
 val default : t

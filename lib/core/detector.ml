@@ -42,9 +42,10 @@ type t = {
   mutable cur_trace : Trace.t option;
 }
 
-let create ?(check_perf = true) ?(commit_at = `Write) ?(forensics = false) () =
+let create ?(check_perf = true) ?(commit_at = `Write) ?(forensics = false)
+    ?(domain = Xfd_trace.Domain_model.Adr) () =
   {
-    shadow = Shadow_pm.create ~forensics ();
+    shadow = Shadow_pm.create ~forensics ~domain ();
     registry = Commit_registry.create ();
     check_perf;
     defer_commits = (commit_at = `Persist);
@@ -331,6 +332,16 @@ let replay_event t (ev : Event.t) =
     Shadow_pm.fence t.shadow ~ev:seq;
     if t.defer_commits then Commit_registry.apply_pending t.registry;
     t.ts <- t.ts + 1
+  | Event.Gpf ->
+    (* The barrier only exists under CXL-GPF; elsewhere the instruction is
+       unavailable and the event is inert (a program relying on it is
+       exactly as buggy as one that never flushed). *)
+    if Xfd_trace.Domain_model.equal (Shadow_pm.domain t.shadow) Xfd_trace.Domain_model.Cxl_gpf
+    then begin
+      Shadow_pm.gpf t.shadow ~ev:seq;
+      if t.defer_commits then Commit_registry.apply_pending t.registry;
+      t.ts <- t.ts + 1
+    end
   | Event.Tx_begin ->
     t.tx_active <- true;
     t.tx_added <- []

@@ -33,9 +33,18 @@ type t
     makes every recorded Race/Semantic/Perf bug carry a
     {!Xfd_forensics.Provenance.t} chain resolved against the replayed
     traces.  Off by default: with it off the per-byte cost is one extra
-    word and bugs carry no chain. *)
+    word and bugs carry no chain.
+
+    [domain] selects the persistence-domain model of the shadow FSM
+    (default [Adr]).  The GPF barrier event is honoured only under
+    [Cxl_gpf]; elsewhere it is inert. *)
 val create :
-  ?check_perf:bool -> ?commit_at:[ `Write | `Persist ] -> ?forensics:bool -> unit -> t
+  ?check_perf:bool ->
+  ?commit_at:[ `Write | `Persist ] ->
+  ?forensics:bool ->
+  ?domain:Xfd_trace.Domain_model.t ->
+  unit ->
+  t
 
 (** [replay t trace ~from ~upto] replays events [from .. upto-1]. *)
 val replay : t -> Xfd_trace.Trace.t -> from:int -> upto:int -> unit

@@ -245,7 +245,7 @@ let detect_gen ?only ?priority ?on_progress ?(config = Config.default) program =
         let make_detector () =
           let d =
             Detector.create ~check_perf:config.Config.check_perf ~commit_at
-              ~forensics:config.Config.forensics ()
+              ~forensics:config.Config.forensics ~domain:config.Config.domain ()
           in
           (d, track (fun () -> Detector.release d))
         in

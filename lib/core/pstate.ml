@@ -13,6 +13,35 @@ let on_fence = function
   | Writeback_pending -> Persisted
   | (Unmodified | Modified | Persisted) as s -> s
 
+(* Domain-parametric transfers, mirroring {!Xfd_lint.Abs.on_*_in} on the
+   concrete machine (DESIGN.md decision 18).  [Adr] is exactly the
+   functions above. *)
+
+module D = Xfd_trace.Domain_model
+
+let on_write_in = function
+  | D.Adr | D.Cxl_gpf -> on_write
+  | D.Eadr -> fun _ -> Persisted
+
+let on_nt_write_in = function
+  | D.Adr -> on_nt_write
+  | D.Eadr | D.Cxl_gpf -> fun _ -> Persisted
+
+let on_flush_in = function
+  | D.Adr -> on_flush
+  | D.Eadr -> fun s -> s
+  | D.Cxl_gpf -> (
+    function Modified | Writeback_pending -> Persisted | (Unmodified | Persisted) as s -> s)
+
+let on_fence_in = function
+  | D.Adr -> on_fence
+  | D.Eadr | D.Cxl_gpf -> fun s -> s
+
+let on_gpf_in = function
+  | D.Cxl_gpf -> (
+    function Modified | Writeback_pending -> Persisted | (Unmodified | Persisted) as s -> s)
+  | D.Adr | D.Eadr -> fun s -> s
+
 let is_persisted = function Persisted -> true | Unmodified | Modified | Writeback_pending -> false
 let equal (a : t) b = a = b
 

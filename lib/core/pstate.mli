@@ -26,6 +26,19 @@ val on_flush : t -> t
 (** [on_fence t] orders a captured byte. *)
 val on_fence : t -> t
 
+(** Domain-parametric transfers.  [on_*_in Adr] is the corresponding
+    un-suffixed function.  Under [Eadr] stores land [Persisted] and
+    flush/fence are persistence no-ops; under [Cxl_gpf] a flush (or
+    non-temporal store) is durable on arrival at the device, fences order
+    without persisting, and {!on_gpf_in} models the global persistent
+    flush barrier. *)
+
+val on_write_in : Xfd_trace.Domain_model.t -> t -> t
+val on_nt_write_in : Xfd_trace.Domain_model.t -> t -> t
+val on_flush_in : Xfd_trace.Domain_model.t -> t -> t
+val on_fence_in : Xfd_trace.Domain_model.t -> t -> t
+val on_gpf_in : Xfd_trace.Domain_model.t -> t -> t
+
 val is_persisted : t -> bool
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -81,12 +81,13 @@ type store = {
   meta : (int, meta) Hashtbl.t;
   mutable last_meta : (int * meta) option;
   record_hist : bool;
+  domain : Xfd_trace.Domain_model.t;
   mutable active : div option;
 }
 
 type t = { store : store; div : div option }
 
-let create ?(forensics = false) () =
+let create ?(forensics = false) ?(domain = Xfd_trace.Domain_model.Adr) () =
   {
     store =
       {
@@ -94,10 +95,13 @@ let create ?(forensics = false) () =
         meta = Hashtbl.create 16;
         last_meta = None;
         record_hist = forensics;
+        domain;
         active = None;
       };
     div = None;
   }
+
+let domain t = t.store.domain
 
 let release t =
   Pages.release t.store.pages;
@@ -315,16 +319,23 @@ let write_byte t addr ~ts ~ev ~loc ~nt ~post =
   let store = t.store in
   let div = writing_div t in
   let old = Pages.get store.pages addr in
-  Obs.Counter.incr (if nt then c_to_writeback else c_to_modified);
   let pst = decode_pstate (Pages.state_of old) in
-  let pst' = if nt then Pstate.on_nt_write pst else Pstate.on_write pst in
+  let pst' =
+    if nt then Pstate.on_nt_write_in store.domain pst
+    else Pstate.on_write_in store.domain pst
+  in
+  let pending = Pstate.equal pst' Pstate.Writeback_pending in
+  Obs.Counter.incr
+    (if pending then c_to_writeback
+     else if Pstate.equal pst' Pstate.Persisted then c_to_persisted
+     else c_to_modified);
   let packed =
     encode_pstate pst' lor Pages.bit_tracked
-    lor (if nt then Pages.bit_pending else 0)
+    lor (if pending then Pages.bit_pending else 0)
     lor (if post then bit_post else old land bit_post)
   in
   (match div with
-  | Some d when nt && not (Pages.has old Pages.bit_pending) ->
+  | Some d when pending && not (Pages.has old Pages.bit_pending) ->
     d.pending_post <- addr :: d.pending_post
   | _ -> ());
   put div store addr ~old packed;
@@ -346,13 +357,21 @@ let flush_line t line ~ev =
         else if s = st_writeback then had_pending := true
         else if s = st_persisted then had_persisted := true);
   if !had_modified then begin
+    (* Where a captured byte lands is the model's call: ADR parks it
+       writeback-pending until a fence, CXL-GPF persists it on arrival at
+       the device (eADR never has modified bytes to capture). *)
+    let target = Pstate.on_flush_in store.domain Pstate.Modified in
+    let pending = Pstate.equal target Pstate.Writeback_pending in
     Addr.iter_bytes line Addr.line_size (fun a ->
         let old = Pages.get store.pages a in
         if old <> 0 && Pages.state_of old = st_modified then begin
-          Obs.Counter.incr c_to_writeback;
-          let packed = Pages.with_state old st_writeback lor Pages.bit_pending in
+          Obs.Counter.incr (if pending then c_to_writeback else c_to_persisted);
+          let packed =
+            if pending then Pages.with_state old st_writeback lor Pages.bit_pending
+            else Pages.with_state old (encode_pstate target) land lnot Pages.bit_pending
+          in
           (match div with
-          | Some d when not (Pages.has old Pages.bit_pending) ->
+          | Some d when pending && not (Pages.has old Pages.bit_pending) ->
             d.pending_post <- a :: d.pending_post
           | _ -> ());
           put div store a ~old packed;
@@ -388,6 +407,36 @@ let fence t ~ev =
     (* A divergence fence promotes only bytes it made pending itself;
        entries whose pending bit was since cleared by an overwrite are
        skipped, mirroring removal from the old per-layer pending set. *)
+    let mine = List.rev d.pending_post in
+    d.pending_post <- [];
+    List.iter (fun a -> promote_byte (Some d) store a ~ev) mine
+
+let gpf t ~ev =
+  let store = t.store in
+  match writing_div t with
+  | None ->
+    (* The global persistent flush barrier persists every outstanding byte
+       at once.  Collect targets first, then mutate — [iter_tracked] must
+       not observe its own writes. *)
+    let promote = ref [] in
+    Pages.iter_tracked store.pages (fun a packed ->
+        let s = Pages.state_of packed in
+        if s = st_modified || s = st_writeback then promote := a :: !promote);
+    List.iter
+      (fun a ->
+        let old = Pages.get store.pages a in
+        let s = Pages.state_of old in
+        if s = st_modified || s = st_writeback then begin
+          Obs.Counter.incr c_to_persisted;
+          let packed = Pages.with_state old st_persisted land lnot Pages.bit_pending in
+          put None store a ~old packed;
+          record_hist None store a (fun h -> History.record_fence h ~ev)
+        end)
+      !promote
+  | Some d ->
+    (* A post-failure GPF may only promote what the post-failure run made
+       pending itself: data the crash dropped stays dropped.  (Post-written
+       bytes are readable regardless, so this is exactly the fence rule.) *)
     let mine = List.rev d.pending_post in
     d.pending_post <- [];
     List.iter (fun a -> promote_byte (Some d) store a ~ev) mine

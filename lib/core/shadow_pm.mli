@@ -41,8 +41,14 @@ type t
 
 (** [create ~forensics:true] attaches a {!Xfd_forensics.History.t} to every
     byte this (base) layer touches and records write/flush/fence/alloc
-    trace indices into it during replay. *)
-val create : ?forensics:bool -> unit -> t
+    trace indices into it during replay.  [domain] selects the
+    persistence-domain model the transfer functions interpret events under
+    (default [Adr], byte-identical to the pre-parametric shadow). *)
+val create : ?forensics:bool -> ?domain:Xfd_trace.Domain_model.t -> unit -> t
+
+(** The persistence-domain model this shadow was created with (shared by
+    its overlays). *)
+val domain : t -> Xfd_trace.Domain_model.t
 
 (** Journaled copy-on-write fork reading through to [t].  Creating a new
     overlay (or mutating through the base handle) rewinds any previous
@@ -91,6 +97,13 @@ val flush_line :
     to persisted.  A fork's fence promotes only bytes the fork itself made
     pending: base-pending bytes stay pending for the canonical prefix. *)
 val fence : t -> ev:int -> unit
+
+(** The global persistent flush barrier: promote {e every} outstanding
+    (modified or writeback-pending) byte to persisted.  Only meaningful
+    under [Cxl_gpf] — the caller gates on the domain.  A fork's GPF, like
+    its fence, promotes only bytes the fork itself made pending: data the
+    crash dropped stays dropped. *)
+val gpf : t -> ev:int -> unit
 
 (** Mark a freshly (re-)allocated raw payload: bytes become
     unmodified/uninitialised regardless of their history. *)

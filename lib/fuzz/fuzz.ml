@@ -145,6 +145,19 @@ let key_sig keys = String.concat "|" keys
 
 let lint_of q = Xfd_lint.Lint.check_prog (Prog.to_program q)
 
+let lint_in domain q =
+  Xfd_lint.Lint.check_prog
+    ~config:{ Xfd.Config.default with Xfd.Config.domain }
+    (Prog.to_program q)
+
+let error_keys (r : Xfd_lint.Lint.report) =
+  List.filter_map
+    (fun (f : Xfd_lint.Lint.finding) ->
+      if f.Xfd_lint.Lint.severity = Xfd_lint.Lint.Error then
+        Some (Xfd_lint.Lint.finding_key f)
+      else None)
+    r.Xfd_lint.Lint.findings
+
 (* Dynamically-confirmed races the linter did not anticipate.  Misses are
    expected by design (a transient unfenced window leaves no end-of-trace
    evidence) — the fuzzer records them as corpus repros so the static-miss
@@ -250,6 +263,47 @@ let run ?(out = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())) cfg =
              ~keep:(fun q -> not (Xfd_lint.Lint.clean (lint_of q)))
              p
          end);
+      (* M5: the persistence-domain models preserve the correct/buggy
+         frontier.  A correct-profile program has no error-severity finding
+         under ANY model (eADR turning its flushes into waste warnings is
+         the expected reinterpretation, not a bug); and on every program,
+         eADR only demotes — it must never report an error-severity key
+         that ADR does not already report. *)
+      (if cfg.profile = Gen.Correct then
+         List.iter
+           (fun m ->
+             let errs = error_keys (lint_in m p) in
+             if errs <> [] then begin
+               incr meta_failures;
+               Obs.Counter.incr c_meta_failures;
+               Format.fprintf out
+                 "metamorphic M5 violation at program %d: correct profile has error \
+                  findings under %s [%s]@."
+                 i
+                 (Xfd_trace.Domain_model.to_string m)
+                 (String.concat "; " errs);
+               shrink_and_save ~what:"M5 violation"
+                 ~keep:(fun q -> error_keys (lint_in m q) <> [])
+                 p
+             end)
+           (List.filter
+              (fun m -> m <> Xfd_trace.Domain_model.Adr)
+              Xfd_trace.Domain_model.all));
+      (let eadr_added q =
+         let adr = error_keys (lint_of q) in
+         List.filter
+           (fun k -> not (List.mem k adr))
+           (error_keys (lint_in Xfd_trace.Domain_model.Eadr q))
+       in
+       let added = eadr_added p in
+       if added <> [] then begin
+         incr meta_failures;
+         Obs.Counter.incr c_meta_failures;
+         Format.fprintf out
+           "metamorphic M5 violation at program %d: eADR added error findings [%s]@." i
+           (String.concat "; " added);
+         shrink_and_save ~what:"M5 violation" ~keep:(fun q -> eadr_added q <> []) p
+       end);
       (* M1: redundant flush insertion. *)
       (match transform_flush rng p with
       | None -> ()

@@ -19,6 +19,13 @@
     - {b Metamorphic M4}: a [Correct]-profile program must be
       {!Xfd_lint.Lint}-clean — the static analyzer never indicts a
       well-formed persistence protocol.
+    - {b Metamorphic M5}: domain-model monotonicity.  A [Correct]-profile
+      program must have no error-severity findings under {e any}
+      {!Xfd_trace.Domain_model.t} (eADR legitimately downgrades its
+      flushes to redundant-flush warnings, so M5 gates on errors only);
+      and for every profile, linting under [Eadr] must never {e add} an
+      error-severity key that the [Adr] lint lacks — eADR only removes
+      persistence obligations.
     - {b Profile}: a [Correct]-profile program must produce zero findings.
 
     Any violation is shrunk with {!Shrink.minimize} (the shrink predicate

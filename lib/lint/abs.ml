@@ -16,6 +16,36 @@ let on_nt_write _ = Pending
 let on_flush = function Dirty -> Pending | s -> s
 let on_fence = function Pending -> Persisted | s -> s
 
+(* Domain-parametric transfers (DESIGN.md decision 18).  [Adr] is exactly
+   the functions above; the other models move the persistence boundary:
+   under eADR the cache is persistent so a store is durable immediately,
+   under CXL-GPF a flush crosses the device-persistence boundary and is
+   durable on arrival (the device drains its buffers on power failure), so
+   [Pending] is unreachable and fences order without persisting. *)
+
+module D = Xfd_trace.Domain_model
+
+let on_write_in = function
+  | D.Adr | D.Cxl_gpf -> on_write
+  | D.Eadr -> fun _ -> Persisted
+
+let on_nt_write_in = function
+  | D.Adr -> on_nt_write
+  | D.Eadr | D.Cxl_gpf -> fun _ -> Persisted
+
+let on_flush_in = function
+  | D.Adr -> on_flush
+  | D.Eadr -> fun s -> s
+  | D.Cxl_gpf -> ( function Dirty | Pending -> Persisted | s -> s)
+
+let on_fence_in = function
+  | D.Adr -> on_fence
+  | D.Eadr | D.Cxl_gpf -> fun s -> s
+
+let on_gpf_in = function
+  | D.Cxl_gpf -> ( function Dirty | Pending -> Persisted | s -> s)
+  | D.Adr | D.Eadr -> fun s -> s
+
 let to_string = function
   | Bot -> "unwritten"
   | Dirty -> "dirty"

@@ -33,5 +33,20 @@ val on_write : t -> t
 val on_nt_write : t -> t
 val on_flush : t -> t
 val on_fence : t -> t
+
+(** Domain-parametric transfers.  [on_*_in Adr] is definitionally the
+    corresponding un-suffixed function.  Under [Eadr] every store lands
+    [Persisted] and flush/fence are the identity (persistence-wise a
+    no-op).  Under [Cxl_gpf] a flush or non-temporal store is durable on
+    arrival at the device ([Dirty]/[Pending] → [Persisted]), fences order
+    without persisting, and {!on_gpf_in} models the global persistent
+    flush barrier, persisting every outstanding byte.  All remain
+    monotone with respect to {!leq}. *)
+
+val on_write_in : Xfd_trace.Domain_model.t -> t -> t
+val on_nt_write_in : Xfd_trace.Domain_model.t -> t -> t
+val on_flush_in : Xfd_trace.Domain_model.t -> t -> t
+val on_fence_in : Xfd_trace.Domain_model.t -> t -> t
+val on_gpf_in : Xfd_trace.Domain_model.t -> t -> t
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

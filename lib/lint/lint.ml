@@ -7,6 +7,7 @@ module Obs = Xfd_obs.Obs
 module Config = Xfd.Config
 module Engine = Xfd.Engine
 module R = Xfd.Report
+module D = Xfd_trace.Domain_model
 
 type rule =
   | Missing_flush_before_commit_store
@@ -50,6 +51,17 @@ let severity_of = function
     Error
   | Flush_without_ordering_fence | Unflushed_at_trace_end -> Warning
   | Redundant_flush | Duplicate_tx_add -> Perf
+
+(* Per-rule reinterpretation under a persistence-domain model.  The flush
+   and fence rules never fire under the models that make them vacuous (the
+   transfer functions take care of that); the one rule whose *weight*
+   changes is [Redundant_flush]: on eADR hardware every flush of written
+   data is pure overhead the programmer should delete, so it is promoted
+   from a perf note to a warning. *)
+let severity_in domain rule =
+  match (domain, rule) with
+  | D.Eadr, Redundant_flush -> Warning
+  | _, rule -> severity_of rule
 
 type finding = {
   rule : rule;
@@ -106,7 +118,7 @@ type group = {
 
 let not_durable (s : Abs.t) = match s with Abs.Dirty | Abs.Pending -> true | _ -> false
 
-let check_trace trace =
+let check_trace ?(domain = D.Adr) trace =
   Obs.Counter.incr c_runs;
   let findings = ref [] in
   let dedup = Hashtbl.create 32 in
@@ -118,7 +130,7 @@ let check_trace trace =
     end
   in
   let mk rule loc addr size index related hint =
-    add { rule; severity = severity_of rule; loc; addr; size; index; related; hint }
+    add { rule; severity = severity_in domain rule; loc; addr; size; index; related; hint }
   in
   let index = ref (-1) in
   (* Unlogged-write findings are deferred to the end of their transaction so
@@ -129,18 +141,22 @@ let check_trace trace =
   let pending_l4 = ref [] in
   let xadd_ranges = ref [] and xadd_writers = ref [] in
   let track =
-    Track.create
+    Track.create ~domain
       ~on_hit:(fun hit ->
         match hit with
         | Track.Tx_unlogged_write { loc; addr; size } ->
           pending_l4 := (loc, addr, size, !index) :: !pending_l4
         | Track.Redundant_flush { loc; line; already } ->
           mk Redundant_flush loc line Addr.line_size (Some !index) []
-            (match already with
-            | `Pending ->
+            (match (domain, already) with
+            | D.Eadr, _ ->
+              "eADR keeps the cache inside the persistence domain — the data \
+               was durable at store, so this flush is pure overhead; remove it"
+            | _, `Pending ->
               "the line is already writeback-pending — drop this flush or \
                move it after the store it is meant to capture"
-            | `Persisted -> "the line is already fenced-persistent — this flush does no work")
+            | _, `Persisted ->
+              "the line is already fenced-persistent — this flush does no work")
         | Track.Duplicate_tx_add { loc; addr; size } ->
           mk Duplicate_tx_add loc addr size (Some !index) []
             "this range is already in the transaction — each TX_ADD snapshots \
@@ -321,7 +337,9 @@ let check_trace trace =
   List.iter (fun f -> Obs.Counter.incr (List.assoc f.rule c_fire)) findings;
   { findings; events; errors = count Error; warnings = count Warning; perf = count Perf }
 
-let check_prog ?(config = Config.default) (p : Engine.program) =
+(* Record the setup + pre-failure trace of [p] exactly as [Engine.detect]
+   would see it, hand it to [f], then release the device. *)
+let with_pre_trace (config : Config.t) (p : Engine.program) f =
   Xfd_sim.Faults.reset config.Config.faults;
   let dev = Xfd_mem.Pm_device.create () in
   let trace = Trace.create () in
@@ -334,9 +352,79 @@ let check_prog ?(config = Config.default) (p : Engine.program) =
   (match p.Engine.pre ctx with
   | () -> ()
   | exception Xfd_sim.Ctx.Detection_complete -> ());
-  let report = check_trace trace in
+  let r = f trace in
   Xfd_mem.Pm_device.release dev;
-  report
+  r
+
+let check_prog ?(config = Config.default) (p : Engine.program) =
+  with_pre_trace config p (check_trace ~domain:config.Config.domain)
+
+(* ---- differential analysis across persistence-domain models ---- *)
+
+type classification = [ `Stable | `Appears_in of D.t list | `Disappears_in of D.t list ]
+
+type diff_entry = {
+  key : string;
+  entry_rule : rule;
+  entry_loc : Loc.t;
+  by_model : (D.t * finding option) list;
+  classification : classification;
+}
+
+type diff_report = {
+  baseline : D.t;
+  models : D.t list;
+  reports : (D.t * report) list;
+  entries : diff_entry list;
+}
+
+let diff_domains ?(baseline = D.Adr) ?(models = D.all) trace =
+  let models =
+    if List.exists (D.equal baseline) models then models else baseline :: models
+  in
+  let reports = List.map (fun m -> (m, check_trace ~domain:m trace)) models in
+  (* Align findings across models by dedup key, in first-appearance order
+     (models are scanned in [models] order, findings in report order). *)
+  let order = ref [] and seen = Hashtbl.create 32 in
+  List.iter
+    (fun (_, r) ->
+      List.iter
+        (fun f ->
+          let key = finding_key f in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key f;
+            order := key :: !order
+          end)
+        r.findings)
+    reports;
+  let entries =
+    List.rev_map
+      (fun key ->
+        let witness = Hashtbl.find seen key in
+        let by_model =
+          List.map
+            (fun (m, r) ->
+              (m, List.find_opt (fun f -> String.equal (finding_key f) key) r.findings))
+            reports
+        in
+        let present_in = List.filter_map (fun (m, f) -> Option.map (fun _ -> m) f) by_model in
+        let absent_in =
+          List.filter (fun m -> not (List.exists (D.equal m) present_in)) models
+        in
+        let classification =
+          if List.exists (D.equal baseline) present_in then
+            if absent_in = [] then `Stable else `Disappears_in absent_in
+          else `Appears_in present_in
+        in
+        { key; entry_rule = witness.rule; entry_loc = witness.loc; by_model; classification })
+      !order
+  in
+  { baseline; models; reports; entries }
+
+let diff_prog ?(config = Config.default) ?baseline ?models (p : Engine.program) =
+  with_pre_trace config p (diff_domains ?baseline ?models)
+
+let diff_clean d = List.for_all (fun (_, r) -> clean r) d.reports
 
 (* Does finding [f] anticipate dynamic bug [b]?  Correctness findings match
    a race/semantic verdict by naming its pre-failure writer (as the indicted
@@ -450,6 +538,39 @@ let pp_report ppf r =
   List.iter (fun f -> Format.fprintf ppf "@,  %a" pp_finding f) r.findings;
   Format.fprintf ppf "@]"
 
+let classification_strings = function
+  | `Stable -> ("stable", [])
+  | `Appears_in ms -> ("appears", ms)
+  | `Disappears_in ms -> ("disappears", ms)
+
+let pp_diff ppf d =
+  Format.fprintf ppf "@[<v>lint domain diff: %d finding key(s); baseline %a; models"
+    (List.length d.entries) D.pp d.baseline;
+  List.iter (fun m -> Format.fprintf ppf " %a" D.pp m) d.models;
+  List.iter
+    (fun (m, r) ->
+      Format.fprintf ppf "@,  %-8s %d finding(s) (%d error, %d warning, %d perf)"
+        (D.to_string m) (List.length r.findings) r.errors r.warnings r.perf)
+    d.reports;
+  List.iter
+    (fun e ->
+      let tag, ms = classification_strings e.classification in
+      Format.fprintf ppf "@,  %-10s %s" tag e.key;
+      (match ms with
+      | [] -> ()
+      | ms ->
+        Format.fprintf ppf " under";
+        List.iter (fun m -> Format.fprintf ppf " %a" D.pp m) ms);
+      List.iter
+        (fun (m, f) ->
+          match f with
+          | Some f ->
+            Format.fprintf ppf " %a=%s" D.pp m (severity_string f.severity)
+          | None -> ())
+        e.by_model)
+    d.entries;
+  Format.fprintf ppf "@]"
+
 let pp_triage ppf t =
   Format.fprintf ppf "@[<v>triage %s: %d dynamic verdict(s), %d lint finding(s)"
     t.program (List.length t.dynamic)
@@ -500,6 +621,46 @@ let report_to_json r =
       ("warnings", Json.Int r.warnings);
       ("perf", Json.Int r.perf);
       ("clean", Json.Bool (clean r));
+    ]
+
+let diff_to_json d =
+  let models_json ms = Json.Arr (List.map (fun m -> Json.Str (D.to_string m)) ms) in
+  Json.Obj
+    [
+      ("baseline", Json.Str (D.to_string d.baseline));
+      ("models", models_json d.models);
+      ( "reports",
+        Json.Obj (List.map (fun (m, r) -> (D.to_string m, report_to_json r)) d.reports) );
+      ( "entries",
+        Json.Arr
+          (List.map
+             (fun e ->
+               let tag, ms = classification_strings e.classification in
+               Json.Obj
+                 [
+                   ("key", Json.Str e.key);
+                   ("rule", Json.Str (rule_id e.entry_rule));
+                   ("file", Json.Str e.entry_loc.Loc.file);
+                   ("line", Json.Int e.entry_loc.Loc.line);
+                   ("classification", Json.Str tag);
+                   ("models", models_json ms);
+                   ( "present_in",
+                     models_json
+                       (List.filter_map
+                          (fun (m, f) -> Option.map (fun _ -> m) f)
+                          e.by_model) );
+                   ( "severity",
+                     Json.Obj
+                       (List.filter_map
+                          (fun (m, f) ->
+                            Option.map
+                              (fun f ->
+                                (D.to_string m, Json.Str (severity_string f.severity)))
+                              f)
+                          e.by_model) );
+                 ])
+             d.entries) );
+      ("clean", Json.Bool (diff_clean d));
     ]
 
 let triage_to_json t =

@@ -49,6 +49,14 @@ val rule_id : rule -> string
 val rule_of_id : string -> rule option
 val severity_of : rule -> severity
 
+(** Per-rule severity under a persistence-domain model.  [severity_in Adr]
+    is {!severity_of}.  The only reinterpretation today: on eADR hardware
+    every flush of written data is pure overhead, so [Redundant_flush] is
+    promoted from [Perf] to [Warning].  Rules a model makes vacuous (e.g.
+    [Missing_flush_before_commit_store] under eADR) simply never fire —
+    their transfer functions can no longer reach the offending state. *)
+val severity_in : Xfd_trace.Domain_model.t -> rule -> severity
+
 type finding = {
   rule : rule;
   severity : severity;
@@ -78,15 +86,68 @@ val clean : report -> bool
     {!Xfd.Report.dedup_key}'s role for dynamic bugs. *)
 val finding_key : finding -> string
 
-(** Analyse a recorded trace. *)
-val check_trace : Xfd_trace.Trace.t -> report
+(** Analyse a recorded trace under a persistence-domain model (default
+    [Adr] — byte-identical to the pre-parametric analyzer). *)
+val check_trace : ?domain:Xfd_trace.Domain_model.t -> Xfd_trace.Trace.t -> report
 
 (** Trace the program's [setup] and [pre] stages (honouring the
     configuration's fault injection, library trust and strategy — but with
-    no failure injection and no detection) and analyse the trace.  This is
-    the zero-replay entry: one execution, no snapshots, no post-failure
-    runs. *)
+    no failure injection and no detection) and analyse the trace under the
+    configuration's [domain].  This is the zero-replay entry: one
+    execution, no snapshots, no post-failure runs. *)
 val check_prog : ?config:Xfd.Config.t -> Xfd.Engine.program -> report
+
+(** {1 Differential analysis across persistence-domain models} *)
+
+(** How one finding key behaves across the analysed models, relative to
+    the baseline: [`Stable] — fires under every model; [`Appears_in ms] —
+    absent under the baseline, fires under [ms]; [`Disappears_in ms] —
+    fires under the baseline but not under [ms].  The appear/disappear
+    sets are exactly the CXL-era findings the ADR-only analysis cannot
+    express. *)
+type classification =
+  [ `Stable
+  | `Appears_in of Xfd_trace.Domain_model.t list
+  | `Disappears_in of Xfd_trace.Domain_model.t list ]
+
+type diff_entry = {
+  key : string;  (** {!finding_key} the entry is aligned on *)
+  entry_rule : rule;
+  entry_loc : Xfd_util.Loc.t;
+  by_model : (Xfd_trace.Domain_model.t * finding option) list;
+      (** the finding under each analysed model, [None] where it does not
+          fire; one pair per model, in report order *)
+  classification : classification;
+}
+
+type diff_report = {
+  baseline : Xfd_trace.Domain_model.t;
+  models : Xfd_trace.Domain_model.t list;
+  reports : (Xfd_trace.Domain_model.t * report) list;
+  entries : diff_entry list;  (** first-appearance order *)
+}
+
+(** Run the analyzer once per model over the same trace and align findings
+    by {!finding_key}.  Defaults: baseline [Adr], models
+    {!Xfd_trace.Domain_model.all}.  The baseline is prepended to [models]
+    when absent. *)
+val diff_domains :
+  ?baseline:Xfd_trace.Domain_model.t ->
+  ?models:Xfd_trace.Domain_model.t list ->
+  Xfd_trace.Trace.t ->
+  diff_report
+
+(** Trace the program once (like {!check_prog}) and {!diff_domains} the
+    recorded trace — the models see the identical event stream. *)
+val diff_prog :
+  ?config:Xfd.Config.t ->
+  ?baseline:Xfd_trace.Domain_model.t ->
+  ?models:Xfd_trace.Domain_model.t list ->
+  Xfd.Engine.program ->
+  diff_report
+
+(** Every analysed model reported zero findings. *)
+val diff_clean : diff_report -> bool
 
 (** {1 Cross-checking against the dynamic detector} *)
 
@@ -143,7 +204,9 @@ val detect_guided :
 
 val pp_finding : Format.formatter -> finding -> unit
 val pp_report : Format.formatter -> report -> unit
+val pp_diff : Format.formatter -> diff_report -> unit
 val pp_triage : Format.formatter -> triage -> unit
 val finding_to_json : finding -> Xfd_util.Json.t
 val report_to_json : report -> Xfd_util.Json.t
+val diff_to_json : diff_report -> Xfd_util.Json.t
 val triage_to_json : triage -> Xfd_util.Json.t

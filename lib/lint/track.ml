@@ -65,9 +65,10 @@ type t = {
   mutable tx_ranges : (Addr.t * int) list;
   mutable events : int;
   on_hit : hit -> unit;
+  domain : Xfd_trace.Domain_model.t;
 }
 
-let create ?(on_hit = fun _ -> ()) () =
+let create ?(domain = Xfd_trace.Domain_model.Adr) ?(on_hit = fun _ -> ()) () =
   {
     pages = Pages.create ();
     meta = Hashtbl.create 16;
@@ -79,7 +80,10 @@ let create ?(on_hit = fun _ -> ()) () =
     tx_ranges = [];
     events = 0;
     on_hit;
+    domain;
   }
+
+let domain t = t.domain
 
 let release t =
   Pages.release t.pages;
@@ -126,7 +130,10 @@ let on_write t loc addr size ~nt =
     let covered = List.exists (fun r -> Addr.overlap r (addr, size)) t.tx_ranges in
     if not covered then t.on_hit (Tx_unlogged_write { loc; addr; size })
   end;
-  let state = if nt then Abs.on_nt_write Abs.Bot else Abs.on_write Abs.Bot in
+  let state =
+    if nt then Abs.on_nt_write_in t.domain Abs.Bot
+    else Abs.on_write_in t.domain Abs.Bot
+  in
   let packed = packed_of_abs state in
   Addr.iter_bytes addr size (fun a ->
       Pages.set t.pages a packed;
@@ -149,7 +156,7 @@ let on_flush t loc addr =
     Addr.iter_bytes line Addr.line_size (fun a ->
         let packed = Pages.get t.pages a in
         if packed <> 0 && Pages.state_of packed = st_dirty then begin
-          Pages.set t.pages a (packed_of_abs (Abs.on_flush Abs.Dirty));
+          Pages.set t.pages a (packed_of_abs (Abs.on_flush_in t.domain Abs.Dirty));
           (own_meta t a).flush.(page_offset a) <- Some (loc, t.epoch)
         end)
   else if (!pending || !persisted) && checking t then
@@ -160,11 +167,31 @@ let on_flush t loc addr =
 let on_fence t =
   (* [Abs.on_fence] only moves [Pending] (tracked in the pending bitmap);
      every other byte is a fixpoint, so the old whole-table sweep reduces
-     to the pending bytes. *)
-  List.iter
-    (fun a -> Pages.set t.pages a (packed_of_abs Abs.Persisted))
-    (Pages.pending_addrs t.pages);
+     to the pending bytes.  Only ADR fences persist; under eADR/CXL-GPF
+     [Pending] is unreachable anyway and a fence is ordering-only.  The
+     epoch ticks in every model — fences still order program points. *)
+  (if Abs.equal (Abs.on_fence_in t.domain Abs.Pending) Abs.Persisted then
+     List.iter
+       (fun a -> Pages.set t.pages a (packed_of_abs Abs.Persisted))
+       (Pages.pending_addrs t.pages));
   t.epoch <- t.epoch + 1
+
+let on_gpf t loc =
+  (* The global persistent flush barrier: under CXL-GPF every outstanding
+     byte becomes persistent at once and the barrier is an ordering point;
+     under ADR/eADR the event is inert (the platform has no GPF). *)
+  if Abs.equal (Abs.on_gpf_in t.domain Abs.Dirty) Abs.Persisted then begin
+    let promote = ref [] in
+    Pages.iter_tracked t.pages (fun a packed ->
+        let s = Pages.state_of packed in
+        if s = st_dirty || s = st_pending then promote := a :: !promote);
+    List.iter
+      (fun a ->
+        Pages.set t.pages a (packed_of_abs Abs.Persisted);
+        (own_meta t a).flush.(page_offset a) <- Some (loc, t.epoch))
+      !promote;
+    t.epoch <- t.epoch + 1
+  end
 
 let feed t ev =
   t.events <- t.events + 1;
@@ -175,6 +202,7 @@ let feed t ev =
   | Event.Clwb { addr } | Event.Clflush { addr } | Event.Clflushopt { addr } ->
     on_flush t loc addr
   | Event.Sfence | Event.Mfence -> on_fence t
+  | Event.Gpf -> on_gpf t loc
   | Event.Tx_begin ->
     t.tx_depth <- t.tx_depth + 1;
     if t.tx_depth = 1 then t.tx_ranges <- []

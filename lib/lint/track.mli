@@ -43,7 +43,17 @@ type info = {
 
 type t
 
-val create : ?on_hit:(hit -> unit) -> unit -> t
+(** [domain] selects the persistence-domain model for the transfer
+    functions (default [Adr], the paper's semantics — byte-identical to
+    the pre-parametric tracker).  Under [Eadr] stores are durable at store
+    so every flush of written data fires [Redundant_flush `Persisted];
+    under [Cxl_gpf] a flush is durable on arrival, fences are
+    ordering-only, and the GPF barrier event persists every outstanding
+    byte. *)
+val create : ?domain:Xfd_trace.Domain_model.t -> ?on_hit:(hit -> unit) -> unit -> t
+
+(** The persistence-domain model this tracker was created with. *)
+val domain : t -> Xfd_trace.Domain_model.t
 
 (** Return the tracker's flat shadow pages to the global
     [shadow.page_bytes_live] accounting.  Idempotent; call when the

@@ -86,6 +86,16 @@ let sfence t =
   Hashtbl.iter (fun a v -> Image.write_byte t.persisted a v) t.pending;
   Hashtbl.reset t.pending
 
+let gpf t =
+  t.st <- { t.st with fences = t.st.fences + 1 };
+  Obs.Counter.incr c_fences;
+  (* The global persistent flush: every dirty byte is captured and the
+     whole capture set drained to the persisted image in one barrier. *)
+  Hashtbl.iter (fun a () -> Image.write_byte t.persisted a (Image.read_byte t.img a)) t.dirty;
+  Hashtbl.reset t.dirty;
+  Hashtbl.iter (fun a v -> Image.write_byte t.persisted a v) t.pending;
+  Hashtbl.reset t.pending
+
 let dirty_bytes t = Hashtbl.length t.dirty
 let pending_bytes t = Hashtbl.length t.pending
 

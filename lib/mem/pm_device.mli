@@ -48,6 +48,11 @@ val clflush : t -> Addr.t -> unit
 (** Order all captured bytes: they become persisted. *)
 val sfence : t -> unit
 
+(** Global persistent flush barrier (CXL): capture every dirty byte and
+    drain the whole capture set to the persisted image in one step.
+    Counted as a fence in the device stats. *)
+val gpf : t -> unit
+
 (** Number of bytes currently modified but not captured by any flush. *)
 val dirty_bytes : t -> int
 

@@ -156,6 +156,19 @@ let sfence t ~loc =
   | Faults.Skip -> ()
   | Faults.Normal | Faults.Duplicate -> do_sfence t ~loc
 
+let gpf t ~loc =
+  yield t;
+  (* Like a fence, the GPF barrier is an ordering point and the failure
+     point goes immediately before it: the state checked is the one in
+     which the barrier never ran. *)
+  if injectable t && t.strategy = Ordering_points then fire_failure_point t;
+  let promotes = Device.dirty_bytes t.dev > 0 || Device.pending_bytes t.dev > 0 in
+  emit t ~loc Event.Gpf;
+  Device.gpf t.dev;
+  t.ordering_points <- t.ordering_points + 1;
+  Obs.Counter.incr c_ordering_points;
+  if promotes then t.update_ops <- t.update_ops + 1
+
 let persist_barrier t ~loc addr size =
   List.iter (fun line -> clwb t ~loc line) (Xfd_mem.Addr.lines_spanning addr size);
   sfence t ~loc

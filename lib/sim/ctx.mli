@@ -61,6 +61,13 @@ val clwb : t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> unit
 val clflush : t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> unit
 val sfence : t -> loc:Xfd_util.Loc.t -> unit
 
+(** Global persistent flush barrier (CXL): an ordering point that persists
+    every outstanding byte at device level and emits {!Xfd_trace.Event.kind.Gpf}.
+    How much persistence the barrier actually buys is the detector's call —
+    under non-CXL domain models the event is inert there.  Not subject to
+    fault injection (no seeded-bug kind targets it). *)
+val gpf : t -> loc:Xfd_util.Loc.t -> unit
+
 (** [persist_barrier t ~loc addr size] is "CLWB every line of the range;
     SFENCE" — the paper's [persist_barrier()], a single ordering point. *)
 val persist_barrier : t -> loc:Xfd_util.Loc.t -> Xfd_mem.Addr.t -> int -> unit

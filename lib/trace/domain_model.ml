@@ -1,0 +1,28 @@
+type t = Adr | Eadr | Cxl_gpf
+
+let all = [ Adr; Eadr; Cxl_gpf ]
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let to_string = function Adr -> "adr" | Eadr -> "eadr" | Cxl_gpf -> "cxl-gpf"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "adr" -> Some Adr
+  | "eadr" -> Some Eadr
+  | "cxl-gpf" | "cxl_gpf" | "cxlgpf" | "gpf" -> Some Cxl_gpf
+  | _ -> None
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)
+
+let describe = function
+  | Adr ->
+    "ADR: stores land in the cache; CLWB/CLFLUSH moves a line into the \
+     write-pending queue and only an ordering fence makes it persistent"
+  | Eadr ->
+    "eADR: the cache itself is inside the persistence domain, so data is \
+     durable at store; flushes and fences are pure overhead"
+  | Cxl_gpf ->
+    "CXL-GPF: a flush moves data across the device-persistence boundary and \
+     is durable on arrival (the device's global persistent flush drains its \
+     buffers on power failure); the GPF barrier persists everything at once"

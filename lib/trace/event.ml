@@ -7,6 +7,7 @@ type kind =
   | Clflushopt of { addr : Xfd_mem.Addr.t }
   | Sfence
   | Mfence
+  | Gpf
   | Tx_begin
   | Tx_add of { addr : Xfd_mem.Addr.t; size : int }
   | Tx_xadd of { addr : Xfd_mem.Addr.t; size : int }
@@ -26,7 +27,8 @@ type t = { seq : int; kind : kind; loc : Xfd_util.Loc.t }
 
 let is_pm_operation = function
   | Write _ | Read _ | Nt_write _ | Clwb _ | Clflush _ | Clflushopt _ | Sfence | Mfence
-  | Tx_begin | Tx_add _ | Tx_xadd _ | Tx_commit | Tx_abort | Tx_alloc _ | Tx_free _ ->
+  | Gpf | Tx_begin | Tx_add _ | Tx_xadd _ | Tx_commit | Tx_abort | Tx_alloc _
+  | Tx_free _ ->
     true
   | Commit_var _ | Commit_range _ | Roi_begin | Roi_end | Skip_detection_begin
   | Skip_detection_end | Marker _ ->
@@ -44,6 +46,7 @@ let pp_kind ppf = function
   | Clflushopt { addr } -> Format.fprintf ppf "CLFLUSHOPT %a" Xfd_mem.Addr.pp addr
   | Sfence -> Format.pp_print_string ppf "SFENCE"
   | Mfence -> Format.pp_print_string ppf "MFENCE"
+  | Gpf -> Format.pp_print_string ppf "GPF"
   | Tx_begin -> Format.pp_print_string ppf "TX_BEGIN"
   | Tx_add { addr; size } -> Format.fprintf ppf "TX_ADD %a %d" Xfd_mem.Addr.pp addr size
   | Tx_xadd { addr; size } -> Format.fprintf ppf "TX_XADD %a %d" Xfd_mem.Addr.pp addr size
@@ -144,6 +147,7 @@ let of_line line =
       | [ "CLFLUSHOPT"; a ] -> Some (Clflushopt { addr = addr a })
       | [ "SFENCE" ] -> Some Sfence
       | [ "MFENCE" ] -> Some Mfence
+      | [ "GPF" ] -> Some Gpf
       | [ "TX_BEGIN" ] -> Some Tx_begin
       | [ "TX_ADD"; a; n ] -> Some (Tx_add { addr = addr a; size = int_of_string n })
       | [ "TX_XADD"; a; n ] -> Some (Tx_xadd { addr = addr a; size = int_of_string n })

@@ -15,6 +15,9 @@ type kind =
   | Clflushopt of { addr : Xfd_mem.Addr.t }
   | Sfence
   | Mfence
+  | Gpf
+      (** global persistent flush barrier (CXL).  Persists every outstanding
+          byte under {!Domain_model.t.Cxl_gpf}; inert under ADR/eADR. *)
   | Tx_begin
   | Tx_add of { addr : Xfd_mem.Addr.t; size : int }
   | Tx_xadd of { addr : Xfd_mem.Addr.t; size : int }

@@ -39,7 +39,7 @@ let counts t =
         | Write _ | Nt_write _ -> { x with writes = x.writes + 1 }
         | Read _ -> { x with reads = x.reads + 1 }
         | Clwb _ | Clflush _ | Clflushopt _ -> { x with flushes = x.flushes + 1 }
-        | Sfence | Mfence -> { x with fences = x.fences + 1 }
+        | Sfence | Mfence | Gpf -> { x with fences = x.fences + 1 }
         | Tx_begin | Tx_add _ | Tx_xadd _ | Tx_commit | Tx_abort | Tx_alloc _ | Tx_free _ ->
           { x with tx_ops = x.tx_ops + 1 }
         | Commit_var _ | Commit_range _ | Roi_begin | Roi_end | Skip_detection_begin
